@@ -1,0 +1,46 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Collecting the SPEC and PolyBench measurements is the expensive part
+(every benchmark × every pipeline, executed on the simulated machine), so
+it happens once per session and every figure/table derives from the same
+data — mirroring how the paper derives all of §4/§6 from one measurement
+campaign.
+
+Each benchmark writes its rendered table to ``results/<artifact>.txt`` in
+the repository root, so a benchmark run leaves the full set of regenerated
+paper artifacts on disk.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import polybench_data, spec_data
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Number of timed runs per benchmark (the paper uses 5).
+RUNS = 5
+
+
+@pytest.fixture(scope="session")
+def spec_results():
+    """All SPEC proxies on all five pipelines (native, both wasm JITs,
+    both asm.js pipelines)."""
+    return spec_data("ref", include_asmjs=True, runs=RUNS)
+
+
+@pytest.fixture(scope="session")
+def poly_results():
+    """All 23 PolyBench kernels on native + both wasm JITs."""
+    return polybench_data("ref", runs=RUNS)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered artifact and save it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,30 @@
+"""Figure 1: PolyBenchC kernels within Nx of native, by engine vintage.
+
+Paper: in 2017 seven kernels ran within 1.1x of native; by April 2018,
+11; by May 2019, 13 — steady improvement of the WebAssembly engines on
+the PolyBenchC suite.  The reproduction's vintages are the 2017/2018/2019
+engine configurations; the counts must improve (weakly) year over year at
+every threshold.
+"""
+
+from conftest import publish
+
+from repro.analysis import FIG1_THRESHOLDS, fig1
+
+
+def test_fig1(benchmark):
+    counts, details, text = benchmark.pedantic(
+        lambda: fig1(size="ref", runs=2), rounds=1, iterations=1)
+    publish("fig1_polybench_history", text)
+
+    years = sorted(counts)
+    assert years == [2017, 2018, 2019]
+    for threshold in FIG1_THRESHOLDS:
+        series = [counts[y][threshold] for y in years]
+        assert series[0] <= series[-1], \
+            f"engines must improve at <{threshold}x: {series}"
+    # The newest engines keep most kernels under 2.5x of native.
+    assert counts[2019][2.5] >= 18
+    # And the oldest engines were measurably worse somewhere.
+    assert any(counts[2017][t] < counts[2019][t]
+               for t in FIG1_THRESHOLDS)

@@ -1,0 +1,28 @@
+"""Figures 5/6: WebAssembly vs asm.js on the SPEC proxies.
+
+Paper: wasm outperforms asm.js in both browsers — 1.54x in Chrome, 1.39x
+in Firefox (Fig. 5); comparing each benchmark's best browser for each
+technology, wasm is 1.3x faster (Fig. 6).
+"""
+
+from conftest import publish
+
+from repro.analysis import fig5, fig6
+
+
+def test_fig5(spec_results, benchmark):
+    per_bench, summary, text = benchmark(fig5, spec_results)
+    publish("fig5_asmjs_per_browser", text)
+    # asm.js must lose to wasm at the geomean in both browsers.
+    assert summary["chrome_geomean"] > 1.05
+    assert summary["firefox_geomean"] > 1.05
+    assert summary["chrome_geomean"] < 2.2
+    # Most individual benchmarks agree with the geomean.
+    worse = sum(1 for r in per_bench.values() if r["chrome"] > 1.0)
+    assert worse >= len(per_bench) * 2 // 3
+
+
+def test_fig6(spec_results, benchmark):
+    per_bench, geomean_ratio, text = benchmark(fig6, spec_results)
+    publish("fig6_asmjs_best_of", text)
+    assert 1.05 < geomean_ratio < 2.0

@@ -1,0 +1,32 @@
+"""Table 1: SPEC CPU execution times (native vs Chrome vs Firefox).
+
+Paper: WebAssembly is 1.55x (Chrome) / 1.45x (Firefox) slower than native
+at the geomean; medians 1.53x / 1.54x; peaks 2.5x / 2.08x; every
+benchmark slower except 429.mcf and 433.milc.
+"""
+
+from conftest import publish
+
+from repro.analysis import relative_time, table1
+
+PAPER_GEOMEAN = {"chrome": 1.55, "firefox": 1.45}
+
+
+def test_table1(spec_results, benchmark):
+    summary, text = benchmark(table1, spec_results)
+    publish("table1_spec_times", text)
+
+    # Headline shape: a substantial slowdown in both browsers, in the
+    # paper's band.
+    assert 1.25 <= summary["chrome_geomean"] <= 1.9
+    assert 1.25 <= summary["firefox_geomean"] <= 1.9
+    assert 1.1 <= summary["chrome_median"] <= 2.0
+
+    # The paper's two below-native benchmarks: mcf must beat native.
+    mcf_chrome = relative_time(spec_results.results, "429.mcf", "chrome")
+    assert mcf_chrome < 1.05, "the 429.mcf anomaly must reproduce"
+
+    # Peak slowdowns stay within a plausible band of the paper's 2.5x.
+    peaks = [relative_time(spec_results.results, b, "chrome")
+             for b in spec_results.results]
+    assert 1.5 <= max(peaks) <= 3.2

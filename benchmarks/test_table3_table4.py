@@ -1,0 +1,29 @@
+"""Tables 3 and 4: the perf-event inventory and geomean counter summary."""
+
+from conftest import publish
+
+from repro.analysis import table3, table4
+
+
+def test_table3(benchmark):
+    events, text = benchmark(table3)
+    publish("table3_perf_events", text)
+    names = [name for name, _raw, _summary in events]
+    assert names == [
+        "all-loads-retired", "all-stores-retired", "branches-retired",
+        "conditional-branches", "instructions-retired", "cpu-cycles",
+        "L1-icache-load-misses",
+    ]
+
+
+def test_table4(spec_results, benchmark):
+    summary, text = benchmark(table4, spec_results)
+    publish("table4_counter_geomeans", text)
+
+    chrome = {event: v["chrome"] for event, v in summary.items()}
+    # Ordering relations that hold in the paper's Table 4:
+    assert chrome["all-loads-retired"] > chrome["instructions-retired"] \
+        - 0.25
+    assert chrome["instructions-retired"] > 1.3
+    assert chrome["cpu-cycles"] <= chrome["instructions-retired"] + 0.15
+    assert chrome["all-stores-retired"] > 1.1

@@ -1,0 +1,106 @@
+"""Quickstart: compile one C program through every pipeline and compare.
+
+Runs a small program through the five pipelines the paper compares —
+native (Clang-like), WebAssembly in the Chrome- and Firefox-like JITs,
+and asm.js in both — plus the reference WebAssembly interpreter, then
+prints execution statistics side by side.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.asmjs import ASMJS_CHROME, ASMJS_FIREFOX
+from repro.browser import Browser, NativeHost, chrome, firefox
+from repro.codegen import compile_native
+from repro.codegen.emscripten import compile_emscripten
+from repro.kernel import BrowsixRuntime, Kernel
+from repro.wasm import WasmInstance, encode_module
+
+SOURCE = r"""
+#define N 20
+
+int primes[N];
+
+int is_prime(int n) {
+    int d;
+    if (n < 2) { return 0; }
+    for (d = 2; d * d <= n; d++) {
+        if (n % d == 0) { return 0; }
+    }
+    return 1;
+}
+
+int main(void) {
+    int found = 0;
+    int candidate = 2;
+    while (found < N) {
+        if (is_prime(candidate)) {
+            primes[found] = candidate;
+            found++;
+        }
+        candidate++;
+    }
+    print_str("first primes: ");
+    print_i32(primes[N - 1]);
+    int i;
+    int sum = 0;
+    for (i = 0; i < N; i++) {
+        sum += primes[i];
+    }
+    print_i32(sum);
+    return 0;
+}
+"""
+
+
+def main():
+    # --- native (the Clang-like pipeline) -------------------------------
+    native_program, _ = compile_native(SOURCE, "quickstart")
+    native_result = NativeHost().run_program(native_program, Kernel(),
+                                             "quickstart")
+
+    # --- Emscripten-like pipeline: source -> optimized wasm binary ------
+    wasm_module, ir = compile_emscripten(SOURCE, "quickstart")
+    wasm_bytes = encode_module(wasm_module)
+    print(f"wasm binary: {len(wasm_bytes)} bytes, "
+          f"{wasm_module.instruction_count()} instructions")
+
+    # --- reference semantics: the WebAssembly interpreter ---------------
+    kernel = Kernel()
+    process = kernel.spawn("quickstart")
+    instance = WasmInstance(
+        wasm_module, host=BrowsixRuntime(kernel, process, ir.heap_base))
+    instance.invoke("main")
+    print("interpreter stdout:", process.stdout.drain())
+
+    # --- the browsers ----------------------------------------------------
+    results = {"native": native_result}
+    for browser in (chrome(), firefox(),
+                    Browser("asmjs-chrome", ASMJS_CHROME),
+                    Browser("asmjs-firefox", ASMJS_FIREFOX)):
+        results[browser.name] = browser.run_wasm(wasm_bytes, Kernel(),
+                                                 "quickstart")
+
+    print("\nAll pipelines must agree:")
+    for name, result in results.items():
+        assert result.stdout == native_result.stdout, name
+        print(f"  {name:16s} stdout={result.stdout!r}")
+
+    print("\nExecution statistics (native = 1.00x):")
+    base = native_result.perf
+    header = (f"{'pipeline':16s} {'instructions':>14s} {'loads':>10s} "
+              f"{'stores':>10s} {'time':>12s}")
+    print(header)
+    for name, result in results.items():
+        p = result.perf
+        print(f"{name:16s} {p.instructions:>10d} "
+              f"({p.instructions / base.instructions:4.2f}x) "
+              f"{p.loads:>6d} ({p.loads / base.loads:4.2f}x) "
+              f"{p.stores:>6d} ({p.stores / base.stores:4.2f}x) "
+              f"{result.total_seconds * 1e6:8.1f}us "
+              f"({result.total_seconds / native_result.total_seconds:4.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro: a working reproduction of "Not So Fast: Analyzing the
+Performance of WebAssembly vs. Native Code" (USENIX ATC 2019).
+
+The package contains the full simulated toolchain and measurement stack:
+
+* :mod:`repro.mcc` — the mini-C frontend the benchmarks are written in;
+* :mod:`repro.ir` — the shared optimizing middle end;
+* :mod:`repro.codegen` — the Clang-like native backend and the
+  Emscripten-like WebAssembly backend;
+* :mod:`repro.wasm` — a WebAssembly MVP implementation (binary format,
+  validator, interpreter);
+* :mod:`repro.jit` — Chrome/V8- and Firefox/SpiderMonkey-like wasm JITs;
+* :mod:`repro.asmjs` — the asm.js pipelines;
+* :mod:`repro.x86` — the simulated x86-64 machine with perf counters;
+* :mod:`repro.kernel` — the Browsix-Wasm in-browser Unix kernel;
+* :mod:`repro.browser` / :mod:`repro.harness` — browsers and the
+  BROWSIX-SPEC harness;
+* :mod:`repro.benchsuite` — PolyBenchC ports and SPEC CPU proxies;
+* :mod:`repro.analysis` — the drivers that regenerate every table and
+  figure of the paper.
+
+Quickstart::
+
+    from repro.benchsuite import spec_benchmark
+    from repro.harness import run_benchmark
+
+    results = run_benchmark(spec_benchmark("401.bzip2", "test"))
+    for target, res in results.items():
+        print(target, res.mean_seconds, res.perf)
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,22 @@
+"""Analysis: per-figure/table experiment drivers and formatting."""
+
+from .experiments import (
+    FIG1_THRESHOLDS, FIG9_PANELS, SuiteData, fig1, fig3a, fig3b, fig4,
+    fig5, fig6, fig7, fig8, fig9, fig10, polybench_data, spec_data,
+    table1, table2, table3, table4,
+)
+from .relative import (
+    COUNTER_FIELDS, geomean_relative_counter, geomean_relative_time,
+    relative_counter, relative_time,
+)
+from .tables import fmt_ratio, fmt_time, render_table
+
+__all__ = [
+    "SuiteData", "spec_data", "polybench_data",
+    "table1", "table2", "table3", "table4",
+    "fig1", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "FIG1_THRESHOLDS", "FIG9_PANELS",
+    "relative_time", "relative_counter",
+    "geomean_relative_time", "geomean_relative_counter", "COUNTER_FIELDS",
+    "render_table", "fmt_ratio", "fmt_time",
+]

@@ -1,0 +1,47 @@
+"""Relative-counter computations used by every figure."""
+
+from __future__ import annotations
+
+from ..harness.stats import geomean
+
+#: Counter attribute names on PerfCounters used in Fig. 9 / Table 4.
+COUNTER_FIELDS = [
+    ("all-loads-retired", "loads"),
+    ("all-stores-retired", "stores"),
+    ("branch-instructions-retired", "branches"),
+    ("conditional-branches", "cond_branches"),
+    ("instructions-retired", "instructions"),
+    ("cpu-cycles", None),              # computed via .cycles()
+    ("L1-icache-load-misses", "icache_misses"),
+]
+
+
+def counter_value(perf, field):
+    if field is None:
+        return perf.cycles()
+    return getattr(perf, field)
+
+
+def relative_counter(results, benchmark: str, target: str, field) -> float:
+    """Counter ratio target/native for one benchmark."""
+    base = counter_value(results[benchmark]["native"].perf, field)
+    value = counter_value(results[benchmark][target].perf, field)
+    return value / base if base else 0.0
+
+
+def relative_time(results, benchmark: str, target: str,
+                  baseline: str = "native") -> float:
+    base = results[benchmark][baseline].run.total_seconds
+    value = results[benchmark][target].run.total_seconds
+    return value / base if base else 0.0
+
+
+def geomean_relative_time(results, target: str,
+                          baseline: str = "native") -> float:
+    return geomean([relative_time(results, b, target, baseline)
+                    for b in results])
+
+
+def geomean_relative_counter(results, target: str, field) -> float:
+    return geomean([relative_counter(results, b, target, field)
+                    for b in results])

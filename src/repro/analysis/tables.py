@@ -1,0 +1,41 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Render rows (lists of strings) as an aligned text table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [str(c) for c in row]
+        cells += [""] * (columns - len(cells))
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+        str_rows.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for cells in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def fmt_time(seconds: float, err: float = None) -> str:
+    """Format a simulated duration, switching to microseconds for the
+    scaled-down workloads so the ± spread stays visible."""
+    if seconds < 0.01:
+        if err is not None:
+            return f"{seconds * 1e6:.1f} ± {err * 1e6:.1f} us"
+        return f"{seconds * 1e6:.1f} us"
+    if err is not None:
+        return f"{seconds:.4f} ± {err:.4f} s"
+    return f"{seconds:.4f} s"
+
+
+def fmt_ratio(ratio: float) -> str:
+    return f"{ratio:.2f}x"

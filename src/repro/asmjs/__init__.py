@@ -1,0 +1,8 @@
+"""asm.js pipelines (Figures 5/6 of the paper)."""
+
+from .engine import (
+    ASMJS_CHROME, ASMJS_CHROME_CONFIG, ASMJS_FIREFOX, ASMJS_FIREFOX_CONFIG,
+)
+
+__all__ = ["ASMJS_CHROME", "ASMJS_FIREFOX", "ASMJS_CHROME_CONFIG",
+           "ASMJS_FIREFOX_CONFIG"]

@@ -1,0 +1,42 @@
+"""asm.js compilation pipelines (for the paper's Figures 5 and 6).
+
+Emscripten produced both the wasm and the asm.js builds of each benchmark
+from the same LLVM IR, so in this reproduction the asm.js pipeline
+consumes the same module and differs only in the engine-side code
+generation, which captures why asm.js is slower than WebAssembly:
+
+* **Heap-access masking.**  asm.js heap views are indexed as
+  ``HEAP32[(addr & M) >> 2]``; engines emit the mask before every load
+  and store.  WebAssembly's structured memory removed this.
+* **Call-result coercion.**  Every call site carries ``|0`` / ``+``
+  coercions that survive as machine instructions.
+* **One fewer register.**  The code shares the JS engine's frame layout,
+  which keeps an extra context register live.
+
+Indirect calls use asm.js's power-of-two table masking rather than
+WebAssembly's bounds + signature check, which is *cheaper* — one of the
+few places asm.js wins, also captured here.
+"""
+
+from __future__ import annotations
+
+from ..codegen.target import CHROME, FIREFOX, TargetConfig
+from ..jit.engine import Engine
+
+
+def _asmjs_config(base: TargetConfig, name: str) -> TargetConfig:
+    return base.clone(
+        name=name,
+        gprs=base.gprs[:-1],          # JS context register stays live
+        heap_mask=True,
+        coerce_call_results=True,
+        indirect_check=False,         # table is power-of-two masked
+        loop_entry_jumps=base.loop_entry_jumps,
+    )
+
+
+ASMJS_CHROME_CONFIG = _asmjs_config(CHROME, "asmjs-chrome")
+ASMJS_FIREFOX_CONFIG = _asmjs_config(FIREFOX, "asmjs-firefox")
+
+ASMJS_CHROME = Engine("asmjs-chrome", ASMJS_CHROME_CONFIG, year=2019)
+ASMJS_FIREFOX = Engine("asmjs-firefox", ASMJS_FIREFOX_CONFIG, year=2019)

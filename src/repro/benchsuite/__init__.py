@@ -1,0 +1,15 @@
+"""Benchmark suites: PolyBenchC ports, SPEC CPU proxies, the matmul study."""
+
+from .matmul import FIG8_SIZES, matmul_source, matmul_spec
+from .polybench import POLYBENCH_NAMES, polybench_spec
+from .registry import (
+    SPEC_NAMES, all_factories, all_polybench_benchmarks,
+    all_spec_benchmarks, polybench_benchmark, spec_benchmark,
+)
+
+__all__ = [
+    "POLYBENCH_NAMES", "SPEC_NAMES", "FIG8_SIZES",
+    "polybench_spec", "polybench_benchmark", "spec_benchmark",
+    "all_polybench_benchmarks", "all_spec_benchmarks", "all_factories",
+    "matmul_source", "matmul_spec",
+]

@@ -1,0 +1,66 @@
+"""The paper's §5 case study: matrix multiplication.
+
+``matmul_source`` produces exactly the kernel from the paper's Fig. 7a —
+three nested loops over NI x NK x NJ int matrices — sized for the Fig. 8
+sweep.  The dimensions keep the paper's 1 : 1.1 : 1.2 ratio
+(e.g. 200x220x240).
+"""
+
+from __future__ import annotations
+
+from ..harness.spec import BenchmarkSpec
+
+_MATMUL = r"""
+#define NI %(ni)d
+#define NK %(nk)d
+#define NJ %(nj)d
+
+int C[NI][NJ];
+int A[NI][NK];
+int B[NK][NJ];
+
+void matmul(void) {
+    int i; int k; int j;
+    for (i = 0; i < NI; i++) {
+        for (k = 0; k < NK; k++) {
+            for (j = 0; j < NJ; j++) {
+                C[i][j] += A[i][k] * B[k][j];
+            }
+        }
+    }
+}
+
+int main(void) {
+    int i; int j; int k;
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++)
+            C[i][j] = 0;
+    for (i = 0; i < NI; i++)
+        for (k = 0; k < NK; k++)
+            A[i][k] = (i + k) %% 97;
+    for (k = 0; k < NK; k++)
+        for (j = 0; j < NJ; j++)
+            B[k][j] = (k * j + 3) %% 89;
+    matmul();
+    int checksum = 0;
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++)
+            checksum = checksum * 31 + C[i][j] %% 1000;
+    print_i32(checksum);
+    return 0;
+}
+"""
+
+#: Fig. 8's x-axis, scaled: the paper sweeps 200x220x240 ... 2000x2200x2400;
+#: the reproduction sweeps the same 1 : 1.1 : 1.2 shapes at 1/20 scale.
+FIG8_SIZES = [(10, 11, 12), (20, 22, 24), (30, 33, 36), (40, 44, 48),
+              (50, 55, 60)]
+
+
+def matmul_source(ni: int, nk: int, nj: int) -> str:
+    return _MATMUL % {"ni": ni, "nk": nk, "nj": nj}
+
+
+def matmul_spec(ni: int = 24, nk: int = 26, nj: int = 28) -> BenchmarkSpec:
+    return BenchmarkSpec(f"matmul-{ni}x{nk}x{nj}", "casestudy",
+                         matmul_source(ni, nk, nj))

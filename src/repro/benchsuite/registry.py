@@ -1,0 +1,45 @@
+"""Registry of every benchmark in the reproduction."""
+
+from __future__ import annotations
+
+from ..harness.spec import BenchmarkSpec, SpecFactory
+from .polybench import POLYBENCH_NAMES, polybench_spec
+from .spec2006 import SPEC2006_BUILDERS
+from .spec2017 import SPEC2017_BUILDERS
+
+#: The SPEC benchmarks of Table 1, in the paper's order.
+SPEC_NAMES = list(SPEC2006_BUILDERS) + list(SPEC2017_BUILDERS)
+
+_ALL_BUILDERS = {}
+_ALL_BUILDERS.update(SPEC2006_BUILDERS)
+_ALL_BUILDERS.update(SPEC2017_BUILDERS)
+
+
+def spec_benchmark(name: str, size: str = "ref") -> BenchmarkSpec:
+    """Build one SPEC proxy benchmark at the given size preset."""
+    if name not in _ALL_BUILDERS:
+        raise KeyError(f"unknown SPEC benchmark {name}")
+    return _ALL_BUILDERS[name](size)
+
+
+def all_spec_benchmarks(size: str = "ref"):
+    return [spec_benchmark(name, size) for name in SPEC_NAMES]
+
+
+def polybench_benchmark(name: str, size: str = "ref") -> BenchmarkSpec:
+    return polybench_spec(name, size)
+
+
+def all_polybench_benchmarks(size: str = "ref"):
+    return [polybench_spec(name, size) for name in POLYBENCH_NAMES]
+
+
+def all_factories():
+    """Every benchmark as a SpecFactory (for enumeration/tests)."""
+    factories = [SpecFactory(n, "polybench",
+                             lambda size, _n=n: polybench_spec(_n, size))
+                 for n in POLYBENCH_NAMES]
+    factories += [SpecFactory(n, "spec",
+                              lambda size, _n=n: spec_benchmark(_n, size))
+                  for n in SPEC_NAMES]
+    return factories

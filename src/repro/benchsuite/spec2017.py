@@ -1,0 +1,195 @@
+"""SPEC CPU2017 speed proxy workloads (the two speed benchmarks the paper
+adds to the 2006 set: 641.leela_s and 644.nab_s)."""
+
+from __future__ import annotations
+
+from ..harness.spec import BenchmarkSpec
+
+# ---------------------------------------------------------------------------
+# 641.leela_s — Monte-Carlo tree search Go engine: random playouts with
+# board updates, call-heavy and branch-heavy.
+# ---------------------------------------------------------------------------
+
+_LEELA = r"""
+#define BSIZE %(bsize)d
+#define PLAYOUTS %(playouts)d
+
+char board[BSIZE * BSIZE];
+int visit_count[BSIZE * BSIZE];
+double win_rate[BSIZE * BSIZE];
+
+int neighbor(int pos, int dir) {
+    int r = pos / BSIZE;
+    int c = pos %% BSIZE;
+    if (dir == 0) { r = r - 1; }
+    if (dir == 1) { r = r + 1; }
+    if (dir == 2) { c = c - 1; }
+    if (dir == 3) { c = c + 1; }
+    if (r < 0 || c < 0 || r >= BSIZE || c >= BSIZE) { return -1; }
+    return r * BSIZE + c;
+}
+
+int count_influence(int pos, int color) {
+    int score = 0;
+    int dir;
+    for (dir = 0; dir < 4; dir++) {
+        int n = neighbor(pos, dir);
+        if (n < 0) { continue; }
+        if (board[n] == color) { score += 2; }
+        else {
+            if (board[n] == 0) { score += 1; }
+        }
+    }
+    return score;
+}
+
+int select_move(int color) {
+    int best = -1;
+    double best_score = -1.0;
+    int pos;
+    for (pos = 0; pos < BSIZE * BSIZE; pos++) {
+        if (board[pos] != 0) { continue; }
+        double explore = 1.0 / (double)(1 + visit_count[pos]);
+        double score = win_rate[pos] + explore
+                       + (double)count_influence(pos, color) * 0.05;
+        if (score > best_score) {
+            best_score = score;
+            best = pos;
+        }
+    }
+    return best;
+}
+
+int playout(int seed) {
+    rt_srand(seed);
+    int pos;
+    for (pos = 0; pos < BSIZE * BSIZE; pos++) {
+        board[pos] = (char)0;
+    }
+    int moves = 0;
+    int color = 1;
+    int filled = 0;
+    while (filled < (BSIZE * BSIZE * 3) / 4) {
+        int move = select_move(color);
+        if (move < 0) { break; }
+        board[move] = (char)color;
+        visit_count[move]++;
+        int quality = count_influence(move, color);
+        win_rate[move] = win_rate[move] * 0.9
+                         + (double)quality * 0.0125;
+        color = 3 - color;
+        filled++;
+        moves++;
+        // Occasional random capture keeps the board dynamic.
+        if ((rt_rand() & 15) == 0 && filled > 0) {
+            int victim = rt_rand() %% (BSIZE * BSIZE);
+            if (board[victim] != 0) {
+                board[victim] = (char)0;
+                filled--;
+            }
+        }
+    }
+    return moves;
+}
+
+int main(void) {
+    int total_moves = 0;
+    int p;
+    for (p = 0; p < PLAYOUTS; p++) {
+        total_moves += playout(1000 + p);
+    }
+    double rate_sum = 0.0;
+    int i;
+    for (i = 0; i < BSIZE * BSIZE; i++) {
+        rate_sum = rate_sum + win_rate[i];
+    }
+    print_i32(total_moves);
+    print_f64(rate_sum);
+    return 0;
+}
+"""
+
+
+def _leela(size):
+    bsize, playouts = (5, 2) if size == "test" else (9, 7)
+    return BenchmarkSpec("641.leela_s", "spec2017",
+                         _LEELA % {"bsize": bsize, "playouts": playouts})
+
+
+# ---------------------------------------------------------------------------
+# 644.nab_s — molecular dynamics (nucleic acid builder): nonbonded force
+# loop with exp/sqrt terms; the suite's largest absolute running time.
+# ---------------------------------------------------------------------------
+
+_NAB = r"""
+#define ATOMS %(atoms)d
+#define STEPS %(steps)d
+
+double x[ATOMS]; double y[ATOMS]; double z[ATOMS];
+double q[ATOMS];
+double gx[ATOMS]; double gy[ATOMS]; double gz[ATOMS];
+
+double pair_energy(int i, int j) {
+    double dx = x[i] - x[j];
+    double dy = y[i] - y[j];
+    double dz = z[i] - z[j];
+    double r2 = dx * dx + dy * dy + dz * dz + 0.25;
+    double r = sqrt(r2);
+    double inv6 = 1.0 / (r2 * r2 * r2);
+    double lj = inv6 * inv6 - inv6;
+    double coulomb = q[i] * q[j] / r;
+    // Generalized-Born-flavoured screening term.
+    double gb = q[i] * q[j] * exp(-r2 * 0.05) * 0.1;
+    double f = (12.0 * inv6 * inv6 - 6.0 * inv6) / r2 + coulomb / r2;
+    gx[i] = gx[i] + f * dx;
+    gy[i] = gy[i] + f * dy;
+    gz[i] = gz[i] + f * dz;
+    gx[j] = gx[j] - f * dx;
+    gy[j] = gy[j] - f * dy;
+    gz[j] = gz[j] - f * dz;
+    return lj + coulomb - gb;
+}
+
+int main(void) {
+    int i; int j;
+    for (i = 0; i < ATOMS; i++) {
+        x[i] = (double)((i * 13) %% 37) * 0.5;
+        y[i] = (double)((i * 7) %% 31) * 0.6;
+        z[i] = (double)((i * 3) %% 29) * 0.7;
+        q[i] = ((i & 1) != 0 ? 0.5 : -0.5);
+    }
+    double energy = 0.0;
+    int step;
+    for (step = 0; step < STEPS; step++) {
+        for (i = 0; i < ATOMS; i++) {
+            gx[i] = 0.0;
+            gy[i] = 0.0;
+            gz[i] = 0.0;
+        }
+        for (i = 0; i < ATOMS; i++) {
+            for (j = i + 1; j < ATOMS; j++) {
+                energy = energy + pair_energy(i, j);
+            }
+        }
+        for (i = 0; i < ATOMS; i++) {
+            x[i] = x[i] + gx[i] * 0.0001;
+            y[i] = y[i] + gy[i] * 0.0001;
+            z[i] = z[i] + gz[i] * 0.0001;
+        }
+    }
+    print_f64(energy);
+    return 0;
+}
+"""
+
+
+def _nab(size):
+    atoms, steps = (14, 2) if size == "test" else (52, 8)
+    return BenchmarkSpec("644.nab_s", "spec2017",
+                         _NAB % {"atoms": atoms, "steps": steps})
+
+
+SPEC2017_BUILDERS = {
+    "641.leela_s": _leela,
+    "644.nab_s": _nab,
+}

@@ -1,0 +1,6 @@
+"""Simulated browsers hosting Browsix-Wasm."""
+
+from .browser import Browser, NativeHost, RunResult, chrome, execute_program, firefox
+
+__all__ = ["Browser", "NativeHost", "RunResult", "chrome", "firefox",
+           "execute_program"]

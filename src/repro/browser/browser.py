@@ -1,0 +1,124 @@
+"""Simulated browsers: a JIT engine bound to a Browsix-Wasm kernel.
+
+A :class:`Browser` takes WebAssembly binary bytes, JIT-compiles them with
+its engine, instantiates a process against the kernel, runs it on the
+simulated x86 machine, and reports timing split into guest CPU time and
+Browsix overhead — the decomposition behind the paper's Figure 4.
+
+``NativeHost`` runs the Clang-compiled program the same way with native
+syscall costs, providing the baseline column of every table.
+"""
+
+from __future__ import annotations
+
+from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE, Engine
+from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
+from ..x86.machine import X86Machine
+from ..x86.perf import CLOCK_HZ
+from ..x86.program import X86Program
+
+
+class RunResult:
+    """Outcome of one program execution."""
+
+    def __init__(self, name: str, stdout: bytes, exit_code: int, perf,
+                 overhead_cycles: float, syscalls: int,
+                 compile_seconds: float):
+        self.name = name
+        self.stdout = stdout
+        self.exit_code = exit_code
+        self.perf = perf
+        self.overhead_cycles = overhead_cycles
+        self.syscalls = syscalls
+        self.compile_seconds = compile_seconds
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.perf.seconds()
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.overhead_cycles / CLOCK_HZ
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock execution time (guest CPU + kernel overhead)."""
+        return self.cpu_seconds + self.overhead_seconds
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = self.total_seconds
+        return self.overhead_seconds / total if total else 0.0
+
+    def __repr__(self):
+        return (f"<run {self.name}: rc={self.exit_code} "
+                f"t={self.total_seconds:.4f}s "
+                f"browsix={100 * self.overhead_fraction:.2f}%>")
+
+
+def execute_program(program: X86Program, runtime, name: str,
+                    entry: str = "main",
+                    max_instructions: int = 2_000_000_000) -> RunResult:
+    """Run a compiled program against a process runtime."""
+    machine = X86Machine(program, host=runtime,
+                         max_instructions=max_instructions)
+    rax, _ = machine.call(entry)
+    return RunResult(
+        name=name,
+        stdout=runtime.stdout,
+        exit_code=rax & 0xFFFFFFFF,
+        perf=machine.perf,
+        overhead_cycles=runtime.overhead_cycles,
+        syscalls=runtime.syscall_count,
+        compile_seconds=program.compile_stats.get("compile_seconds", 0.0),
+    )
+
+
+class Browser:
+    """A web browser hosting Browsix-Wasm."""
+
+    def __init__(self, name: str, engine: Engine):
+        self.name = name
+        self.engine = engine
+
+    def compile(self, wasm_bytes: bytes) -> X86Program:
+        return self.engine.compile_bytes(wasm_bytes)
+
+    def run_wasm(self, wasm_bytes: bytes, kernel: Kernel = None,
+                 name: str = "benchmark", entry: str = "main",
+                 max_instructions: int = 2_000_000_000,
+                 program: X86Program = None) -> RunResult:
+        """JIT-compile and execute a wasm binary in this browser."""
+        kernel = kernel or Kernel()
+        if program is None:
+            program = self.compile(wasm_bytes)
+        process = kernel.spawn(name)
+        runtime = BrowsixRuntime(kernel, process, program.heap_base)
+        return execute_program(program, runtime, f"{name}@{self.name}",
+                               entry, max_instructions)
+
+    def __repr__(self):
+        return f"<browser {self.name}>"
+
+
+class NativeHost:
+    """Runs natively compiled programs (the Clang baseline)."""
+
+    name = "native"
+
+    def run_program(self, program: X86Program, kernel: Kernel = None,
+                    name: str = "benchmark", entry: str = "main",
+                    max_instructions: int = 2_000_000_000) -> RunResult:
+        kernel = kernel or Kernel()
+        process = kernel.spawn(name)
+        runtime = NativeRuntime(kernel, process, program.heap_base)
+        return execute_program(program, runtime, f"{name}@native",
+                               entry, max_instructions)
+
+
+def chrome() -> Browser:
+    return Browser("chrome", CHROME_ENGINE)
+
+
+def firefox() -> Browser:
+    return Browser("firefox", FIREFOX_ENGINE)

@@ -1,0 +1,253 @@
+"""Command-line interface: compile, run, and measure mcc programs.
+
+Usage (also via ``python -m repro``):
+
+    repro run prog.c --target chrome        # run one pipeline
+    repro compare prog.c                    # all pipelines side by side
+    repro disasm prog.c --target native     # x86 listing
+    repro wat prog.c                        # WebAssembly text format
+    repro bench 453.povray --size test      # one suite benchmark
+    repro report fig3b --size test          # regenerate a paper artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .asmjs import ASMJS_CHROME, ASMJS_FIREFOX
+from .browser.browser import execute_program
+from .codegen import compile_native
+from .codegen.emscripten import compile_emscripten
+from .jit import CHROME_ENGINE, FIREFOX_ENGINE
+from .kernel import BrowsixRuntime, Kernel, NativeRuntime
+from .wasm import encode_module, format_module
+
+_ENGINES = {
+    "chrome": CHROME_ENGINE,
+    "firefox": FIREFOX_ENGINE,
+    "asmjs-chrome": ASMJS_CHROME,
+    "asmjs-firefox": ASMJS_FIREFOX,
+}
+
+TARGETS = ("native", "chrome", "firefox", "asmjs-chrome", "asmjs-firefox")
+
+
+def _compile_target(source: str, target: str):
+    if target == "native":
+        program, _ = compile_native(source, "cli")
+        return program
+    wasm, _ = compile_emscripten(source, "cli")
+    return _ENGINES[target].compile_bytes(encode_module(wasm))
+
+
+def _execute(program, target: str, stage=None):
+    kernel = Kernel()
+    if stage is not None:
+        stage(kernel)
+    process = kernel.spawn("cli")
+    runtime_cls = NativeRuntime if target == "native" else BrowsixRuntime
+    runtime = runtime_cls(kernel, process, program.heap_base)
+    return execute_program(program, runtime, f"cli@{target}")
+
+
+def _stage_files(paths):
+    def stage(kernel):
+        for path in paths or ():
+            with open(path, "rb") as fh:
+                kernel.fs.create(path.split("/")[-1], fh.read())
+    return stage
+
+
+def cmd_run(args) -> int:
+    source = open(args.program).read()
+    program = _compile_target(source, args.target)
+    result = _execute(program, args.target, _stage_files(args.file))
+    sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+    if args.stats:
+        perf = result.perf
+        print(f"--- {args.target}: {perf.instructions} instrs, "
+              f"{perf.loads} loads, {perf.stores} stores, "
+              f"{perf.branches} branches, "
+              f"{perf.icache_misses} L1I misses, "
+              f"{perf.cycles():.0f} cycles "
+              f"({result.total_seconds * 1e6:.1f} simulated us)",
+              file=sys.stderr)
+    return result.exit_code
+
+
+def cmd_compare(args) -> int:
+    source = open(args.program).read()
+    rows = []
+    baseline = None
+    for target in TARGETS:
+        program = _compile_target(source, target)
+        result = _execute(program, target, _stage_files(args.file))
+        if baseline is None:
+            baseline = result
+        elif result.stdout != baseline.stdout:
+            print(f"OUTPUT MISMATCH in {target}!", file=sys.stderr)
+            return 1
+        perf = result.perf
+        rows.append([target, perf.instructions, perf.loads, perf.stores,
+                     perf.icache_misses,
+                     f"{result.total_seconds / baseline.total_seconds:.2f}x"])
+    from .analysis import render_table
+    print(render_table(
+        ["target", "instrs", "loads", "stores", "L1I miss", "rel time"],
+        rows, f"{args.program}: all pipelines "
+              f"(stdout {len(baseline.stdout)} bytes, identical)"))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    source = open(args.program).read()
+    program = _compile_target(source, args.target)
+    names = args.function or [f for f in program.functions]
+    for name in names:
+        func = program.functions.get(name)
+        if func is None:
+            print(f"; no function {name}", file=sys.stderr)
+            continue
+        print(f"; ---- {name} ({args.target}) ----")
+        print(func.listing())
+        print()
+    return 0
+
+
+def cmd_wat(args) -> int:
+    source = open(args.program).read()
+    wasm, _ = compile_emscripten(source, "cli")
+    print(format_module(wasm))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .benchsuite import (POLYBENCH_NAMES, SPEC_NAMES,
+                             polybench_benchmark, spec_benchmark)
+    from .harness import run_benchmark
+
+    if args.benchmark in SPEC_NAMES:
+        spec = spec_benchmark(args.benchmark, args.size)
+    elif args.benchmark in POLYBENCH_NAMES:
+        spec = polybench_benchmark(args.benchmark, args.size)
+    else:
+        print(f"unknown benchmark {args.benchmark}; choose from:",
+              file=sys.stderr)
+        print(" ", ", ".join(SPEC_NAMES + POLYBENCH_NAMES),
+              file=sys.stderr)
+        return 2
+    targets = args.target or ["native", "chrome", "firefox"]
+    results = run_benchmark(spec, targets=targets, runs=args.runs)
+    native = results.get("native") or next(iter(results.values()))
+    from .analysis import fmt_time, render_table
+    rows = []
+    for target, res in results.items():
+        rows.append([target, fmt_time(res.mean_seconds,
+                                      res.stderr_seconds),
+                     f"{res.mean_seconds / native.mean_seconds:.2f}x",
+                     res.perf.instructions, res.perf.icache_misses])
+    print(render_table(["target", "time", "rel", "instrs", "L1I miss"],
+                       rows, f"{spec.name} ({args.size})"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import (fig1, fig3a, fig3b, fig4, fig5, fig6, fig7,
+                           fig8, fig9, fig10, polybench_data, spec_data,
+                           table1, table2, table3, table4)
+
+    artifact = args.artifact
+    if artifact == "table3":
+        print(table3()[1])
+        return 0
+    if artifact == "fig7":
+        print(fig7()[1])
+        return 0
+    if artifact == "fig8":
+        print(fig8(runs=args.runs)[1])
+        return 0
+    if artifact == "fig1":
+        print(fig1(size=args.size, runs=args.runs)[2])
+        return 0
+    if artifact == "fig3a":
+        data = polybench_data(args.size, runs=args.runs)
+        print(fig3a(data)[2])
+        return 0
+
+    spec_figures = {
+        "table1": lambda d: table1(d)[1],
+        "table2": lambda d: table2(d)[1],
+        "table4": lambda d: table4(d)[1],
+        "fig3b": lambda d: fig3b(d)[2],
+        "fig4": lambda d: fig4(d)[2],
+        "fig9": lambda d: fig9(d)[1],
+        "fig10": lambda d: fig10(d)[2],
+        "fig5": lambda d: fig5(d)[2],
+        "fig6": lambda d: fig6(d)[2],
+    }
+    if artifact not in spec_figures:
+        print(f"unknown artifact {artifact}; choose from: table1 table2 "
+              "table3 table4 fig1 fig3a fig3b fig4 fig5 fig6 fig7 fig8 "
+              "fig9 fig10", file=sys.stderr)
+        return 2
+    include_asmjs = artifact in ("fig5", "fig6")
+    data = spec_data(args.size, include_asmjs=include_asmjs,
+                     runs=args.runs)
+    print(spec_figures[artifact](data))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolchain for 'Not So Fast' "
+                    "(USENIX ATC 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="compile and run a program")
+    p.add_argument("program")
+    p.add_argument("--target", choices=TARGETS, default="native")
+    p.add_argument("--file", action="append",
+                   help="stage a file into the kernel filesystem")
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="run a program on every pipeline")
+    p.add_argument("program")
+    p.add_argument("--file", action="append")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("disasm", help="dump generated x86")
+    p.add_argument("program")
+    p.add_argument("--target", choices=TARGETS, default="native")
+    p.add_argument("--function", action="append")
+    p.set_defaults(func=cmd_disasm)
+
+    p = sub.add_parser("wat", help="dump the WebAssembly text format")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_wat)
+
+    p = sub.add_parser("bench", help="run one suite benchmark")
+    p.add_argument("benchmark")
+    p.add_argument("--size", choices=("test", "ref"), default="test")
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--target", action="append", choices=TARGETS)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("report", help="regenerate a paper table/figure")
+    p.add_argument("artifact")
+    p.add_argument("--size", choices=("test", "ref"), default="test")
+    p.add_argument("--runs", type=int, default=2)
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Code generation: IR -> simulated x86-64 under a TargetConfig."""
+
+from .lower import ModuleLowering, lower_module
+from .memfold import fold_memory_ops, fold_module
+from .native import compile_ir_native, compile_native
+from .target import ABI, CHROME, FIREFOX, NATIVE, SYSV_ABI, TargetConfig
+
+__all__ = [
+    "ModuleLowering", "lower_module", "fold_memory_ops", "fold_module",
+    "compile_ir_native", "compile_native",
+    "TargetConfig", "ABI", "SYSV_ABI", "NATIVE", "CHROME", "FIREFOX",
+]

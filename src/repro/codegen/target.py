@@ -1,0 +1,148 @@
+"""Target configurations for the three code generators.
+
+Each configuration captures one column of the paper's root-cause analysis:
+which registers the engine reserves (§6.1.1), which allocator it runs
+(§6.1.2), whether it exploits x86 addressing modes (§6.1.3), and which
+safety checks it must emit (§6.2.2, §6.2.3).
+
+Register conventions (shared by every target so programs are comparable):
+
+* ``rax``/``rdx`` are the division/return scratch pair and never allocated;
+* ``rcx`` is the variable-shift register and never allocated;
+* ``r10``/``r11`` are the code generator's spill-shuttle scratch pair;
+* ``rbp`` is the frame pointer, ``rsp`` the stack pointer.
+
+On top of that the engines lose more registers, exactly as the paper
+reports: Chrome reserves ``r13`` (GC root array) and uses ``rbx`` as the
+wasm heap base; Firefox reserves ``r15`` as the heap base.  WebAssembly
+linkage has no callee-saved registers in either engine, so values live
+across calls must be spilled — Clang's System V convention keeps five
+callee-saved registers.
+"""
+
+from __future__ import annotations
+
+from ..x86.registers import (
+    R8, R9, R10, R11, R12, R13, R14, R15, RAX, RBX, RDI, RSI,
+    SYSV_FLOAT_ARGS, SYSV_INT_ARGS, xmm,
+)
+
+
+class ABI:
+    """Calling convention used by compiled code."""
+
+    def __init__(self, int_args, float_args, ret_int=RAX, ret_float=xmm(0)):
+        self.int_args = list(int_args)
+        self.float_args = list(float_args)
+        self.ret_int = ret_int
+        self.ret_float = ret_float
+
+
+#: One calling convention for every target: the System V AMD64 ABI.  (V8
+#: uses its own register order — the paper notes this — but the *count* of
+#: argument registers is what matters for the event counts.)
+SYSV_ABI = ABI(SYSV_INT_ARGS, SYSV_FLOAT_ARGS)
+
+
+class TargetConfig:
+    """Everything the lowering engine needs to know about a target."""
+
+    def __init__(self, name, allocator, gprs, callee_saved, xmms,
+                 heap_base=None, fold_mem_ops=False, fold_addressing=False,
+                 stack_check=False, indirect_check=False,
+                 loop_entry_jumps=False, fuse_cmp_branch=True,
+                 heap_mask=False, coerce_call_results=False,
+                 code_alignment=1,
+                 scratch_gprs=(R10, R11), scratch_xmms=(xmm(14), xmm(15)),
+                 abi=SYSV_ABI):
+        self.name = name
+        self.allocator = allocator            # 'graph' | 'linear'
+        self.gprs = list(gprs)
+        self.callee_saved = [r for r in callee_saved if r in self.gprs]
+        self.xmms = list(xmms)
+        self.heap_base = heap_base            # register holding memory base
+        self.fold_mem_ops = fold_mem_ops
+        self.fold_addressing = fold_addressing
+        self.stack_check = stack_check
+        self.indirect_check = indirect_check
+        self.loop_entry_jumps = loop_entry_jumps
+        self.fuse_cmp_branch = fuse_cmp_branch
+        self.heap_mask = heap_mask            # asm.js heap-access masking
+        self.coerce_call_results = coerce_call_results  # asm.js |0 coercion
+        #: Branch-target alignment in bytes.  V8 and SpiderMonkey align
+        #: jump targets and pad with nops ("nops in the generated code
+        #: have been removed for presentation" — paper Fig. 7c), which
+        #: inflates JIT code footprint beyond the raw instruction count.
+        self.code_alignment = code_alignment
+        self.scratch_gprs = tuple(scratch_gprs)
+        self.scratch_xmms = tuple(scratch_xmms)
+        self.abi = abi
+
+    def clone(self, name=None, **overrides) -> "TargetConfig":
+        """A copy of this config with some fields replaced (for ablations)."""
+        import copy
+        cfg = copy.copy(self)
+        cfg.gprs = list(self.gprs)
+        cfg.callee_saved = list(self.callee_saved)
+        cfg.xmms = list(self.xmms)
+        if name is not None:
+            cfg.name = name
+        for key, value in overrides.items():
+            if not hasattr(cfg, key):
+                raise AttributeError(f"unknown config field {key}")
+            setattr(cfg, key, value)
+        cfg.callee_saved = [r for r in cfg.callee_saved if r in cfg.gprs]
+        return cfg
+
+    def __repr__(self):
+        return f"<target {self.name}: {len(self.gprs)} GPRs, {self.allocator}>"
+
+
+def _xmms(*indices):
+    return [xmm(i) for i in indices]
+
+
+#: Clang -O2: graph coloring, System V callee-saved set, full addressing
+#: modes, no runtime checks.
+NATIVE = TargetConfig(
+    name="clang",
+    allocator="graph",
+    gprs=[RBX, RSI, RDI, R8, R9, R12, R13, R14, R15],
+    callee_saved=[RBX, R12, R13, R14, R15],
+    xmms=_xmms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13),
+    heap_base=None,
+    fold_mem_ops=True,
+    fold_addressing=True,
+)
+
+#: Chrome 74 / V8 TurboFan for wasm: linear scan, rbx = heap base, r13
+#: reserved (GC roots), rsi = the wasm instance register, no callee-saved
+#: in wasm linkage, no memory-operand folding, stack + indirect-call
+#: checks, extra loop-entry jumps.
+CHROME = TargetConfig(
+    name="chrome",
+    allocator="linear",
+    gprs=[RDI, R8, R9, R12, R14, R15],
+    callee_saved=[],
+    xmms=_xmms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),  # xmm13 reserved
+    heap_base=RBX,
+    stack_check=True,
+    indirect_check=True,
+    loop_entry_jumps=True,
+    code_alignment=32,
+)
+
+#: Firefox 66 / SpiderMonkey Ion for wasm: like Chrome but r15 = heap
+#: base (rbx allocatable), r14 = the wasm TLS register, no extra
+#: loop-entry jumps, slightly better instruction selection.
+FIREFOX = TargetConfig(
+    name="firefox",
+    allocator="linear",
+    gprs=[RBX, RSI, RDI, R8, R9, R12, R13],
+    callee_saved=[],
+    xmms=_xmms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13),
+    heap_base=R15,
+    stack_check=True,
+    indirect_check=True,
+    code_alignment=16,  # Ion pads jump targets less aggressively than V8
+)

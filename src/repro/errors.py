@@ -1,0 +1,27 @@
+"""Exception types shared across the toolchain."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompileError(ReproError):
+    """A source program failed to lex, parse, or type-check."""
+
+    def __init__(self, message: str, line: int = None, col: int = None):
+        self.line = line
+        self.col = col
+        where = f" at {line}:{col}" if line is not None else ""
+        super().__init__(f"{message}{where}")
+
+
+class TrapError(ReproError):
+    """Guest execution aborted (unreachable, bad memory access, ...)."""
+
+
+class ValidationError(ReproError):
+    """A WebAssembly module failed validation."""
+
+
+class LinkError(ReproError):
+    """A module references an import that the embedder does not provide."""

@@ -1,0 +1,17 @@
+"""BROWSIX-SPEC: benchmark harness, statistics, orchestration."""
+
+from .browsix_spec import BrowsixSpecSession
+from .runner import (
+    ASMJS_TARGETS, BenchResult, CompiledBenchmark, TARGETS, ValidationError,
+    compile_benchmark, run_benchmark, run_compiled,
+)
+from .spec import BenchmarkSpec, SpecFactory
+from .stats import geomean, mean, median, stderr
+
+__all__ = [
+    "BenchmarkSpec", "SpecFactory", "BenchResult", "CompiledBenchmark",
+    "BrowsixSpecSession", "ValidationError",
+    "compile_benchmark", "run_benchmark", "run_compiled",
+    "TARGETS", "ASMJS_TARGETS",
+    "mean", "stderr", "geomean", "median",
+]

@@ -1,0 +1,62 @@
+"""BROWSIX-SPEC session orchestration (paper Fig. 2, steps 1-7).
+
+``BrowsixSpecSession`` walks the same steps as the paper's harness for a
+single benchmark in a single browser:
+
+1. launch a fresh browser instance;
+2. serve the benchmark assets (the compiled wasm binary and input files);
+3. start the benchmark process inside Browsix-Wasm;
+4. begin recording performance counters before ``main`` runs;
+5. (the perf process attaches to the worker — here, the machine's counters
+   are zeroed at entry);
+6. stop recording when the benchmark finishes;
+7. collect the results archive (stdout + output files) and validate it
+   against the reference output with a byte-level ``cmp``.
+"""
+
+from __future__ import annotations
+
+from ..browser.browser import Browser, RunResult
+from ..kernel import Kernel
+from .spec import BenchmarkSpec
+
+
+class BrowsixSpecSession:
+    """One browser instance serving one benchmark."""
+
+    def __init__(self, browser: Browser, spec: BenchmarkSpec):
+        self.browser = browser
+        self.spec = spec
+        self.kernel = None
+        self.result: RunResult = None
+
+    # Step 1-2: launch the browser, serve assets.
+    def launch(self) -> "BrowsixSpecSession":
+        self.kernel = Kernel()
+        self.spec.setup_kernel(self.kernel)
+        return self
+
+    # Steps 3-6: run the process with counters attached.
+    def run(self, wasm_bytes: bytes,
+            max_instructions: int = 2_000_000_000) -> RunResult:
+        if self.kernel is None:
+            self.launch()
+        self.result = self.browser.run_wasm(
+            wasm_bytes, self.kernel, self.spec.name,
+            max_instructions=max_instructions)
+        return self.result
+
+    # Step 7: collect + validate the results archive.
+    def collect(self):
+        files = {path: self.kernel.fs.read_file(path)
+                 for path in self.kernel.fs.listing()}
+        return {"stdout": self.result.stdout, "files": files,
+                "perf": self.result.perf}
+
+    def validate(self, reference_stdout: bytes) -> bool:
+        """The harness's ``cmp`` step."""
+        return self.result.stdout == reference_stdout
+
+    def kill(self) -> None:
+        """Tear down the browser instance."""
+        self.kernel = None

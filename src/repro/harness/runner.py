@@ -1,0 +1,173 @@
+"""BROWSIX-SPEC: the benchmark execution harness (paper §3, Fig. 2).
+
+For each benchmark the harness (1) compiles the source with every
+pipeline, (2) spawns a fresh kernel with the benchmark's input files,
+(3) attaches the perf model, (4) executes, (5) validates the output
+against the native baseline with a byte-level ``cmp``, and (6) reports
+mean time ± standard error over several runs.
+
+The simulated machine is deterministic, so the run-to-run variance the
+paper reports (OS jitter, cache state) is modeled: each of the ``runs``
+timings is the deterministic time perturbed by seeded Gaussian
+measurement noise.  Counters are exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..asmjs import ASMJS_CHROME, ASMJS_FIREFOX
+from ..browser.browser import execute_program
+from ..codegen.emscripten import compile_ir_to_wasm
+from ..codegen.native import compile_ir_native
+from ..ir.passes import optimize_module
+from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE
+from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
+from ..mcc import compile_source
+from ..wasm.binary import encode_module
+from .spec import BenchmarkSpec
+from .stats import mean, stderr
+
+#: Default measurement-noise level (fraction of the run time).
+NOISE = 0.004
+
+TARGETS = ("native", "chrome", "firefox")
+ASMJS_TARGETS = ("asmjs-chrome", "asmjs-firefox")
+
+_ENGINES = {
+    "chrome": CHROME_ENGINE,
+    "firefox": FIREFOX_ENGINE,
+    "asmjs-chrome": ASMJS_CHROME,
+    "asmjs-firefox": ASMJS_FIREFOX,
+}
+
+
+class BenchResult:
+    """Measurements for one benchmark on one target."""
+
+    def __init__(self, benchmark: str, target: str, times, run_result,
+                 compile_seconds: float):
+        self.benchmark = benchmark
+        self.target = target
+        self.times = list(times)
+        self.run = run_result            # RunResult (perf, stdout, ...)
+        self.compile_seconds = compile_seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return mean(self.times)
+
+    @property
+    def stderr_seconds(self) -> float:
+        return stderr(self.times)
+
+    @property
+    def perf(self):
+        return self.run.perf
+
+    def __repr__(self):
+        return (f"<{self.benchmark}@{self.target}: "
+                f"{self.mean_seconds:.4f}s ±{self.stderr_seconds:.4f}>")
+
+
+class ValidationError(AssertionError):
+    """A benchmark produced output differing from the native baseline."""
+
+
+class CompiledBenchmark:
+    """All compiled artifacts for one benchmark."""
+
+    def __init__(self, spec: BenchmarkSpec):
+        self.spec = spec
+        self.programs = {}
+        self.wasm_bytes = None
+        self.compile_seconds = {}
+
+    def program_for(self, target: str):
+        return self.programs[target]
+
+
+def compile_benchmark(spec: BenchmarkSpec, targets=None,
+                      engines=None) -> CompiledBenchmark:
+    """Compile ``spec`` for every requested target."""
+    engines = dict(_ENGINES, **(engines or {}))
+    targets = list(targets or TARGETS)
+    result = CompiledBenchmark(spec)
+
+    if "native" in targets:
+        ir = compile_source(spec.source, spec.name,
+                            memory_size=spec.memory_size)
+        program = compile_ir_native(ir)
+        result.programs["native"] = program
+        result.compile_seconds["native"] = \
+            program.compile_stats["compile_seconds"]
+
+    wasm_targets = [t for t in targets if t != "native"]
+    if wasm_targets:
+        import time
+        start = time.perf_counter()
+        ir = compile_source(spec.source, spec.name,
+                            memory_size=spec.memory_size)
+        optimize_module(ir, level=2, unroll=False)
+        wasm = compile_ir_to_wasm(ir)
+        result.wasm_bytes = encode_module(wasm)
+        emcc_seconds = time.perf_counter() - start
+        for target in wasm_targets:
+            engine = engines[target]
+            program = engine.compile_bytes(result.wasm_bytes)
+            result.programs[target] = program
+            result.compile_seconds[target] = \
+                program.compile_stats["compile_seconds"]
+        result.compile_seconds["emscripten"] = emcc_seconds
+    return result
+
+
+def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
+                 noise: float = NOISE, seed: int = None,
+                 max_instructions: int = 2_000_000_000):
+    """Execute one compiled target; returns a BenchResult."""
+    spec = compiled.spec
+    program = compiled.programs[target]
+    kernel = Kernel()
+    spec.setup_kernel(kernel)
+    process = kernel.spawn(spec.name)
+    if target == "native":
+        runtime = NativeRuntime(kernel, process, program.heap_base)
+    else:
+        runtime = BrowsixRuntime(kernel, process, program.heap_base)
+    run_result = execute_program(program, runtime,
+                                 f"{spec.name}@{target}",
+                                 max_instructions=max_instructions)
+    base_time = run_result.total_seconds
+    if seed is None:
+        # Stable across processes (Python's hash() is randomized).
+        import zlib
+        seed = zlib.crc32(f"{spec.name}:{target}".encode())
+    rng = random.Random(seed)
+    times = [max(base_time * (1.0 + rng.gauss(0.0, noise)), 0.0)
+             for _ in range(runs)]
+    return BenchResult(spec.name, target, times, run_result,
+                       compiled.compile_seconds.get(target, 0.0))
+
+
+def run_benchmark(spec: BenchmarkSpec, targets=None, runs: int = 5,
+                  validate: bool = True, noise: float = NOISE,
+                  max_instructions: int = 2_000_000_000):
+    """Compile + run ``spec`` on each target; returns {target: BenchResult}.
+
+    With ``validate``, every target's stdout must byte-compare equal to
+    the native baseline's (the harness's ``cmp`` step).
+    """
+    targets = list(targets or TARGETS)
+    compiled = compile_benchmark(spec, targets)
+    results = {}
+    for target in targets:
+        results[target] = run_compiled(compiled, target, runs, noise,
+                                       max_instructions=max_instructions)
+    if validate and "native" in results:
+        expected = results["native"].run.stdout
+        for target, result in results.items():
+            if result.run.stdout != expected:
+                raise ValidationError(
+                    f"{spec.name}@{target}: output mismatch vs native")
+    return results

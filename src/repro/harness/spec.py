@@ -1,0 +1,52 @@
+"""Benchmark specifications.
+
+A :class:`BenchmarkSpec` bundles everything BROWSIX-SPEC needs to run one
+benchmark: the mcc source, the input files to stage into the kernel
+filesystem, and sizing presets.  Sizes follow SPEC conventions: ``test``
+is a quick smoke size used by the unit tests, ``ref`` is the reporting
+size used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+
+class BenchmarkSpec:
+    """One benchmark: source + workload setup + metadata."""
+
+    def __init__(self, name: str, suite: str, source: str,
+                 setup=None, description: str = "",
+                 memory_size: int = None, uses_syscalls: bool = False):
+        self.name = name
+        self.suite = suite          # 'polybench' | 'spec2006' | 'spec2017'
+        self.source = source
+        self._setup = setup         # callable(kernel) -> None
+        self.description = description
+        self.memory_size = memory_size
+        self.uses_syscalls = uses_syscalls
+
+    def setup_kernel(self, kernel) -> None:
+        """Stage input files into the kernel filesystem."""
+        if self._setup is not None:
+            self._setup(kernel)
+
+    def __repr__(self):
+        return f"<benchmark {self.name} ({self.suite})>"
+
+
+class SpecFactory:
+    """Builds a BenchmarkSpec for a given size preset."""
+
+    def __init__(self, name: str, suite: str, builder,
+                 description: str = ""):
+        self.name = name
+        self.suite = suite
+        self.builder = builder      # callable(size) -> BenchmarkSpec
+        self.description = description
+
+    def build(self, size: str = "ref") -> BenchmarkSpec:
+        spec = self.builder(size)
+        spec.description = spec.description or self.description
+        return spec
+
+    def __repr__(self):
+        return f"<spec-factory {self.name}>"

@@ -1,0 +1,39 @@
+"""Statistics helpers for benchmark reporting."""
+
+from __future__ import annotations
+
+import math
+
+
+def mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def stderr(values) -> float:
+    """Standard error of the mean."""
+    values = list(values)
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    var = sum((v - mu) ** 2 for v in values) / (n - 1)
+    return math.sqrt(var / n)
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values) -> float:
+    values = sorted(values)
+    if not values:
+        return 0.0
+    n = len(values)
+    mid = n // 2
+    if n % 2:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0

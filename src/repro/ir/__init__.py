@@ -1,0 +1,25 @@
+"""Three-address intermediate representation shared by all backends."""
+
+from .function import BasicBlock, Function
+from .instructions import (
+    BinOp, Call, CallIndirect, CondBr, GetGlobal, Instr, Jump, Load, Move,
+    Return, SetGlobal, Store, Terminator, Trap, UnOp,
+)
+from .interp import CollectingHost, Host, IRInterpreter
+from .module import DataSegment, GlobalVar, Module
+from .printer import format_function, format_module
+from .types import FuncType, PTR, PTR_SIZE, Type
+from .values import Const, VReg, f64, i32, i64
+from .verify import VerifyError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock", "Function", "Module", "DataSegment", "GlobalVar",
+    "Instr", "Terminator", "Move", "BinOp", "UnOp", "Load", "Store",
+    "GetGlobal", "SetGlobal", "Call", "CallIndirect", "Jump", "CondBr",
+    "Return", "Trap",
+    "Type", "FuncType", "PTR", "PTR_SIZE",
+    "VReg", "Const", "i32", "i64", "f64",
+    "IRInterpreter", "Host", "CollectingHost",
+    "verify_function", "verify_module", "VerifyError",
+    "format_function", "format_module",
+]

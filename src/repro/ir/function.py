@@ -1,0 +1,136 @@
+"""IR functions and basic blocks."""
+
+from __future__ import annotations
+
+from .instructions import Instr, Terminator
+from .types import FuncType, Type
+from .values import VReg
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    __slots__ = ("label", "instrs", "term")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: list[Instr] = []
+        self.term: Terminator | None = None
+
+    def append(self, instr: Instr) -> None:
+        if self.term is not None:
+            raise ValueError(f"block {self.label} already terminated")
+        self.instrs.append(instr)
+
+    def terminate(self, term: Terminator) -> None:
+        if self.term is not None:
+            raise ValueError(f"block {self.label} already terminated")
+        self.term = term
+
+    @property
+    def terminated(self) -> bool:
+        return self.term is not None
+
+    def all_instrs(self):
+        """All instructions including the terminator."""
+        if self.term is None:
+            return list(self.instrs)
+        return self.instrs + [self.term]
+
+    def successors(self):
+        return self.term.successors() if self.term is not None else []
+
+    def __repr__(self):
+        return f"<block {self.label} ({len(self.instrs)} instrs)>"
+
+
+class Function:
+    """An IR function: a CFG of basic blocks plus frame metadata.
+
+    Address-taken locals and local arrays live in *frame slots*, which are
+    offsets into the shadow stack in linear memory.  Scalar locals live in
+    virtual registers.
+    """
+
+    def __init__(self, name: str, ftype: FuncType):
+        self.name = name
+        self.ftype = ftype
+        self.params: list[VReg] = []
+        self.blocks: dict[str, BasicBlock] = {}
+        self.entry: str | None = None
+        self.frame_size = 0          # bytes of shadow-stack frame
+        self.frame_slots: dict[str, int] = {}  # symbol -> frame offset
+        self._next_vreg = 0
+        self._next_label = 0
+
+    # -- construction -----------------------------------------------------
+
+    def new_vreg(self, ty: Type, name: str = "") -> VReg:
+        reg = VReg(self._next_vreg, ty, name)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        label = f"{hint}{self._next_label}"
+        self._next_label += 1
+        block = BasicBlock(label)
+        self.blocks[label] = block
+        if self.entry is None:
+            self.entry = label
+        return block
+
+    def add_frame_slot(self, name: str, size: int, align: int = 8) -> int:
+        """Reserve ``size`` bytes in the shadow-stack frame; return offset."""
+        offset = (self.frame_size + align - 1) & ~(align - 1)
+        self.frame_size = offset + size
+        self.frame_slots[name] = offset
+        return offset
+
+    # -- inspection -------------------------------------------------------
+
+    def block_order(self):
+        """Blocks in reverse-postorder from the entry (unreachable last)."""
+        seen = set()
+        order = []
+
+        def visit(label):
+            if label in seen or label not in self.blocks:
+                return
+            seen.add(label)
+            for succ in self.blocks[label].successors():
+                visit(succ)
+            order.append(label)
+
+        visit(self.entry)
+        order.reverse()
+        for label in self.blocks:
+            if label not in seen:
+                order.append(label)
+        return [self.blocks[label] for label in order]
+
+    def reachable_blocks(self):
+        """Labels reachable from the entry block."""
+        seen = set()
+        work = [self.entry]
+        while work:
+            label = work.pop()
+            if label in seen or label not in self.blocks:
+                continue
+            seen.add(label)
+            work.extend(self.blocks[label].successors())
+        return seen
+
+    def predecessors(self):
+        """Map from block label to list of predecessor labels."""
+        preds = {label: [] for label in self.blocks}
+        for label, block in self.blocks.items():
+            for succ in block.successors():
+                if succ in preds:
+                    preds[succ].append(label)
+        return preds
+
+    def instruction_count(self) -> int:
+        return sum(len(b.all_instrs()) for b in self.blocks.values())
+
+    def __repr__(self):
+        return f"<function {self.name} {self.ftype}>"

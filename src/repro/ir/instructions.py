@@ -1,0 +1,462 @@
+"""Three-address IR instructions.
+
+Every instruction knows which virtual registers it reads (``uses``) and
+writes (``defs``); liveness analysis and the register allocators are built on
+those two methods.  Passes rewrite operands through ``replace_uses``.
+
+Integer binary operators follow WebAssembly naming (``div_s``/``div_u``,
+``shr_s``/``shr_u``); comparison operators produce an ``i32`` 0/1.  Float
+operators use the same names without the sign suffix.
+"""
+
+from __future__ import annotations
+
+from .types import FuncType, Type
+from .values import Const, VReg
+
+#: Integer binary arithmetic operators.
+INT_ARITH_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+        "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr",
+    }
+)
+
+#: Float binary arithmetic operators.
+FLOAT_ARITH_OPS = frozenset({"add", "sub", "mul", "div", "min", "max", "copysign"})
+
+#: Comparison operators (result is i32 0/1).
+CMP_OPS = frozenset(
+    {
+        "eq", "ne",
+        "lt_s", "lt_u", "le_s", "le_u", "gt_s", "gt_u", "ge_s", "ge_u",
+        "lt", "le", "gt", "ge",  # float comparisons
+    }
+)
+
+#: Operators whose two operands can be swapped without changing the result.
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor", "eq", "ne", "min", "max"})
+
+#: Unary operators, keyed by name.  Conversions change the operand type.
+UNARY_OPS = frozenset(
+    {
+        "eqz",            # i32/i64 -> i32
+        "clz", "ctz", "popcnt",
+        "neg", "abs", "sqrt", "ceil", "floor", "trunc", "nearest",  # f64
+        "i64_extend_i32_s", "i64_extend_i32_u",
+        "i32_wrap_i64",
+        "f64_convert_i32_s", "f64_convert_i32_u",
+        "f64_convert_i64_s", "f64_convert_i64_u",
+        "i32_trunc_f64_s", "i32_trunc_f64_u",
+        "i64_trunc_f64_s", "i64_trunc_f64_u",
+    }
+)
+
+
+def _vregs(operands):
+    return [op for op in operands if isinstance(op, VReg)]
+
+
+class Instr:
+    """Base class for all IR instructions."""
+
+    __slots__ = ()
+
+    def uses(self):
+        """Virtual registers read by this instruction."""
+        return []
+
+    def defs(self):
+        """Virtual registers written by this instruction."""
+        return []
+
+    def replace_uses(self, mapping):
+        """Rewrite used operands through ``mapping`` (VReg -> operand)."""
+
+
+class Move(Instr):
+    """``dst = src`` — a register-to-register or immediate move."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: VReg, src):
+        self.dst = dst
+        self.src = src
+
+    def uses(self):
+        return _vregs([self.src])
+
+    def defs(self):
+        return [self.dst]
+
+    def replace_uses(self, mapping):
+        self.src = mapping.get(self.src, self.src)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.src}"
+
+
+class BinOp(Instr):
+    """``dst = lhs <op> rhs``."""
+
+    __slots__ = ("dst", "op", "lhs", "rhs")
+
+    def __init__(self, dst: VReg, op: str, lhs, rhs):
+        self.dst = dst
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def uses(self):
+        return _vregs([self.lhs, self.rhs])
+
+    def defs(self):
+        return [self.dst]
+
+    def replace_uses(self, mapping):
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.op} {self.lhs}, {self.rhs}"
+
+
+class UnOp(Instr):
+    """``dst = <op> src`` (negation, conversions, eqz, ...)."""
+
+    __slots__ = ("dst", "op", "src")
+
+    def __init__(self, dst: VReg, op: str, src):
+        self.dst = dst
+        self.op = op
+        self.src = src
+
+    def uses(self):
+        return _vregs([self.src])
+
+    def defs(self):
+        return [self.dst]
+
+    def replace_uses(self, mapping):
+        self.src = mapping.get(self.src, self.src)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+class Load(Instr):
+    """``dst = memory[base + index*scale + offset]``.
+
+    ``size`` is the access width in bytes (1, 2, 4, 8); sub-word loads are
+    sign- or zero-extended according to ``signed``.  The ``index``/``scale``
+    pair is only populated by the native backend's addressing-mode folding
+    pass (x86 scaled-index addressing, paper §6.1.3); the frontend and the
+    WebAssembly pipeline always leave it empty.
+    """
+
+    __slots__ = ("dst", "base", "offset", "size", "signed", "index", "scale")
+
+    def __init__(self, dst: VReg, base, offset: int = 0, size: int = None,
+                 signed: bool = True, index=None, scale: int = 1):
+        self.dst = dst
+        self.base = base
+        self.offset = offset
+        self.size = size if size is not None else dst.ty.size
+        self.signed = signed
+        self.index = index
+        self.scale = scale
+
+    def uses(self):
+        return _vregs([self.base, self.index])
+
+    def defs(self):
+        return [self.dst]
+
+    def replace_uses(self, mapping):
+        self.base = mapping.get(self.base, self.base)
+        if self.index is not None:
+            self.index = mapping.get(self.index, self.index)
+
+    def __repr__(self):
+        sign = "s" if self.signed else "u"
+        idx = f"+{self.index}*{self.scale}" if self.index is not None else ""
+        return (f"{self.dst} = load{self.size * 8}{sign} "
+                f"[{self.base}{idx}+{self.offset}]")
+
+
+class Store(Instr):
+    """``memory[base + index*scale + offset] = src`` (``size`` bytes)."""
+
+    __slots__ = ("base", "offset", "src", "size", "index", "scale")
+
+    def __init__(self, base, offset: int, src, size: int = None,
+                 index=None, scale: int = 1):
+        self.base = base
+        self.offset = offset
+        self.src = src
+        if size is None:
+            ty = src.ty if isinstance(src, (VReg, Const)) else Type.I32
+            size = ty.size
+        self.size = size
+        self.index = index
+        self.scale = scale
+
+    def uses(self):
+        return _vregs([self.base, self.src, self.index])
+
+    def replace_uses(self, mapping):
+        self.base = mapping.get(self.base, self.base)
+        self.src = mapping.get(self.src, self.src)
+        if self.index is not None:
+            self.index = mapping.get(self.index, self.index)
+
+    def __repr__(self):
+        idx = f"+{self.index}*{self.scale}" if self.index is not None else ""
+        return (f"store{self.size * 8} [{self.base}{idx}+{self.offset}] "
+                f"= {self.src}")
+
+
+class MemBinOp(Instr):
+    """``memory[base + index*scale + offset] <op>= src`` — x86
+    read-modify-write with a memory destination (``add [mem], reg``).
+
+    Produced only by the native backend's memory-operand folding pass; the
+    paper's §5.1.1 shows Clang using this form where Chrome needs a
+    load/op/store triple.
+    """
+
+    __slots__ = ("op", "base", "offset", "src", "size", "index", "scale")
+
+    def __init__(self, op: str, base, offset: int, src, size: int,
+                 index=None, scale: int = 1):
+        self.op = op
+        self.base = base
+        self.offset = offset
+        self.src = src
+        self.size = size
+        self.index = index
+        self.scale = scale
+
+    def uses(self):
+        return _vregs([self.base, self.src, self.index])
+
+    def replace_uses(self, mapping):
+        self.base = mapping.get(self.base, self.base)
+        self.src = mapping.get(self.src, self.src)
+        if self.index is not None:
+            self.index = mapping.get(self.index, self.index)
+
+    def __repr__(self):
+        idx = f"+{self.index}*{self.scale}" if self.index is not None else ""
+        return (f"mem{self.op}{self.size * 8} "
+                f"[{self.base}{idx}+{self.offset}] {self.src}")
+
+
+class GetGlobal(Instr):
+    """``dst = global[name]``."""
+
+    __slots__ = ("dst", "name")
+
+    def __init__(self, dst: VReg, name: str):
+        self.dst = dst
+        self.name = name
+
+    def defs(self):
+        return [self.dst]
+
+    def __repr__(self):
+        return f"{self.dst} = global.get ${self.name}"
+
+
+class SetGlobal(Instr):
+    """``global[name] = src``."""
+
+    __slots__ = ("name", "src")
+
+    def __init__(self, name: str, src):
+        self.name = name
+        self.src = src
+
+    def uses(self):
+        return _vregs([self.src])
+
+    def replace_uses(self, mapping):
+        self.src = mapping.get(self.src, self.src)
+
+    def __repr__(self):
+        return f"global.set ${self.name} = {self.src}"
+
+
+class Call(Instr):
+    """``dst = callee(args...)`` — a direct call by symbol name."""
+
+    __slots__ = ("dst", "callee", "args")
+
+    def __init__(self, dst, callee: str, args):
+        self.dst = dst
+        self.callee = callee
+        self.args = list(args)
+
+    def uses(self):
+        return _vregs(self.args)
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def replace_uses(self, mapping):
+        self.args = [mapping.get(a, a) for a in self.args]
+
+    def __repr__(self):
+        lhs = f"{self.dst} = " if self.dst is not None else ""
+        args = ", ".join(map(repr, self.args))
+        return f"{lhs}call @{self.callee}({args})"
+
+
+class CallIndirect(Instr):
+    """``dst = table[target](args...)`` — a call through a function pointer.
+
+    ``ftype`` is the static signature the call site expects; WebAssembly
+    checks it against the table entry at runtime.
+    """
+
+    __slots__ = ("dst", "target", "ftype", "args")
+
+    def __init__(self, dst, target, ftype: FuncType, args):
+        self.dst = dst
+        self.target = target
+        self.ftype = ftype
+        self.args = list(args)
+
+    def uses(self):
+        return _vregs([self.target] + self.args)
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def replace_uses(self, mapping):
+        self.target = mapping.get(self.target, self.target)
+        self.args = [mapping.get(a, a) for a in self.args]
+
+    def __repr__(self):
+        lhs = f"{self.dst} = " if self.dst is not None else ""
+        args = ", ".join(map(repr, self.args))
+        return f"{lhs}call_indirect [{self.target}]({args})"
+
+
+class Lea(Instr):
+    """``dst = base + index*scale + disp`` — address arithmetic in one
+    instruction (x86 ``lea``).
+
+    Produced by the JIT pipelines' lea-folding pass: the paper's Fig. 7c
+    shows V8 computing scaled addresses with ``lea`` even though it does
+    not use scaled-index *memory* operands.  The native pipeline instead
+    folds the whole computation into the memory access itself.
+    """
+
+    __slots__ = ("dst", "base", "index", "scale", "disp")
+
+    def __init__(self, dst: VReg, base, index=None, scale: int = 1,
+                 disp: int = 0):
+        self.dst = dst
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = disp
+
+    def uses(self):
+        return _vregs([self.base, self.index])
+
+    def defs(self):
+        return [self.dst]
+
+    def replace_uses(self, mapping):
+        self.base = mapping.get(self.base, self.base)
+        if self.index is not None:
+            self.index = mapping.get(self.index, self.index)
+
+    def __repr__(self):
+        idx = f"+{self.index}*{self.scale}" if self.index is not None else ""
+        return f"{self.dst} = lea [{self.base}{idx}+{self.disp}]"
+
+
+# --------------------------------------------------------------------------
+# Terminators
+# --------------------------------------------------------------------------
+
+class Terminator(Instr):
+    """Base class for block terminators."""
+
+    __slots__ = ()
+
+    def successors(self):
+        """Labels of successor blocks."""
+        return []
+
+
+class Jump(Terminator):
+    """Unconditional jump to ``target``."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str):
+        self.target = target
+
+    def successors(self):
+        return [self.target]
+
+    def __repr__(self):
+        return f"jump {self.target}"
+
+
+class CondBr(Terminator):
+    """Branch to ``if_true`` when ``cond`` is non-zero, else ``if_false``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond, if_true: str, if_false: str):
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def uses(self):
+        return _vregs([self.cond])
+
+    def replace_uses(self, mapping):
+        self.cond = mapping.get(self.cond, self.cond)
+
+    def successors(self):
+        return [self.if_true, self.if_false]
+
+    def __repr__(self):
+        return f"br {self.cond} ? {self.if_true} : {self.if_false}"
+
+
+class Return(Terminator):
+    """Return from the function, optionally with a value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=None):
+        self.value = value
+
+    def uses(self):
+        return _vregs([self.value]) if self.value is not None else []
+
+    def replace_uses(self, mapping):
+        if self.value is not None:
+            self.value = mapping.get(self.value, self.value)
+
+    def __repr__(self):
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+class Trap(Terminator):
+    """Abort execution with a message (unreachable, div-by-zero, ...)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str = "trap"):
+        self.message = message
+
+    def __repr__(self):
+        return f"trap '{self.message}'"

@@ -1,0 +1,100 @@
+"""Dominator and natural-loop analysis over IR control-flow graphs."""
+
+from __future__ import annotations
+
+from .function import Function
+
+
+def dominators(func: Function) -> dict:
+    """Compute the dominator sets for each reachable block.
+
+    Uses the classic iterative data-flow algorithm; CFGs here are small
+    (hundreds of blocks at most), so simplicity beats asymptotics.
+    """
+    reachable = func.reachable_blocks()
+    preds = {b: [p for p in ps if p in reachable]
+             for b, ps in func.predecessors().items() if b in reachable}
+    order = [b.label for b in func.block_order() if b.label in reachable]
+    dom = {label: set(order) for label in order}
+    dom[func.entry] = {func.entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == func.entry:
+                continue
+            pred_doms = [dom[p] for p in preds[label]]
+            new = set.intersection(*pred_doms) if pred_doms else set()
+            new = new | {label}
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+class Loop:
+    """A natural loop: a header plus the set of blocks it dominates that
+    can reach it through a back edge."""
+
+    __slots__ = ("header", "body", "latches")
+
+    def __init__(self, header: str, body: set, latches: set):
+        self.header = header
+        self.body = body          # includes the header
+        self.latches = latches    # blocks with a back edge to the header
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    def __repr__(self):
+        return f"<loop header={self.header} blocks={sorted(self.body)}>"
+
+
+def natural_loops(func: Function) -> list:
+    """Find all natural loops, merged per header, innermost-first."""
+    dom = dominators(func)
+    loops: dict[str, Loop] = {}
+    for label in dom:
+        block = func.blocks[label]
+        for succ in block.successors():
+            if succ in dom.get(label, set()):
+                # label -> succ is a back edge (succ dominates label).
+                body = _loop_body(func, succ, label)
+                if succ in loops:
+                    loops[succ].body |= body
+                    loops[succ].latches.add(label)
+                else:
+                    loops[succ] = Loop(succ, body, {label})
+    # Innermost loops have the fewest blocks; sort so callers can process
+    # inner loops before the outer loops that contain them.
+    return sorted(loops.values(), key=lambda lp: lp.size)
+
+
+def _loop_body(func: Function, header: str, latch: str) -> set:
+    body = {header, latch}
+    preds = func.predecessors()
+    work = [latch]
+    while work:
+        label = work.pop()
+        if label == header:
+            continue
+        for pred in preds.get(label, []):
+            if pred not in body:
+                body.add(pred)
+                work.append(pred)
+    return body
+
+
+def loop_depths(func: Function) -> dict:
+    """Map each block label to its loop-nesting depth (0 = not in a loop).
+
+    Used by the register allocators to weight spill costs: spilling a value
+    live across a deeply nested loop is much worse than spilling one in
+    straight-line code.
+    """
+    depths = {label: 0 for label in func.blocks}
+    for loop in natural_loops(func):
+        for label in loop.body:
+            depths[label] += 1
+    return depths

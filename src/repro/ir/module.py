@@ -1,0 +1,167 @@
+"""IR modules: functions plus the linear-memory image they share.
+
+The module's memory layout follows the Emscripten/wasm32 convention used by
+the paper's toolchain:
+
+    +-------------------+ 0
+    |   null guard      |   (64 bytes; address 0 is never valid)
+    |   data segments   |   (globals, string literals, static arrays)
+    |   heap            |   (grows up from ``heap_base`` via malloc/sbrk)
+    |        ...        |
+    |   shadow stack    |   (grows *down* from ``stack_top``)
+    +-------------------+ memory_size
+
+C-level global variables live in linear memory at addresses recorded in
+``symbols``; wasm-style mutable globals (``wasm_globals``) are used only for
+runtime state such as the shadow-stack pointer, exactly as Emscripten does.
+
+Function pointers are indices into ``table`` — the module-level function
+table used by ``call_indirect``, mirroring the WebAssembly table section.
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .types import FuncType, Type
+
+#: Default linear memory size (16 MB) — enough for every bundled workload.
+DEFAULT_MEMORY_SIZE = 16 * 1024 * 1024
+
+#: Default shadow stack size (1 MB).
+DEFAULT_STACK_SIZE = 1024 * 1024
+
+#: Reserved low region so that address 0 stays invalid.
+NULL_GUARD = 64
+
+
+class GlobalVar:
+    """A wasm-style module global (used for runtime state like ``__sp``)."""
+
+    __slots__ = ("name", "ty", "init", "mutable")
+
+    def __init__(self, name: str, ty: Type, init, mutable: bool = True):
+        self.name = name
+        self.ty = ty
+        self.init = init
+        self.mutable = mutable
+
+    def __repr__(self):
+        return f"<global {self.name}:{self.ty.value} = {self.init}>"
+
+
+class DataSegment:
+    """A chunk of initialized linear memory."""
+
+    __slots__ = ("addr", "data", "label")
+
+    def __init__(self, addr: int, data: bytes, label: str = ""):
+        self.addr = addr
+        self.data = bytes(data)
+        self.label = label
+
+    def __repr__(self):
+        return f"<data {self.label or hex(self.addr)} ({len(self.data)} bytes)>"
+
+
+class Module:
+    """A complete IR translation unit."""
+
+    def __init__(self, name: str = "module",
+                 memory_size: int = DEFAULT_MEMORY_SIZE,
+                 stack_size: int = DEFAULT_STACK_SIZE):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.externs: dict[str, FuncType] = {}
+        self.wasm_globals: dict[str, GlobalVar] = {}
+        self.data: list[DataSegment] = []
+        self.symbols: dict[str, int] = {}
+        self.table: list[str] = []
+        self.memory_size = memory_size
+        self.stack_size = stack_size
+        self.heap_base = NULL_GUARD
+        self.start = "main"
+
+        # The shadow-stack pointer global, maintained by function prologues.
+        self.add_global("__sp", Type.I32, self.stack_top)
+
+    # -- memory layout ------------------------------------------------------
+
+    @property
+    def stack_top(self) -> int:
+        return self.memory_size
+
+    @property
+    def stack_limit(self) -> int:
+        """Lowest address the shadow stack may reach."""
+        return self.memory_size - self.stack_size
+
+    def place_data(self, data: bytes, label: str = "", align: int = 8) -> int:
+        """Place initialized bytes in the data region; return their address."""
+        addr = (self.heap_base + align - 1) & ~(align - 1)
+        self.data.append(DataSegment(addr, data, label))
+        if label:
+            self.symbols[label] = addr
+        self.heap_base = addr + len(data)
+        return addr
+
+    def reserve_bss(self, size: int, label: str = "", align: int = 8) -> int:
+        """Reserve zero-initialized space in the data region."""
+        addr = (self.heap_base + align - 1) & ~(align - 1)
+        if label:
+            self.symbols[label] = addr
+        self.heap_base = addr + size
+        return addr
+
+    def initial_memory(self) -> bytearray:
+        """Build the initial linear-memory image."""
+        mem = bytearray(self.memory_size)
+        for seg in self.data:
+            mem[seg.addr:seg.addr + len(seg.data)] = seg.data
+        return mem
+
+    # -- functions / globals / table -----------------------------------------
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions or func.name in self.externs:
+            raise ValueError(f"duplicate function {func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def declare_extern(self, name: str, ftype: FuncType) -> None:
+        existing = self.externs.get(name)
+        if existing is not None and existing != ftype:
+            raise ValueError(f"conflicting extern declaration for {name}")
+        self.externs[name] = ftype
+
+    def add_global(self, name: str, ty: Type, init, mutable: bool = True) -> GlobalVar:
+        gvar = GlobalVar(name, ty, init, mutable)
+        self.wasm_globals[name] = gvar
+        return gvar
+
+    def table_index(self, func_name: str) -> int:
+        """Index of ``func_name`` in the function table, adding if missing.
+
+        Index 0 is kept as an always-invalid null entry so that a null
+        function pointer traps, as in Emscripten's table layout.
+        """
+        if not self.table:
+            self.table.append("")  # null entry
+        try:
+            return self.table.index(func_name)
+        except ValueError:
+            self.table.append(func_name)
+            return len(self.table) - 1
+
+    def signature_of(self, name: str) -> FuncType:
+        if name in self.functions:
+            return self.functions[name].ftype
+        if name in self.externs:
+            return self.externs[name]
+        raise KeyError(f"unknown function {name}")
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self):
+        return (f"<module {self.name}: {len(self.functions)} funcs, "
+                f"{len(self.externs)} externs, {len(self.data)} data segs>")

@@ -1,0 +1,80 @@
+"""Middle-end optimization passes.
+
+The shared pipeline (``optimize_module``) mirrors what both Clang and
+Emscripten's LLVM-based pipeline do at ``-O2``: folding, propagation, dead
+code elimination, CFG cleanup, inlining, and loop rotation.  Loop unrolling
+is native-only — the paper's WebAssembly JITs do not unroll, and native
+unrolling is the mechanism behind the 429.mcf instruction-cache anomaly
+(§6.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from ..module import Module
+from .collapse import collapse_defs
+from .constfold import fold_constants
+from .copyprop import propagate_copies
+from .dce import eliminate_dead_code
+from .inline import inline_calls
+from .licm import hoist_invariants
+from .localize import localize_temps
+from .rotate import rotate_loops
+from .simplifycfg import simplify_cfg
+from .unroll import unroll_loops
+
+__all__ = [
+    "fold_constants", "propagate_copies", "eliminate_dead_code",
+    "collapse_defs", "hoist_invariants", "localize_temps",
+    "inline_calls", "rotate_loops", "simplify_cfg", "unroll_loops",
+    "optimize_module",
+]
+
+
+def _cleanup(func) -> None:
+    changed = True
+    while changed:
+        changed = False
+        changed |= fold_constants(func)
+        changed |= propagate_copies(func)
+        changed |= collapse_defs(func)
+        changed |= eliminate_dead_code(func)
+        changed |= simplify_cfg(func)
+
+
+def optimize_module(module: Module, level: int = 2,
+                    inline_threshold: int = 20,
+                    rotate: bool = True,
+                    licm: bool = True,
+                    unroll: bool = False,
+                    unroll_factor: int = 4,
+                    unroll_max_instrs: int = 86) -> Module:
+    """Run the middle-end pipeline over every function in ``module``.
+
+    ``level`` 0 disables everything; 1 runs local cleanups; 2 adds
+    inlining, LICM, and loop rotation.  ``unroll`` additionally unrolls
+    small innermost loops (native backend only — the paper's JITs do not
+    unroll, and this is the 429.mcf i-cache mechanism).
+    """
+    if level <= 0:
+        return module
+    for func in module.functions.values():
+        _cleanup(func)
+    if level >= 2:
+        inline_calls(module, threshold=inline_threshold)
+        for func in module.functions.values():
+            _cleanup(func)
+        if licm:
+            for func in module.functions.values():
+                hoist_invariants(func)
+                _cleanup(func)
+        if rotate:
+            for func in module.functions.values():
+                rotate_loops(func)
+                _cleanup(func)
+    if unroll:
+        for func in module.functions.values():
+            if unroll_loops(func, factor=unroll_factor,
+                            max_instrs=unroll_max_instrs):
+                localize_temps(func)
+            simplify_cfg(func)
+    return module

@@ -1,0 +1,55 @@
+"""Collapse ``t = op ...; x = t`` into ``x = op ...``.
+
+The frontend materializes every expression into a fresh temporary and then
+moves it into the variable's register; when the temporary has no other
+use, writing the result directly removes a move per assignment — the
+fixed-point that SSA-based compilers get from copy propagation.
+"""
+
+from __future__ import annotations
+
+from ..function import Function
+from ..instructions import (
+    BinOp, Call, CallIndirect, GetGlobal, Load, Move, UnOp,
+)
+from ..values import VReg
+
+
+def _use_counts(func: Function):
+    counts = {}
+    for block in func.blocks.values():
+        for instr in block.all_instrs():
+            for reg in instr.uses():
+                counts[reg.id] = counts.get(reg.id, 0) + 1
+    return counts
+
+
+def collapse_defs(func: Function) -> bool:
+    counts = _use_counts(func)
+    changed = False
+    for block in func.blocks.values():
+        out = []
+        i = 0
+        instrs = block.instrs
+        while i < len(instrs):
+            instr = instrs[i]
+            nxt = instrs[i + 1] if i + 1 < len(instrs) else None
+            if (isinstance(nxt, Move) and isinstance(nxt.src, VReg)
+                    and isinstance(instr, (BinOp, UnOp, Load, GetGlobal,
+                                           Call, CallIndirect))
+                    and instr.defs() and instr.defs()[0] == nxt.src
+                    and counts.get(nxt.src.id, 0) == 1
+                    and nxt.dst.ty == nxt.src.ty):
+                _retarget(instr, nxt.dst)
+                out.append(instr)
+                i += 2
+                changed = True
+                continue
+            out.append(instr)
+            i += 1
+        block.instrs = out
+    return changed
+
+
+def _retarget(instr, new_dst) -> None:
+    instr.dst = new_dst

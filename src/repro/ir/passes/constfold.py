@@ -1,0 +1,90 @@
+"""Constant folding and algebraic simplification."""
+
+from __future__ import annotations
+
+from ...errors import TrapError
+from ..instructions import BinOp, CondBr, Jump, Move, UnOp
+from ..interp import eval_binop, eval_unop
+from ..function import Function
+from ..types import Type
+from ..values import Const
+
+
+def _const_result(value, ty: Type) -> Const:
+    if ty.is_int:
+        bits = 32 if ty is Type.I32 else 64
+        return Const(value & ((1 << bits) - 1), ty)
+    return Const(value, ty)
+
+
+def fold_constants(func: Function) -> bool:
+    """Fold constant expressions; returns True if anything changed."""
+    changed = False
+    for block in func.blocks.values():
+        new_instrs = []
+        for instr in block.instrs:
+            folded = _fold_instr(instr)
+            if folded is not instr:
+                changed = True
+            new_instrs.append(folded)
+        block.instrs = new_instrs
+
+        term = block.term
+        if isinstance(term, CondBr) and isinstance(term.cond, Const):
+            target = term.if_true if term.cond.value != 0 else term.if_false
+            block.term = Jump(target)
+            changed = True
+        elif isinstance(term, CondBr) and term.if_true == term.if_false:
+            block.term = Jump(term.if_true)
+            changed = True
+    return changed
+
+
+def _fold_instr(instr):
+    if isinstance(instr, BinOp):
+        return _fold_binop(instr)
+    if isinstance(instr, UnOp) and isinstance(instr.src, Const):
+        try:
+            value = eval_unop(instr.op, _norm(instr.src), instr.src.ty)
+        except TrapError:
+            return instr
+        return Move(instr.dst, _const_result(value, instr.dst.ty))
+    return instr
+
+
+def _norm(const: Const):
+    if const.ty.is_int:
+        bits = 32 if const.ty is Type.I32 else 64
+        return const.value & ((1 << bits) - 1)
+    return const.value
+
+
+def _fold_binop(instr: BinOp):
+    lhs, rhs = instr.lhs, instr.rhs
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        try:
+            value = eval_binop(instr.op, _norm(lhs), _norm(rhs), lhs.ty)
+        except TrapError:
+            return instr
+        return Move(instr.dst, _const_result(value, instr.dst.ty))
+
+    # Algebraic identities (integer only; float identities are unsafe
+    # around NaN and signed zero).
+    if instr.dst.ty.is_int and isinstance(rhs, Const):
+        r = rhs.value
+        if r == 0 and instr.op in ("add", "sub", "or", "xor", "shl",
+                                   "shr_s", "shr_u"):
+            return Move(instr.dst, lhs)
+        if r == 1 and instr.op == "mul":
+            return Move(instr.dst, lhs)
+        if r == 0 and instr.op in ("mul", "and"):
+            return Move(instr.dst, Const(0, instr.dst.ty))
+    if instr.dst.ty.is_int and isinstance(lhs, Const):
+        l = lhs.value
+        if l == 0 and instr.op in ("add", "or", "xor"):
+            return Move(instr.dst, rhs)
+        if l == 1 and instr.op == "mul":
+            return Move(instr.dst, rhs)
+        if l == 0 and instr.op in ("mul", "and"):
+            return Move(instr.dst, Const(0, instr.dst.ty))
+    return instr

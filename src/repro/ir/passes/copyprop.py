@@ -1,0 +1,45 @@
+"""Local copy and constant propagation.
+
+Within each basic block, forwards the sources of ``Move`` instructions into
+later uses, so that frontend temporaries collapse away.  A copy is
+invalidated when either side of it is redefined.
+"""
+
+from __future__ import annotations
+
+from ..function import Function
+from ..instructions import Move
+from ..values import Const, VReg
+
+
+def propagate_copies(func: Function) -> bool:
+    changed = False
+    for block in func.blocks.values():
+        copies: dict[VReg, object] = {}
+        for instr in block.all_instrs():
+            # Rewrite uses through the current copy map (chase chains).
+            mapping = {}
+            for reg in instr.uses():
+                replacement = copies.get(reg)
+                seen = {reg}
+                while isinstance(replacement, VReg) and replacement in copies \
+                        and replacement not in seen:
+                    seen.add(replacement)
+                    replacement = copies[replacement]
+                if replacement is not None and replacement != reg:
+                    mapping[reg] = replacement
+            if mapping:
+                instr.replace_uses(mapping)
+                changed = True
+
+            # Kill copies invalidated by this instruction's definitions.
+            for dst in instr.defs():
+                copies.pop(dst, None)
+                for key in [k for k, v in copies.items() if v == dst]:
+                    del copies[key]
+
+            # Record new copies.
+            if isinstance(instr, Move) and isinstance(instr.src, (VReg, Const)):
+                if instr.src != instr.dst:
+                    copies[instr.dst] = instr.src
+    return changed

@@ -1,0 +1,52 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never used anywhere in the
+function.  Calls, stores, global writes, and potentially-trapping division
+are conservatively kept.  Dead loads are removed, matching LLVM (an
+out-of-bounds load whose value is unused is undefined behaviour in C, so
+deleting it is legal for the programs we compile).
+"""
+
+from __future__ import annotations
+
+from ..function import Function
+from ..instructions import BinOp, GetGlobal, Lea, Load, Move, UnOp
+
+_TRAPPING_OPS = frozenset({"div_s", "div_u", "rem_s", "rem_u"})
+_TRAPPING_UNOPS = frozenset({
+    "i32_trunc_f64_s", "i32_trunc_f64_u", "i64_trunc_f64_s", "i64_trunc_f64_u",
+})
+
+
+def _is_pure(instr) -> bool:
+    if isinstance(instr, (Move, GetGlobal, Load, Lea)):
+        return True
+    if isinstance(instr, BinOp):
+        return instr.op not in _TRAPPING_OPS
+    if isinstance(instr, UnOp):
+        return instr.op not in _TRAPPING_UNOPS
+    return False
+
+
+def eliminate_dead_code(func: Function) -> bool:
+    changed = False
+    while True:
+        used = set()
+        for block in func.blocks.values():
+            for instr in block.all_instrs():
+                for reg in instr.uses():
+                    used.add(reg.id)
+        removed = False
+        for block in func.blocks.values():
+            keep = []
+            for instr in block.instrs:
+                defs = instr.defs()
+                if defs and _is_pure(instr) and all(d.id not in used for d in defs):
+                    removed = True
+                    continue
+                keep.append(instr)
+            block.instrs = keep
+        if not removed:
+            break
+        changed = True
+    return changed

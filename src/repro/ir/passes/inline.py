@@ -1,0 +1,150 @@
+"""Function inlining.
+
+Small functions are inlined into their callers, leaf-first.  The mcc
+frontend emits shadow-stack prologues/epilogues as explicit IR, so inlined
+bodies carry their frame management with them and remain correct without
+special handling here.
+"""
+
+from __future__ import annotations
+
+from ..function import BasicBlock, Function
+from ..instructions import (
+    BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Load, Move, Return,
+    SetGlobal, Store, Trap, UnOp,
+)
+from ..module import Module
+from ..values import VReg
+
+
+def inline_calls(module: Module, threshold: int = 20, rounds: int = 2) -> int:
+    """Inline small direct calls throughout ``module``.
+
+    Returns the number of call sites inlined.
+    """
+    total = 0
+    for _ in range(rounds):
+        candidates = {
+            name: func for name, func in module.functions.items()
+            if func.instruction_count() <= threshold
+            and not _is_self_recursive(func)
+        }
+        inlined = 0
+        for caller in module.functions.values():
+            inlined += _inline_into(caller, candidates)
+        total += inlined
+        if not inlined:
+            break
+    return total
+
+
+def _is_self_recursive(func: Function) -> bool:
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if isinstance(instr, Call) and instr.callee == func.name:
+                return True
+    return False
+
+
+def _inline_into(caller: Function, candidates) -> int:
+    count = 0
+    rescan = True
+    while rescan:
+        rescan = False
+        for block in list(caller.blocks.values()):
+            if block.label not in caller.blocks:
+                continue
+            site = _find_site(block, candidates, caller.name)
+            if site is not None:
+                idx, call = site
+                _splice(caller, block, idx, call, candidates[call.callee])
+                count += 1
+                rescan = True
+                break
+    return count
+
+
+def _find_site(block: BasicBlock, candidates, caller_name: str):
+    for idx, instr in enumerate(block.instrs):
+        if isinstance(instr, Call) and instr.callee in candidates \
+                and instr.callee != caller_name:
+            return idx, instr
+    return None
+
+
+def _splice(caller: Function, block: BasicBlock, idx: int, call: Call,
+            callee: Function) -> None:
+    """Replace ``call`` in ``block`` with a clone of ``callee``'s body."""
+    cont = caller.new_block("inl_cont")
+    cont.instrs = block.instrs[idx + 1:]
+    cont.term = block.term
+    block.instrs = block.instrs[:idx]
+    block.term = None
+
+    regmap: dict[int, VReg] = {}
+
+    def map_reg(reg: VReg) -> VReg:
+        mapped = regmap.get(reg.id)
+        if mapped is None:
+            mapped = caller.new_vreg(reg.ty, reg.name)
+            regmap[reg.id] = mapped
+        return mapped
+
+    def map_op(op):
+        return map_reg(op) if isinstance(op, VReg) else op
+
+    prefix = f"inl{caller._next_label}_"
+    caller._next_label += 1
+    labelmap = {label: prefix + label for label in callee.blocks}
+
+    for param, arg in zip(callee.params, call.args):
+        block.append(Move(map_reg(param), arg))
+    block.terminate(Jump(labelmap[callee.entry]))
+
+    for label, src in callee.blocks.items():
+        clone = BasicBlock(labelmap[label])
+        for instr in src.instrs:
+            clone.instrs.append(_clone_instr(instr, map_reg, map_op))
+        term = src.term
+        if isinstance(term, Jump):
+            clone.term = Jump(labelmap[term.target])
+        elif isinstance(term, CondBr):
+            clone.term = CondBr(map_op(term.cond), labelmap[term.if_true],
+                                labelmap[term.if_false])
+        elif isinstance(term, Trap):
+            clone.term = Trap(term.message)
+        elif isinstance(term, Return):
+            if call.dst is not None and term.value is not None:
+                clone.instrs.append(Move(call.dst, map_op(term.value)))
+            clone.term = Jump(cont.label)
+        else:  # pragma: no cover - verifier prevents this
+            raise TypeError(f"cannot clone terminator {term!r}")
+        caller.blocks[clone.label] = clone
+
+
+def _clone_instr(instr, map_reg, map_op):
+    if isinstance(instr, Move):
+        return Move(map_reg(instr.dst), map_op(instr.src))
+    if isinstance(instr, BinOp):
+        return BinOp(map_reg(instr.dst), instr.op, map_op(instr.lhs),
+                     map_op(instr.rhs))
+    if isinstance(instr, UnOp):
+        return UnOp(map_reg(instr.dst), instr.op, map_op(instr.src))
+    if isinstance(instr, Load):
+        return Load(map_reg(instr.dst), map_op(instr.base), instr.offset,
+                    instr.size, instr.signed)
+    if isinstance(instr, Store):
+        return Store(map_op(instr.base), instr.offset, map_op(instr.src),
+                     instr.size)
+    if isinstance(instr, GetGlobal):
+        return GetGlobal(map_reg(instr.dst), instr.name)
+    if isinstance(instr, SetGlobal):
+        return SetGlobal(instr.name, map_op(instr.src))
+    if isinstance(instr, Call):
+        dst = map_reg(instr.dst) if instr.dst is not None else None
+        return Call(dst, instr.callee, [map_op(a) for a in instr.args])
+    if isinstance(instr, CallIndirect):
+        dst = map_reg(instr.dst) if instr.dst is not None else None
+        return CallIndirect(dst, map_op(instr.target), instr.ftype,
+                            [map_op(a) for a in instr.args])
+    raise TypeError(f"cannot clone {instr!r}")

@@ -1,0 +1,136 @@
+"""Loop-invariant code motion.
+
+Pure computations whose operands are defined outside a loop are hoisted to
+a freshly created preheader.  Both Clang and the optimizing WebAssembly
+tiers perform LICM (Emscripten's LLVM pipeline does it before emitting
+wasm), so this pass is shared by every pipeline: the native/JIT gap in the
+paper comes from register allocation, addressing modes, and safety checks
+— not from one side skipping LICM.
+
+Loads are not hoisted (stores inside the loop might alias), and only
+single-definition registers move (multi-def registers are loop-carried).
+"""
+
+from __future__ import annotations
+
+from ..function import BasicBlock, Function
+from ..instructions import BinOp, CondBr, Jump, Move, UnOp
+from ..loops import natural_loops
+from ..values import Const, VReg
+
+_TRAPPING = frozenset({"div_s", "div_u", "rem_s", "rem_u"})
+_TRAPPING_UN = frozenset({
+    "i32_trunc_f64_s", "i32_trunc_f64_u", "i64_trunc_f64_s",
+    "i64_trunc_f64_u",
+})
+
+
+def hoist_invariants(func: Function, rounds: int = 3) -> int:
+    """Run LICM until fixpoint (bounded); returns instructions hoisted."""
+    total = 0
+    for _ in range(rounds):
+        moved = _hoist_once(func)
+        total += moved
+        if not moved:
+            break
+    return total
+
+
+def _def_info(func: Function):
+    """(def counts, set of defining blocks) for every vreg."""
+    counts = {}
+    blocks = {}
+    for label, block in func.blocks.items():
+        for instr in block.all_instrs():
+            for reg in instr.defs():
+                counts[reg.id] = counts.get(reg.id, 0) + 1
+                blocks.setdefault(reg.id, set()).add(label)
+    return counts, blocks
+
+
+def _hoistable(instr) -> bool:
+    if isinstance(instr, Move):
+        return True
+    if isinstance(instr, BinOp):
+        return instr.op not in _TRAPPING
+    if isinstance(instr, UnOp):
+        return instr.op not in _TRAPPING_UN
+    return False
+
+
+def _hoist_once(func: Function) -> int:
+    moved = 0
+    loops = natural_loops(func)
+    for loop in loops:
+        if not all(label in func.blocks for label in loop.body):
+            continue
+        def_counts, def_blocks = _def_info(func)
+
+        invariant_regs = set()
+
+        def is_invariant_operand(op):
+            if isinstance(op, Const) or op is None:
+                return True
+            if isinstance(op, VReg):
+                if op.id in invariant_regs:
+                    return True
+                return not (def_blocks.get(op.id, set()) & loop.body)
+            return False
+
+        hoisted = []
+        for label in sorted(loop.body):
+            block = func.blocks[label]
+            remaining = []
+            for instr in block.instrs:
+                defs = instr.defs()
+                if (_hoistable(instr) and len(defs) == 1
+                        and def_counts.get(defs[0].id, 0) == 1
+                        and all(is_invariant_operand(op)
+                                for op in _operands(instr))):
+                    hoisted.append(instr)
+                    invariant_regs.add(defs[0].id)
+                else:
+                    remaining.append(instr)
+            block.instrs = remaining
+
+        if hoisted:
+            preheader = _get_preheader(func, loop)
+            preheader.instrs.extend(hoisted)
+            moved += len(hoisted)
+    return moved
+
+
+def _operands(instr):
+    if isinstance(instr, Move):
+        return [instr.src]
+    if isinstance(instr, BinOp):
+        return [instr.lhs, instr.rhs]
+    if isinstance(instr, UnOp):
+        return [instr.src]
+    return []
+
+
+def _get_preheader(func: Function, loop) -> BasicBlock:
+    """The unique out-of-loop predecessor block of the header, creating a
+    fresh forwarding block when necessary."""
+    preds = func.predecessors()
+    header = loop.header
+    outside = [p for p in preds.get(header, []) if p not in loop.body]
+    if len(outside) == 1:
+        cand = func.blocks[outside[0]]
+        if isinstance(cand.term, Jump) and cand.term.target == header:
+            return cand
+    preheader = func.new_block(f"ph_{header}_")
+    preheader.term = Jump(header)
+    for pred_label in outside:
+        term = func.blocks[pred_label].term
+        if isinstance(term, Jump) and term.target == header:
+            term.target = preheader.label
+        elif isinstance(term, CondBr):
+            if term.if_true == header:
+                term.if_true = preheader.label
+            if term.if_false == header:
+                term.if_false = preheader.label
+    if func.entry == header:
+        func.entry = preheader.label
+    return preheader

@@ -1,0 +1,70 @@
+"""Loop rotation (Clang-style inverted loops).
+
+A while-loop straight out of the frontend tests its condition at the top:
+
+    header:  cond; br cond, body, exit
+    body:    ...; jump header          <- two branches per iteration
+
+Rotation duplicates the header check and redirects the back edges to the
+copy.  After block layout places the copy right after the latch, each
+iteration executes a single conditional branch:
+
+    header:  cond; br cond, body, exit   <- runs once as the guard
+    body:    ...; (falls through)
+    header2: cond; br cond, body, exit   <- one branch per iteration
+
+This is the mechanism behind the paper's §5.1.3 observation that Clang
+generates one branch per loop while the WebAssembly JITs do not recover it.
+Duplicating the header is always semantics-preserving: every dynamic
+execution of the check runs exactly one of the two copies.
+"""
+
+from __future__ import annotations
+
+from ..function import BasicBlock, Function
+from ..instructions import CondBr, Jump
+from ..loops import natural_loops
+from .inline import _clone_instr
+
+
+def rotate_loops(func: Function, max_header_instrs: int = 12) -> int:
+    """Rotate eligible loops; returns the number rotated."""
+    rotated = 0
+    for loop in natural_loops(func):
+        header = func.blocks.get(loop.header)
+        if header is None or not isinstance(header.term, CondBr):
+            continue
+        if len(header.instrs) > max_header_instrs:
+            continue
+        # The header must exit the loop on one side (a genuine loop test).
+        targets = {header.term.if_true, header.term.if_false}
+        if not (targets - loop.body):
+            continue
+        _rotate(func, loop, header)
+        rotated += 1
+    return rotated
+
+
+def _rotate(func: Function, loop, header: BasicBlock) -> None:
+    copy = func.new_block(f"{header.label}_rot")
+    identity = lambda reg: reg
+    keep = lambda op: op
+    for instr in header.instrs:
+        copy.instrs.append(_clone_instr(instr, identity, keep))
+    copy.term = CondBr(header.term.cond, header.term.if_true,
+                       header.term.if_false)
+    for latch_label in loop.latches:
+        latch = func.blocks[latch_label]
+        _redirect(latch, header.label, copy.label)
+
+
+def _redirect(block: BasicBlock, old: str, new: str) -> None:
+    term = block.term
+    if isinstance(term, Jump):
+        if term.target == old:
+            term.target = new
+    elif isinstance(term, CondBr):
+        if term.if_true == old:
+            term.if_true = new
+        if term.if_false == old:
+            term.if_false = new

@@ -1,0 +1,93 @@
+"""Control-flow graph cleanup.
+
+Four transformations, run to a fixpoint:
+
+* drop blocks unreachable from the entry;
+* thread jumps through empty forwarding blocks;
+* merge a block into its unique predecessor when that predecessor jumps
+  straight to it;
+* collapse conditional branches whose arms are identical.
+"""
+
+from __future__ import annotations
+
+from ..function import Function
+from ..instructions import CondBr, Jump
+
+
+def simplify_cfg(func: Function) -> bool:
+    changed = False
+    while _simplify_once(func):
+        changed = True
+    return changed
+
+
+def _simplify_once(func: Function) -> bool:
+    changed = _remove_unreachable(func)
+    changed |= _thread_jumps(func)
+    changed |= _merge_blocks(func)
+    return changed
+
+
+def _remove_unreachable(func: Function) -> bool:
+    reachable = func.reachable_blocks()
+    dead = [label for label in func.blocks if label not in reachable]
+    for label in dead:
+        del func.blocks[label]
+    return bool(dead)
+
+
+def _thread_jumps(func: Function) -> bool:
+    """Redirect edges that point at empty ``jump``-only blocks."""
+    forwards = {}
+    for label, block in func.blocks.items():
+        if not block.instrs and isinstance(block.term, Jump) \
+                and block.term.target != label:
+            forwards[label] = block.term.target
+
+    def resolve(label):
+        seen = set()
+        while label in forwards and label not in seen:
+            seen.add(label)
+            label = forwards[label]
+        return label
+
+    changed = False
+    for block in func.blocks.values():
+        term = block.term
+        if isinstance(term, Jump):
+            target = resolve(term.target)
+            if target != term.target:
+                term.target = target
+                changed = True
+        elif isinstance(term, CondBr):
+            t, f = resolve(term.if_true), resolve(term.if_false)
+            if (t, f) != (term.if_true, term.if_false):
+                term.if_true, term.if_false = t, f
+                changed = True
+            if term.if_true == term.if_false:
+                block.term = Jump(term.if_true)
+                changed = True
+    if func.entry in forwards:
+        # Keep the entry block itself; only its terminator was retargeted.
+        pass
+    return changed
+
+
+def _merge_blocks(func: Function) -> bool:
+    preds = func.predecessors()
+    for label, block in list(func.blocks.items()):
+        term = block.term
+        if not isinstance(term, Jump):
+            continue
+        target = term.target
+        if target == label or target == func.entry:
+            continue
+        if len(preds.get(target, [])) != 1:
+            continue
+        succ = func.blocks[target]
+        block.instrs.extend(succ.instrs)
+        block.term = succ.term
+        del func.blocks[target]
+        return True
+    return False

@@ -1,0 +1,116 @@
+"""Loop unrolling with exit checks (native backend only).
+
+The innermost loops are replicated ``factor`` times; back edges are chained
+through the copies.  Because every copy retains the loop's exit test, the
+transformation is valid for unknown trip counts and leaves the *dynamic*
+instruction stream unchanged — what changes is the static code footprint.
+
+That footprint is the point: Clang unrolls hot loops and the WebAssembly
+JITs do not, so native code for loop-dominated benchmarks can exceed the L1
+instruction cache where the (smaller) JIT-generated loop still fits.  This
+is the mechanism behind the paper's 429.mcf anomaly, where WebAssembly runs
+*faster* than native (§6.3).
+"""
+
+from __future__ import annotations
+
+from ..function import BasicBlock, Function
+from ..instructions import CondBr, Jump
+from ..loops import natural_loops
+from .inline import _clone_instr
+
+
+def unroll_loops(func: Function, factor: int = 4,
+                 max_instrs: int = 86,
+                 partial_max_instrs: int = 0) -> int:
+    """Unroll eligible innermost loops; returns the number unrolled.
+
+    Mirrors real unroller policy (e.g. LLVM's full vs partial unrolling):
+    only innermost loops; small bodies (<= ``max_instrs``) unroll by
+    ``factor``, medium bodies (<= ``partial_max_instrs``) by 2; loops
+    containing calls are never unrolled (the call overhead dwarfs the
+    benefit and duplicating call sites bloats code for nothing).
+    """
+    from ..instructions import Call, CallIndirect
+
+    if factor < 2:
+        return 0
+    loops = natural_loops(func)
+    # Innermost loops: those whose body contains no other loop's header.
+    headers = {lp.header for lp in loops}
+    unrolled = 0
+    for loop in loops:
+        if any(h in loop.body and h != loop.header for h in headers):
+            continue
+        if not all(label in func.blocks for label in loop.body):
+            continue
+        body_instrs = 0
+        has_call = False
+        for label in loop.body:
+            for instr in func.blocks[label].all_instrs():
+                body_instrs += 1
+                if isinstance(instr, (Call, CallIndirect)):
+                    has_call = True
+        limit = max(partial_max_instrs, max_instrs)
+        if has_call or body_instrs > limit:
+            continue
+        _unroll(func, loop,
+                factor if body_instrs <= max_instrs else 2)
+        unrolled += 1
+    return unrolled
+
+
+def _unroll(func: Function, loop, factor: int) -> None:
+    identity = lambda reg: reg
+    keep = lambda op: op
+    body = sorted(loop.body)
+
+    # Build factor-1 copies of the whole loop.
+    copies = []
+    for i in range(1, factor):
+        labelmap = {label: f"{label}_u{i}" for label in body}
+        for label in body:
+            src = func.blocks[label]
+            clone = BasicBlock(labelmap[label])
+            for instr in src.instrs:
+                clone.instrs.append(_clone_instr(instr, identity, keep))
+            clone.term = _clone_term(src.term, labelmap)
+            func.blocks[clone.label] = clone
+        copies.append(labelmap)
+
+    # Chain back edges: original -> copy1 -> copy2 -> ... -> original.
+    def retarget_backedges(latch_labels, old_header, new_header):
+        for latch in latch_labels:
+            block = func.blocks[latch]
+            term = block.term
+            if isinstance(term, Jump) and term.target == old_header:
+                term.target = new_header
+            elif isinstance(term, CondBr):
+                if term.if_true == old_header:
+                    term.if_true = new_header
+                if term.if_false == old_header:
+                    term.if_false = new_header
+
+    header = loop.header
+    retarget_backedges(loop.latches, header, copies[0][header])
+    for i, labelmap in enumerate(copies):
+        next_header = (copies[i + 1][header] if i + 1 < len(copies)
+                       else header)
+        copy_latches = [labelmap[latch] for latch in loop.latches]
+        retarget_backedges(copy_latches, labelmap[header], next_header)
+
+
+def _clone_term(term, labelmap):
+    from ..instructions import Return, Trap
+
+    if isinstance(term, Jump):
+        return Jump(labelmap.get(term.target, term.target))
+    if isinstance(term, CondBr):
+        return CondBr(term.cond,
+                      labelmap.get(term.if_true, term.if_true),
+                      labelmap.get(term.if_false, term.if_false))
+    if isinstance(term, Return):
+        return Return(term.value)
+    if isinstance(term, Trap):
+        return Trap(term.message)
+    return term

@@ -1,0 +1,39 @@
+"""Human-readable dumps of IR modules and functions."""
+
+from __future__ import annotations
+
+from .function import Function
+from .module import Module
+
+
+def format_function(func: Function) -> str:
+    lines = []
+    params = ", ".join(map(repr, func.params))
+    lines.append(f"func @{func.name}({params}) {func.ftype}")
+    if func.frame_size:
+        slots = ", ".join(f"{k}@{v}" for k, v in func.frame_slots.items())
+        lines.append(f"  ; frame {func.frame_size} bytes: {slots}")
+    for block in func.block_order():
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"  {instr!r}")
+        if block.term is not None:
+            lines.append(f"  {block.term!r}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines = [f"; module {module.name}"]
+    for name, ftype in sorted(module.externs.items()):
+        lines.append(f"extern @{name} {ftype}")
+    for gvar in module.wasm_globals.values():
+        lines.append(f"global ${gvar.name}:{gvar.ty.value} = {gvar.init}")
+    for name, addr in sorted(module.symbols.items(), key=lambda kv: kv[1]):
+        lines.append(f"symbol {name} @ {addr:#x}")
+    if module.table:
+        entries = ", ".join(t or "<null>" for t in module.table)
+        lines.append(f"table [{entries}]")
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(format_function(func))
+    return "\n".join(lines)

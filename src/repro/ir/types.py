@@ -1,0 +1,80 @@
+"""Value types shared by every compilation pipeline.
+
+The mini-C frontend, the IR, the WebAssembly backend, and the x86 backends
+all agree on this small set of machine types.  Pointers in the guest address
+space are 32-bit (``I32``), matching WebAssembly's wasm32 memory model; the
+native backend uses the same flat 32-bit address space so that a program
+produces byte-identical results regardless of the pipeline it is compiled
+through.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """A machine-level value type."""
+
+    I32 = "i32"
+    I64 = "i64"
+    F64 = "f64"
+
+    @property
+    def is_int(self) -> bool:
+        return self in (Type.I32, Type.I64)
+
+    @property
+    def is_float(self) -> bool:
+        return self is Type.F64
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of a value of this type."""
+        return {Type.I32: 4, Type.I64: 8, Type.F64: 8}[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Guest pointers are 32-bit offsets into the flat linear memory.
+PTR = Type.I32
+
+#: Size in bytes of a guest pointer.
+PTR_SIZE = 4
+
+
+class FuncType:
+    """A function signature: parameter types and an optional result type.
+
+    ``results`` holds zero or one types (WebAssembly MVP functions return at
+    most one value, and the mini-C language maps onto that).
+    """
+
+    __slots__ = ("params", "results")
+
+    def __init__(self, params, results=()):
+        self.params = tuple(params)
+        self.results = tuple(results)
+        if len(self.results) > 1:
+            raise ValueError("multi-value returns are not supported (MVP)")
+
+    @property
+    def result(self):
+        """The single result type, or ``None`` for void functions."""
+        return self.results[0] if self.results else None
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FuncType)
+            and self.params == other.params
+            and self.results == other.results
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.params, self.results))
+
+    def __repr__(self) -> str:
+        ps = ", ".join(t.value for t in self.params)
+        rs = ", ".join(t.value for t in self.results)
+        return f"({ps}) -> ({rs})"

@@ -1,0 +1,73 @@
+"""IR operands: virtual registers and constants."""
+
+from __future__ import annotations
+
+from .types import Type
+
+
+class VReg:
+    """A virtual register.
+
+    Virtual registers are SSA-ish but not strictly SSA: the frontend may
+    assign to the same register more than once (e.g. loop counters).  The
+    register allocators only rely on liveness, not on single assignment.
+    """
+
+    __slots__ = ("id", "ty", "name")
+
+    def __init__(self, id: int, ty: Type, name: str = ""):
+        self.id = id
+        self.ty = ty
+        self.name = name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VReg) and self.id == other.id
+
+    def __hash__(self) -> int:
+        return hash(("vreg", self.id))
+
+    def __repr__(self) -> str:
+        label = self.name or f"v{self.id}"
+        return f"%{label}:{self.ty.value}"
+
+
+class Const:
+    """An immediate constant operand."""
+
+    __slots__ = ("value", "ty")
+
+    def __init__(self, value, ty: Type):
+        if ty.is_int:
+            value = int(value)
+        else:
+            value = float(value)
+        self.value = value
+        self.ty = ty
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Const)
+            and self.value == other.value
+            and self.ty == other.ty
+        )
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value, self.ty))
+
+    def __repr__(self) -> str:
+        return f"{self.value}:{self.ty.value}"
+
+
+def i32(value: int) -> Const:
+    """Shorthand for a 32-bit integer constant."""
+    return Const(value, Type.I32)
+
+
+def i64(value: int) -> Const:
+    """Shorthand for a 64-bit integer constant."""
+    return Const(value, Type.I64)
+
+
+def f64(value: float) -> Const:
+    """Shorthand for a 64-bit float constant."""
+    return Const(value, Type.F64)

@@ -1,0 +1,145 @@
+"""IR well-formedness checks.
+
+The verifier catches frontend and pass bugs early: unterminated blocks,
+branches to missing labels, type-inconsistent operands, calls with wrong
+arity, and uses of registers that are never defined anywhere (a weaker check
+than full def-before-use, since the IR is not strict SSA).
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Load, Move, Return,
+    SetGlobal, Store, Trap, UnOp, CMP_OPS, FLOAT_ARITH_OPS, INT_ARITH_OPS,
+    UNARY_OPS,
+)
+from .function import Function
+from .module import Module
+from .types import Type
+from .values import Const, VReg
+
+
+class VerifyError(Exception):
+    """Raised when an IR module is malformed."""
+
+
+def _operand_ty(op):
+    if isinstance(op, (VReg, Const)):
+        return op.ty
+    raise VerifyError(f"operand {op!r} is not a VReg or Const")
+
+
+def verify_function(func: Function, module: Module = None) -> None:
+    if func.entry is None or func.entry not in func.blocks:
+        raise VerifyError(f"{func.name}: missing entry block")
+    if len(func.params) != len(func.ftype.params):
+        raise VerifyError(f"{func.name}: param count mismatch")
+    for reg, ty in zip(func.params, func.ftype.params):
+        if reg.ty != ty:
+            raise VerifyError(f"{func.name}: param {reg} type != {ty}")
+
+    defined = {p.id for p in func.params}
+    for block in func.blocks.values():
+        for instr in block.all_instrs():
+            for reg in instr.defs():
+                defined.add(reg.id)
+
+    for label, block in func.blocks.items():
+        if block.term is None:
+            raise VerifyError(f"{func.name}/{label}: block not terminated")
+        for succ in block.successors():
+            if succ not in func.blocks:
+                raise VerifyError(f"{func.name}/{label}: branch to missing {succ}")
+        for instr in block.all_instrs():
+            _verify_instr(func, label, instr, defined, module)
+
+
+def _verify_instr(func, label, instr, defined, module):
+    where = f"{func.name}/{label}: {instr!r}"
+    for reg in instr.uses():
+        if reg.id not in defined:
+            raise VerifyError(f"{where}: use of undefined {reg}")
+
+    if isinstance(instr, Move):
+        if _operand_ty(instr.src) != instr.dst.ty:
+            raise VerifyError(f"{where}: move type mismatch")
+    elif isinstance(instr, BinOp):
+        lty, rty = _operand_ty(instr.lhs), _operand_ty(instr.rhs)
+        if lty != rty:
+            raise VerifyError(f"{where}: operand types differ ({lty}, {rty})")
+        if instr.op in CMP_OPS:
+            if instr.dst.ty != Type.I32:
+                raise VerifyError(f"{where}: comparison must produce i32")
+        elif lty.is_float:
+            if instr.op not in FLOAT_ARITH_OPS:
+                raise VerifyError(f"{where}: bad float op {instr.op}")
+            if instr.dst.ty != lty:
+                raise VerifyError(f"{where}: float result type mismatch")
+        else:
+            if instr.op not in INT_ARITH_OPS:
+                raise VerifyError(f"{where}: bad int op {instr.op}")
+            if instr.dst.ty != lty:
+                raise VerifyError(f"{where}: int result type mismatch")
+    elif isinstance(instr, UnOp):
+        if instr.op not in UNARY_OPS:
+            raise VerifyError(f"{where}: unknown unary op {instr.op}")
+    elif isinstance(instr, Load):
+        if _operand_ty(instr.base) != Type.I32:
+            raise VerifyError(f"{where}: load base must be i32 pointer")
+        if instr.size not in (1, 2, 4, 8):
+            raise VerifyError(f"{where}: bad load size {instr.size}")
+    elif isinstance(instr, Store):
+        if _operand_ty(instr.base) != Type.I32:
+            raise VerifyError(f"{where}: store base must be i32 pointer")
+        if instr.size not in (1, 2, 4, 8):
+            raise VerifyError(f"{where}: bad store size {instr.size}")
+    elif isinstance(instr, (GetGlobal, SetGlobal)):
+        if module is not None and instr.name not in module.wasm_globals:
+            raise VerifyError(f"{where}: unknown global {instr.name}")
+    elif isinstance(instr, Call):
+        if module is not None:
+            try:
+                ftype = module.signature_of(instr.callee)
+            except KeyError:
+                raise VerifyError(f"{where}: unknown callee")
+            _check_call(where, ftype, instr.args, instr.dst)
+    elif isinstance(instr, CallIndirect):
+        if _operand_ty(instr.target) != Type.I32:
+            raise VerifyError(f"{where}: indirect target must be i32")
+        _check_call(where, instr.ftype, instr.args, instr.dst)
+    elif isinstance(instr, CondBr):
+        if _operand_ty(instr.cond) != Type.I32:
+            raise VerifyError(f"{where}: branch condition must be i32")
+    elif isinstance(instr, Return):
+        want = func.ftype.result
+        if want is None and instr.value is not None:
+            raise VerifyError(f"{where}: void function returns a value")
+        if want is not None:
+            if instr.value is None:
+                raise VerifyError(f"{where}: missing return value")
+            if _operand_ty(instr.value) != want:
+                raise VerifyError(f"{where}: return type mismatch")
+    elif isinstance(instr, (Jump, Trap)):
+        pass
+
+
+def _check_call(where, ftype, args, dst):
+    if len(args) != len(ftype.params):
+        raise VerifyError(f"{where}: arity mismatch")
+    for arg, ty in zip(args, ftype.params):
+        if _operand_ty(arg) != ty:
+            raise VerifyError(f"{where}: argument type mismatch")
+    if dst is not None:
+        if ftype.result is None:
+            raise VerifyError(f"{where}: void call assigns a result")
+        if dst.ty != ftype.result:
+            raise VerifyError(f"{where}: result type mismatch")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``; raise ``VerifyError`` on failure."""
+    for name in module.table:
+        if name and name not in module.functions:
+            raise VerifyError(f"table entry {name} is not a defined function")
+    for func in module.functions.values():
+        verify_function(func, module)

@@ -1,0 +1,507 @@
+"""WebAssembly -> IR translation (the JIT front half).
+
+Both browser engines first turn wasm's structured stack code back into a
+register-based graph; this module does the same, producing the shared IR
+so the engine backends can reuse the lowering machinery.  The translation
+is deliberately *local*: every ``local.get`` materializes a fresh copy,
+every operator result lands in a fresh register.  The engines' cheap
+per-block cleanup collapses most of it — what remains models the stack-
+machine shuffle overhead real wasm JITs carry relative to an AOT compiler.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Load, Move, Return,
+    SetGlobal, Store, Trap, UnOp,
+)
+from ..ir.module import Module
+from ..ir.types import FuncType, Type
+from ..ir.values import Const, VReg
+from ..wasm.module import PAGE_SIZE, WasmModule
+
+_CMP_SUFFIXES = {"eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s",
+                 "le_u", "ge_s", "ge_u", "lt", "gt", "le", "ge"}
+_BIN_SUFFIXES = {"add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+                 "and", "or", "xor", "shl", "shr_s", "shr_u", "rotl",
+                 "rotr", "div", "min", "max", "copysign"}
+_UN_SUFFIXES = {"clz", "ctz", "popcnt", "abs", "neg", "ceil", "floor",
+                "trunc", "nearest", "sqrt"}
+
+_LOAD_INFO = {
+    "i32.load": (Type.I32, 4, True), "i64.load": (Type.I64, 8, True),
+    "f64.load": (Type.F64, 8, True),
+    "i32.load8_s": (Type.I32, 1, True), "i32.load8_u": (Type.I32, 1, False),
+    "i32.load16_s": (Type.I32, 2, True),
+    "i32.load16_u": (Type.I32, 2, False),
+    "i64.load8_s": (Type.I64, 1, True), "i64.load8_u": (Type.I64, 1, False),
+    "i64.load16_s": (Type.I64, 2, True),
+    "i64.load16_u": (Type.I64, 2, False),
+    "i64.load32_s": (Type.I64, 4, True),
+    "i64.load32_u": (Type.I64, 4, False),
+}
+_STORE_INFO = {
+    "i32.store": 4, "i64.store": 8, "f64.store": 8,
+    "i32.store8": 1, "i32.store16": 2,
+    "i64.store8": 1, "i64.store16": 2, "i64.store32": 4,
+}
+
+
+def _ir_type(valtype: str) -> Type:
+    if valtype == "f32":
+        raise CompileError("f32 is not supported by the JIT translator")
+    return Type(valtype)
+
+
+class _Frame:
+    __slots__ = ("kind", "branch_block", "cont_block", "else_block",
+                 "result", "height", "saw_else")
+
+    def __init__(self, kind, branch_block, cont_block, else_block, result,
+                 height):
+        self.kind = kind                # 'func' | 'block' | 'loop' | 'if'
+        self.branch_block = branch_block  # where `br` to this frame goes
+        self.cont_block = cont_block
+        self.else_block = else_block
+        self.result = result            # VReg carrying the block result
+        self.height = height
+        self.saw_else = False
+
+
+def wasm_to_ir(wasm: WasmModule) -> Module:
+    """Translate a validated wasm module into an IR module."""
+    initial_pages, _max = wasm.memory_pages
+    ir = Module(wasm.name, memory_size=initial_pages * PAGE_SIZE,
+                stack_size=0)
+    # The translated module's globals mirror the wasm globals exactly; the
+    # Module constructor adds a __sp global of its own which we drop.
+    ir.wasm_globals.clear()
+
+    global_names = []
+    for i, glob in enumerate(wasm.globals):
+        name = f"g{i}"
+        global_names.append(name)
+        ty = _ir_type(glob.valtype)
+        init = glob.init.args[0]
+        ir.add_global(name, ty, init if ty.is_int else float(init),
+                      glob.mutable)
+
+    # Function naming: imports keep their import names; defined functions
+    # keep their export names when present.
+    imports = [imp for imp in wasm.imports if imp.kind == "func"]
+    func_names = [imp.name for imp in imports]
+    for i, func in enumerate(wasm.functions):
+        func_names.append(func.name or f"f{len(imports) + i}")
+    for imp in imports:
+        ir.declare_extern(imp.name, _to_ir_ftype(wasm, imp.type_index))
+
+    # Table: translate function indices back to names.  Index 0 of the
+    # ir-level table is the null entry; wasm tables don't have one, so we
+    # keep a direct name list and bypass Module.table_index.
+    ir.table = [func_names[idx] if idx is not None else ""
+                for idx in wasm.table]
+
+    for seg in wasm.data:
+        ir.data.append(_data_segment(seg))
+
+    # Emscripten exports __heap_base so the runtime knows where malloc's
+    # arena starts (static data *and* BSS end before it).
+    for exp in wasm.exports:
+        if exp.name == "__heap_base" and exp.kind == "global":
+            ir.heap_base = wasm.globals[exp.index].init.args[0]
+            break
+    else:
+        if ir.data:
+            end = max(seg.addr + len(seg.data) for seg in ir.data)
+            ir.heap_base = (end + 15) & ~15
+
+    for i, wfunc in enumerate(wasm.functions):
+        name = func_names[len(imports) + i]
+        ftype = _to_ir_ftype(wasm, wfunc.type_index)
+        ir.add_function(
+            _FunctionTranslator(wasm, wfunc, ftype, name, func_names,
+                                global_names).run())
+    return ir
+
+
+def _to_ir_ftype(wasm: WasmModule, type_index: int) -> FuncType:
+    try:
+        return wasm.types[type_index].to_ir()
+    except ValueError as exc:
+        raise CompileError(f"JIT translator: {exc} "
+                           "(f32 is interpreter-only)") from None
+
+
+def _data_segment(seg):
+    from ..ir.module import DataSegment
+    return DataSegment(seg.offset, seg.data)
+
+
+class _FunctionTranslator:
+    def __init__(self, wasm, wfunc, ftype: FuncType, name, func_names,
+                 global_names):
+        self.wasm = wasm
+        self.wfunc = wfunc
+        self.name = name
+        self.func_names = func_names
+        self.global_names = global_names
+        self.func = Function(name, ftype)
+        self.locals: list[VReg] = []
+        self.stack: list = []
+        self.frames: list[_Frame] = []
+        self.cur = None
+        self.dead = False
+        self.skip_depth = 0
+
+    def run(self) -> Function:
+        func = self.func
+        for i, pty in enumerate(func.ftype.params):
+            reg = func.new_vreg(pty, f"p{i}")
+            func.params.append(reg)
+            self.locals.append(reg)
+        entry = func.new_block("entry")
+        self.cur = entry
+        for valtype in self.wfunc.locals:
+            ty = _ir_type(valtype)
+            reg = func.new_vreg(ty, f"l{len(self.locals)}")
+            self.locals.append(reg)
+            zero = Const(0, ty) if ty.is_int else Const(0.0, ty)
+            self.cur.append(Move(reg, zero))
+
+        result = None
+        if func.ftype.result is not None:
+            result = func.new_vreg(func.ftype.result, "ret")
+        exit_block = func.new_block("exit")
+        self.frames.append(_Frame("func", exit_block, exit_block, None,
+                                  result, 0))
+
+        for instr in self.wfunc.body:
+            self.translate(instr)
+
+        # Implicit end of body.
+        self._end_function(exit_block, result)
+        return func
+
+    # -- helpers --------------------------------------------------------------------
+
+    def push(self, operand) -> None:
+        self.stack.append(operand)
+
+    def pop(self):
+        if not self.stack:
+            raise CompileError(f"{self.name}: operand stack underflow "
+                               "(module not validated?)")
+        return self.stack.pop()
+
+    def fresh(self, ty: Type) -> VReg:
+        return self.func.new_vreg(ty)
+
+    def emit(self, instr) -> None:
+        self.cur.append(instr)
+
+    def _terminate(self, term) -> None:
+        if not self.cur.terminated:
+            self.cur.terminate(term)
+
+    def _enter(self, block) -> None:
+        self.cur = block
+        self.dead = False
+
+    def _end_function(self, exit_block, result) -> None:
+        if not self.cur.terminated:
+            if result is not None and self.stack:
+                self.emit(Move(result, self.pop()))
+            self._terminate(Jump(exit_block.label))
+        self._enter(exit_block)
+        self._terminate(Return(result))
+
+    # -- control flow ------------------------------------------------------------------
+
+    def translate(self, instr) -> None:
+        op = instr.op
+
+        if self.dead:
+            # Skip unreachable code until the frame-balancing end/else.
+            if op in ("block", "loop", "if"):
+                self.skip_depth += 1
+            elif op == "end":
+                if self.skip_depth:
+                    self.skip_depth -= 1
+                    return
+                self._do_end()
+            elif op == "else" and self.skip_depth == 0:
+                self._do_else()
+            return
+
+        handler = getattr(self, "_op_" + _mangle(op), None)
+        if handler is not None:
+            handler(instr)
+            return
+        self._numeric(instr)
+
+    def _op_nop(self, instr) -> None:
+        pass
+
+    def _op_unreachable(self, instr) -> None:
+        self._terminate(Trap("unreachable executed"))
+        self.dead = True
+
+    def _op_block(self, instr) -> None:
+        result = None
+        if instr.args[0] is not None:
+            result = self.fresh(_ir_type(instr.args[0]))
+        cont = self.func.new_block("blk_end")
+        self.frames.append(_Frame("block", cont, cont, None, result,
+                                  len(self.stack)))
+
+    def _op_loop(self, instr) -> None:
+        result = None
+        if instr.args[0] is not None:
+            result = self.fresh(_ir_type(instr.args[0]))
+        header = self.func.new_block("loop")
+        cont = self.func.new_block("loop_end")
+        self._terminate(Jump(header.label))
+        self._enter(header)
+        self.frames.append(_Frame("loop", header, cont, None, result,
+                                  len(self.stack)))
+
+    def _op_if(self, instr) -> None:
+        cond = self.pop()
+        result = None
+        if instr.args[0] is not None:
+            result = self.fresh(_ir_type(instr.args[0]))
+        then_block = self.func.new_block("then")
+        else_block = self.func.new_block("ifelse")
+        cont = self.func.new_block("if_end")
+        self._terminate(CondBr(cond, then_block.label, else_block.label))
+        self._enter(then_block)
+        self.frames.append(_Frame("if", cont, cont, else_block, result,
+                                  len(self.stack)))
+
+    def _op_else(self, instr) -> None:
+        self._do_else()
+
+    def _do_else(self) -> None:
+        frame = self.frames[-1]
+        if frame.kind != "if":
+            raise CompileError("else without if")
+        if not self.dead:
+            if frame.result is not None and len(self.stack) > frame.height:
+                self.emit(Move(frame.result, self.pop()))
+            del self.stack[frame.height:]
+            self._terminate(Jump(frame.cont_block.label))
+        frame.saw_else = True
+        self._enter(frame.else_block)
+
+    def _op_end(self, instr) -> None:
+        self._do_end()
+
+    def _do_end(self) -> None:
+        frame = self.frames.pop()
+        if frame.kind == "func":
+            self.frames.append(frame)  # handled by _end_function
+            if not self.dead:
+                if frame.result is not None and self.stack:
+                    self.emit(Move(frame.result, self.pop()))
+                self._terminate(Jump(frame.cont_block.label))
+            self.dead = True
+            return
+        if not self.dead:
+            if frame.result is not None and len(self.stack) > frame.height:
+                self.emit(Move(frame.result, self.pop()))
+            del self.stack[frame.height:]
+            self._terminate(Jump(frame.cont_block.label))
+        if frame.kind == "if" and not frame.saw_else:
+            # Empty else arm: jump straight to the continuation.
+            self._enter(frame.else_block)
+            self._terminate(Jump(frame.cont_block.label))
+        self._enter(frame.cont_block)
+        if frame.result is not None:
+            self.push(frame.result)
+
+    def _branch_frame(self, depth: int) -> _Frame:
+        if depth >= len(self.frames):
+            raise CompileError(f"branch depth {depth} out of range")
+        return self.frames[-1 - depth]
+
+    def _emit_branch(self, frame: _Frame) -> None:
+        if frame.kind != "loop" and frame.result is not None \
+                and self.stack:
+            self.emit(Move(frame.result, self.stack[-1]))
+        self._terminate(Jump(frame.branch_block.label))
+
+    def _op_br(self, instr) -> None:
+        frame = self._branch_frame(instr.args[0])
+        self._emit_branch(frame)
+        self.dead = True
+
+    def _op_br_if(self, instr) -> None:
+        cond = self.pop()
+        frame = self._branch_frame(instr.args[0])
+        if frame.kind != "loop" and frame.result is not None and self.stack:
+            self.emit(Move(frame.result, self.stack[-1]))
+        fall = self.func.new_block("brif_cont")
+        self._terminate(CondBr(cond, frame.branch_block.label, fall.label))
+        self._enter(fall)
+
+    def _op_br_table(self, instr) -> None:
+        targets, default = instr.args
+        index = self.pop()
+        # Lower to a chain of equality tests (the mcc pipeline never emits
+        # br_table, but decoded modules may contain it).
+        for i, depth in enumerate(targets):
+            frame = self._branch_frame(depth)
+            cmp = self.fresh(Type.I32)
+            self.emit(BinOp(cmp, "eq", index, Const(i, Type.I32)))
+            nxt = self.func.new_block("brt")
+            self._terminate(CondBr(cmp, frame.branch_block.label,
+                                   nxt.label))
+            self._enter(nxt)
+        self._emit_branch(self._branch_frame(default))
+        self.dead = True
+
+    def _op_return(self, instr) -> None:
+        frame = self.frames[0]
+        if frame.result is not None and self.stack:
+            self.emit(Move(frame.result, self.pop()))
+        self._terminate(Jump(frame.branch_block.label))
+        self.dead = True
+
+    # -- calls ----------------------------------------------------------------------------
+
+    def _op_call(self, instr) -> None:
+        index = instr.args[0]
+        ftype = self.wasm.func_type_of(index).to_ir()
+        args = self._pop_args(len(ftype.params))
+        dst = self.fresh(ftype.result) if ftype.result is not None else None
+        self.emit(Call(dst, self.func_names[index], args))
+        if dst is not None:
+            self.push(dst)
+
+    def _op_call_indirect(self, instr) -> None:
+        ftype = self.wasm.types[instr.args[0]].to_ir()
+        target = self.pop()
+        args = self._pop_args(len(ftype.params))
+        dst = self.fresh(ftype.result) if ftype.result is not None else None
+        self.emit(CallIndirect(dst, target, ftype, args))
+        if dst is not None:
+            self.push(dst)
+
+    def _pop_args(self, count: int):
+        args = self.stack[len(self.stack) - count:] if count else []
+        if count:
+            del self.stack[len(self.stack) - count:]
+        return args
+
+    # -- locals / globals / memory -------------------------------------------------------
+
+    def _op_local_get(self, instr) -> None:
+        reg = self.locals[instr.args[0]]
+        copy = self.fresh(reg.ty)
+        self.emit(Move(copy, reg))
+        self.push(copy)
+
+    def _op_local_set(self, instr) -> None:
+        self.emit(Move(self.locals[instr.args[0]], self.pop()))
+
+    def _op_local_tee(self, instr) -> None:
+        value = self.stack[-1]
+        self.emit(Move(self.locals[instr.args[0]], value))
+
+    def _op_global_get(self, instr) -> None:
+        name = self.global_names[instr.args[0]]
+        ty = _ir_type(self.wasm.globals[instr.args[0]].valtype)
+        dst = self.fresh(ty)
+        self.emit(GetGlobal(dst, name))
+        self.push(dst)
+
+    def _op_global_set(self, instr) -> None:
+        name = self.global_names[instr.args[0]]
+        self.emit(SetGlobal(name, self.pop()))
+
+    def _op_drop(self, instr) -> None:
+        self.pop()
+
+    def _op_select(self, instr) -> None:
+        cond = self.pop()
+        b = self.pop()
+        a = self.pop()
+        ty = a.ty if isinstance(a, (VReg, Const)) else Type.I32
+        result = self.fresh(ty)
+        then_block = self.func.new_block("sel_t")
+        else_block = self.func.new_block("sel_f")
+        cont = self.func.new_block("sel_end")
+        self._terminate(CondBr(cond, then_block.label, else_block.label))
+        then_block.append(Move(result, a))
+        then_block.terminate(Jump(cont.label))
+        else_block.append(Move(result, b))
+        else_block.terminate(Jump(cont.label))
+        self._enter(cont)
+        self.push(result)
+
+    # -- numeric / memory fallthrough ----------------------------------------------------
+
+    def _numeric(self, instr) -> None:
+        op = instr.op
+        if op in _LOAD_INFO:
+            ty, size, signed = _LOAD_INFO[op]
+            base = self.pop()
+            dst = self.fresh(ty)
+            self.emit(Load(dst, base, instr.args[1], size, signed))
+            self.push(dst)
+            return
+        if op in _STORE_INFO:
+            size = _STORE_INFO[op]
+            value = self.pop()
+            base = self.pop()
+            self.emit(Store(base, instr.args[1], value, size))
+            return
+        prefix, _, suffix = op.partition(".")
+        if suffix == "const":
+            ty = _ir_type(prefix)
+            value = instr.args[0]
+            self.push(Const(value if ty.is_int else float(value), ty))
+            return
+        if suffix == "eqz":
+            src = self.pop()
+            dst = self.fresh(Type.I32)
+            self.emit(UnOp(dst, "eqz", src))
+            self.push(dst)
+            return
+        if suffix in _CMP_SUFFIXES:
+            b = self.pop()
+            a = self.pop()
+            dst = self.fresh(Type.I32)
+            self.emit(BinOp(dst, suffix, a, b))
+            self.push(dst)
+            return
+        if suffix in _BIN_SUFFIXES:
+            b = self.pop()
+            a = self.pop()
+            dst = self.fresh(_ir_type(prefix))
+            self.emit(BinOp(dst, suffix, a, b))
+            self.push(dst)
+            return
+        if suffix in _UN_SUFFIXES:
+            src = self.pop()
+            dst = self.fresh(_ir_type(prefix))
+            self.emit(UnOp(dst, suffix, src))
+            self.push(dst)
+            return
+        # Conversions: i64.extend_i32_s -> "i64_extend_i32_s" etc.
+        ir_op = prefix + "_" + suffix
+        from ..ir.instructions import UNARY_OPS
+        if ir_op in UNARY_OPS or suffix == "wrap_i64":
+            src = self.pop()
+            dst = self.fresh(_ir_type(prefix))
+            self.emit(UnOp(dst, "i32_wrap_i64" if suffix == "wrap_i64"
+                           else ir_op, src))
+            self.push(dst)
+            return
+        raise CompileError(f"JIT translator: unsupported opcode {op}")
+
+
+def _mangle(op: str) -> str:
+    return op.replace(".", "_")

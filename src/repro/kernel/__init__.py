@@ -1,0 +1,24 @@
+"""BROWSIX-WASM: the in-browser Unix kernel and process runtimes."""
+
+from .costs import (
+    BROWSIX_WASM_COSTS, LEGACY_BROWSIX_COSTS, NATIVE_COSTS, SyscallCosts,
+)
+from .fs import (
+    BrowserFile, FileSystem, FsError, GROW_CHUNKED, GROW_EXACT, O_APPEND,
+    O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, O_WRONLY, OpenFile, SEEK_CUR,
+    SEEK_END, SEEK_SET,
+)
+from .kernel import Kernel, Process, STDERR, STDIN, STDOUT
+from .pipes import Pipe
+from .runtime import BrowsixRuntime, NativeRuntime
+
+__all__ = [
+    "Kernel", "Process", "STDIN", "STDOUT", "STDERR",
+    "FileSystem", "BrowserFile", "OpenFile", "FsError", "Pipe",
+    "GROW_CHUNKED", "GROW_EXACT",
+    "O_RDONLY", "O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC", "O_APPEND",
+    "SEEK_SET", "SEEK_CUR", "SEEK_END",
+    "SyscallCosts", "BROWSIX_WASM_COSTS", "LEGACY_BROWSIX_COSTS",
+    "NATIVE_COSTS",
+    "BrowsixRuntime", "NativeRuntime",
+]

@@ -1,0 +1,108 @@
+"""Process-side runtimes: the glue between compiled code and the kernel.
+
+``BrowsixRuntime`` models the Emscripten runtime modified for
+Browsix-Wasm (paper §2): every syscall marshals its payload through the
+auxiliary shared buffer and message-passes to the kernel, and the total
+overhead is tracked for Figure 4.  ``NativeRuntime`` models the same
+program running on Linux, where a syscall is three orders of magnitude
+cheaper.
+
+Both runtimes also implement the non-kernel externs (``sys_heap_base``,
+the print helpers) so any engine (x86 machine, wasm interpreter, IR
+interpreter) can host a program against a kernel.
+"""
+
+from __future__ import annotations
+
+from ..errors import TrapError
+from ..ir.interp import Host
+from ..ir import intops
+from .costs import NATIVE_COSTS, SyscallCosts
+from .kernel import Kernel, Process
+
+#: Syscalls whose payload is a guest buffer (name -> arg index of length).
+_BUFFER_SYSCALLS = {"sys_read": 2, "sys_write": 2}
+
+#: Path-taking syscalls (payload ~= path length; small).
+_PATH_SYSCALLS = {"sys_open": 64}
+
+
+class BrowsixRuntime(Host):
+    """Guest runtime using the Browsix-Wasm aux-buffer syscall protocol."""
+
+    def __init__(self, kernel: Kernel, process: Process, heap_base: int,
+                 costs: SyscallCosts = None):
+        self.kernel = kernel
+        self.process = process
+        self.heap_base = heap_base
+        self.costs = costs or kernel.costs
+        #: Total overhead cycles spent in Browsix (marshalling + kernel).
+        self.overhead_cycles = 0.0
+        self.syscall_count = 0
+
+    # -- Host interface ----------------------------------------------------------
+
+    def call(self, env, name, args):
+        if name == "sys_heap_base":
+            # Resolved statically by the Emscripten runtime; no kernel trip.
+            return self.heap_base
+        if name == "print_i32":
+            return self._print(env, str(intops.signed32(args[0])) + "\n")
+        if name == "print_i64":
+            return self._print(env, str(intops.signed64(args[0])) + "\n")
+        if name == "print_f64":
+            return self._print(env, f"{args[0]:.6f}\n")
+        if name.startswith("sys_"):
+            return self._syscall(env, name, args)
+        raise TrapError(f"unresolved extern function: {name}")
+
+    # -- internals -------------------------------------------------------------------
+
+    def _payload(self, name, args) -> int:
+        if name in _BUFFER_SYSCALLS:
+            return max(0, int(args[_BUFFER_SYSCALLS[name]]))
+        if name in _PATH_SYSCALLS:
+            return _PATH_SYSCALLS[name]
+        return 16  # scalar arguments only
+
+    def _syscall(self, env, name, args):
+        self.syscall_count += 1
+        cost = self.kernel.charge(self._payload(name, args))
+        self.overhead_cycles += cost
+        return self.kernel.syscall(self.process, name, args, env)
+
+    def _print(self, env, text: str):
+        data = text.encode()
+        self.syscall_count += 1
+        cost = self.kernel.charge(len(data))
+        self.overhead_cycles += cost
+        self.kernel.write_bytes(self.process, 1, data)
+        return None
+
+    @property
+    def stdout(self) -> bytes:
+        # Non-destructive: a downstream process may still read this pipe.
+        return self.process.stdout.peek_all()
+
+
+class NativeRuntime(BrowsixRuntime):
+    """The same program running directly on the host OS."""
+
+    def __init__(self, kernel: Kernel, process: Process, heap_base: int):
+        super().__init__(kernel, process, heap_base, costs=NATIVE_COSTS)
+
+    def _syscall(self, env, name, args):
+        self.syscall_count += 1
+        cost = self.costs.call_cost(self._payload(name, args))
+        self.overhead_cycles += cost
+        self.kernel.cycles += cost
+        return self.kernel.syscall(self.process, name, args, env)
+
+    def _print(self, env, text: str):
+        data = text.encode()
+        self.syscall_count += 1
+        cost = self.costs.call_cost(len(data))
+        self.overhead_cycles += cost
+        self.kernel.cycles += cost
+        self.kernel.write_bytes(self.process, 1, data)
+        return None

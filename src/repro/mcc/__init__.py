@@ -1,0 +1,10 @@
+"""mcc: the mini-C frontend the benchmark suites are written in."""
+
+from .compiler import compile_source
+from .lexer import tokenize
+from .parser import parse
+from .runtime import STDLIB_SOURCE
+from .typer import typecheck
+
+__all__ = ["compile_source", "tokenize", "parse", "typecheck",
+           "STDLIB_SOURCE"]

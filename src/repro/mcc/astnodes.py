@@ -1,0 +1,302 @@
+"""AST node classes for mcc.
+
+Nodes are plain mutable classes; the typer annotates expressions with a
+``ctype`` attribute and occasionally rewrites children (implicit casts).
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base AST node; carries a source line for diagnostics."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line: int = 0):
+        self.line = line
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr(Node):
+    __slots__ = ("ctype",)
+
+    def __init__(self, line=0):
+        super().__init__(line)
+        self.ctype = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value", "is_long")
+
+    def __init__(self, value: int, is_long: bool = False, line=0):
+        super().__init__(line)
+        self.value = value
+        self.is_long = is_long
+
+
+class FloatLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class StringLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Ident(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, line=0):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # resolved by the typer
+
+
+class Unary(Expr):
+    """Prefix unary: ``-  !  ~  *  &  ++  --``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line=0):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class PostIncDec(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, line=0):
+        super().__init__(line)
+        self.op = op  # '++' or '--'
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, line=0):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class Assign(Expr):
+    """``target op= value``; ``op`` is '' for plain assignment."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, line=0):
+        super().__init__(line)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Cond(Expr):
+    """Ternary ``c ? t : f``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond, if_true, if_false, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+
+class CallExpr(Expr):
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: Expr, args, line=0):
+        super().__init__(line)
+        self.func = func
+        self.args = list(args)
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, line=0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    __slots__ = ("base", "name", "arrow")
+
+    def __init__(self, base: Expr, name: str, arrow: bool, line=0):
+        super().__init__(line)
+        self.base = base
+        self.name = name
+        self.arrow = arrow
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type, operand: Expr, line=0):
+        super().__init__(line)
+        self.target_type = target_type
+        self.operand = operand
+
+
+class SizeofType(Expr):
+    __slots__ = ("target_type", "operand_expr")
+
+    def __init__(self, target_type, line=0):
+        super().__init__(line)
+        self.target_type = target_type
+        self.operand_expr = None  # for ``sizeof expr``; typer fills the size
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line=0):
+        super().__init__(line)
+        self.stmts = list(stmts)
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class VarDecl(Stmt):
+    """One local variable declaration (declarations with several
+    declarators are split into several VarDecls by the parser)."""
+
+    __slots__ = ("name", "ctype", "init", "symbol")
+
+    def __init__(self, name, ctype, init, line=0):
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+        self.init = init  # Expr, list (array initializer), or None
+        self.symbol = None  # LocalSymbol, attached by the typer
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond, line=0):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line=0):
+        super().__init__(line)
+        self.init = init    # Stmt or None
+        self.cond = cond    # Expr or None
+        self.step = step    # Expr or None
+        self.body = body
+
+
+class Switch(Stmt):
+    __slots__ = ("expr", "cases", "default")
+
+    def __init__(self, expr, cases, default, line=0):
+        super().__init__(line)
+        self.expr = expr
+        self.cases = cases      # list of (value, [Stmt]) in source order
+        self.default = default  # [Stmt] or None
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+class Return(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+class FuncDef(Node):
+    __slots__ = ("name", "ftype", "param_names", "body", "is_extern",
+                 "param_symbols")
+
+    def __init__(self, name, ftype, param_names, body, is_extern, line=0):
+        super().__init__(line)
+        self.name = name
+        self.ftype = ftype          # FunctionCType
+        self.param_names = param_names
+        self.body = body            # Block or None for declarations
+        self.is_extern = is_extern
+        self.param_symbols = []     # LocalSymbols, attached by the typer
+
+
+class GlobalDecl(Node):
+    __slots__ = ("name", "ctype", "init")
+
+    def __init__(self, name, ctype, init, line=0):
+        super().__init__(line)
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+
+
+class Program(Node):
+    __slots__ = ("decls", "structs")
+
+    def __init__(self, decls, structs, line=0):
+        super().__init__(line)
+        self.decls = decls      # FuncDefs and GlobalDecls, in order
+        self.structs = structs  # name -> StructType

@@ -1,0 +1,28 @@
+"""The mcc compilation driver: source text -> verified IR module."""
+
+from __future__ import annotations
+
+from ..ir import Module, verify_module
+from .irgen import generate
+from .parser import parse
+from .runtime import STDLIB_SOURCE
+from .typer import typecheck
+
+
+def compile_source(source: str, name: str = "program",
+                   with_stdlib: bool = True,
+                   memory_size: int = None,
+                   stack_size: int = None,
+                   verify: bool = True) -> Module:
+    """Compile mcc source to an IR module.
+
+    The runtime library (syscall externs, malloc, string helpers, libm) is
+    prepended unless ``with_stdlib`` is False.
+    """
+    text = (STDLIB_SOURCE + "\n" + source) if with_stdlib else source
+    program = parse(text)
+    typecheck(program)
+    module = generate(program, name, memory_size, stack_size)
+    if verify:
+        verify_module(module)
+    return module

@@ -1,0 +1,1006 @@
+"""IR generation for type-checked mcc programs.
+
+Lowers the annotated AST to the three-address IR.  Scalar locals whose
+address is never taken live in virtual registers; arrays, structs, and
+address-taken scalars live in shadow-stack frame slots.  The shadow-stack
+pointer is the module global ``__sp``, maintained by explicit prologue and
+epilogue IR (so inlining carries frames along for free).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import CompileError
+from ..ir import (
+    BinOp, Call, CallIndirect, CondBr, Const, Function, GetGlobal, Jump,
+    Load, Module, Move, Return, SetGlobal, Store, Type, UnOp, VReg,
+)
+from . import astnodes as ast
+from .symbols import FuncSymbol, GlobalSymbol, LocalSymbol
+from .types_c import (
+    ArrayType, CHAR, CType, DOUBLE, LONG, PointerType, StructType, decay,
+)
+
+
+class LValue:
+    """A resolved assignable location."""
+
+    __slots__ = ("kind", "reg", "base", "offset", "ctype")
+
+    def __init__(self, kind, ctype, reg=None, base=None, offset=0):
+        self.kind = kind      # 'reg' or 'mem'
+        self.ctype = ctype
+        self.reg = reg
+        self.base = base
+        self.offset = offset
+
+
+def _machine_ty(ctype: CType) -> Type:
+    return decay(ctype).machine_type()
+
+
+def _mem_width(ctype: CType):
+    """(size, signed) of a scalar C type in memory."""
+    ctype = decay(ctype)
+    if ctype == CHAR:
+        return 1, True
+    return ctype.size, True
+
+
+class ModuleGen:
+    def __init__(self, program: ast.Program, name: str = "module",
+                 memory_size: int = None, stack_size: int = None):
+        kwargs = {}
+        if memory_size is not None:
+            kwargs["memory_size"] = memory_size
+        if stack_size is not None:
+            kwargs["stack_size"] = stack_size
+        self.module = Module(name, **kwargs)
+        self.program = program
+        self.func_symbols: dict[str, FuncSymbol] = {}
+        self.global_symbols: dict[str, GlobalSymbol] = {}
+        self._string_labels: dict[str, int] = {}
+        self._label_counter = 0
+
+    def run(self) -> Module:
+        # Declare functions (defined and extern).
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                self.func_symbols[decl.name] = None  # placeholder
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                ftype = decl.ftype.func_type()
+                if decl.body is None:
+                    if decl.name not in self.module.functions:
+                        self.module.declare_extern(decl.name, ftype)
+
+        # Lay out globals.
+        for decl in self.program.decls:
+            if isinstance(decl, ast.GlobalDecl):
+                self._emit_global(decl)
+
+        # Generate function bodies.
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef) and decl.body is not None:
+                gen = FuncGen(self, decl)
+                func = gen.run()
+                # A name may have had a prototype seen first; externs that
+                # turn out to be defined are promoted to real functions.
+                self.module.externs.pop(decl.name, None)
+                self.module.add_function(func)
+        return self.module
+
+    # -- globals -----------------------------------------------------------
+
+    def _emit_global(self, decl: ast.GlobalDecl) -> None:
+        ctype = decl.ctype
+        if decl.init is None:
+            self.module.reserve_bss(max(ctype.size, 1), decl.name,
+                                    align=max(ctype.align, 1))
+            return
+        data = self._init_bytes(ctype, decl.init, decl.line)
+        self.module.place_data(data, decl.name, align=max(ctype.align, 1))
+
+    def _init_bytes(self, ctype: CType, init, line) -> bytes:
+        if isinstance(ctype, ArrayType):
+            if isinstance(init, ast.StringLit):
+                raw = init.value.encode() + b"\0"
+                if len(raw) > ctype.size:
+                    raise CompileError("string too long for array", line)
+                return raw.ljust(ctype.size, b"\0")
+            if not isinstance(init, list):
+                raise CompileError("array initializer must be a brace list",
+                                   line)
+            elem = ctype.element
+            chunks = [self._init_bytes(elem, item, line) for item in init]
+            blob = b"".join(chunks)
+            return blob.ljust(ctype.size, b"\0")
+        value = self._const_init_value(init, line)
+        ctype = decay(ctype)
+        if ctype == DOUBLE:
+            return struct.pack("<d", float(value))
+        if ctype == LONG:
+            return struct.pack("<q", int(value))
+        if ctype == CHAR:
+            return struct.pack("<b", int(value) & 0x7F)
+        return struct.pack("<i", int(value))
+
+    def _const_init_value(self, expr, line):
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_init_value(expr.operand, line)
+        if isinstance(expr, ast.Cast):
+            return self._const_init_value(expr.operand, line)
+        if isinstance(expr, ast.Ident) and \
+                isinstance(expr.symbol, FuncSymbol):
+            return self.module.table_index(expr.name)
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            return self._const_init_value(expr.operand, line)
+        raise CompileError("unsupported constant initializer", line)
+
+    def string_address(self, text: str) -> int:
+        if text not in self._string_labels:
+            label = f".str{len(self._string_labels)}"
+            addr = self.module.place_data(text.encode() + b"\0", label,
+                                          align=1)
+            self._string_labels[text] = addr
+        return self._string_labels[text]
+
+
+class _LoopContext:
+    __slots__ = ("break_label", "continue_label")
+
+    def __init__(self, break_label: str, continue_label: str):
+        self.break_label = break_label
+        self.continue_label = continue_label
+
+
+class FuncGen:
+    def __init__(self, modgen: ModuleGen, decl: ast.FuncDef):
+        self.modgen = modgen
+        self.module = modgen.module
+        self.decl = decl
+        ftype = decl.ftype.func_type()
+        self.func = Function(decl.name, ftype)
+        self.cur = None
+        self.locals: dict[int, VReg] = {}     # id(symbol) -> vreg
+        self.slots: dict[int, int] = {}       # id(symbol) -> frame offset
+        self.loop_stack: list[_LoopContext] = []
+        self.fp: VReg | None = None           # frame pointer vreg
+        self.saved_sp: VReg | None = None
+
+    # -- emission helpers -----------------------------------------------------
+
+    def emit(self, instr) -> None:
+        self.cur.append(instr)
+
+    def new_block(self, hint="bb"):
+        return self.func.new_block(hint)
+
+    def vreg(self, ty: Type, name: str = "") -> VReg:
+        return self.func.new_vreg(ty, name)
+
+    def branch_to(self, block) -> None:
+        if not self.cur.terminated:
+            self.cur.terminate(Jump(block.label))
+        self.cur = block
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> Function:
+        entry = self.new_block("entry")
+        self.cur = entry
+
+        # Bind parameters.
+        for pname, pcty in zip(self.decl.param_names, self.decl.ftype.params):
+            reg = self.vreg(_machine_ty(pcty), pname)
+            self.func.params.append(reg)
+
+        # Collect frame slots: address-taken parameters and locals, plus
+        # aggregates.  The typer attached symbols to declarations, so a
+        # pre-scan sizes the frame before the prologue is emitted.
+        frame_syms = []
+        self._collect_frame_symbols(self.decl.body, frame_syms)
+        param_syms = [s for s in self.decl.param_symbols if s.address_taken]
+        for symbol in param_syms + frame_syms:
+            size = max(symbol.ctype.size, 1)
+            offset = self.func.add_frame_slot(
+                f"{symbol.name}#{len(self.slots)}", size,
+                align=max(symbol.ctype.align, 4))
+            self.slots[id(symbol)] = offset
+
+        if self.func.frame_size:
+            # Align the frame to 16 bytes, as real ABIs do.
+            self.func.frame_size = (self.func.frame_size + 15) & ~15
+            self.saved_sp = self.vreg(Type.I32, "saved_sp")
+            self.emit(GetGlobal(self.saved_sp, "__sp"))
+            self.fp = self.vreg(Type.I32, "fp")
+            self.emit(BinOp(self.fp, "sub", self.saved_sp,
+                            Const(self.func.frame_size, Type.I32)))
+            self.emit(SetGlobal("__sp", self.fp))
+
+        # Spill address-taken parameters into their slots; bind the rest
+        # to their incoming registers.
+        for symbol, preg in zip(self.decl.param_symbols, self.func.params):
+            if id(symbol) in self.slots:
+                offset = self.slots[id(symbol)]
+                size, _ = _mem_width(symbol.ctype)
+                self.emit(Store(self.fp, offset, preg, size))
+            else:
+                self.locals[id(symbol)] = preg
+
+        self.gen_block(self.decl.body)
+
+        if not self.cur.terminated:
+            self._emit_epilogue()
+            if self.func.ftype.result is None:
+                self.cur.terminate(Return(None))
+            else:
+                zero = Const(0, self.func.ftype.result) \
+                    if self.func.ftype.result.is_int \
+                    else Const(0.0, Type.F64)
+                self.cur.terminate(Return(zero))
+        return self.func
+
+    def _collect_frame_symbols(self, block, out) -> None:
+        def visit_stmt(stmt):
+            if isinstance(stmt, ast.VarDecl):
+                if stmt.symbol is not None and stmt.symbol.address_taken:
+                    out.append(stmt.symbol)
+
+        _walk_statements(block, None, visit_stmt)
+
+    # -- statements --------------------------------------------------------------
+
+    def gen_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            if self.cur.terminated:
+                # Unreachable trailing code (after return/break): skip.
+                break
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt) -> None:
+        method = getattr(self, "_gen_" + type(stmt).__name__)
+        method(stmt)
+
+    def _gen_Block(self, stmt: ast.Block) -> None:
+        self.gen_block(stmt)
+
+    def _gen_ExprStmt(self, stmt: ast.ExprStmt) -> None:
+        self.gen_expr(stmt.expr)
+
+    def _gen_VarDecl(self, stmt: ast.VarDecl) -> None:
+        symbol = stmt.symbol
+        if symbol.address_taken:
+            offset = self.slots[id(symbol)]
+            if stmt.init is None:
+                return
+            if isinstance(stmt.init, list):
+                self._init_local_array(symbol.ctype, offset, stmt.init)
+            elif isinstance(stmt.init, ast.StringLit) and \
+                    isinstance(symbol.ctype, ArrayType):
+                addr = self.modgen.string_address(stmt.init.value)
+                raw_len = len(stmt.init.value) + 1
+                self._emit_memcpy_const(offset, addr,
+                                        min(raw_len, symbol.ctype.size))
+            else:
+                value = self.gen_expr(stmt.init)
+                size, _ = _mem_width(symbol.ctype)
+                self.emit(Store(self.fp, offset, value, size))
+        else:
+            reg = self.locals.get(id(symbol))
+            if reg is None:
+                reg = self.vreg(_machine_ty(symbol.ctype), symbol.name)
+                self.locals[id(symbol)] = reg
+            if stmt.init is not None:
+                value = self.gen_expr(stmt.init)
+                self.emit(Move(reg, self._as_operand(value, reg.ty)))
+
+    def _init_local_array(self, aty: ArrayType, base_offset: int, items):
+        elem = aty.element
+        # Zero-fill first if partially initialized.
+        flat_elem_size = elem.size
+        for idx, item in enumerate(items):
+            offset = base_offset + idx * flat_elem_size
+            if isinstance(item, list):
+                self._init_local_array(elem, offset, item)
+            else:
+                value = self.gen_expr(item)
+                size, _ = _mem_width(elem)
+                self.emit(Store(self.fp, offset, value, size))
+
+    def _emit_memcpy_const(self, frame_offset: int, src_addr: int,
+                           length: int) -> None:
+        for i in range(length):
+            tmp = self.vreg(Type.I32)
+            self.emit(Load(tmp, Const(src_addr + i, Type.I32), 0, 1, False))
+            self.emit(Store(self.fp, frame_offset + i, tmp, 1))
+
+    def _gen_If(self, stmt: ast.If) -> None:
+        then_block = self.new_block("then")
+        end_block = self.new_block("endif")
+        else_block = self.new_block("else") if stmt.otherwise else end_block
+        self.gen_cond(stmt.cond, then_block.label, else_block.label)
+        self.cur = then_block
+        self.gen_stmt(stmt.then)
+        if not self.cur.terminated:
+            self.cur.terminate(Jump(end_block.label))
+        if stmt.otherwise is not None:
+            self.cur = else_block
+            self.gen_stmt(stmt.otherwise)
+            if not self.cur.terminated:
+                self.cur.terminate(Jump(end_block.label))
+        self.cur = end_block
+
+    def _gen_While(self, stmt: ast.While) -> None:
+        header = self.new_block("while_head")
+        body = self.new_block("while_body")
+        exit_block = self.new_block("while_end")
+        self.branch_to(header)
+        self.gen_cond(stmt.cond, body.label, exit_block.label)
+        self.cur = body
+        self.loop_stack.append(_LoopContext(exit_block.label, header.label))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        if not self.cur.terminated:
+            self.cur.terminate(Jump(header.label))
+        self.cur = exit_block
+
+    def _gen_DoWhile(self, stmt: ast.DoWhile) -> None:
+        body = self.new_block("do_body")
+        check = self.new_block("do_check")
+        exit_block = self.new_block("do_end")
+        self.branch_to(body)
+        self.loop_stack.append(_LoopContext(exit_block.label, check.label))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.branch_to(check)
+        self.gen_cond(stmt.cond, body.label, exit_block.label)
+        self.cur = exit_block
+
+    def _gen_For(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        header = self.new_block("for_head")
+        body = self.new_block("for_body")
+        step = self.new_block("for_step")
+        exit_block = self.new_block("for_end")
+        self.branch_to(header)
+        if stmt.cond is not None:
+            self.gen_cond(stmt.cond, body.label, exit_block.label)
+        else:
+            self.cur.terminate(Jump(body.label))
+        self.cur = body
+        self.loop_stack.append(_LoopContext(exit_block.label, step.label))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.branch_to(step)
+        if stmt.step is not None:
+            self.gen_expr(stmt.step)
+        self.cur.terminate(Jump(header.label))
+        self.cur = exit_block
+
+    def _gen_Switch(self, stmt: ast.Switch) -> None:
+        value = self.gen_expr(stmt.expr)
+        value_ty = _machine_ty(stmt.expr.ctype)
+        exit_block = self.new_block("switch_end")
+        case_blocks = [self.new_block(f"case") for _ in stmt.cases]
+        default_block = self.new_block("default") if stmt.default is not None \
+            else exit_block
+
+        # Dispatch chain.
+        for (case_value, _), case_block in zip(stmt.cases, case_blocks):
+            next_test = self.new_block("switch_test")
+            cmp = self.vreg(Type.I32)
+            self.emit(BinOp(cmp, "eq", value, Const(case_value, value_ty)))
+            self.cur.terminate(CondBr(cmp, case_block.label,
+                                      next_test.label))
+            self.cur = next_test
+        self.cur.terminate(Jump(default_block.label))
+
+        # Case bodies with C fallthrough semantics.
+        self.loop_stack.append(_LoopContext(exit_block.label, None))
+        for idx, ((_, body), case_block) in enumerate(
+                zip(stmt.cases, case_blocks)):
+            self.cur = case_block
+            for s in body:
+                if self.cur.terminated:
+                    break
+                self.gen_stmt(s)
+            if not self.cur.terminated:
+                nxt = (case_blocks[idx + 1] if idx + 1 < len(case_blocks)
+                       else default_block)
+                self.cur.terminate(Jump(nxt.label))
+        if stmt.default is not None:
+            self.cur = default_block
+            for s in stmt.default:
+                if self.cur.terminated:
+                    break
+                self.gen_stmt(s)
+            if not self.cur.terminated:
+                self.cur.terminate(Jump(exit_block.label))
+        self.loop_stack.pop()
+        self.cur = exit_block
+
+    def _gen_Break(self, stmt) -> None:
+        for ctx in reversed(self.loop_stack):
+            if ctx.break_label is not None:
+                self.cur.terminate(Jump(ctx.break_label))
+                self.cur = self.new_block("dead")
+                return
+        raise CompileError("break outside of loop/switch", stmt.line)
+
+    def _gen_Continue(self, stmt) -> None:
+        for ctx in reversed(self.loop_stack):
+            if ctx.continue_label is not None:
+                self.cur.terminate(Jump(ctx.continue_label))
+                self.cur = self.new_block("dead")
+                return
+        raise CompileError("continue outside of loop", stmt.line)
+
+    def _gen_Return(self, stmt: ast.Return) -> None:
+        value = None
+        if stmt.value is not None:
+            value = self.gen_expr(stmt.value)
+            value = self._as_operand(value, self.func.ftype.result)
+        self._emit_epilogue()
+        self.cur.terminate(Return(value))
+        self.cur = self.new_block("dead")
+
+    def _emit_epilogue(self) -> None:
+        if self.saved_sp is not None:
+            self.emit(SetGlobal("__sp", self.saved_sp))
+
+    # -- conditions ------------------------------------------------------------
+
+    def gen_cond(self, expr, true_label: str, false_label: str) -> None:
+        """Emit control flow for a boolean context without materializing
+        the 0/1 value when a direct branch will do."""
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_cond(expr.operand, false_label, true_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self.new_block("and_rhs")
+            self.gen_cond(expr.lhs, mid.label, false_label)
+            self.cur = mid
+            self.gen_cond(expr.rhs, true_label, false_label)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self.new_block("or_rhs")
+            self.gen_cond(expr.lhs, true_label, mid.label)
+            self.cur = mid
+            self.gen_cond(expr.rhs, true_label, false_label)
+            return
+        value = self.gen_expr(expr)
+        cond = self._truthiness(value, expr)
+        self.cur.terminate(CondBr(cond, true_label, false_label))
+
+    def _truthiness(self, value, expr):
+        """Reduce ``value`` to an i32 condition operand."""
+        ty = _machine_ty(expr.ctype)
+        if ty is Type.I32:
+            return value
+        cond = self.vreg(Type.I32)
+        if ty is Type.I64:
+            zero = Const(0, Type.I64)
+        else:
+            zero = Const(0.0, Type.F64)
+        self.emit(BinOp(cond, "ne", self._as_operand(value, ty), zero))
+        return cond
+
+    # -- expressions --------------------------------------------------------------
+
+    def gen_expr(self, expr):
+        method = getattr(self, "_gen_expr_" + type(expr).__name__)
+        return method(expr)
+
+    def _as_operand(self, value, ty: Type):
+        """Coerce a Python-level operand to the given machine type
+        (defensive; the typer should have made these match)."""
+        if isinstance(value, Const) and value.ty != ty:
+            return Const(value.value, ty)
+        return value
+
+    def _gen_expr_IntLit(self, expr):
+        return Const(expr.value, _machine_ty(expr.ctype))
+
+    def _gen_expr_FloatLit(self, expr):
+        return Const(expr.value, Type.F64)
+
+    def _gen_expr_StringLit(self, expr):
+        addr = self.modgen.string_address(expr.value)
+        return Const(addr, Type.I32)
+
+    def _gen_expr_Ident(self, expr):
+        symbol = expr.symbol
+        if isinstance(symbol, FuncSymbol):
+            # Function used as a value: its table index.
+            return Const(self.module.table_index(symbol.name), Type.I32)
+        lval = self._lvalue(expr)
+        return self._load_lvalue(lval)
+
+    def _gen_expr_Unary(self, expr):
+        op = expr.op
+        if op == "&":
+            if isinstance(expr.operand, ast.Ident) and \
+                    isinstance(expr.operand.symbol, FuncSymbol):
+                return Const(
+                    self.module.table_index(expr.operand.symbol.name),
+                    Type.I32)
+            lval = self._lvalue(expr.operand)
+            return self._lvalue_address(lval)
+        if op == "*":
+            lval = self._lvalue(expr)
+            if isinstance(decay(expr.ctype), (ArrayType, StructType)) or \
+                    isinstance(expr.ctype, (ArrayType, StructType)):
+                return self._lvalue_address(lval)
+            return self._load_lvalue(lval)
+        if op in ("++", "--"):
+            return self._incdec(expr.operand, op, prefix=True)
+        value = self.gen_expr(expr.operand)
+        ty = _machine_ty(expr.ctype)
+        dst = self.vreg(ty)
+        if op == "-":
+            if ty is Type.F64:
+                self.emit(UnOp(dst, "neg", value))
+            else:
+                self.emit(BinOp(dst, "sub", Const(0, ty), value))
+            return dst
+        if op == "~":
+            self.emit(BinOp(dst, "xor", value, Const(-1 & _mask(ty), ty)))
+            return dst
+        if op == "!":
+            operand_ty = _machine_ty(expr.operand.ctype)
+            if operand_ty is Type.F64:
+                self.emit(BinOp(dst, "eq", value, Const(0.0, Type.F64)))
+            elif operand_ty is Type.I64:
+                self.emit(UnOp(dst, "eqz", value))
+            else:
+                self.emit(UnOp(dst, "eqz", value))
+            return dst
+        raise CompileError(f"unhandled unary {op}", expr.line)
+
+    def _gen_expr_PostIncDec(self, expr):
+        return self._incdec(expr.operand, expr.op, prefix=False)
+
+    def _incdec(self, target_expr, op, prefix: bool):
+        lval = self._lvalue(target_expr)
+        old = self._load_lvalue(lval)
+        if lval.kind == "reg":
+            # The loaded value *is* the variable's register; snapshot it so
+            # the post-increment result is the value before the update.
+            snapshot = self.vreg(old.ty)
+            self.emit(Move(snapshot, old))
+            old = snapshot
+        cty = decay(lval.ctype)
+        ty = _machine_ty(lval.ctype)
+        step = 1
+        if cty.is_pointer:
+            step = max(cty.pointee.size, 1)
+        new = self.vreg(ty)
+        arith = "add" if op == "++" else "sub"
+        if ty is Type.F64:
+            self.emit(BinOp(new, arith, old, Const(1.0, Type.F64)))
+        else:
+            self.emit(BinOp(new, arith, old, Const(step, ty)))
+        stored = self._convert_for_store(new, lval.ctype)
+        self._store_lvalue(lval, stored)
+        return new if prefix else old
+
+    def _gen_expr_Binary(self, expr):
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+        lty = decay(expr.lhs.ctype)
+        rty = decay(expr.rhs.ctype)
+
+        # Pointer arithmetic.
+        if lty.is_pointer and op in ("+", "-") and rty.is_integer:
+            base = self.gen_expr(expr.lhs)
+            index = self.gen_expr(expr.rhs)
+            index = self._to_i32(index, rty)
+            return self._pointer_offset(base, index,
+                                        max(lty.pointee.size, 1), op)
+        if lty.is_pointer and rty.is_pointer and op == "-":
+            a = self.gen_expr(expr.lhs)
+            b = self.gen_expr(expr.rhs)
+            diff = self.vreg(Type.I32)
+            self.emit(BinOp(diff, "sub", a, b))
+            size = max(lty.pointee.size, 1)
+            if size == 1:
+                return diff
+            result = self.vreg(Type.I32)
+            self.emit(BinOp(result, "div_s", diff, Const(size, Type.I32)))
+            return result
+
+        a = self.gen_expr(expr.lhs)
+        b = self.gen_expr(expr.rhs)
+        operand_ty = _machine_ty(expr.lhs.ctype)
+        result_ty = _machine_ty(expr.ctype)
+        dst = self.vreg(result_ty)
+        ir_op = _binop_name(op, operand_ty,
+                            pointer=(lty.is_pointer or rty.is_pointer))
+        self.emit(BinOp(dst, ir_op,
+                        self._as_operand(a, operand_ty),
+                        self._as_operand(b, operand_ty)))
+        return dst
+
+    def _pointer_offset(self, base, index, scale: int, op: str):
+        if scale != 1:
+            scaled = self.vreg(Type.I32)
+            self.emit(BinOp(scaled, "mul", index, Const(scale, Type.I32)))
+            index = scaled
+        result = self.vreg(Type.I32)
+        self.emit(BinOp(result, "add" if op == "+" else "sub", base, index))
+        return result
+
+    def _to_i32(self, value, cty):
+        if _machine_ty(cty) is Type.I64:
+            dst = self.vreg(Type.I32)
+            self.emit(UnOp(dst, "i32_wrap_i64", value))
+            return dst
+        return value
+
+    def _short_circuit(self, expr):
+        result = self.vreg(Type.I32, "sc")
+        true_block = self.new_block("sc_true")
+        false_block = self.new_block("sc_false")
+        end_block = self.new_block("sc_end")
+        self.gen_cond(expr, true_block.label, false_block.label)
+        true_block.append(Move(result, Const(1, Type.I32)))
+        true_block.terminate(Jump(end_block.label))
+        false_block.append(Move(result, Const(0, Type.I32)))
+        false_block.terminate(Jump(end_block.label))
+        self.cur = end_block
+        return result
+
+    def _gen_expr_Assign(self, expr):
+        lval = self._lvalue(expr.target)
+        if expr.op:
+            old = self._load_lvalue(lval)
+            cty = decay(lval.ctype)
+            if cty.is_pointer:
+                value = self.gen_expr(expr.value)
+                value = self._to_i32(value, decay(expr.value.ctype))
+                new = self._pointer_offset(old, value,
+                                           max(cty.pointee.size, 1), expr.op)
+            else:
+                from .types_c import usual_arithmetic
+                vty = decay(expr.value.ctype)
+                common = usual_arithmetic(cty, vty)
+                a = self._convert(old, cty, common)
+                value = self.gen_expr(expr.value)
+                b = self._convert(value, vty, common)
+                res = self.vreg(common.machine_type())
+                ir_op = _binop_name(expr.op, common.machine_type(),
+                                    pointer=False)
+                self.emit(BinOp(res, ir_op, a, b))
+                new = self._convert(res, common, cty)
+            stored = self._convert_for_store(new, lval.ctype)
+            self._store_lvalue(lval, stored)
+            return new
+        value = self.gen_expr(expr.value)
+        value = self._as_operand(value, _machine_ty(expr.value.ctype))
+        stored = self._convert_for_store(value, lval.ctype)
+        self._store_lvalue(lval, stored)
+        return stored
+
+    def _gen_expr_Cond(self, expr):
+        ty = _machine_ty(expr.ctype)
+        result = self.vreg(ty, "cond")
+        true_block = self.new_block("cond_true")
+        false_block = self.new_block("cond_false")
+        end_block = self.new_block("cond_end")
+        self.gen_cond(expr.cond, true_block.label, false_block.label)
+        self.cur = true_block
+        tv = self.gen_expr(expr.if_true)
+        self.emit(Move(result, self._as_operand(tv, ty)))
+        self.branch_to(end_block)
+        # branch_to left us in end_block; switch to false arm manually.
+        self.cur = false_block
+        fv = self.gen_expr(expr.if_false)
+        self.emit(Move(result, self._as_operand(fv, ty)))
+        self.cur.terminate(Jump(end_block.label))
+        self.cur = end_block
+        return result
+
+    def _gen_expr_CallExpr(self, expr):
+        func = expr.func
+        args = [self._as_operand(self.gen_expr(a), _machine_ty(a.ctype))
+                for a in expr.args]
+        ret_cty = expr.ctype
+        dst = None
+        if not ret_cty.is_void:
+            dst = self.vreg(_machine_ty(ret_cty))
+        if isinstance(func, ast.Ident) and isinstance(func.symbol, FuncSymbol):
+            ftype = func.symbol.ftype.func_type()
+            if func.name not in self.module.functions:
+                self.module.declare_extern(func.name, ftype)
+            self.emit(Call(dst, func.name, args))
+        else:
+            target = self.gen_expr(func)
+            fty = decay(func.ctype)
+            if isinstance(fty, PointerType):
+                fcty = fty.pointee
+            else:
+                fcty = fty
+            self.emit(CallIndirect(dst, target, fcty.func_type(), args))
+        return dst
+
+    def _gen_expr_Index(self, expr):
+        if isinstance(expr.ctype, (ArrayType, StructType)):
+            lval = self._lvalue(expr)
+            return self._lvalue_address(lval)
+        lval = self._lvalue(expr)
+        return self._load_lvalue(lval)
+
+    def _gen_expr_Member(self, expr):
+        if isinstance(expr.ctype, (ArrayType, StructType)):
+            lval = self._lvalue(expr)
+            return self._lvalue_address(lval)
+        lval = self._lvalue(expr)
+        return self._load_lvalue(lval)
+
+    def _gen_expr_Cast(self, expr):
+        inner_cty = decay(expr.operand.ctype)
+        value = self.gen_expr(expr.operand)
+        return self._convert(value, inner_cty, decay(expr.target_type))
+
+    def _gen_expr_SizeofType(self, expr):
+        return Const(expr.target_type.size, Type.I32)
+
+    # -- conversions ------------------------------------------------------------
+
+    def _convert(self, value, have: CType, want: CType):
+        have = decay(have)
+        want = decay(want)
+        hty, wty = _machine_ty(have), _machine_ty(want)
+        if have == want:
+            return value
+        if hty == wty:
+            if want == CHAR and have != CHAR:
+                # Truncate to signed char semantics.
+                tmp = self.vreg(Type.I32)
+                self.emit(BinOp(tmp, "shl", value, Const(24, Type.I32)))
+                out = self.vreg(Type.I32)
+                self.emit(BinOp(out, "shr_s", tmp, Const(24, Type.I32)))
+                return out
+            return value
+        dst = self.vreg(wty)
+        op = _conversion_op(hty, wty, have)
+        self.emit(UnOp(dst, op, value))
+        return dst
+
+    def _convert_for_store(self, value, target_cty: CType):
+        """No-op hook: sub-word stores truncate in memory; char values
+        stored via size-1 stores need no masking."""
+        return value
+
+    # -- lvalues -------------------------------------------------------------------
+
+    def _lvalue(self, expr) -> LValue:
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            if isinstance(symbol, GlobalSymbol):
+                addr = self.module.symbols[symbol.name]
+                return LValue("mem", symbol.ctype,
+                              base=Const(addr, Type.I32), offset=0)
+            if isinstance(symbol, LocalSymbol):
+                if id(symbol) in self.slots:
+                    return LValue("mem", symbol.ctype, base=self.fp,
+                                  offset=self.slots[id(symbol)])
+                reg = self.locals.get(id(symbol))
+                if reg is None:
+                    reg = self.vreg(_machine_ty(symbol.ctype), symbol.name)
+                    self.locals[id(symbol)] = reg
+                return LValue("reg", symbol.ctype, reg=reg)
+            raise CompileError(f"{expr.name} is not assignable", expr.line)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            base = self.gen_expr(expr.operand)
+            pointee = decay(expr.operand.ctype).pointee
+            return LValue("mem", pointee, base=base, offset=0)
+        if isinstance(expr, ast.Index):
+            base_lv = self._index_base_address(expr.base)
+            elem = expr.ctype
+            elem_size = max(elem.size, 1)
+            index = self.gen_expr(expr.index)
+            index = self._to_i32(index, decay(expr.index.ctype))
+            if isinstance(index, Const):
+                return LValue("mem", elem, base=base_lv[0],
+                              offset=base_lv[1] + index.value * elem_size)
+            if elem_size != 1:
+                scaled = self.vreg(Type.I32)
+                self.emit(BinOp(scaled, "mul", index,
+                                Const(elem_size, Type.I32)))
+                index = scaled
+            addr = self.vreg(Type.I32)
+            self.emit(BinOp(addr, "add", base_lv[0], index))
+            return LValue("mem", elem, base=addr, offset=base_lv[1])
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = self.gen_expr(expr.base)
+                struct = decay(expr.base.ctype).pointee
+                offset, fty = struct.field(expr.name)
+                return LValue("mem", fty, base=base, offset=offset)
+            inner = self._lvalue(expr.base)
+            struct = inner.ctype
+            if not isinstance(struct, StructType):
+                raise CompileError(". on non-struct", expr.line)
+            offset, fty = struct.field(expr.name)
+            return LValue("mem", fty, base=inner.base,
+                          offset=inner.offset + offset)
+        raise CompileError("expression is not an lvalue", expr.line)
+
+    def _index_base_address(self, base_expr):
+        """Address (base operand, extra offset) of an indexable base."""
+        bty = base_expr.ctype
+        if isinstance(bty, ArrayType):
+            lval = self._lvalue(base_expr)
+            return (lval.base, lval.offset)
+        # A genuine pointer value.
+        value = self.gen_expr(base_expr)
+        return (value, 0)
+
+    def _lvalue_address(self, lval: LValue):
+        if lval.kind != "mem":
+            raise CompileError("cannot take address of register value")
+        if lval.offset == 0:
+            return lval.base
+        if isinstance(lval.base, Const):
+            return Const(lval.base.value + lval.offset, Type.I32)
+        addr = self.vreg(Type.I32)
+        self.emit(BinOp(addr, "add", lval.base,
+                        Const(lval.offset, Type.I32)))
+        return addr
+
+    def _load_lvalue(self, lval: LValue):
+        if lval.kind == "reg":
+            return lval.reg
+        cty = lval.ctype
+        if isinstance(cty, (ArrayType, StructType)):
+            return self._lvalue_address(lval)
+        size, signed = _mem_width(cty)
+        dst = self.vreg(_machine_ty(cty))
+        self.emit(Load(dst, lval.base, lval.offset, size, signed))
+        return dst
+
+    def _store_lvalue(self, lval: LValue, value) -> None:
+        if lval.kind == "reg":
+            self.emit(Move(lval.reg,
+                           self._as_operand(value, lval.reg.ty)))
+            return
+        size, _ = _mem_width(lval.ctype)
+        self.emit(Store(lval.base, lval.offset,
+                        self._as_operand(value, _machine_ty(lval.ctype)),
+                        size))
+
+
+def _mask(ty: Type) -> int:
+    return 0xFFFFFFFF if ty is Type.I32 else 0xFFFFFFFFFFFFFFFF
+
+
+def _binop_name(op: str, ty: Type, pointer: bool) -> str:
+    is_float = ty is Type.F64
+    table = {
+        "+": "add", "-": "sub", "*": "mul",
+        "/": "div" if is_float else "div_s",
+        "%": "rem_s",
+        "&": "and", "|": "or", "^": "xor",
+        "<<": "shl", ">>": "shr_s",
+        "==": "eq", "!=": "ne",
+    }
+    if op in table:
+        return table[op]
+    rel = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+    if op in rel:
+        base = rel[op]
+        if is_float:
+            return base
+        return base + ("_u" if pointer else "_s")
+    raise CompileError(f"unknown binary operator {op}")
+
+
+def _conversion_op(hty: Type, wty: Type, have_cty: CType) -> str:
+    if hty is Type.I32 and wty is Type.I64:
+        return "i64_extend_i32_s"
+    if hty is Type.I64 and wty is Type.I32:
+        return "i32_wrap_i64"
+    if hty is Type.I32 and wty is Type.F64:
+        return "f64_convert_i32_s"
+    if hty is Type.I64 and wty is Type.F64:
+        return "f64_convert_i64_s"
+    if hty is Type.F64 and wty is Type.I32:
+        return "i32_trunc_f64_s"
+    if hty is Type.F64 and wty is Type.I64:
+        return "i64_trunc_f64_s"
+    raise CompileError(f"no conversion from {hty} to {wty}")
+
+
+def _expr_children(expr):
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, ast.PostIncDec):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.lhs, expr.rhs]
+    if isinstance(expr, ast.Assign):
+        return [expr.target, expr.value]
+    if isinstance(expr, ast.Cond):
+        return [expr.cond, expr.if_true, expr.if_false]
+    if isinstance(expr, ast.CallExpr):
+        return [expr.func] + expr.args
+    if isinstance(expr, ast.Index):
+        return [expr.base, expr.index]
+    if isinstance(expr, ast.Member):
+        return [expr.base]
+    if isinstance(expr, ast.Cast):
+        return [expr.operand]
+    return []
+
+
+def _walk_statements(stmt, expr_fn=None, stmt_fn=None):
+    """Depth-first walk over statements, invoking callbacks."""
+    if stmt is None:
+        return
+    if stmt_fn is not None:
+        stmt_fn(stmt)
+    if isinstance(stmt, ast.Block):
+        for s in stmt.stmts:
+            _walk_statements(s, expr_fn, stmt_fn)
+    elif isinstance(stmt, ast.VarDecl):
+        if expr_fn is not None and stmt.init is not None:
+            _walk_init(stmt.init, expr_fn)
+    elif isinstance(stmt, ast.ExprStmt):
+        if expr_fn is not None:
+            expr_fn(stmt.expr)
+    elif isinstance(stmt, ast.If):
+        if expr_fn is not None:
+            expr_fn(stmt.cond)
+        _walk_statements(stmt.then, expr_fn, stmt_fn)
+        _walk_statements(stmt.otherwise, expr_fn, stmt_fn)
+    elif isinstance(stmt, ast.While):
+        if expr_fn is not None:
+            expr_fn(stmt.cond)
+        _walk_statements(stmt.body, expr_fn, stmt_fn)
+    elif isinstance(stmt, ast.DoWhile):
+        if expr_fn is not None:
+            expr_fn(stmt.cond)
+        _walk_statements(stmt.body, expr_fn, stmt_fn)
+    elif isinstance(stmt, ast.For):
+        _walk_statements(stmt.init, expr_fn, stmt_fn)
+        if expr_fn is not None:
+            if stmt.cond is not None:
+                expr_fn(stmt.cond)
+            if stmt.step is not None:
+                expr_fn(stmt.step)
+        _walk_statements(stmt.body, expr_fn, stmt_fn)
+    elif isinstance(stmt, ast.Switch):
+        if expr_fn is not None:
+            expr_fn(stmt.expr)
+        for _, body in stmt.cases:
+            for s in body:
+                _walk_statements(s, expr_fn, stmt_fn)
+        if stmt.default is not None:
+            for s in stmt.default:
+                _walk_statements(s, expr_fn, stmt_fn)
+    elif isinstance(stmt, ast.Return):
+        if expr_fn is not None and stmt.value is not None:
+            expr_fn(stmt.value)
+
+
+def _walk_init(init, expr_fn):
+    if isinstance(init, list):
+        for item in init:
+            _walk_init(item, expr_fn)
+    else:
+        expr_fn(init)
+
+
+def generate(program: ast.Program, name: str = "module",
+             memory_size: int = None, stack_size: int = None) -> Module:
+    """Lower a type-checked program to an IR module."""
+    return ModuleGen(program, name, memory_size, stack_size).run()

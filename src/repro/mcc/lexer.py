@@ -1,0 +1,222 @@
+"""Lexer for mcc, the mini-C dialect the benchmark suites are written in.
+
+Supports the C token set the workloads need, ``//`` and ``/* */`` comments,
+and a tiny preprocessor: object-like ``#define`` macros (used to size
+workloads, e.g. ``#define NI 220``).
+"""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset({
+    "int", "long", "double", "char", "void", "struct",
+    "if", "else", "while", "for", "do", "break", "continue", "return",
+    "extern", "static", "sizeof", "switch", "case", "default", "const",
+})
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+class Token:
+    """A lexical token with source position."""
+
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind: str, value, line: int, col: int):
+        self.kind = kind    # 'ident', 'keyword', 'int', 'float', 'char',
+                            # 'string', 'op', 'eof'
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+def preprocess(source: str) -> str:
+    """Expand object-like ``#define`` macros and strip directives."""
+    defines: dict[str, str] = {}
+    out_lines = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
+            if len(parts) < 2:
+                raise CompileError("malformed #define")
+            name = parts[1]
+            value = parts[2] if len(parts) > 2 else "1"
+            defines[name] = value
+            out_lines.append("")  # keep line numbers stable
+        elif stripped.startswith("#"):
+            out_lines.append("")  # other directives ignored
+        else:
+            out_lines.append(line)
+    text = "\n".join(out_lines)
+    if defines:
+        text = _expand_macros(text, defines)
+    return text
+
+
+def _expand_macros(text: str, defines: dict) -> str:
+    """Token-level substitution of defined names (iterated for nesting)."""
+    import re
+    pattern = re.compile(r"\b(" + "|".join(
+        re.escape(name) for name in defines) + r")\b")
+    for _ in range(8):  # allow macros referencing macros, bounded
+        new = pattern.sub(lambda m: defines[m.group(1)], text)
+        if new == text:
+            break
+        text = new
+    return text
+
+
+def tokenize(source: str) -> list:
+    """Convert mcc source text into a token list ending with an EOF token."""
+    text = preprocess(source)
+    tokens = []
+    i = 0
+    line, col = 1, 1
+    n = len(text)
+
+    def error(msg):
+        raise CompileError(msg, line, col)
+
+    while i < n:
+        ch = text[i]
+        # Whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # Comments
+        if text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                error("unterminated block comment")
+            for c in text[i:end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            col += i - start
+            continue
+        # Numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if text.startswith("0x", i) or text.startswith("0X", i):
+                i += 2
+                while i < n and text[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                value = int(text[start:i], 16)
+                if i < n and text[i] in "lL":
+                    i += 1
+                    tokens.append(Token("long", value, line, col))
+                else:
+                    tokens.append(Token("int", value, line, col))
+            else:
+                while i < n and text[i].isdigit():
+                    i += 1
+                if i < n and text[i] == ".":
+                    is_float = True
+                    i += 1
+                    while i < n and text[i].isdigit():
+                        i += 1
+                if i < n and text[i] in "eE":
+                    is_float = True
+                    i += 1
+                    if i < n and text[i] in "+-":
+                        i += 1
+                    while i < n and text[i].isdigit():
+                        i += 1
+                word = text[start:i]
+                if i < n and text[i] in "lL":
+                    i += 1
+                    tokens.append(Token("long", int(word), line, col))
+                elif is_float:
+                    tokens.append(Token("float", float(word), line, col))
+                else:
+                    tokens.append(Token("int", int(word), line, col))
+            col += i - start
+            continue
+        # Character literals
+        if ch == "'":
+            i += 1
+            if i < n and text[i] == "\\":
+                value = _escape(text[i + 1])
+                i += 2
+            else:
+                value = ord(text[i])
+                i += 1
+            if i >= n or text[i] != "'":
+                error("unterminated character literal")
+            i += 1
+            tokens.append(Token("char", value, line, col))
+            col += 3
+            continue
+        # String literals
+        if ch == '"':
+            i += 1
+            chars = []
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    chars.append(chr(_escape(text[i + 1])))
+                    i += 2
+                else:
+                    chars.append(text[i])
+                    i += 1
+            if i >= n:
+                error("unterminated string literal")
+            i += 1
+            value = "".join(chars)
+            tokens.append(Token("string", value, line, col))
+            col += len(value) + 2
+            continue
+        # Operators
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", None, line, col))
+    return tokens
+
+
+def _escape(ch: str) -> int:
+    table = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+    if ch not in table:
+        raise CompileError(f"unknown escape sequence \\{ch}")
+    return table[ch]

@@ -1,0 +1,608 @@
+"""Recursive-descent parser for mcc."""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from . import astnodes as ast
+from .lexer import Token, tokenize
+from .types_c import (
+    ArrayType, CHAR, DOUBLE, FunctionCType, INT, LONG, PointerType,
+    StructType, VOID,
+)
+
+_TYPE_KEYWORDS = frozenset({"int", "long", "double", "char", "void",
+                            "struct", "const"})
+
+# Binary operator precedence (higher binds tighter).
+_BIN_PREC = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=",
+               "&=", "|=", "^="}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.structs: dict[str, StructType] = {}
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value=None) -> Token:
+        tok = self.tok
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value if value is not None else kind
+            raise CompileError(f"expected {want!r}, found {tok.value!r}",
+                               tok.line, tok.col)
+        return self.advance()
+
+    def accept(self, kind: str, value=None) -> bool:
+        tok = self.tok
+        if tok.kind == kind and (value is None or tok.value == value):
+            self.advance()
+            return True
+        return False
+
+    def at_type(self) -> bool:
+        tok = self.tok
+        return tok.kind == "keyword" and tok.value in _TYPE_KEYWORDS
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        decls = []
+        while self.tok.kind != "eof":
+            decls.extend(self.parse_top_level())
+        return ast.Program(decls, self.structs)
+
+    def parse_top_level(self):
+        line = self.tok.line
+        is_extern = self.accept("keyword", "extern")
+        self.accept("keyword", "static")
+
+        base = self.parse_base_type(allow_definition=True)
+        # A bare 'struct S { ... };' definition.
+        if self.accept("op", ";"):
+            return []
+
+        decls = []
+        first = True
+        while True:
+            name, ctype = self.parse_declarator(base)
+            if first and isinstance(ctype, FunctionCType) \
+                    and self.tok.kind == "op" and self.tok.value == "{":
+                body = self.parse_block()
+                decls.append(ast.FuncDef(name, ctype, self._param_names,
+                                         body, False, line))
+                return decls
+            if isinstance(ctype, FunctionCType):
+                decls.append(ast.FuncDef(name, ctype, self._param_names,
+                                         None, is_extern, line))
+            else:
+                init = None
+                if self.accept("op", "="):
+                    init = self.parse_initializer()
+                decls.append(ast.GlobalDecl(name, ctype, init, line))
+            first = False
+            if self.accept("op", ","):
+                continue
+            self.expect("op", ";")
+            return decls
+
+    # -- types & declarators -------------------------------------------------
+
+    def parse_base_type(self, allow_definition: bool = False):
+        self.accept("keyword", "const")
+        tok = self.tok
+        if tok.kind != "keyword":
+            raise CompileError(f"expected type, found {tok.value!r}",
+                               tok.line, tok.col)
+        if tok.value == "struct":
+            self.advance()
+            name_tok = self.expect("ident")
+            name = name_tok.value
+            struct = self.structs.get(name)
+            if struct is None:
+                struct = StructType(name)
+                self.structs[name] = struct
+            if allow_definition and self.tok.kind == "op" \
+                    and self.tok.value == "{":
+                self.advance()
+                members = []
+                while not self.accept("op", "}"):
+                    member_base = self.parse_base_type()
+                    while True:
+                        mname, mty = self.parse_declarator(member_base)
+                        members.append((mname, mty))
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ";")
+                struct.define(members)
+            self.accept("keyword", "const")
+            return struct
+        mapping = {"int": INT, "long": LONG, "double": DOUBLE,
+                   "char": CHAR, "void": VOID}
+        if tok.value not in mapping:
+            raise CompileError(f"expected type, found {tok.value!r}",
+                               tok.line, tok.col)
+        self.advance()
+        self.accept("keyword", "const")
+        return mapping[tok.value]
+
+    def parse_declarator(self, base):
+        """Parse a declarator; returns (name, CType).
+
+        Supports: ``*``-chains, array suffixes (possibly multi-dimensional),
+        plain function declarators (prototypes/definitions), and
+        parenthesized function-pointer declarators ``(*name)(params)`` and
+        ``(*name[N])(params)``.
+        """
+        ctype = base
+        while self.accept("op", "*"):
+            ctype = PointerType(ctype)
+            self.accept("keyword", "const")
+
+        if self.tok.kind == "op" and self.tok.value == "(":
+            # Function pointer declarator: ( * name [N]? )
+            self.advance()
+            self.expect("op", "*")
+            name = self.expect("ident").value
+            array_len = None
+            if self.accept("op", "["):
+                array_len = self.parse_const_int()
+                self.expect("op", "]")
+            self.expect("op", ")")
+            params = self.parse_param_list()
+            fty = FunctionCType(ctype, [p[1] for p in params])
+            result = PointerType(fty)
+            if array_len is not None:
+                result = ArrayType(result, array_len)
+            return name, result
+
+        name = self.expect("ident").value
+
+        if self.tok.kind == "op" and self.tok.value == "(":
+            params = self.parse_param_list()
+            self._param_names = [p[0] for p in params]
+            return name, FunctionCType(ctype, [p[1] for p in params])
+
+        dims = []
+        while self.accept("op", "["):
+            dims.append(self.parse_const_int())
+            self.expect("op", "]")
+        for dim in reversed(dims):
+            ctype = ArrayType(ctype, dim)
+        return name, ctype
+
+    def parse_param_list(self):
+        """Parse ``(T a, T b, ...)``; returns list of (name, CType)."""
+        self.expect("op", "(")
+        params = []
+        if self.accept("op", ")"):
+            return params
+        if self.tok.kind == "keyword" and self.tok.value == "void" \
+                and self.peek().kind == "op" and self.peek().value == ")":
+            self.advance()
+            self.advance()
+            return params
+        while True:
+            base = self.parse_base_type()
+            ctype = base
+            while self.accept("op", "*"):
+                ctype = PointerType(ctype)
+            if self.tok.kind == "op" and self.tok.value == "(":
+                # function-pointer parameter: T (*name)(params)
+                self.advance()
+                self.expect("op", "*")
+                pname = self.expect("ident").value
+                self.expect("op", ")")
+                inner = self.parse_param_list()
+                ctype = PointerType(
+                    FunctionCType(ctype, [p[1] for p in inner]))
+            else:
+                pname = None
+                if self.tok.kind == "ident":
+                    pname = self.advance().value
+                dims = []
+                while self.accept("op", "["):
+                    if self.tok.kind == "op" and self.tok.value == "]":
+                        dims.append(0)  # T a[] == T *a
+                    else:
+                        dims.append(self.parse_const_int())
+                    self.expect("op", "]")
+                if dims:
+                    # Outermost dimension decays to a pointer.
+                    inner_ty = ctype
+                    for dim in reversed(dims[1:]):
+                        inner_ty = ArrayType(inner_ty, dim)
+                    ctype = PointerType(inner_ty)
+            params.append((pname, ctype))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return params
+
+    def parse_const_int(self) -> int:
+        """A constant integer expression (literals, +,-,*,/ only)."""
+        expr = self.parse_expr(min_prec=3)
+        value = _eval_const(expr)
+        if value is None:
+            raise CompileError("expected constant integer expression",
+                               self.tok.line, self.tok.col)
+        return value
+
+    def parse_initializer(self):
+        if self.tok.kind == "op" and self.tok.value == "{":
+            self.advance()
+            items = []
+            while not self.accept("op", "}"):
+                items.append(self.parse_initializer())
+                if not self.accept("op", ","):
+                    self.expect("op", "}")
+                    break
+            return items
+        return self.parse_assignment()
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.tok.line
+        self.expect("op", "{")
+        stmts = []
+        while not self.accept("op", "}"):
+            stmts.extend(self.parse_statement())
+        return ast.Block(stmts, line)
+
+    def parse_statement(self):
+        """Parse one statement; returns a *list* (declarations can expand
+        to several VarDecl nodes)."""
+        tok = self.tok
+        line = tok.line
+        if tok.kind == "op" and tok.value == "{":
+            return [self.parse_block()]
+        if tok.kind == "op" and tok.value == ";":
+            self.advance()
+            return []
+        if self.at_type():
+            return self.parse_local_decl()
+        if tok.kind == "keyword":
+            handler = {
+                "if": self._parse_if, "while": self._parse_while,
+                "do": self._parse_do, "for": self._parse_for,
+                "return": self._parse_return, "break": self._parse_break,
+                "continue": self._parse_continue,
+                "switch": self._parse_switch,
+            }.get(tok.value)
+            if handler is not None:
+                return [handler()]
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return [ast.ExprStmt(expr, line)]
+
+    def parse_local_decl(self):
+        line = self.tok.line
+        base = self.parse_base_type()
+        decls = []
+        while True:
+            name, ctype = self.parse_declarator(base)
+            if isinstance(ctype, FunctionCType):
+                raise CompileError("nested function declarations are not "
+                                   "supported", line)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_initializer()
+            decls.append(ast.VarDecl(name, ctype, init, line))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return decls
+
+    def _parse_if(self):
+        line = self.tok.line
+        self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = _as_block(self.parse_statement(), line)
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = _as_block(self.parse_statement(), line)
+        return ast.If(cond, then, otherwise, line)
+
+    def _parse_while(self):
+        line = self.tok.line
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = _as_block(self.parse_statement(), line)
+        return ast.While(cond, body, line)
+
+    def _parse_do(self):
+        line = self.tok.line
+        self.expect("keyword", "do")
+        body = _as_block(self.parse_statement(), line)
+        self.expect("keyword", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond, line)
+
+    def _parse_for(self):
+        line = self.tok.line
+        self.expect("keyword", "for")
+        self.expect("op", "(")
+        init = None
+        if not self.accept("op", ";"):
+            if self.at_type():
+                init_stmts = self.parse_local_decl()
+                init = ast.Block(init_stmts, line)
+            else:
+                init = ast.ExprStmt(self.parse_expr(), line)
+                self.expect("op", ";")
+        cond = None
+        if not self.accept("op", ";"):
+            cond = self.parse_expr()
+            self.expect("op", ";")
+        step = None
+        if self.tok.kind != "op" or self.tok.value != ")":
+            step = self.parse_expr()
+        self.expect("op", ")")
+        body = _as_block(self.parse_statement(), line)
+        return ast.For(init, cond, step, body, line)
+
+    def _parse_return(self):
+        line = self.tok.line
+        self.expect("keyword", "return")
+        value = None
+        if self.tok.kind != "op" or self.tok.value != ";":
+            value = self.parse_expr()
+        self.expect("op", ";")
+        return ast.Return(value, line)
+
+    def _parse_break(self):
+        line = self.tok.line
+        self.expect("keyword", "break")
+        self.expect("op", ";")
+        stmt = ast.Break()
+        stmt.line = line
+        return stmt
+
+    def _parse_continue(self):
+        line = self.tok.line
+        self.expect("keyword", "continue")
+        self.expect("op", ";")
+        stmt = ast.Continue()
+        stmt.line = line
+        return stmt
+
+    def _parse_switch(self):
+        line = self.tok.line
+        self.expect("keyword", "switch")
+        self.expect("op", "(")
+        expr = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases = []
+        default = None
+        current = None
+        while not self.accept("op", "}"):
+            if self.accept("keyword", "case"):
+                value = self.parse_const_int()
+                self.expect("op", ":")
+                current = []
+                cases.append((value, current))
+            elif self.accept("keyword", "default"):
+                self.expect("op", ":")
+                current = []
+                default = current
+            else:
+                if current is None:
+                    raise CompileError("statement before first case label",
+                                       self.tok.line)
+                current.extend(self.parse_statement())
+        return ast.Switch(expr, cases, default, line)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self, min_prec: int = 0) -> ast.Expr:
+        return self.parse_assignment() if min_prec == 0 \
+            else self._parse_binary(min_prec)
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_ternary()
+        tok = self.tok
+        if tok.kind == "op" and tok.value in _ASSIGN_OPS:
+            op = self.advance().value
+            rhs = self.parse_assignment()
+            compound = op[:-1] if op != "=" else ""
+            return ast.Assign(compound, lhs, rhs, tok.line)
+        return lhs
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self.accept("op", "?"):
+            line = self.tok.line
+            if_true = self.parse_assignment()
+            self.expect("op", ":")
+            if_false = self.parse_assignment()
+            return ast.Cond(cond, if_true, if_false, line)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.tok
+            if tok.kind != "op":
+                return lhs
+            prec = _BIN_PREC.get(tok.value)
+            if prec is None or prec < min_prec:
+                return lhs
+            op = self.advance().value
+            rhs = self._parse_binary(prec + 1)
+            lhs = ast.Binary(op, lhs, rhs, tok.line)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind == "op" and tok.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.value, operand, tok.line)
+        if tok.kind == "op" and tok.value in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(tok.value, operand, tok.line)
+        if tok.kind == "keyword" and tok.value == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            if self.at_type():
+                ctype = self._parse_type_name()
+                self.expect("op", ")")
+                return ast.SizeofType(ctype, tok.line)
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return ast.SizeofType(None, tok.line) if expr is None \
+                else _sizeof_expr(expr, tok.line)
+        if tok.kind == "op" and tok.value == "(" and self._peek_is_type():
+            self.advance()
+            ctype = self._parse_type_name()
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return ast.Cast(ctype, operand, tok.line)
+        return self.parse_postfix()
+
+    def _peek_is_type(self) -> bool:
+        nxt = self.peek()
+        return nxt.kind == "keyword" and nxt.value in _TYPE_KEYWORDS
+
+    def _parse_type_name(self):
+        """A type name in a cast or sizeof: base type plus '*'s."""
+        base = self.parse_base_type()
+        while self.accept("op", "*"):
+            base = PointerType(base)
+        return base
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.tok
+            if tok.kind != "op":
+                return expr
+            if tok.value == "(":
+                self.advance()
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                expr = ast.CallExpr(expr, args, tok.line)
+            elif tok.value == "[":
+                self.advance()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, tok.line)
+            elif tok.value == ".":
+                self.advance()
+                name = self.expect("ident").value
+                expr = ast.Member(expr, name, False, tok.line)
+            elif tok.value == "->":
+                self.advance()
+                name = self.expect("ident").value
+                expr = ast.Member(expr, name, True, tok.line)
+            elif tok.value in ("++", "--"):
+                self.advance()
+                expr = ast.PostIncDec(tok.value, expr, tok.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.tok
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(tok.value, False, tok.line)
+        if tok.kind == "long":
+            self.advance()
+            return ast.IntLit(tok.value, True, tok.line)
+        if tok.kind == "char":
+            self.advance()
+            return ast.IntLit(tok.value, False, tok.line)
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLit(tok.value, tok.line)
+        if tok.kind == "string":
+            self.advance()
+            return ast.StringLit(tok.value, tok.line)
+        if tok.kind == "ident":
+            self.advance()
+            return ast.Ident(tok.value, tok.line)
+        if tok.kind == "op" and tok.value == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise CompileError(f"unexpected token {tok.value!r}",
+                           tok.line, tok.col)
+
+
+def _as_block(stmts, line) -> ast.Block:
+    if len(stmts) == 1 and isinstance(stmts[0], ast.Block):
+        return stmts[0]
+    return ast.Block(stmts, line)
+
+
+def _eval_const(expr):
+    """Evaluate a small constant expression at parse time (array sizes)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _eval_const(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.Binary):
+        lhs = _eval_const(expr.lhs)
+        rhs = _eval_const(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b, "/": lambda a, b: a // b if b else None,
+               "%": lambda a, b: a % b if b else None,
+               "<<": lambda a, b: a << b, ">>": lambda a, b: a >> b}
+        fn = ops.get(expr.op)
+        return fn(lhs, rhs) if fn else None
+    return None
+
+
+def _sizeof_expr(expr, line):
+    """``sizeof expr`` — resolved by the typer; wrap the expression."""
+    node = ast.SizeofType(None, line)
+    node.operand_expr = expr  # typer fills in the size
+    return node
+
+
+def parse(source: str) -> ast.Program:
+    """Parse mcc source text into an AST."""
+    return Parser(source).parse_program()

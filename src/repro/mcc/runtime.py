@@ -1,0 +1,269 @@
+"""The mcc runtime library.
+
+Every program is compiled together with this source, mirroring how
+Emscripten links musl into each module.  It provides:
+
+* extern declarations for the system-call ABI (implemented by the host —
+  either the standalone test host or the Browsix-Wasm kernel runtime);
+* a bump allocator (``malloc``/``free``);
+* string/memory helpers;
+* a small libm (``fabs``/``sqrt``/``exp``/``log``/``pow``) implemented in
+  mcc so that *every* pipeline executes the identical math code and
+  produces identical output;
+* a deterministic LCG (``rt_srand``/``rt_rand``) for synthetic workloads.
+"""
+
+STDLIB_SOURCE = r"""
+// ---- system-call ABI (resolved by the embedder) ----
+extern int sys_write(int fd, char *buf, int len);
+extern int sys_read(int fd, char *buf, int len);
+extern int sys_open(char *path, int flags);
+extern int sys_close(int fd);
+extern int sys_seek(int fd, int offset, int whence);
+extern int sys_pipe(int *fds);
+extern int sys_heap_base(void);
+extern void print_i32(int value);
+extern void print_i64(long value);
+extern void print_f64(double value);
+
+// ---- memory allocation (bump allocator, as in a freestanding libc) ----
+int __heap_ptr = 0;
+
+char *malloc(int size) {
+    if (__heap_ptr == 0) {
+        __heap_ptr = sys_heap_base();
+    }
+    __heap_ptr = (__heap_ptr + 7) & ~7;
+    int ptr = __heap_ptr;
+    __heap_ptr = __heap_ptr + size;
+    return (char *)ptr;
+}
+
+void free(char *ptr) {
+    // Bump allocator: free is a no-op.  Workloads allocate up front.
+}
+
+// ---- string / memory helpers ----
+void *memcpy(char *dst, char *src, int n) {
+    int i;
+    for (i = 0; i + 8 <= n; i = i + 8) {
+        *(long *)(dst + i) = *(long *)(src + i);
+    }
+    for (; i < n; i++) {
+        dst[i] = src[i];
+    }
+    return (void *)dst;
+}
+
+void *memset(char *dst, int value, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        dst[i] = (char)value;
+    }
+    return (void *)dst;
+}
+
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) {
+        n++;
+    }
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) {
+        i++;
+    }
+    return a[i] - b[i];
+}
+
+char *strcpy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = (char)0;
+    return dst;
+}
+
+void print_str(char *s) {
+    sys_write(1, s, strlen(s));
+}
+
+int strncmp(char *a, char *b, int n) {
+    int i = 0;
+    while (i < n && a[i] && a[i] == b[i]) {
+        i++;
+    }
+    if (i == n) {
+        return 0;
+    }
+    return a[i] - b[i];
+}
+
+int atoi(char *s) {
+    int i = 0;
+    int sign = 1;
+    int value = 0;
+    while (s[i] == ' ') {
+        i++;
+    }
+    if (s[i] == '-') {
+        sign = -1;
+        i++;
+    } else {
+        if (s[i] == '+') {
+            i++;
+        }
+    }
+    while (s[i] >= '0' && s[i] <= '9') {
+        value = value * 10 + (s[i] - '0');
+        i++;
+    }
+    return value * sign;
+}
+
+int abs_i32(int x) {
+    if (x < 0) {
+        return -x;
+    }
+    return x;
+}
+
+// ---- qsort: in-place quicksort over int arrays with a user-supplied
+// comparator (an indirect call per comparison, as in the C library) ----
+void __qsort_swap(int *a, int i, int j) {
+    int t = a[i];
+    a[i] = a[j];
+    a[j] = t;
+}
+
+void qsort_i32(int *base, int lo, int hi, int (*cmp)(int, int)) {
+    if (lo >= hi) {
+        return;
+    }
+    int pivot = base[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+        while (cmp(base[i], pivot) < 0) {
+            i++;
+        }
+        while (cmp(base[j], pivot) > 0) {
+            j--;
+        }
+        if (i <= j) {
+            __qsort_swap(base, i, j);
+            i++;
+            j--;
+        }
+    }
+    qsort_i32(base, lo, j, cmp);
+    qsort_i32(base, i, hi, cmp);
+}
+
+// ---- deterministic pseudo-random numbers ----
+int __rt_seed = 12345;
+
+void rt_srand(int seed) {
+    __rt_seed = seed;
+}
+
+int rt_rand(void) {
+    __rt_seed = __rt_seed * 1103515245 + 12345;
+    return (__rt_seed >> 16) & 0x7fff;
+}
+
+// ---- libm (identical numerics in every pipeline) ----
+double fabs(double x) {
+    if (x < 0.0) {
+        return -x;
+    }
+    return x;
+}
+
+double sqrt(double x) {
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    double g = x;
+    if (g > 1.0) {
+        g = x * 0.5;
+    }
+    int i;
+    for (i = 0; i < 64; i++) {
+        double next = 0.5 * (g + x / g);
+        if (fabs(next - g) <= 1e-12 * next) {
+            return next;
+        }
+        g = next;
+    }
+    return g;
+}
+
+double exp(double x) {
+    // Range-reduce by ln 2, then a Taylor series on the remainder.
+    double ln2 = 0.6931471805599453;
+    int negate = 0;
+    if (x < 0.0) {
+        negate = 1;
+        x = -x;
+    }
+    int n = (int)(x / ln2);
+    double r = x - (double)n * ln2;
+    double term = 1.0;
+    double sum = 1.0;
+    int i;
+    for (i = 1; i < 16; i++) {
+        term = term * r / (double)i;
+        sum = sum + term;
+    }
+    double scale = 1.0;
+    for (i = 0; i < n; i++) {
+        scale = scale * 2.0;
+    }
+    double result = sum * scale;
+    if (negate) {
+        return 1.0 / result;
+    }
+    return result;
+}
+
+double log(double x) {
+    if (x <= 0.0) {
+        return -1.0e308;
+    }
+    // Reduce x into [0.75, 1.5) by factoring out powers of two, then use
+    // the atanh series: ln(x) = 2 atanh((x-1)/(x+1)).
+    double ln2 = 0.6931471805599453;
+    int k = 0;
+    while (x >= 1.5) {
+        x = x * 0.5;
+        k++;
+    }
+    while (x < 0.75) {
+        x = x * 2.0;
+        k--;
+    }
+    double y = (x - 1.0) / (x + 1.0);
+    double y2 = y * y;
+    double term = y;
+    double sum = 0.0;
+    int i;
+    for (i = 0; i < 14; i++) {
+        sum = sum + term / (double)(2 * i + 1);
+        term = term * y2;
+    }
+    return 2.0 * sum + (double)k * ln2;
+}
+
+double pow(double base, double exponent) {
+    if (base <= 0.0) {
+        return 0.0;
+    }
+    return exp(exponent * log(base));
+}
+"""

@@ -1,0 +1,69 @@
+"""Symbols resolved by the mcc typer."""
+
+from __future__ import annotations
+
+from .types_c import CType, FunctionCType
+
+
+class LocalSymbol:
+    """A function-local variable or parameter."""
+
+    __slots__ = ("name", "ctype", "address_taken", "is_param")
+
+    def __init__(self, name: str, ctype: CType, is_param: bool = False):
+        self.name = name
+        self.ctype = ctype
+        self.address_taken = False
+        self.is_param = is_param
+
+    def __repr__(self):
+        return f"<local {self.name}: {self.ctype!r}>"
+
+
+class GlobalSymbol:
+    """A file-scope variable."""
+
+    __slots__ = ("name", "ctype", "init")
+
+    def __init__(self, name: str, ctype: CType, init=None):
+        self.name = name
+        self.ctype = ctype
+        self.init = init
+
+    def __repr__(self):
+        return f"<global {self.name}: {self.ctype!r}>"
+
+
+class FuncSymbol:
+    """A function (defined or extern)."""
+
+    __slots__ = ("name", "ftype", "is_extern", "needs_table_entry")
+
+    def __init__(self, name: str, ftype: FunctionCType, is_extern: bool):
+        self.name = name
+        self.ftype = ftype
+        self.is_extern = is_extern
+        self.needs_table_entry = False  # set when used as a value
+
+    def __repr__(self):
+        kind = "extern" if self.is_extern else "func"
+        return f"<{kind} {self.name}: {self.ftype!r}>"
+
+
+class Scope:
+    """A lexical scope chain."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.symbols: dict[str, object] = {}
+
+    def define(self, name: str, symbol) -> None:
+        self.symbols[name] = symbol
+
+    def lookup(self, name: str):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None

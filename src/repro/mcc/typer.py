@@ -1,0 +1,600 @@
+"""Type checker / semantic analyzer for mcc.
+
+Walks the AST, resolves identifiers, annotates every expression with its
+``ctype``, inserts implicit conversions as explicit ``Cast`` nodes, and
+performs the usual C checks (lvalues, call signatures, return types).
+
+After this pass the IR generator can lower the tree without re-deriving
+any type information.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from . import astnodes as ast
+from .symbols import FuncSymbol, GlobalSymbol, LocalSymbol, Scope
+from .types_c import (
+    ArrayType, CHAR, CType, DOUBLE, FunctionCType, INT, LONG, PointerType,
+    StructType, decay, usual_arithmetic,
+)
+
+
+class Typer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals = Scope()
+        self.current_func: FuncSymbol | None = None
+
+    def run(self) -> None:
+        # First pass: declare every function and global so forward
+        # references resolve.
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                existing = self.globals.lookup(decl.name)
+                if isinstance(existing, FuncSymbol):
+                    if existing.ftype != decl.ftype:
+                        raise CompileError(
+                            f"conflicting declarations of {decl.name}",
+                            decl.line)
+                    if decl.body is not None:
+                        existing.is_extern = False
+                else:
+                    self.globals.define(
+                        decl.name,
+                        FuncSymbol(decl.name, decl.ftype,
+                                   decl.is_extern or decl.body is None))
+            elif isinstance(decl, ast.GlobalDecl):
+                self._check_object_type(decl.ctype, decl.line)
+                self.globals.define(
+                    decl.name, GlobalSymbol(decl.name, decl.ctype, decl.init))
+
+        # Second pass: check bodies and global initializers.
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef) and decl.body is not None:
+                self._check_function(decl)
+            elif isinstance(decl, ast.GlobalDecl) and decl.init is not None:
+                self._check_global_init(decl)
+
+    # -- declarations ---------------------------------------------------------
+
+    def _check_object_type(self, ctype: CType, line: int) -> None:
+        if isinstance(ctype, StructType) and not ctype.complete:
+            raise CompileError(f"incomplete struct {ctype.name}", line)
+        if ctype.is_void:
+            raise CompileError("variable of type void", line)
+        if isinstance(ctype, ArrayType):
+            self._check_object_type(ctype.element, line)
+
+    def _check_global_init(self, decl: ast.GlobalDecl) -> None:
+        init = decl.init
+        if isinstance(init, list):
+            if not isinstance(decl.ctype, ArrayType):
+                raise CompileError("brace initializer for non-array",
+                                   decl.line)
+            self._check_array_init(decl.ctype, init, decl.line)
+        elif isinstance(init, ast.StringLit):
+            if not (isinstance(decl.ctype, ArrayType)
+                    and decl.ctype.element == CHAR):
+                raise CompileError("string initializer for non-char-array",
+                                   decl.line)
+        else:
+            if not self._is_const_init(init, decl.ctype):
+                raise CompileError("global initializer must be constant",
+                                   decl.line)
+
+    def _check_array_init(self, aty: ArrayType, items, line) -> None:
+        if len(items) > aty.length:
+            raise CompileError("too many initializers", line)
+        for item in items:
+            if isinstance(item, list):
+                if not isinstance(aty.element, ArrayType):
+                    raise CompileError("nested brace initializer for "
+                                       "non-array element", line)
+                self._check_array_init(aty.element, item, line)
+            else:
+                if not self._is_const_init(item, aty.element):
+                    raise CompileError("array initializer must be constant",
+                                       line)
+
+    def _is_const_init(self, expr, want: CType = None) -> bool:
+        """A constant scalar initializer: a literal expression, or the
+        name of a function (a function-pointer constant, checked against
+        the declared pointer type)."""
+        if isinstance(expr, ast.Ident):
+            symbol = self.globals.lookup(expr.name)
+            if isinstance(symbol, FuncSymbol):
+                if isinstance(want, PointerType) and \
+                        isinstance(want.pointee, FunctionCType) and \
+                        want.pointee != symbol.ftype:
+                    raise CompileError(
+                        f"initializer {expr.name} has type "
+                        f"{symbol.ftype!r}, expected {want.pointee!r}",
+                        expr.line)
+                symbol.needs_table_entry = True
+                expr.symbol = symbol
+                expr.ctype = PointerType(symbol.ftype)
+                return True
+            return False
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            return self._is_const_init(expr.operand, want)
+        return _const_value(expr) is not None
+
+    def _check_function(self, decl: ast.FuncDef) -> None:
+        symbol = self.globals.lookup(decl.name)
+        self.current_func = symbol
+        scope = Scope(self.globals)
+        decl.param_symbols = []
+        for pname, pty in zip(decl.param_names, decl.ftype.params):
+            if pname is None:
+                raise CompileError(f"unnamed parameter in {decl.name}",
+                                   decl.line)
+            psym = LocalSymbol(pname, pty, is_param=True)
+            decl.param_symbols.append(psym)
+            scope.define(pname, psym)
+        self._check_block(decl.body, scope)
+        self.current_func = None
+
+    # -- statements ------------------------------------------------------------
+
+    def _check_block(self, block: ast.Block, scope: Scope) -> None:
+        inner = Scope(scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_object_type(stmt.ctype, stmt.line)
+            symbol = LocalSymbol(stmt.name, stmt.ctype)
+            if isinstance(stmt.ctype, (ArrayType, StructType)):
+                symbol.address_taken = True  # always lives in the frame
+            stmt.symbol = symbol
+            scope.define(stmt.name, symbol)
+            if stmt.init is not None:
+                if isinstance(stmt.init, list):
+                    if not isinstance(stmt.ctype, ArrayType):
+                        raise CompileError("brace initializer for non-array",
+                                           stmt.line)
+                    self._check_local_array_init(stmt, scope)
+                elif isinstance(stmt.init, ast.StringLit) and \
+                        isinstance(stmt.ctype, ArrayType):
+                    self._type_expr(stmt.init, scope)
+                else:
+                    stmt.init = self._coerce(
+                        self._type_expr(stmt.init, scope),
+                        decay(stmt.ctype), stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._type_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_scalar(self._type_expr(stmt.cond, scope), stmt.line)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_scalar(self._type_expr(stmt.cond, scope), stmt.line)
+            self._check_stmt(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_stmt(stmt.body, scope)
+            self._check_scalar(self._type_expr(stmt.cond, scope), stmt.line)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_scalar(self._type_expr(stmt.cond, inner),
+                                   stmt.line)
+            if stmt.step is not None:
+                self._type_expr(stmt.step, inner)
+            self._check_stmt(stmt.body, inner)
+        elif isinstance(stmt, ast.Switch):
+            stmt.expr = self._type_expr(stmt.expr, scope)
+            if not decay(stmt.expr.ctype).is_integer:
+                raise CompileError("switch on non-integer", stmt.line)
+            seen = set()
+            for value, body in stmt.cases:
+                if value in seen:
+                    raise CompileError(f"duplicate case {value}", stmt.line)
+                seen.add(value)
+                for s in body:
+                    self._check_stmt(s, scope)
+            if stmt.default is not None:
+                for s in stmt.default:
+                    self._check_stmt(s, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        elif isinstance(stmt, ast.Return):
+            want = self.current_func.ftype.ret
+            if want.is_void:
+                if stmt.value is not None:
+                    raise CompileError("void function returns a value",
+                                       stmt.line)
+            else:
+                if stmt.value is None:
+                    raise CompileError("non-void function returns nothing",
+                                       stmt.line)
+                stmt.value = self._coerce(
+                    self._type_expr(stmt.value, scope), want, stmt.line)
+        else:
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    def _check_local_array_init(self, stmt: ast.VarDecl, scope: Scope) -> None:
+        def walk(aty, items):
+            if len(items) > aty.length:
+                raise CompileError("too many initializers", stmt.line)
+            checked = []
+            for item in items:
+                if isinstance(item, list):
+                    if not isinstance(aty.element, ArrayType):
+                        raise CompileError("nested initializer for scalar",
+                                           stmt.line)
+                    checked.append(walk(aty.element, item))
+                else:
+                    expr = self._type_expr(item, scope)
+                    checked.append(self._coerce(expr, decay(aty.element),
+                                                stmt.line))
+            return checked
+
+        stmt.init = walk(stmt.ctype, stmt.init)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _type_expr(self, expr: ast.Expr, scope: Scope) -> ast.Expr:
+        """Annotate ``expr`` (and children) with ctypes; may rewrite the
+        node (implicit casts).  Returns the annotated node."""
+        method = getattr(self, "_type_" + type(expr).__name__)
+        return method(expr, scope)
+
+    def _type_IntLit(self, expr, scope):
+        expr.ctype = LONG if expr.is_long else INT
+        return expr
+
+    def _type_FloatLit(self, expr, scope):
+        expr.ctype = DOUBLE
+        return expr
+
+    def _type_StringLit(self, expr, scope):
+        expr.ctype = PointerType(CHAR)
+        return expr
+
+    def _type_Ident(self, expr, scope):
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            raise CompileError(f"undeclared identifier {expr.name!r}",
+                               expr.line)
+        expr.symbol = symbol
+        if isinstance(symbol, FuncSymbol):
+            expr.ctype = symbol.ftype
+        else:
+            expr.ctype = symbol.ctype
+        return expr
+
+    def _type_Unary(self, expr, scope):
+        op = expr.op
+        if op == "&":
+            operand = self._type_expr(expr.operand, scope)
+            expr.operand = operand
+            if isinstance(operand, ast.Ident) and \
+                    isinstance(operand.symbol, FuncSymbol):
+                operand.symbol.needs_table_entry = True
+                expr.ctype = PointerType(operand.symbol.ftype)
+                return expr
+            self._require_lvalue(operand)
+            self._mark_address_taken(operand)
+            base_ty = operand.ctype
+            if isinstance(base_ty, ArrayType):
+                base_ty = base_ty  # &arr has type (T(*)[N]); simplify to T*
+                expr.ctype = PointerType(base_ty.element)
+            else:
+                expr.ctype = PointerType(base_ty)
+            return expr
+        if op == "*":
+            operand = self._type_expr(expr.operand, scope)
+            expr.operand = operand
+            ty = decay(operand.ctype)
+            if isinstance(ty, PointerType):
+                expr.ctype = ty.pointee
+                return expr
+            raise CompileError("dereference of non-pointer", expr.line)
+        operand = self._type_expr(expr.operand, scope)
+        if op in ("++", "--"):
+            self._require_lvalue(operand)
+            expr.operand = operand
+            expr.ctype = operand.ctype
+            return expr
+        ty = decay(operand.ctype)
+        if op == "!":
+            self._check_scalar_type(ty, expr.line)
+            expr.operand = operand
+            expr.ctype = INT
+            return expr
+        if op == "~":
+            if not ty.is_integer:
+                raise CompileError("~ requires an integer", expr.line)
+            operand = self._promote(operand)
+            expr.operand = operand
+            expr.ctype = operand.ctype
+            return expr
+        if op == "-":
+            if not ty.is_arithmetic:
+                raise CompileError("unary - requires arithmetic type",
+                                   expr.line)
+            operand = self._promote(operand)
+            expr.operand = operand
+            expr.ctype = operand.ctype
+            return expr
+        raise CompileError(f"unknown unary operator {op}", expr.line)
+
+    def _type_PostIncDec(self, expr, scope):
+        operand = self._type_expr(expr.operand, scope)
+        self._require_lvalue(operand)
+        expr.operand = operand
+        expr.ctype = operand.ctype
+        return expr
+
+    def _type_Binary(self, expr, scope):
+        op = expr.op
+        lhs = self._type_expr(expr.lhs, scope)
+        rhs = self._type_expr(expr.rhs, scope)
+        lty, rty = decay(lhs.ctype), decay(rhs.ctype)
+
+        if op in ("&&", "||"):
+            self._check_scalar_type(lty, expr.line)
+            self._check_scalar_type(rty, expr.line)
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = INT
+            return expr
+
+        # Pointer arithmetic.
+        if op in ("+", "-") and (lty.is_pointer or rty.is_pointer):
+            if op == "+" and lty.is_pointer and rty.is_integer:
+                expr.lhs, expr.rhs = lhs, rhs
+                expr.ctype = lty
+                return expr
+            if op == "+" and rty.is_pointer and lty.is_integer:
+                expr.lhs, expr.rhs = rhs, lhs  # normalize ptr on the left
+                expr.ctype = rty
+                return expr
+            if op == "-" and lty.is_pointer and rty.is_integer:
+                expr.lhs, expr.rhs = lhs, rhs
+                expr.ctype = lty
+                return expr
+            if op == "-" and lty.is_pointer and rty.is_pointer:
+                if lty != rty:
+                    raise CompileError("subtraction of incompatible pointers",
+                                       expr.line)
+                expr.lhs, expr.rhs = lhs, rhs
+                expr.ctype = INT
+                return expr
+            raise CompileError("invalid pointer arithmetic", expr.line)
+
+        if op in ("==", "!=", "<", "<=", ">", ">=") and \
+                (lty.is_pointer or rty.is_pointer):
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = INT
+            return expr
+
+        if not (lty.is_arithmetic and rty.is_arithmetic):
+            raise CompileError(f"invalid operands to {op}", expr.line)
+        if op in ("%", "&", "|", "^", "<<", ">>") and \
+                not (lty.is_integer and rty.is_integer):
+            raise CompileError(f"{op} requires integer operands", expr.line)
+
+        common = usual_arithmetic(lty, rty)
+        expr.lhs = self._coerce(lhs, common, expr.line)
+        expr.rhs = self._coerce(rhs, common, expr.line)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            expr.ctype = INT
+        else:
+            expr.ctype = common
+        return expr
+
+    def _type_Assign(self, expr, scope):
+        target = self._type_expr(expr.target, scope)
+        self._require_lvalue(target)
+        value = self._type_expr(expr.value, scope)
+        tty = decay(target.ctype)
+        if expr.op:  # compound assignment
+            if tty.is_pointer and expr.op in ("+", "-"):
+                pass  # ptr += int
+            elif not tty.is_arithmetic:
+                raise CompileError("invalid compound assignment", expr.line)
+            expr.target = target
+            expr.value = value
+            expr.ctype = tty
+            return expr
+        expr.target = target
+        expr.value = self._coerce(value, tty, expr.line)
+        expr.ctype = tty
+        return expr
+
+    def _type_Cond(self, expr, scope):
+        cond = self._type_expr(expr.cond, scope)
+        self._check_scalar(cond, expr.line)
+        if_true = self._type_expr(expr.if_true, scope)
+        if_false = self._type_expr(expr.if_false, scope)
+        tty, fty = decay(if_true.ctype), decay(if_false.ctype)
+        if tty.is_arithmetic and fty.is_arithmetic:
+            common = usual_arithmetic(tty, fty)
+            expr.if_true = self._coerce(if_true, common, expr.line)
+            expr.if_false = self._coerce(if_false, common, expr.line)
+            expr.ctype = common
+        elif tty == fty:
+            expr.if_true, expr.if_false = if_true, if_false
+            expr.ctype = tty
+        else:
+            raise CompileError("incompatible ternary arms", expr.line)
+        expr.cond = cond
+        return expr
+
+    def _type_CallExpr(self, expr, scope):
+        func = expr.func
+        ftype = None
+        if isinstance(func, ast.Ident):
+            symbol = scope.lookup(func.name)
+            if symbol is None:
+                raise CompileError(f"call to undeclared function "
+                                   f"{func.name!r}", expr.line)
+            func.symbol = symbol
+            if isinstance(symbol, FuncSymbol):
+                ftype = symbol.ftype
+                func.ctype = ftype
+            else:
+                func.ctype = symbol.ctype
+        if ftype is None:
+            func = self._type_expr(func, scope)
+            fty = decay(func.ctype)
+            if isinstance(fty, PointerType) and \
+                    isinstance(fty.pointee, FunctionCType):
+                ftype = fty.pointee
+            elif isinstance(fty, FunctionCType):
+                ftype = fty
+            else:
+                raise CompileError("call of non-function", expr.line)
+        expr.func = func
+        if len(expr.args) != len(ftype.params):
+            raise CompileError(
+                f"wrong number of arguments ({len(expr.args)} for "
+                f"{len(ftype.params)})", expr.line)
+        expr.args = [
+            self._coerce(self._type_expr(arg, scope), decay(pty), expr.line)
+            for arg, pty in zip(expr.args, ftype.params)
+        ]
+        expr.ctype = ftype.ret
+        return expr
+
+    def _type_Index(self, expr, scope):
+        base = self._type_expr(expr.base, scope)
+        index = self._type_expr(expr.index, scope)
+        bty = decay(base.ctype)
+        if not isinstance(bty, PointerType):
+            raise CompileError("subscript of non-array", expr.line)
+        if not decay(index.ctype).is_integer:
+            raise CompileError("array subscript is not an integer",
+                               expr.line)
+        expr.base = base
+        expr.index = index
+        expr.ctype = bty.pointee
+        return expr
+
+    def _type_Member(self, expr, scope):
+        base = self._type_expr(expr.base, scope)
+        bty = base.ctype
+        if expr.arrow:
+            bty = decay(bty)
+            if not (isinstance(bty, PointerType)
+                    and isinstance(bty.pointee, StructType)):
+                raise CompileError("-> on non-struct-pointer", expr.line)
+            struct = bty.pointee
+        else:
+            if not isinstance(bty, StructType):
+                raise CompileError(". on non-struct", expr.line)
+            struct = bty
+        _offset, fty = struct.field(expr.name)
+        expr.base = base
+        expr.ctype = fty
+        return expr
+
+    def _type_Cast(self, expr, scope):
+        operand = self._type_expr(expr.operand, scope)
+        expr.operand = operand
+        expr.ctype = expr.target_type
+        return expr
+
+    def _type_SizeofType(self, expr, scope):
+        if expr.target_type is None and expr.operand_expr is not None:
+            inner = self._type_expr(expr.operand_expr, scope)
+            expr.target_type = inner.ctype
+        expr.ctype = INT
+        return expr
+
+    # -- helpers -------------------------------------------------------------
+
+    def _promote(self, expr: ast.Expr) -> ast.Expr:
+        """Integer promotion: char -> int."""
+        if expr.ctype == CHAR:
+            return self._coerce(expr, INT, expr.line)
+        return expr
+
+    def _coerce(self, expr: ast.Expr, want: CType, line: int) -> ast.Expr:
+        have = decay(expr.ctype)
+        if have == want:
+            return expr
+        if have.is_arithmetic and want.is_arithmetic:
+            cast = ast.Cast(want, expr, line)
+            cast.ctype = want
+            return cast
+        if have.is_pointer and want.is_pointer:
+            cast = ast.Cast(want, expr, line)
+            cast.ctype = want
+            return cast
+        if have.is_integer and want.is_pointer:
+            cast = ast.Cast(want, expr, line)
+            cast.ctype = want
+            return cast
+        if have.is_pointer and want.is_integer:
+            cast = ast.Cast(want, expr, line)
+            cast.ctype = want
+            return cast
+        # Function used as a function-pointer value.
+        if isinstance(have, FunctionCType) and isinstance(want, PointerType) \
+                and want.pointee == have:
+            if isinstance(expr, ast.Ident) and \
+                    isinstance(expr.symbol, FuncSymbol):
+                expr.symbol.needs_table_entry = True
+            cast = ast.Cast(want, expr, line)
+            cast.ctype = want
+            return cast
+        raise CompileError(f"cannot convert {have!r} to {want!r}", line)
+
+    def _check_scalar(self, expr: ast.Expr, line: int) -> None:
+        self._check_scalar_type(decay(expr.ctype), line)
+
+    @staticmethod
+    def _check_scalar_type(ty: CType, line: int) -> None:
+        if not (ty.is_arithmetic or ty.is_pointer):
+            raise CompileError("expected a scalar value", line)
+
+    @staticmethod
+    def _require_lvalue(expr: ast.Expr) -> None:
+        ok = isinstance(expr, (ast.Index, ast.Member)) or \
+            (isinstance(expr, ast.Ident)
+             and not isinstance(expr.symbol, FuncSymbol)) or \
+            (isinstance(expr, ast.Unary) and expr.op == "*")
+        if not ok:
+            raise CompileError("expression is not an lvalue", expr.line)
+
+    @staticmethod
+    def _mark_address_taken(expr: ast.Expr) -> None:
+        node = expr
+        while True:
+            if isinstance(node, ast.Ident):
+                if isinstance(node.symbol, LocalSymbol):
+                    node.symbol.address_taken = True
+                return
+            if isinstance(node, ast.Index):
+                node = node.base
+            elif isinstance(node, ast.Member) and not node.arrow:
+                node = node.base
+            else:
+                return
+
+
+def _const_value(expr):
+    """Constant value of a literal-only expression (for global inits)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_value(expr.operand)
+        return -inner if inner is not None else None
+    if isinstance(expr, ast.Cast):
+        return _const_value(expr.operand)
+    return None
+
+
+def typecheck(program: ast.Program) -> ast.Program:
+    """Run semantic analysis over ``program`` in place."""
+    Typer(program).run()
+    return program

@@ -1,0 +1,235 @@
+"""The mcc C-level type system.
+
+C types are distinct from machine types: ``char`` is an i8 in memory but an
+i32 in registers, pointers are i32 (wasm32), and structs have layout.  The
+typer computes C types; the IR generator lowers them to machine types.
+"""
+
+from __future__ import annotations
+
+from ..ir.types import FuncType, Type
+
+
+class CType:
+    """Base class for C-level types."""
+
+    size = 0
+    align = 1
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return isinstance(self, (IntType, LongType, DoubleType, CharType))
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (IntType, LongType, CharType))
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def machine_type(self) -> Type:
+        """The register type a value of this type occupies."""
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+
+class VoidType(CType):
+    size = 0
+
+    def __repr__(self):
+        return "void"
+
+
+class IntType(CType):
+    size = 4
+    align = 4
+
+    def machine_type(self):
+        return Type.I32
+
+    def __repr__(self):
+        return "int"
+
+
+class CharType(CType):
+    size = 1
+    align = 1
+
+    def machine_type(self):
+        return Type.I32  # promoted in registers
+
+    def __repr__(self):
+        return "char"
+
+
+class LongType(CType):
+    size = 8
+    align = 8
+
+    def machine_type(self):
+        return Type.I64
+
+    def __repr__(self):
+        return "long"
+
+
+class DoubleType(CType):
+    size = 8
+    align = 8
+
+    def machine_type(self):
+        return Type.F64
+
+    def __repr__(self):
+        return "double"
+
+
+class PointerType(CType):
+    size = 4
+    align = 4
+
+    def __init__(self, pointee: CType):
+        self.pointee = pointee
+
+    def machine_type(self):
+        return Type.I32
+
+    def __eq__(self, other):
+        return isinstance(other, PointerType) and self.pointee == other.pointee
+
+    def __hash__(self):
+        return hash(("ptr", self.pointee))
+
+    def __repr__(self):
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(CType):
+    def __init__(self, element: CType, length: int):
+        self.element = element
+        self.length = length
+        self.size = element.size * length
+        self.align = element.align
+
+    def machine_type(self):
+        return Type.I32  # decays to a pointer
+
+    def __eq__(self, other):
+        return (isinstance(other, ArrayType)
+                and self.element == other.element
+                and self.length == other.length)
+
+    def __hash__(self):
+        return hash(("arr", self.element, self.length))
+
+    def __repr__(self):
+        return f"{self.element!r}[{self.length}]"
+
+
+class StructType(CType):
+    """A struct with laid-out fields.
+
+    ``fields`` maps name -> (offset, CType).  Layout follows the usual C
+    rules: each field is aligned to its natural alignment, and the struct
+    size is rounded up to the maximum field alignment.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: dict[str, tuple[int, CType]] = {}
+        self.size = 0
+        self.align = 1
+        self.complete = False
+
+    def define(self, members) -> None:
+        """Lay out ``members`` (list of (name, CType))."""
+        offset = 0
+        for fname, fty in members:
+            offset = (offset + fty.align - 1) & ~(fty.align - 1)
+            self.fields[fname] = (offset, fty)
+            offset += fty.size
+            self.align = max(self.align, fty.align)
+        self.size = (offset + self.align - 1) & ~(self.align - 1)
+        self.complete = True
+
+    def field(self, name: str):
+        if name not in self.fields:
+            from ..errors import CompileError
+            raise CompileError(f"struct {self.name} has no field {name}")
+        return self.fields[name]
+
+    def machine_type(self):
+        raise TypeError("struct values do not fit in registers")
+
+    def __eq__(self, other):
+        return isinstance(other, StructType) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("struct", self.name))
+
+    def __repr__(self):
+        return f"struct {self.name}"
+
+
+class FunctionCType(CType):
+    """The C type of a function (used through function pointers)."""
+
+    size = 4  # as a pointer / table index
+    align = 4
+
+    def __init__(self, ret: CType, params):
+        self.ret = ret
+        self.params = tuple(params)
+
+    def machine_type(self):
+        return Type.I32  # a table index
+
+    def func_type(self) -> FuncType:
+        params = [p.machine_type() for p in self.params]
+        results = [] if self.ret.is_void else [self.ret.machine_type()]
+        return FuncType(params, results)
+
+    def __eq__(self, other):
+        return (isinstance(other, FunctionCType)
+                and self.ret == other.ret and self.params == other.params)
+
+    def __hash__(self):
+        return hash(("func", self.ret, self.params))
+
+    def __repr__(self):
+        ps = ", ".join(map(repr, self.params))
+        return f"{self.ret!r}({ps})"
+
+
+# Singletons for the scalar types.
+VOID = VoidType()
+INT = IntType()
+CHAR = CharType()
+LONG = LongType()
+DOUBLE = DoubleType()
+
+
+def usual_arithmetic(a: CType, b: CType) -> CType:
+    """The usual arithmetic conversions (C11 6.3.1.8, simplified)."""
+    if isinstance(a, DoubleType) or isinstance(b, DoubleType):
+        return DOUBLE
+    if isinstance(a, LongType) or isinstance(b, LongType):
+        return LONG
+    return INT
+
+
+def decay(ty: CType) -> CType:
+    """Array-to-pointer decay."""
+    if isinstance(ty, ArrayType):
+        return PointerType(ty.element)
+    return ty

@@ -1,0 +1,102 @@
+"""Linear-scan register allocation (the WebAssembly JITs' allocator).
+
+This is the fast-but-imprecise allocator the paper blames for much of the
+register pressure (§6.1.2): single live intervals (no splitting, no
+holes), no coalescing, and furthest-end-first spilling.  Values live
+across a call can only take callee-saved registers; WebAssembly linkage in
+both V8 and SpiderMonkey has *no* callee-saved registers, so with an empty
+``callee_saved`` list every call-crossing value is spilled — a major
+source of the extra loads and stores the paper measures (§6.1).
+"""
+
+from __future__ import annotations
+
+from .liveness import LivenessInfo
+
+
+class Assignment:
+    """The allocation result: vreg id -> physical register or spill slot."""
+
+    def __init__(self):
+        self.regs: dict[int, int] = {}
+        self.spills: dict[int, int] = {}
+        self.num_slots = 0
+        self.used_callee_saved: set[int] = set()
+
+    def location(self, vreg_id: int):
+        if vreg_id in self.regs:
+            return ("reg", self.regs[vreg_id])
+        return ("spill", self.spills[vreg_id])
+
+    def spill_slot(self, vreg_id: int) -> int:
+        slot = self.spills.get(vreg_id)
+        if slot is None:
+            slot = self.num_slots
+            self.spills[vreg_id] = slot
+            self.num_slots += 1
+        return slot
+
+    def spill_count(self) -> int:
+        return len(self.spills)
+
+
+def linear_scan(info: LivenessInfo, gpr_pool, xmm_pool,
+                callee_saved=()) -> Assignment:
+    """Allocate registers for ``info.func``; returns an :class:`Assignment`."""
+    assignment = Assignment()
+    callee_set = set(callee_saved)
+    _scan_class(info, assignment,
+                [iv for iv in info.intervals.values() if not iv.ty.is_float],
+                list(gpr_pool), callee_set)
+    _scan_class(info, assignment,
+                [iv for iv in info.intervals.values() if iv.ty.is_float],
+                list(xmm_pool), set())  # no callee-saved XMM on x86-64
+    return assignment
+
+
+def _scan_class(info, assignment, intervals, pool, callee_set) -> None:
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    free = list(pool)
+    active = []  # (end, vreg_id, reg), sorted by end
+
+    for iv in intervals:
+        # Expire old intervals.
+        still_active = []
+        for end, vreg_id, reg in active:
+            if end < iv.start:
+                free.append(reg)
+            else:
+                still_active.append((end, vreg_id, reg))
+        active = still_active
+
+        allowed = [r for r in free if (not iv.crosses_call
+                                       or r in callee_set)]
+        if allowed:
+            reg = allowed[0]
+            free.remove(reg)
+            assignment.regs[iv.vreg_id] = reg
+            if reg in callee_set:
+                assignment.used_callee_saved.add(reg)
+            active.append((iv.end, iv.vreg_id, reg))
+            active.sort()
+            continue
+
+        # No compatible register: spill the furthest-ending compatible
+        # interval (standard linear scan heuristic).
+        candidates = [entry for entry in active
+                      if not iv.crosses_call or entry[2] in callee_set]
+        if candidates and candidates[-1][0] > iv.end and \
+                _compatible(candidates[-1][2], iv, callee_set):
+            end, victim_id, reg = candidates[-1]
+            active.remove((end, victim_id, reg))
+            del assignment.regs[victim_id]
+            assignment.spill_slot(victim_id)
+            assignment.regs[iv.vreg_id] = reg
+            active.append((iv.end, iv.vreg_id, reg))
+            active.sort()
+        else:
+            assignment.spill_slot(iv.vreg_id)
+
+
+def _compatible(reg, iv, callee_set) -> bool:
+    return not iv.crosses_call or reg in callee_set

@@ -1,0 +1,19 @@
+"""WebAssembly (MVP): module model, binary codec, validator, interpreter."""
+
+from .binary import decode_module, encode_module
+from .interp import WasmInstance
+from .module import (
+    PAGE_SIZE, WasmData, WasmExport, WasmFuncType, WasmFunction,
+    WasmGlobal, WasmImport, WasmModule,
+)
+from .opcodes import BY_CODE, BY_NAME, WasmInstr
+from .text import format_function, format_module, parse_wat
+from .validate import validate_module
+
+__all__ = [
+    "WasmModule", "WasmFunction", "WasmFuncType", "WasmImport",
+    "WasmExport", "WasmGlobal", "WasmData", "WasmInstr", "PAGE_SIZE",
+    "BY_NAME", "BY_CODE",
+    "encode_module", "decode_module", "validate_module", "WasmInstance",
+    "format_module", "format_function", "parse_wat",
+]

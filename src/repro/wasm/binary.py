@@ -1,0 +1,499 @@
+"""WebAssembly binary format: encoder and decoder (MVP).
+
+Round-trips modules through the real ``\\0asm`` container with LEB128
+integers, so the JIT consumes genuine WebAssembly bytes rather than an
+in-memory shortcut.  Section ids and layouts follow the MVP spec.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import ValidationError
+from .module import (
+    VALTYPE_BYTES, VALTYPE_CODES, WasmData, WasmExport, WasmFuncType,
+    WasmFunction, WasmGlobal, WasmImport, WasmModule,
+)
+from .opcodes import (
+    BY_CODE, IMM_BLOCKTYPE, IMM_F32, IMM_F64, IMM_FUNC, IMM_GLOBAL, IMM_I32,
+    IMM_I64, IMM_LABEL, IMM_LABEL_TABLE, IMM_LOCAL, IMM_MEMARG, IMM_MEMORY,
+    IMM_TYPE_TABLE, WasmInstr,
+)
+
+MAGIC = b"\x00asm"
+VERSION = b"\x01\x00\x00\x00"
+
+SEC_TYPE = 1
+SEC_IMPORT = 2
+SEC_FUNCTION = 3
+SEC_TABLE = 4
+SEC_MEMORY = 5
+SEC_GLOBAL = 6
+SEC_EXPORT = 7
+SEC_START = 8
+SEC_ELEMENT = 9
+SEC_CODE = 10
+SEC_DATA = 11
+
+
+# -- LEB128 --------------------------------------------------------------------
+
+def encode_u32(value: int) -> bytes:
+    if value < 0:
+        raise ValueError("u32 cannot be negative")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_s64(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if (value == 0 and not (byte & 0x40)) or \
+                (value == -1 and (byte & 0x40)):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+encode_s32 = encode_s64
+
+
+class Reader:
+    """A cursor over binary module bytes."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise ValidationError("unexpected end of binary")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ValidationError("unexpected end of binary")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u32(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.byte()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 35:
+                raise ValidationError("u32 LEB128 too long")
+
+    def s_leb(self, bits: int) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.byte()
+            result |= (byte & 0x7F) << shift
+            shift += 7
+            if not byte & 0x80:
+                if shift < bits and (byte & 0x40):
+                    result |= -(1 << shift)
+                elif shift >= bits:
+                    # Wrap to the signed `bits`-wide range (the encoding
+                    # of e.g. a 64-bit negative uses 10 groups).
+                    result &= (1 << bits) - 1
+                    if result >= 1 << (bits - 1):
+                        result -= 1 << bits
+                return result
+            if shift > bits + 7:
+                raise ValidationError("sLEB128 too long")
+
+    def s32(self) -> int:
+        return self.s_leb(32)
+
+    def s64(self) -> int:
+        return self.s_leb(64)
+
+    def f32(self) -> float:
+        return struct.unpack("<f", self.take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("<d", self.take(8))[0]
+
+    def name(self) -> str:
+        length = self.u32()
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ValidationError(f"malformed name: {exc}") from None
+
+
+# -- encoding ---------------------------------------------------------------------
+
+def _enc_valtype(valtype: str) -> bytes:
+    return bytes([VALTYPE_BYTES[valtype]])
+
+
+def _enc_functype(ftype: WasmFuncType) -> bytes:
+    out = bytearray(b"\x60")
+    out += encode_u32(len(ftype.params))
+    for p in ftype.params:
+        out += _enc_valtype(p)
+    out += encode_u32(len(ftype.results))
+    for r in ftype.results:
+        out += _enc_valtype(r)
+    return bytes(out)
+
+
+def _enc_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    return encode_u32(len(raw)) + raw
+
+
+def encode_instr(instr: WasmInstr) -> bytes:
+    op = instr.opcode
+    out = bytearray([op.code])
+    imm = op.imm
+    args = instr.args
+    if imm == IMM_BLOCKTYPE:
+        bt = args[0]
+        if bt is None:
+            out.append(0x40)
+        else:
+            out += _enc_valtype(bt)
+    elif imm in (IMM_LABEL, IMM_FUNC, IMM_LOCAL, IMM_GLOBAL):
+        out += encode_u32(args[0])
+    elif imm == IMM_LABEL_TABLE:
+        targets, default = args
+        out += encode_u32(len(targets))
+        for t in targets:
+            out += encode_u32(t)
+        out += encode_u32(default)
+    elif imm == IMM_TYPE_TABLE:
+        out += encode_u32(args[0])
+        out.append(0x00)  # reserved table index
+    elif imm == IMM_MEMARG:
+        align, offset = args
+        out += encode_u32(align)
+        out += encode_u32(offset)
+    elif imm == IMM_MEMORY:
+        out.append(0x00)
+    elif imm == IMM_I32:
+        out += encode_s32(args[0])
+    elif imm == IMM_I64:
+        out += encode_s64(args[0])
+    elif imm == IMM_F32:
+        out += struct.pack("<f", args[0])
+    elif imm == IMM_F64:
+        out += struct.pack("<d", args[0])
+    return bytes(out)
+
+
+def _enc_expr(instrs) -> bytes:
+    out = bytearray()
+    for instr in instrs:
+        out += encode_instr(instr)
+    out.append(0x0B)  # end
+    return bytes(out)
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    return bytes([section_id]) + encode_u32(len(payload)) + payload
+
+
+def encode_module(module: WasmModule) -> bytes:
+    """Serialize a module to MVP binary bytes."""
+    out = bytearray(MAGIC + VERSION)
+
+    if module.types:
+        payload = encode_u32(len(module.types))
+        for ftype in module.types:
+            payload += _enc_functype(ftype)
+        out += _section(SEC_TYPE, payload)
+
+    if module.imports:
+        payload = encode_u32(len(module.imports))
+        for imp in module.imports:
+            payload += _enc_name(imp.module) + _enc_name(imp.name)
+            payload += b"\x00" + encode_u32(imp.type_index)
+        out += _section(SEC_IMPORT, payload)
+
+    if module.functions:
+        payload = encode_u32(len(module.functions))
+        for func in module.functions:
+            payload += encode_u32(func.type_index)
+        out += _section(SEC_FUNCTION, payload)
+
+    if module.table:
+        payload = encode_u32(1)            # one table
+        payload += b"\x70"                 # funcref
+        payload += b"\x00" + encode_u32(len(module.table))  # min only
+        out += _section(SEC_TABLE, payload)
+
+    initial, maximum = module.memory_pages
+    payload = encode_u32(1)
+    if maximum is None:
+        payload += b"\x00" + encode_u32(initial)
+    else:
+        payload += b"\x01" + encode_u32(initial) + encode_u32(maximum)
+    out += _section(SEC_MEMORY, payload)
+
+    if module.globals:
+        payload = encode_u32(len(module.globals))
+        for glob in module.globals:
+            payload += _enc_valtype(glob.valtype)
+            payload += b"\x01" if glob.mutable else b"\x00"
+            payload += _enc_expr([glob.init])
+        out += _section(SEC_GLOBAL, payload)
+
+    if module.exports:
+        payload = encode_u32(len(module.exports))
+        kinds = {"func": 0, "table": 1, "memory": 2, "global": 3}
+        for exp in module.exports:
+            payload += _enc_name(exp.name)
+            payload += bytes([kinds[exp.kind]]) + encode_u32(exp.index)
+        out += _section(SEC_EXPORT, payload)
+
+    if module.start is not None:
+        out += _section(SEC_START, encode_u32(module.start))
+
+    if module.table:
+        # One active element segment covering the whole table.
+        payload = encode_u32(1)
+        payload += encode_u32(0)  # table index
+        payload += _enc_expr([WasmInstr("i32.const", 0)])
+        payload += encode_u32(len(module.table))
+        for func_index in module.table:
+            payload += encode_u32(max(func_index, 0))
+        out += _section(SEC_ELEMENT, payload)
+
+    if module.functions:
+        payload = encode_u32(len(module.functions))
+        for func in module.functions:
+            body = bytearray()
+            groups = _group_locals(func.locals)
+            body += encode_u32(len(groups))
+            for count, valtype in groups:
+                body += encode_u32(count) + _enc_valtype(valtype)
+            body += _enc_expr(func.body)
+            payload += encode_u32(len(body)) + body
+        out += _section(SEC_CODE, payload)
+
+    if module.data:
+        payload = encode_u32(len(module.data))
+        for seg in module.data:
+            payload += encode_u32(0)  # memory index
+            payload += _enc_expr([WasmInstr("i32.const", seg.offset)])
+            payload += encode_u32(len(seg.data)) + seg.data
+        out += _section(SEC_DATA, payload)
+
+    return bytes(out)
+
+
+def _group_locals(locals_):
+    groups = []
+    for valtype in locals_:
+        if groups and groups[-1][1] == valtype:
+            groups[-1][0] += 1
+        else:
+            groups.append([1, valtype])
+    return [(count, vt) for count, vt in groups]
+
+
+# -- decoding -----------------------------------------------------------------------
+
+def decode_instr(reader: Reader) -> WasmInstr:
+    code = reader.byte()
+    op = BY_CODE.get(code)
+    if op is None:
+        raise ValidationError(f"unknown opcode {code:#x}")
+    imm = op.imm
+    if imm == IMM_BLOCKTYPE:
+        bt = reader.byte()
+        args = (None,) if bt == 0x40 else (VALTYPE_CODES[bt],)
+    elif imm in (IMM_LABEL, IMM_FUNC, IMM_LOCAL, IMM_GLOBAL):
+        args = (reader.u32(),)
+    elif imm == IMM_LABEL_TABLE:
+        count = reader.u32()
+        targets = [reader.u32() for _ in range(count)]
+        args = (targets, reader.u32())
+    elif imm == IMM_TYPE_TABLE:
+        type_index = reader.u32()
+        reader.byte()  # reserved
+        args = (type_index,)
+    elif imm == IMM_MEMARG:
+        args = (reader.u32(), reader.u32())
+    elif imm == IMM_MEMORY:
+        reader.byte()
+        args = ()
+    elif imm == IMM_I32:
+        args = (reader.s32(),)
+    elif imm == IMM_I64:
+        args = (reader.s64(),)
+    elif imm == IMM_F32:
+        args = (reader.f32(),)
+    elif imm == IMM_F64:
+        args = (reader.f64(),)
+    else:
+        args = ()
+    return WasmInstr(op.name, *args)
+
+
+def _dec_expr(reader: Reader):
+    """Decode instructions until the matching top-level ``end``."""
+    instrs = []
+    depth = 0
+    while True:
+        if reader.data[reader.pos] == 0x0B and depth == 0:
+            reader.byte()
+            return instrs
+        instr = decode_instr(reader)
+        if instr.op in ("block", "loop", "if"):
+            depth += 1
+        elif instr.op == "end":
+            depth -= 1
+        instrs.append(instr)
+
+
+def _dec_valtype(reader: Reader) -> str:
+    code = reader.byte()
+    if code not in VALTYPE_CODES:
+        raise ValidationError(f"bad value type {code:#x}")
+    return VALTYPE_CODES[code]
+
+
+def decode_module(data: bytes, name: str = "module") -> WasmModule:
+    """Parse MVP binary bytes into a WasmModule.
+
+    Malformed input of any kind is reported as :class:`ValidationError`;
+    raw decoding exceptions never escape.
+    """
+    try:
+        return _decode_module(data, name)
+    except ValidationError:
+        raise
+    except (KeyError, IndexError, ValueError, OverflowError,
+            MemoryError, struct.error) as exc:
+        raise ValidationError(
+            f"malformed module: {type(exc).__name__}: {exc}") from None
+
+
+def _decode_module(data: bytes, name: str = "module") -> WasmModule:
+    reader = Reader(data)
+    if reader.take(4) != MAGIC:
+        raise ValidationError("bad magic number")
+    if reader.take(4) != VERSION:
+        raise ValidationError("unsupported version")
+
+    module = WasmModule(name)
+    while not reader.eof():
+        section_id = reader.byte()
+        size = reader.u32()
+        body = Reader(reader.take(size))
+        if section_id == SEC_TYPE:
+            for _ in range(body.u32()):
+                if body.byte() != 0x60:
+                    raise ValidationError("bad functype tag")
+                params = [_dec_valtype(body) for _ in range(body.u32())]
+                results = [_dec_valtype(body) for _ in range(body.u32())]
+                module.types.append(WasmFuncType(params, results))
+        elif section_id == SEC_IMPORT:
+            for _ in range(body.u32()):
+                mod_name = body.name()
+                field = body.name()
+                kind = body.byte()
+                if kind != 0x00:
+                    raise ValidationError("only function imports supported")
+                module.imports.append(
+                    WasmImport(mod_name, field, "func", body.u32()))
+        elif section_id == SEC_FUNCTION:
+            for _ in range(body.u32()):
+                module.functions.append(WasmFunction(body.u32()))
+        elif section_id == SEC_TABLE:
+            for _ in range(body.u32()):
+                if body.byte() != 0x70:
+                    raise ValidationError("bad table element type")
+                flags = body.byte()
+                initial = body.u32()
+                if flags:
+                    body.u32()
+                module.table = [0] * initial
+        elif section_id == SEC_MEMORY:
+            for _ in range(body.u32()):
+                flags = body.byte()
+                initial = body.u32()
+                maximum = body.u32() if flags else None
+                module.memory_pages = (initial, maximum)
+        elif section_id == SEC_GLOBAL:
+            for _ in range(body.u32()):
+                valtype = _dec_valtype(body)
+                mutable = body.byte() == 1
+                init = _dec_expr(body)
+                module.globals.append(
+                    WasmGlobal(valtype, mutable, init[0]))
+        elif section_id == SEC_EXPORT:
+            kinds = {0: "func", 1: "table", 2: "memory", 3: "global"}
+            for _ in range(body.u32()):
+                export_name = body.name()
+                kind = kinds[body.byte()]
+                module.exports.append(
+                    WasmExport(export_name, kind, body.u32()))
+        elif section_id == SEC_START:
+            module.start = body.u32()
+        elif section_id == SEC_ELEMENT:
+            for _ in range(body.u32()):
+                if body.u32() != 0:
+                    raise ValidationError("bad element table index")
+                offset_expr = _dec_expr(body)
+                offset = offset_expr[0].args[0]
+                count = body.u32()
+                for i in range(count):
+                    idx = body.u32()
+                    while len(module.table) <= offset + i:
+                        module.table.append(0)
+                    module.table[offset + i] = idx
+        elif section_id == SEC_CODE:
+            count = body.u32()
+            for i in range(count):
+                size = body.u32()
+                code = Reader(body.take(size))
+                locals_ = []
+                for _ in range(code.u32()):
+                    n = code.u32()
+                    valtype = _dec_valtype(code)
+                    locals_.extend([valtype] * n)
+                func = module.functions[i]
+                func.locals = locals_
+                func.body = _dec_expr(code)
+        elif section_id == SEC_DATA:
+            for _ in range(body.u32()):
+                if body.u32() != 0:
+                    raise ValidationError("bad data memory index")
+                offset_expr = _dec_expr(body)
+                offset = offset_expr[0].args[0]
+                length = body.u32()
+                module.data.append(WasmData(offset, body.take(length)))
+        else:
+            pass  # custom/unknown sections are skipped
+
+    # Recover function names from exports for nicer diagnostics.
+    imports = module.num_imported_funcs
+    for exp in module.exports:
+        if exp.kind == "func" and exp.index >= imports:
+            module.functions[exp.index - imports].name = exp.name
+    return module

@@ -1,0 +1,514 @@
+"""WebAssembly interpreter (MVP).
+
+A straightforward stack-machine interpreter over decoded modules.  Used as
+the semantic reference for WebAssembly execution: the differential tests
+check that the Chrome/Firefox JIT pipelines produce x86 code whose
+behaviour matches direct interpretation of the same module.
+
+Structured control flow is executed with a pre-computed matching-``end``
+map, so branches are O(1).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from ..errors import LinkError, TrapError
+from ..ir import intops
+from .module import PAGE_SIZE, WasmModule
+from .validate import validate_module
+
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+_LOAD_FMT = {
+    "i32.load": ("<I", 4, False, 32), "i64.load": ("<Q", 8, False, 64),
+    "i32.load8_s": ("<b", 1, True, 32), "i32.load8_u": ("<B", 1, False, 32),
+    "i32.load16_s": ("<h", 2, True, 32), "i32.load16_u": ("<H", 2, False, 32),
+    "i64.load8_s": ("<b", 1, True, 64), "i64.load8_u": ("<B", 1, False, 64),
+    "i64.load16_s": ("<h", 2, True, 64),
+    "i64.load16_u": ("<H", 2, False, 64),
+    "i64.load32_s": ("<i", 4, True, 64),
+    "i64.load32_u": ("<I", 4, False, 64),
+}
+_STORE_FMT = {
+    "i32.store": ("<I", 4, 32), "i64.store": ("<Q", 8, 64),
+    "i32.store8": ("<B", 1, 8), "i32.store16": ("<H", 2, 16),
+    "i64.store8": ("<B", 1, 8), "i64.store16": ("<H", 2, 16),
+    "i64.store32": ("<I", 4, 32),
+}
+
+
+def _match_control(body):
+    """Map each block/loop/if index to (end index, else index or None)."""
+    matches = {}
+    stack = []
+    for i, instr in enumerate(body):
+        op = instr.op
+        if op in ("block", "loop", "if"):
+            stack.append([i, None])
+        elif op == "else":
+            stack[-1][1] = i
+        elif op == "end":
+            start, else_idx = stack.pop()
+            matches[start] = (i, else_idx)
+    return matches
+
+
+class WasmInstance:
+    """An instantiated module: memory, table, globals, and execution."""
+
+    def __init__(self, module: WasmModule, host=None, validate: bool = True,
+                 max_call_depth: int = 2000):
+        if validate:
+            validate_module(module)
+        self.module = module
+        self.host = host
+        initial, maximum = module.memory_pages
+        self.memory = bytearray(initial * PAGE_SIZE)
+        self.max_pages = maximum
+        self.globals = [self._eval_const(g.init) for g in module.globals]
+        self.table = list(module.table)
+        self.max_call_depth = max_call_depth
+        self.call_depth = 0
+        self._imports = [imp for imp in module.imports if imp.kind == "func"]
+        self._match_cache = {}
+        for seg in module.data:
+            self.memory[seg.offset:seg.offset + len(seg.data)] = seg.data
+
+    @staticmethod
+    def _eval_const(instr):
+        if instr.op in ("i32.const", "i64.const", "f32.const", "f64.const"):
+            value = instr.args[0]
+            if instr.op == "i32.const":
+                return value & _M32
+            if instr.op == "i64.const":
+                return value & _M64
+            return float(value)
+        raise TrapError(f"unsupported constant initializer {instr.op}")
+
+    # -- embedder API -----------------------------------------------------------
+
+    def read_mem(self, addr: int, length: int) -> bytes:
+        if addr < 0 or addr + length > len(self.memory):
+            raise TrapError(f"out-of-bounds read at {addr:#x}")
+        return bytes(self.memory[addr:addr + length])
+
+    def write_mem(self, addr: int, data: bytes) -> None:
+        if addr < 0 or addr + len(data) > len(self.memory):
+            raise TrapError(f"out-of-bounds write at {addr:#x}")
+        self.memory[addr:addr + len(data)] = data
+
+    def invoke(self, export_name: str, args=()):
+        index = self.module.export_index(export_name)
+        if index is None:
+            raise LinkError(f"no exported function {export_name}")
+        return self._call_function(index, list(args))
+
+    # -- execution ------------------------------------------------------------------
+
+    def _call_function(self, func_index: int, args):
+        num_imports = len(self._imports)
+        if func_index < num_imports:
+            imp = self._imports[func_index]
+            if self.host is None:
+                raise LinkError(f"unresolved import {imp.name}")
+            return self.host.call(self, imp.name, args)
+        func = self.module.functions[func_index - num_imports]
+        ftype = self.module.types[func.type_index]
+        self.call_depth += 1
+        if self.call_depth > self.max_call_depth:
+            self.call_depth -= 1
+            raise TrapError("call stack exhausted")
+        try:
+            locals_ = list(args)
+            for valtype in func.locals:
+                locals_.append(0.0 if valtype in ("f32", "f64") else 0)
+            result = self._exec_body(func, ftype, locals_)
+            return result
+        except RecursionError:
+            raise TrapError("call stack exhausted") from None
+        finally:
+            self.call_depth -= 1
+
+    def _exec_body(self, func, ftype, locals_):
+        body = func.body
+        key = id(func)
+        matches = self._match_cache.get(key)
+        if matches is None:
+            matches = _match_control(body)
+            self._match_cache[key] = matches
+
+        stack = []
+        # Control stack entries: (op, start, end, else, height, arity)
+        ctrl = [("func", -1, len(body), None, 0, len(ftype.results))]
+        pc = 0
+        n = len(body)
+        memory = self.memory
+
+        while pc < n or ctrl:
+            if pc >= n:
+                break
+            instr = body[pc]
+            op = instr.op
+            pc += 1
+
+            if op == "local.get":
+                stack.append(locals_[instr.args[0]])
+            elif op == "local.set":
+                locals_[instr.args[0]] = stack.pop()
+            elif op == "local.tee":
+                locals_[instr.args[0]] = stack[-1]
+            elif op == "i32.const":
+                stack.append(instr.args[0] & _M32)
+            elif op == "i64.const":
+                stack.append(instr.args[0] & _M64)
+            elif op in ("f32.const", "f64.const"):
+                stack.append(float(instr.args[0]))
+            elif op == "block" or op == "loop":
+                end, _else = matches[pc - 1]
+                arity = 1 if instr.args[0] else 0
+                ctrl.append((op, pc - 1, end, None, len(stack), arity))
+            elif op == "if":
+                end, else_idx = matches[pc - 1]
+                cond = stack.pop()
+                arity = 1 if instr.args[0] else 0
+                ctrl.append(("if", pc - 1, end, else_idx,
+                             len(stack), arity))
+                if not cond:
+                    pc = (else_idx + 1) if else_idx is not None else end
+            elif op == "else":
+                # Falling into else after the then-arm: jump to end.
+                frame = ctrl[-1]
+                pc = frame[2]
+            elif op == "end":
+                ctrl.pop()
+            elif op == "br" or op == "br_if":
+                if op == "br_if":
+                    if not stack.pop():
+                        continue
+                pc = self._do_branch(instr.args[0], ctrl, stack)
+            elif op == "br_table":
+                targets, default = instr.args
+                index = stack.pop()
+                depth = targets[index] if index < len(targets) else default
+                pc = self._do_branch(depth, ctrl, stack)
+            elif op == "return":
+                break
+            elif op == "call":
+                pc_args = self._pop_call_args(stack, instr.args[0])
+                result = self._call_function(instr.args[0], pc_args)
+                if result is not None:
+                    stack.append(self._norm_result(instr.args[0], result))
+            elif op == "call_indirect":
+                index = stack.pop()
+                if not 0 <= index < len(self.table):
+                    raise TrapError("undefined table element")
+                target = self.table[index]
+                expect = self.module.types[instr.args[0]]
+                actual = self.module.func_type_of(target)
+                if expect != actual:
+                    raise TrapError("indirect call type mismatch")
+                nargs = len(expect.params)
+                args = stack[len(stack) - nargs:]
+                del stack[len(stack) - nargs:]
+                result = self._call_function(target, args)
+                if result is not None and expect.results:
+                    stack.append(result)
+            elif op == "drop":
+                stack.pop()
+            elif op == "select":
+                cond = stack.pop()
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(a if cond else b)
+            elif op == "global.get":
+                stack.append(self.globals[instr.args[0]])
+            elif op == "global.set":
+                self.globals[instr.args[0]] = stack.pop()
+            elif op == "unreachable":
+                raise TrapError("unreachable executed")
+            elif op == "nop":
+                pass
+            elif op == "memory.size":
+                stack.append(len(memory) // PAGE_SIZE)
+            elif op == "memory.grow":
+                delta = stack.pop()
+                old = len(memory) // PAGE_SIZE
+                new = old + delta
+                if self.max_pages is not None and new > self.max_pages:
+                    stack.append(_M32)  # -1
+                else:
+                    self.memory.extend(bytes(delta * PAGE_SIZE))
+                    memory = self.memory
+                    stack.append(old)
+            elif op == "f64.load" or op == "f32.load":
+                addr = stack.pop() + instr.args[1]
+                width = 8 if op == "f64.load" else 4
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                fmt = "<d" if op == "f64.load" else "<f"
+                stack.append(struct.unpack_from(fmt, memory, addr)[0])
+            elif op in _LOAD_FMT:
+                fmt, width, signed_load, bits = _LOAD_FMT[op]
+                addr = stack.pop() + instr.args[1]
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                value = struct.unpack_from(fmt, memory, addr)[0]
+                stack.append(value & ((1 << bits) - 1))
+            elif op == "f64.store" or op == "f32.store":
+                value = stack.pop()
+                addr = stack.pop() + instr.args[1]
+                width = 8 if op == "f64.store" else 4
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                fmt = "<d" if op == "f64.store" else "<f"
+                struct.pack_into(fmt, memory, addr, value)
+            elif op in _STORE_FMT:
+                fmt, width, bits = _STORE_FMT[op]
+                value = stack.pop()
+                addr = stack.pop() + instr.args[1]
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                struct.pack_into(fmt, memory, addr,
+                                 value & ((1 << bits) - 1))
+            else:
+                self._numeric(op, stack)
+
+        if ftype.results:
+            return stack[-1] if stack else 0
+        return None
+
+    def _pop_call_args(self, stack, func_index):
+        ftype = self.module.func_type_of(func_index)
+        nargs = len(ftype.params)
+        args = stack[len(stack) - nargs:] if nargs else []
+        if nargs:
+            del stack[len(stack) - nargs:]
+        return args
+
+    def _norm_result(self, func_index, result):
+        ftype = self.module.func_type_of(func_index)
+        if not ftype.results:
+            return result
+        rt = ftype.results[0]
+        if rt == "i32":
+            return int(result) & _M32
+        if rt == "i64":
+            return int(result) & _M64
+        return float(result)
+
+    @staticmethod
+    def _do_branch(depth, ctrl, stack):
+        """Unwind to the target frame; returns the new pc."""
+        target = ctrl[len(ctrl) - 1 - depth]
+        op, start, end, _else, height, arity = target
+        # Preserve the branch operands, discard the rest.
+        if arity and op != "loop":
+            operands = stack[len(stack) - arity:]
+            del stack[height:]
+            stack.extend(operands)
+        else:
+            del stack[height:]
+        if op == "loop":
+            # Back edge: unwind to (but keep) the loop frame.
+            if depth:
+                del ctrl[len(ctrl) - depth:]
+            return start + 1
+        # Forward branch: the target frame is popped too (its `end` is
+        # skipped), and execution resumes after it.
+        del ctrl[len(ctrl) - depth - 1:]
+        return end + 1 if op != "func" else 10 ** 9
+
+    # -- numeric operations -----------------------------------------------------------
+
+    def _numeric(self, op, stack) -> None:
+        prefix, _, suffix = op.partition(".")
+        try:
+            if prefix in ("i32", "i64"):
+                bits = 32 if prefix == "i32" else 64
+                self._int_op(suffix, bits, stack)
+            elif prefix in ("f32", "f64"):
+                self._float_op(op, prefix, suffix, stack)
+            else:
+                raise TrapError(f"unhandled opcode {op}")
+        except ZeroDivisionError:
+            raise TrapError("integer divide by zero") from None
+        except ArithmeticError as exc:
+            raise TrapError(str(exc)) from None
+
+    def _int_op(self, suffix, bits, stack) -> None:
+        mask = (1 << bits) - 1
+        if suffix == "eqz":
+            stack.append(1 if stack.pop() == 0 else 0)
+            return
+        if suffix == "clz":
+            stack.append(intops.clz(stack.pop(), bits))
+            return
+        if suffix == "ctz":
+            stack.append(intops.ctz(stack.pop(), bits))
+            return
+        if suffix == "popcnt":
+            stack.append(intops.popcnt(stack.pop(), bits))
+            return
+        if suffix == "wrap_i64":
+            stack.append(stack.pop() & _M32)
+            return
+        if suffix in ("extend_i32_s", "extend_i32_u"):
+            value = stack.pop()
+            if suffix.endswith("_s"):
+                stack.append(intops.signed32(value) & _M64)
+            else:
+                stack.append(value & _M32)
+            return
+        if suffix.startswith("trunc_"):
+            value = stack.pop()
+            stack.append(intops.trunc_f64(value, bits,
+                                          suffix.endswith("_s")))
+            return
+        if suffix.startswith("reinterpret"):
+            value = stack.pop()
+            if bits == 64:
+                stack.append(intops.f64_bits(value))
+            else:
+                stack.append(struct.unpack("<I", struct.pack("<f", value))[0])
+            return
+
+        b = stack.pop()
+        a = stack.pop()
+        sa, sb = intops.signed(a, bits), intops.signed(b, bits)
+        if suffix == "add":
+            stack.append((a + b) & mask)
+        elif suffix == "sub":
+            stack.append((a - b) & mask)
+        elif suffix == "mul":
+            stack.append((a * b) & mask)
+        elif suffix == "div_s":
+            if sa == -(1 << (bits - 1)) and sb == -1:
+                raise TrapError("integer overflow")
+            stack.append(intops.div_s(a, b, bits))
+        elif suffix == "div_u":
+            stack.append(intops.div_u(a, b, bits))
+        elif suffix == "rem_s":
+            stack.append(intops.rem_s(a, b, bits))
+        elif suffix == "rem_u":
+            stack.append(intops.rem_u(a, b, bits))
+        elif suffix == "and":
+            stack.append(a & b)
+        elif suffix == "or":
+            stack.append(a | b)
+        elif suffix == "xor":
+            stack.append(a ^ b)
+        elif suffix == "shl":
+            stack.append(intops.shl(a, b, bits))
+        elif suffix == "shr_s":
+            stack.append(intops.shr_s(a, b, bits))
+        elif suffix == "shr_u":
+            stack.append(intops.shr_u(a, b, bits))
+        elif suffix == "rotl":
+            stack.append(intops.rotl(a, b, bits))
+        elif suffix == "rotr":
+            stack.append(intops.rotr(a, b, bits))
+        elif suffix == "eq":
+            stack.append(1 if a == b else 0)
+        elif suffix == "ne":
+            stack.append(1 if a != b else 0)
+        elif suffix == "lt_s":
+            stack.append(1 if sa < sb else 0)
+        elif suffix == "lt_u":
+            stack.append(1 if a < b else 0)
+        elif suffix == "gt_s":
+            stack.append(1 if sa > sb else 0)
+        elif suffix == "gt_u":
+            stack.append(1 if a > b else 0)
+        elif suffix == "le_s":
+            stack.append(1 if sa <= sb else 0)
+        elif suffix == "le_u":
+            stack.append(1 if a <= b else 0)
+        elif suffix == "ge_s":
+            stack.append(1 if sa >= sb else 0)
+        elif suffix == "ge_u":
+            stack.append(1 if a >= b else 0)
+        else:
+            raise TrapError(f"unhandled integer op {suffix}")
+
+    def _float_op(self, op, prefix, suffix, stack) -> None:
+        def narrow(x: float) -> float:
+            if prefix == "f32":
+                return struct.unpack("<f", struct.pack("<f", x))[0]
+            return x
+
+        if suffix.startswith("convert_"):
+            value = stack.pop()
+            bits = 64 if "i64" in suffix else 32
+            if suffix.endswith("_s"):
+                stack.append(narrow(float(intops.signed(value, bits))))
+            else:
+                stack.append(narrow(float(value & ((1 << bits) - 1))))
+            return
+        if suffix == "demote_f64" or suffix == "promote_f32":
+            stack.append(narrow(stack.pop()))
+            return
+        if suffix.startswith("reinterpret"):
+            value = stack.pop()
+            if prefix == "f64":
+                stack.append(intops.bits_f64(value))
+            else:
+                stack.append(struct.unpack("<f", struct.pack("<I",
+                                                             value))[0])
+            return
+        if suffix in ("abs", "neg", "ceil", "floor", "trunc", "nearest",
+                      "sqrt"):
+            value = stack.pop()
+            if suffix == "abs":
+                result = abs(value)
+            elif suffix == "neg":
+                result = -value
+            elif suffix == "ceil":
+                result = float(math.ceil(value))
+            elif suffix == "floor":
+                result = float(math.floor(value))
+            elif suffix == "trunc":
+                result = float(math.trunc(value))
+            elif suffix == "nearest":
+                result = float(round(value))
+            else:
+                result = math.sqrt(value) if value >= 0 else float("nan")
+            stack.append(narrow(result))
+            return
+
+        b = stack.pop()
+        a = stack.pop()
+        if suffix == "add":
+            stack.append(narrow(a + b))
+        elif suffix == "sub":
+            stack.append(narrow(a - b))
+        elif suffix == "mul":
+            stack.append(narrow(a * b))
+        elif suffix == "div":
+            if b == 0.0:
+                stack.append(float("inf") if a > 0
+                             else float("-inf") if a < 0 else float("nan"))
+            else:
+                stack.append(narrow(a / b))
+        elif suffix == "min":
+            stack.append(min(a, b))
+        elif suffix == "max":
+            stack.append(max(a, b))
+        elif suffix == "copysign":
+            stack.append(math.copysign(a, b))
+        elif suffix == "eq":
+            stack.append(1 if a == b else 0)
+        elif suffix == "ne":
+            stack.append(1 if a != b else 0)
+        elif suffix == "lt":
+            stack.append(1 if a < b else 0)
+        elif suffix == "gt":
+            stack.append(1 if a > b else 0)
+        elif suffix == "le":
+            stack.append(1 if a <= b else 0)
+        elif suffix == "ge":
+            stack.append(1 if a >= b else 0)
+        else:
+            raise TrapError(f"unhandled float op {op}")

@@ -1,0 +1,255 @@
+"""WebAssembly MVP opcode table.
+
+Covers the full numeric, parametric, variable, memory, and control opcode
+set of the initial (MVP) WebAssembly specification — the version the paper
+targets ("This paper focuses on the initial and stable version of
+WebAssembly").  Each opcode records its binary encoding and immediate
+format, shared by the encoder, decoder, validator, and interpreter.
+"""
+
+from __future__ import annotations
+
+# Immediate kinds.
+IMM_NONE = ""
+IMM_BLOCKTYPE = "blocktype"
+IMM_LABEL = "label"
+IMM_LABEL_TABLE = "labeltable"   # br_table
+IMM_FUNC = "func"
+IMM_TYPE_TABLE = "calltype"      # call_indirect: type index + reserved
+IMM_LOCAL = "local"
+IMM_GLOBAL = "global"
+IMM_MEMARG = "memarg"            # align + offset
+IMM_MEMORY = "memory"            # reserved byte (memory.size/grow)
+IMM_I32 = "i32"
+IMM_I64 = "i64"
+IMM_F32 = "f32"
+IMM_F64 = "f64"
+
+
+class Op:
+    __slots__ = ("code", "name", "imm")
+
+    def __init__(self, code: int, name: str, imm: str = IMM_NONE):
+        self.code = code
+        self.name = name
+        self.imm = imm
+
+    def __repr__(self):
+        return f"<op {self.name} ({self.code:#x})>"
+
+
+_OPS = [
+    # Control.
+    (0x00, "unreachable", IMM_NONE),
+    (0x01, "nop", IMM_NONE),
+    (0x02, "block", IMM_BLOCKTYPE),
+    (0x03, "loop", IMM_BLOCKTYPE),
+    (0x04, "if", IMM_BLOCKTYPE),
+    (0x05, "else", IMM_NONE),
+    (0x0B, "end", IMM_NONE),
+    (0x0C, "br", IMM_LABEL),
+    (0x0D, "br_if", IMM_LABEL),
+    (0x0E, "br_table", IMM_LABEL_TABLE),
+    (0x0F, "return", IMM_NONE),
+    (0x10, "call", IMM_FUNC),
+    (0x11, "call_indirect", IMM_TYPE_TABLE),
+    # Parametric.
+    (0x1A, "drop", IMM_NONE),
+    (0x1B, "select", IMM_NONE),
+    # Variable.
+    (0x20, "local.get", IMM_LOCAL),
+    (0x21, "local.set", IMM_LOCAL),
+    (0x22, "local.tee", IMM_LOCAL),
+    (0x23, "global.get", IMM_GLOBAL),
+    (0x24, "global.set", IMM_GLOBAL),
+    # Memory.
+    (0x28, "i32.load", IMM_MEMARG),
+    (0x29, "i64.load", IMM_MEMARG),
+    (0x2A, "f32.load", IMM_MEMARG),
+    (0x2B, "f64.load", IMM_MEMARG),
+    (0x2C, "i32.load8_s", IMM_MEMARG),
+    (0x2D, "i32.load8_u", IMM_MEMARG),
+    (0x2E, "i32.load16_s", IMM_MEMARG),
+    (0x2F, "i32.load16_u", IMM_MEMARG),
+    (0x30, "i64.load8_s", IMM_MEMARG),
+    (0x31, "i64.load8_u", IMM_MEMARG),
+    (0x32, "i64.load16_s", IMM_MEMARG),
+    (0x33, "i64.load16_u", IMM_MEMARG),
+    (0x34, "i64.load32_s", IMM_MEMARG),
+    (0x35, "i64.load32_u", IMM_MEMARG),
+    (0x36, "i32.store", IMM_MEMARG),
+    (0x37, "i64.store", IMM_MEMARG),
+    (0x38, "f32.store", IMM_MEMARG),
+    (0x39, "f64.store", IMM_MEMARG),
+    (0x3A, "i32.store8", IMM_MEMARG),
+    (0x3B, "i32.store16", IMM_MEMARG),
+    (0x3C, "i64.store8", IMM_MEMARG),
+    (0x3D, "i64.store16", IMM_MEMARG),
+    (0x3E, "i64.store32", IMM_MEMARG),
+    (0x3F, "memory.size", IMM_MEMORY),
+    (0x40, "memory.grow", IMM_MEMORY),
+    # Constants.
+    (0x41, "i32.const", IMM_I32),
+    (0x42, "i64.const", IMM_I64),
+    (0x43, "f32.const", IMM_F32),
+    (0x44, "f64.const", IMM_F64),
+    # i32 comparisons.
+    (0x45, "i32.eqz", IMM_NONE),
+    (0x46, "i32.eq", IMM_NONE),
+    (0x47, "i32.ne", IMM_NONE),
+    (0x48, "i32.lt_s", IMM_NONE),
+    (0x49, "i32.lt_u", IMM_NONE),
+    (0x4A, "i32.gt_s", IMM_NONE),
+    (0x4B, "i32.gt_u", IMM_NONE),
+    (0x4C, "i32.le_s", IMM_NONE),
+    (0x4D, "i32.le_u", IMM_NONE),
+    (0x4E, "i32.ge_s", IMM_NONE),
+    (0x4F, "i32.ge_u", IMM_NONE),
+    # i64 comparisons.
+    (0x50, "i64.eqz", IMM_NONE),
+    (0x51, "i64.eq", IMM_NONE),
+    (0x52, "i64.ne", IMM_NONE),
+    (0x53, "i64.lt_s", IMM_NONE),
+    (0x54, "i64.lt_u", IMM_NONE),
+    (0x55, "i64.gt_s", IMM_NONE),
+    (0x56, "i64.gt_u", IMM_NONE),
+    (0x57, "i64.le_s", IMM_NONE),
+    (0x58, "i64.le_u", IMM_NONE),
+    (0x59, "i64.ge_s", IMM_NONE),
+    (0x5A, "i64.ge_u", IMM_NONE),
+    # f32 comparisons.
+    (0x5B, "f32.eq", IMM_NONE),
+    (0x5C, "f32.ne", IMM_NONE),
+    (0x5D, "f32.lt", IMM_NONE),
+    (0x5E, "f32.gt", IMM_NONE),
+    (0x5F, "f32.le", IMM_NONE),
+    (0x60, "f32.ge", IMM_NONE),
+    # f64 comparisons.
+    (0x61, "f64.eq", IMM_NONE),
+    (0x62, "f64.ne", IMM_NONE),
+    (0x63, "f64.lt", IMM_NONE),
+    (0x64, "f64.gt", IMM_NONE),
+    (0x65, "f64.le", IMM_NONE),
+    (0x66, "f64.ge", IMM_NONE),
+    # i32 arithmetic.
+    (0x67, "i32.clz", IMM_NONE),
+    (0x68, "i32.ctz", IMM_NONE),
+    (0x69, "i32.popcnt", IMM_NONE),
+    (0x6A, "i32.add", IMM_NONE),
+    (0x6B, "i32.sub", IMM_NONE),
+    (0x6C, "i32.mul", IMM_NONE),
+    (0x6D, "i32.div_s", IMM_NONE),
+    (0x6E, "i32.div_u", IMM_NONE),
+    (0x6F, "i32.rem_s", IMM_NONE),
+    (0x70, "i32.rem_u", IMM_NONE),
+    (0x71, "i32.and", IMM_NONE),
+    (0x72, "i32.or", IMM_NONE),
+    (0x73, "i32.xor", IMM_NONE),
+    (0x74, "i32.shl", IMM_NONE),
+    (0x75, "i32.shr_s", IMM_NONE),
+    (0x76, "i32.shr_u", IMM_NONE),
+    (0x77, "i32.rotl", IMM_NONE),
+    (0x78, "i32.rotr", IMM_NONE),
+    # i64 arithmetic.
+    (0x79, "i64.clz", IMM_NONE),
+    (0x7A, "i64.ctz", IMM_NONE),
+    (0x7B, "i64.popcnt", IMM_NONE),
+    (0x7C, "i64.add", IMM_NONE),
+    (0x7D, "i64.sub", IMM_NONE),
+    (0x7E, "i64.mul", IMM_NONE),
+    (0x7F, "i64.div_s", IMM_NONE),
+    (0x80, "i64.div_u", IMM_NONE),
+    (0x81, "i64.rem_s", IMM_NONE),
+    (0x82, "i64.rem_u", IMM_NONE),
+    (0x83, "i64.and", IMM_NONE),
+    (0x84, "i64.or", IMM_NONE),
+    (0x85, "i64.xor", IMM_NONE),
+    (0x86, "i64.shl", IMM_NONE),
+    (0x87, "i64.shr_s", IMM_NONE),
+    (0x88, "i64.shr_u", IMM_NONE),
+    (0x89, "i64.rotl", IMM_NONE),
+    (0x8A, "i64.rotr", IMM_NONE),
+    # f32 arithmetic.
+    (0x8B, "f32.abs", IMM_NONE),
+    (0x8C, "f32.neg", IMM_NONE),
+    (0x8D, "f32.ceil", IMM_NONE),
+    (0x8E, "f32.floor", IMM_NONE),
+    (0x8F, "f32.trunc", IMM_NONE),
+    (0x90, "f32.nearest", IMM_NONE),
+    (0x91, "f32.sqrt", IMM_NONE),
+    (0x92, "f32.add", IMM_NONE),
+    (0x93, "f32.sub", IMM_NONE),
+    (0x94, "f32.mul", IMM_NONE),
+    (0x95, "f32.div", IMM_NONE),
+    (0x96, "f32.min", IMM_NONE),
+    (0x97, "f32.max", IMM_NONE),
+    (0x98, "f32.copysign", IMM_NONE),
+    # f64 arithmetic.
+    (0x99, "f64.abs", IMM_NONE),
+    (0x9A, "f64.neg", IMM_NONE),
+    (0x9B, "f64.ceil", IMM_NONE),
+    (0x9C, "f64.floor", IMM_NONE),
+    (0x9D, "f64.trunc", IMM_NONE),
+    (0x9E, "f64.nearest", IMM_NONE),
+    (0x9F, "f64.sqrt", IMM_NONE),
+    (0xA0, "f64.add", IMM_NONE),
+    (0xA1, "f64.sub", IMM_NONE),
+    (0xA2, "f64.mul", IMM_NONE),
+    (0xA3, "f64.div", IMM_NONE),
+    (0xA4, "f64.min", IMM_NONE),
+    (0xA5, "f64.max", IMM_NONE),
+    (0xA6, "f64.copysign", IMM_NONE),
+    # Conversions.
+    (0xA7, "i32.wrap_i64", IMM_NONE),
+    (0xA8, "i32.trunc_f32_s", IMM_NONE),
+    (0xA9, "i32.trunc_f32_u", IMM_NONE),
+    (0xAA, "i32.trunc_f64_s", IMM_NONE),
+    (0xAB, "i32.trunc_f64_u", IMM_NONE),
+    (0xAC, "i64.extend_i32_s", IMM_NONE),
+    (0xAD, "i64.extend_i32_u", IMM_NONE),
+    (0xAE, "i64.trunc_f32_s", IMM_NONE),
+    (0xAF, "i64.trunc_f32_u", IMM_NONE),
+    (0xB0, "i64.trunc_f64_s", IMM_NONE),
+    (0xB1, "i64.trunc_f64_u", IMM_NONE),
+    (0xB2, "f32.convert_i32_s", IMM_NONE),
+    (0xB3, "f32.convert_i32_u", IMM_NONE),
+    (0xB4, "f32.convert_i64_s", IMM_NONE),
+    (0xB5, "f32.convert_i64_u", IMM_NONE),
+    (0xB6, "f32.demote_f64", IMM_NONE),
+    (0xB7, "f64.convert_i32_s", IMM_NONE),
+    (0xB8, "f64.convert_i32_u", IMM_NONE),
+    (0xB9, "f64.convert_i64_s", IMM_NONE),
+    (0xBA, "f64.convert_i64_u", IMM_NONE),
+    (0xBB, "f64.promote_f32", IMM_NONE),
+    (0xBC, "i32.reinterpret_f32", IMM_NONE),
+    (0xBD, "i64.reinterpret_f64", IMM_NONE),
+    (0xBE, "f32.reinterpret_i32", IMM_NONE),
+    (0xBF, "f64.reinterpret_i64", IMM_NONE),
+]
+
+#: name -> Op
+BY_NAME = {name: Op(code, name, imm) for code, name, imm in _OPS}
+
+#: code -> Op
+BY_CODE = {op.code: op for op in BY_NAME.values()}
+
+
+class WasmInstr:
+    """A decoded/constructed instruction: opcode name + immediate args."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, *args):
+        if op not in BY_NAME:
+            raise ValueError(f"unknown opcode {op}")
+        self.op = op
+        self.args = args
+
+    @property
+    def opcode(self) -> Op:
+        return BY_NAME[self.op]
+
+    def __repr__(self):
+        if not self.args:
+            return self.op
+        return f"{self.op} {' '.join(map(str, self.args))}"

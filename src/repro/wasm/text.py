@@ -1,0 +1,436 @@
+"""WebAssembly text format (WAT): printing and parsing.
+
+``format_module`` produces a readable flat-form WAT rendering (folded
+expressions are not used; this matches the output of tools like
+``wasm-dis``), and ``parse_wat`` reads the same dialect back, so modules
+round-trip through text.  Used for debugging, documentation dumps, and
+hand-written test modules.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .module import (
+    WasmData, WasmExport, WasmFuncType, WasmFunction, WasmGlobal,
+    WasmImport, WasmModule,
+)
+from .opcodes import BY_NAME, WasmInstr
+
+
+def format_function(module: WasmModule, index: int) -> str:
+    """WAT text for defined function ``index`` (module-wide numbering)."""
+    func = module.functions[index - module.num_imported_funcs]
+    ftype = module.types[func.type_index]
+    header = f"(func ${func.name or index}"
+    if ftype.params:
+        header += " (param " + " ".join(ftype.params) + ")"
+    if ftype.results:
+        header += " (result " + " ".join(ftype.results) + ")"
+    lines = [header]
+    if func.locals:
+        lines.append("  (local " + " ".join(func.locals) + ")")
+    indent = 1
+    for instr in func.body:
+        if instr.op in ("end", "else"):
+            indent = max(indent - 1, 1)
+        lines.append("  " * indent + _format_instr(instr))
+        if instr.op in ("block", "loop", "if", "else"):
+            indent += 1
+    lines.append(")")
+    return "\n".join(lines)
+
+
+def _format_instr(instr) -> str:
+    op = instr.op
+    if op in ("block", "loop", "if"):
+        bt = instr.args[0]
+        return f"{op} (result {bt})" if bt else op
+    if op == "br_table":
+        targets, default = instr.args
+        return "br_table " + " ".join(map(str, targets + [default]))
+    if instr.args:
+        return f"{op} " + " ".join(map(str, instr.args))
+    return op
+
+
+def _escape_data(data: bytes) -> str:
+    out = []
+    for byte in data:
+        if byte in (0x22, 0x5C):          # '"' and '\'
+            out.append("\\" + chr(byte))
+        elif 0x20 <= byte < 0x7F:
+            out.append(chr(byte))
+        else:
+            out.append(f"\\{byte:02x}")
+    return "".join(out)
+
+
+def format_module(module: WasmModule) -> str:
+    """Render a module as flat-form WAT; ``parse_wat`` reads it back."""
+    lines = [f"(module ;; {module.name}"]
+    for i, ftype in enumerate(module.types):
+        params = " ".join(ftype.params)
+        results = " ".join(ftype.results)
+        lines.append(f"  (type {i} (func (param {params}) "
+                     f"(result {results})))")
+    for imp in module.imports:
+        lines.append(f'  (import "{imp.module}" "{imp.name}" '
+                     f"(func (type {imp.type_index})))")
+    initial, maximum = module.memory_pages
+    mem = f"  (memory {initial}" + (f" {maximum})" if maximum else ")")
+    lines.append(mem)
+    if module.table:
+        lines.append(f"  (table {len(module.table)} funcref)")
+        entries = " ".join(str(i) for i in module.table)
+        lines.append(f"  (elem (i32.const 0) {entries})")
+    for i, glob in enumerate(module.globals):
+        mut = f"(mut {glob.valtype})" if glob.mutable else glob.valtype
+        lines.append(f"  (global {i} {mut} ({glob.init!r}))")
+    for exp in module.exports:
+        lines.append(f'  (export "{exp.name}" ({exp.kind} {exp.index}))')
+    num_imports = module.num_imported_funcs
+    for i in range(len(module.functions)):
+        body = format_function(module, num_imports + i)
+        lines.append("  " + body.replace("\n", "\n  "))
+    for seg in module.data:
+        lines.append(f'  (data (i32.const {seg.offset}) '
+                     f'"{_escape_data(seg.data)}")')
+    lines.append(")")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_VALTYPES = ("i32", "i64", "f32", "f64")
+
+
+def _tokenize_wat(text: str):
+    """Split WAT text into '(', ')', strings, and atoms; strips ;; and
+    (; ;) comments."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif text.startswith(";;", i):
+            while i < n and text[i] != "\n":
+                i += 1
+        elif text.startswith("(;", i):
+            end = text.find(";)", i)
+            if end == -1:
+                raise ValidationError("unterminated block comment")
+            i = end + 2
+        elif ch == "(":
+            tokens.append("(")
+            i += 1
+        elif ch == ")":
+            tokens.append(")")
+            i += 1
+        elif ch == '"':
+            i += 1
+            out = bytearray()
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    nxt = text[i + 1]
+                    if nxt in ('"', "\\"):
+                        out.append(ord(nxt))
+                        i += 2
+                    elif nxt == "n":
+                        out.append(10)
+                        i += 2
+                    elif nxt == "t":
+                        out.append(9)
+                        i += 2
+                    else:
+                        out.append(int(text[i + 1:i + 3], 16))
+                        i += 3
+                else:
+                    out.append(ord(text[i]))
+                    i += 1
+            if i >= n:
+                raise ValidationError("unterminated string")
+            i += 1
+            tokens.append(("str", bytes(out)))
+        else:
+            start = i
+            while i < n and text[i] not in ' \t\r\n();"':
+                i += 1
+            tokens.append(text[start:i])
+    return tokens
+
+
+def _parse_sexprs(tokens):
+    """Token list -> nested lists (atoms stay as strings/tuples)."""
+    stack = [[]]
+    for tok in tokens:
+        if tok == "(":
+            stack.append([])
+        elif tok == ")":
+            done = stack.pop()
+            if not stack:
+                raise ValidationError("unbalanced parentheses")
+            stack[-1].append(done)
+        else:
+            stack[-1].append(tok)
+    if len(stack) != 1:
+        raise ValidationError("unbalanced parentheses")
+    return stack[0]
+
+
+def _atom_int(atom) -> int:
+    if isinstance(atom, str):
+        return int(atom, 0)
+    raise ValidationError(f"expected integer, found {atom!r}")
+
+
+def _atom_num(atom):
+    text = atom
+    try:
+        return int(text, 0)
+    except ValueError:
+        return float(text)
+
+
+class _WatParser:
+    def __init__(self, fields):
+        self.module = WasmModule("wat")
+        self.fields = fields
+        self.func_names: dict[str, int] = {}
+        self._memory_seen = False
+
+    def run(self) -> WasmModule:
+        # Pre-pass: assign function indices (imports first, then funcs)
+        # so $name references resolve regardless of order.
+        index = 0
+        for field in self.fields:
+            if field and field[0] == "import" and \
+                    any(isinstance(x, list) and x and x[0] == "func"
+                        for x in field):
+                index += 1
+        for field in self.fields:
+            if field and field[0] == "func":
+                name = None
+                if len(field) > 1 and isinstance(field[1], str) \
+                        and field[1].startswith("$"):
+                    name = field[1][1:]
+                if name:
+                    self.func_names[name] = index
+                index += 1
+
+        for field in self.fields:
+            handler = getattr(self, "_field_" + field[0], None)
+            if handler is None:
+                raise ValidationError(f"unknown module field {field[0]}")
+            handler(field)
+        if not self._memory_seen:
+            self.module.memory_pages = (1, None)
+        return self.module
+
+    # -- fields --------------------------------------------------------------
+
+    def _field_type(self, field) -> None:
+        # (type N (func (param ...) (result ...)))
+        func = next(x for x in field if isinstance(x, list)
+                    and x[0] == "func")
+        params, results = [], []
+        for part in func[1:]:
+            if part[0] == "param":
+                params.extend(p for p in part[1:] if p in _VALTYPES)
+            elif part[0] == "result":
+                results.extend(r for r in part[1:] if r in _VALTYPES)
+        self.module.types.append(WasmFuncType(params, results))
+
+    def _field_import(self, field) -> None:
+        module_name = field[1][1].decode()
+        item_name = field[2][1].decode()
+        desc = field[3]
+        if desc[0] != "func":
+            raise ValidationError("only function imports are supported")
+        type_index = 0
+        for part in desc[1:]:
+            if isinstance(part, list) and part[0] == "type":
+                type_index = _atom_int(part[1])
+        self.module.imports.append(
+            WasmImport(module_name, item_name, "func", type_index))
+
+    def _field_memory(self, field) -> None:
+        self._memory_seen = True
+        numbers = [_atom_int(a) for a in field[1:]
+                   if isinstance(a, str) and not a.startswith("$")]
+        initial = numbers[0] if numbers else 1
+        maximum = numbers[1] if len(numbers) > 1 else None
+        self.module.memory_pages = (initial, maximum)
+
+    def _field_table(self, field) -> None:
+        size = _atom_int(field[1])
+        self.module.table = [0] * size
+
+    def _field_elem(self, field) -> None:
+        offset_expr = field[1]
+        offset = _atom_int(offset_expr[1])
+        for i, atom in enumerate(field[2:]):
+            index = self._func_index(atom)
+            while len(self.module.table) <= offset + i:
+                self.module.table.append(0)
+            self.module.table[offset + i] = index
+
+    def _field_global(self, field) -> None:
+        # (global N (mut t) (init)) or (global N t (init))
+        parts = field[1:]
+        mutable = False
+        valtype = None
+        init = None
+        for part in parts:
+            if isinstance(part, list):
+                if part[0] == "mut":
+                    mutable = True
+                    valtype = part[1]
+                elif part[0].endswith(".const"):
+                    init = WasmInstr(part[0], _atom_num(part[1]))
+            elif part in _VALTYPES:
+                valtype = part
+        if valtype is None or init is None:
+            raise ValidationError("malformed global")
+        self.module.globals.append(WasmGlobal(valtype, mutable, init))
+
+    def _field_export(self, field) -> None:
+        name = field[1][1].decode()
+        desc = field[2]
+        kind = desc[0]
+        index = self._func_index(desc[1]) if kind == "func" \
+            else _atom_int(desc[1])
+        self.module.exports.append(WasmExport(name, kind, index))
+
+    def _field_data(self, field) -> None:
+        offset = _atom_int(field[1][1])
+        blob = b"".join(part[1] for part in field[2:]
+                        if isinstance(part, tuple))
+        self.module.data.append(WasmData(offset, blob))
+
+    def _field_start(self, field) -> None:
+        self.module.start = self._func_index(field[1])
+
+    def _field_func(self, field) -> None:
+        parts = list(field[1:])
+        name = ""
+        if parts and isinstance(parts[0], str) and \
+                parts[0].startswith("$"):
+            name = parts[0][1:]
+            parts.pop(0)
+
+        params, results, locals_ = [], [], []
+        type_index = None
+        body_atoms = []
+        in_body = False
+        for part in parts:
+            # Signature parts only count before the first instruction;
+            # after that, a (result t) list is a block annotation.
+            if not in_body and isinstance(part, list) \
+                    and part[0] in ("type", "param", "result", "local"):
+                if part[0] == "type":
+                    type_index = _atom_int(part[1])
+                elif part[0] == "param":
+                    params.extend(p for p in part[1:] if p in _VALTYPES)
+                elif part[0] == "result":
+                    results.extend(r for r in part[1:] if r in _VALTYPES)
+                else:
+                    locals_.extend(l for l in part[1:] if l in _VALTYPES)
+            else:
+                in_body = True
+                body_atoms.append(part)
+
+        if type_index is None:
+            type_index = self.module.type_index(
+                WasmFuncType(params, results))
+        body = self._parse_instrs(body_atoms)
+        self.module.functions.append(
+            WasmFunction(type_index, locals_, body, name))
+
+    # -- instruction stream ------------------------------------------------------
+
+    def _func_index(self, atom):
+        if isinstance(atom, str) and atom.startswith("$"):
+            if atom[1:] not in self.func_names:
+                raise ValidationError(f"unknown function {atom}")
+            return self.func_names[atom[1:]]
+        return _atom_int(atom)
+
+    def _parse_instrs(self, atoms):
+        instrs = []
+        i = 0
+        n = len(atoms)
+        while i < n:
+            atom = atoms[i]
+            i += 1
+            if isinstance(atom, list):
+                # A folded (result t) annotation directly after
+                # block/loop/if.
+                if atom and atom[0] == "result" and instrs and \
+                        instrs[-1].op in ("block", "loop", "if"):
+                    prev = instrs.pop()
+                    instrs.append(WasmInstr(prev.op, atom[1]))
+                    continue
+                raise ValidationError(f"unexpected list {atom!r} in body")
+            op = atom
+            if op not in BY_NAME:
+                raise ValidationError(f"unknown instruction {op}")
+            imm = BY_NAME[op].imm
+            if imm == "":
+                instrs.append(WasmInstr(op))
+            elif imm == "blocktype":
+                instrs.append(WasmInstr(op, None))
+            elif imm in ("label", "local", "global"):
+                instrs.append(WasmInstr(op, _atom_int(atoms[i])))
+                i += 1
+            elif imm == "func":
+                instrs.append(WasmInstr(op, self._func_index(atoms[i])))
+                i += 1
+            elif imm == "calltype":
+                instrs.append(WasmInstr(op, _atom_int(atoms[i])))
+                i += 1
+            elif imm == "labeltable":
+                targets = []
+                while i < n and isinstance(atoms[i], str) and \
+                        atoms[i].lstrip("-").isdigit():
+                    targets.append(int(atoms[i]))
+                    i += 1
+                if not targets:
+                    raise ValidationError("br_table without targets")
+                instrs.append(WasmInstr(op, targets[:-1], targets[-1]))
+            elif imm == "memarg":
+                align = _atom_int(atoms[i])
+                offset = _atom_int(atoms[i + 1])
+                instrs.append(WasmInstr(op, align, offset))
+                i += 2
+            elif imm == "memory":
+                instrs.append(WasmInstr(op))
+            elif imm in ("i32", "i64"):
+                instrs.append(WasmInstr(op, int(str(atoms[i]), 0)))
+                i += 1
+            elif imm in ("f32", "f64"):
+                instrs.append(WasmInstr(op, float(atoms[i])))
+                i += 1
+            else:  # pragma: no cover
+                raise ValidationError(f"unhandled immediate kind {imm}")
+        return instrs
+
+
+def parse_wat(text: str) -> WasmModule:
+    """Parse flat-form WAT text (the dialect ``format_module`` emits)."""
+    sexprs = _parse_sexprs(_tokenize_wat(text))
+    if not sexprs or not isinstance(sexprs[0], list) \
+            or sexprs[0][0] != "module":
+        raise ValidationError("expected a (module ...) form")
+    fields = [f for f in sexprs[0][1:] if isinstance(f, list)]
+    module = _WatParser(fields).run()
+    # Recover export names onto functions for diagnostics.
+    imports = module.num_imported_funcs
+    for exp in module.exports:
+        if exp.kind == "func" and exp.index >= imports:
+            func = module.functions[exp.index - imports]
+            func.name = func.name or exp.name
+    return module

@@ -1,0 +1,14 @@
+"""Simulated x86-64: ISA, executor, i-cache, and perf-counter models."""
+
+from .icache import ICache
+from .isa import Imm, Instr, Label, Mem, Reg, fmt_listing
+from .machine import X86Machine
+from .perf import CLOCK_HZ, EVENT_TABLE, PerfCounters
+from .program import CODE_BASE, X86Function, X86Program
+from . import registers
+
+__all__ = [
+    "ICache", "Imm", "Instr", "Label", "Mem", "Reg", "fmt_listing",
+    "X86Machine", "PerfCounters", "CLOCK_HZ", "EVENT_TABLE",
+    "X86Function", "X86Program", "CODE_BASE", "registers",
+]

@@ -1,0 +1,78 @@
+"""Analysis-layer tests: relative metrics, table rendering, drivers."""
+
+import pytest
+
+from repro.analysis import (
+    COUNTER_FIELDS, fig3b, fig4, fig7, relative_counter, relative_time,
+    render_table, spec_data, table1, table3, table4,
+)
+from repro.benchsuite import spec_benchmark
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    benchmarks = [spec_benchmark(n, "test")
+                  for n in ("429.mcf", "462.libquantum")]
+    return spec_data("test", benchmarks=benchmarks, runs=2)
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], "T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+
+def test_relative_time_native_is_one(small_data):
+    for name in small_data.results:
+        assert relative_time(small_data.results, name, "native") == 1.0
+        assert relative_time(small_data.results, name, "chrome") > 0
+
+
+def test_relative_counter_fields_cover_table3(small_data):
+    events = {name for name, _raw, _s in table3()[0]}
+    fields = {e for e, _f in COUNTER_FIELDS}
+    # Table 3 uses 'branches-retired'; fig9 uses the long form.
+    assert len(fields) == len(COUNTER_FIELDS) == 7
+    for event, field in COUNTER_FIELDS:
+        for name in small_data.results:
+            value = relative_counter(small_data.results, name, "chrome",
+                                     field)
+            assert value > 0
+
+
+def test_table1_summary_consistent_with_results(small_data):
+    summary, text = table1(small_data)
+    assert "429.mcf" in text
+    assert summary["chrome_geomean"] > 0
+    assert summary["chrome_median"] > 0
+
+
+def test_fig3b_and_table4_agree_on_cycles(small_data):
+    _per, fig_summary, _ = fig3b(small_data)
+    tab_summary, _ = table4(small_data)
+    # fig3b measures wall time (cpu + syscall overhead); table4's
+    # cpu-cycles is the dominant component — they should be close.
+    assert abs(fig_summary["chrome_geomean"]
+               - tab_summary["cpu-cycles"]["chrome"]) < 0.25
+
+
+def test_fig4_fractions_bounded(small_data):
+    per_bench, mean_frac, _ = fig4(small_data)
+    assert all(0.0 <= v < 1.0 for v in per_bench.values())
+    assert 0.0 <= mean_frac < 1.0
+
+
+def test_fig7_listings_contain_both_pipelines():
+    stats, text = fig7(ni=6, nk=6, nj=6)
+    assert "Clang pipeline" in text
+    assert "Chrome pipeline" in text
+    assert stats["native_instrs"] > 10
+    assert stats["chrome_instrs"] > stats["native_instrs"]
+
+
+def test_suitedata_validation_catches_divergence(small_data):
+    # Sanity: collected data passed validation at construction.
+    for name, by_target in small_data.results.items():
+        outs = {r.run.stdout for r in by_target.values()}
+        assert len(outs) == 1

@@ -1,0 +1,107 @@
+"""Browser layer and asm.js pipeline tests."""
+
+from conftest import compile_wasm_bytes, run_engine, run_ir
+
+from repro.asmjs import ASMJS_CHROME, ASMJS_FIREFOX
+from repro.browser import Browser, NativeHost, chrome, firefox
+from repro.codegen import compile_native
+from repro.kernel import Kernel
+
+SOURCE = """
+int main(void) {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 200; i++) {
+        acc = acc * 31 + i;
+        acc ^= acc >> 5;
+    }
+    print_i32(acc);
+    return 0;
+}
+"""
+
+
+def test_browser_run_wasm_end_to_end():
+    data, _, _ = compile_wasm_bytes(SOURCE)
+    for browser in (chrome(), firefox()):
+        result = browser.run_wasm(data, Kernel(), "t")
+        assert result.exit_code == 0
+        assert result.stdout.endswith(b"\n")
+        assert result.perf.instructions > 100
+        assert result.compile_seconds > 0
+
+
+def test_browser_reuses_precompiled_program():
+    data, _, _ = compile_wasm_bytes(SOURCE)
+    browser = chrome()
+    program = browser.compile(data)
+    a = browser.run_wasm(data, Kernel(), "t", program=program)
+    b = browser.run_wasm(data, Kernel(), "t", program=program)
+    assert a.stdout == b.stdout
+    assert a.perf.instructions == b.perf.instructions
+
+
+def test_native_host_matches_browsers():
+    program, _ = compile_native(SOURCE, "t")
+    native = NativeHost().run_program(program, Kernel(), "t")
+    data, _, _ = compile_wasm_bytes(SOURCE)
+    browser_result = chrome().run_wasm(data, Kernel(), "t")
+    assert native.stdout == browser_result.stdout
+
+
+def test_run_result_time_decomposition():
+    program, _ = compile_native(SOURCE, "t")
+    result = NativeHost().run_program(program, Kernel(), "t")
+    assert abs(result.total_seconds
+               - (result.cpu_seconds + result.overhead_seconds)) < 1e-12
+    assert 0 <= result.overhead_fraction < 1
+
+
+class TestAsmJS:
+    def test_asmjs_executes_correctly(self):
+        ref = run_ir(SOURCE)
+        for engine in (ASMJS_CHROME, ASMJS_FIREFOX):
+            rc, out, _ = run_engine(SOURCE, engine)
+            assert out == ref[1]
+
+    def test_asmjs_masks_heap_accesses(self):
+        memory_heavy = """
+int buf[256];
+int main(void) {
+    int i; int s = 0;
+    for (i = 0; i < 256; i++) { buf[i] = i; }
+    for (i = 0; i < 256; i++) { s += buf[i]; }
+    print_i32(s);
+    return 0;
+}
+"""
+        from repro.jit import CHROME_ENGINE
+        _, _, m_wasm = run_engine(memory_heavy, CHROME_ENGINE)
+        _, _, m_asmjs = run_engine(memory_heavy, ASMJS_CHROME)
+        # Masking costs extra ALU instructions per heap access.
+        assert m_asmjs.perf.instructions > m_wasm.perf.instructions
+
+    def test_asmjs_slower_than_wasm_on_memory_traffic(self):
+        # The asm.js penalty comes from heap masking and call coercions,
+        # so it shows on memory-heavy code (register-only loops can tie
+        # within icache-layout noise).
+        memory_heavy = """
+int buf[512];
+int touch(int i) { return buf[i & 511] + 1; }
+int main(void) {
+    int i; int s = 0;
+    for (i = 0; i < 512; i++) { buf[i] = i * 3; }
+    for (i = 0; i < 2000; i++) { s += touch(s + i); }
+    print_i32(s);
+    return 0;
+}
+"""
+        from repro.jit import CHROME_ENGINE
+        _, _, m_wasm = run_engine(memory_heavy, CHROME_ENGINE)
+        _, _, m_asmjs = run_engine(memory_heavy, ASMJS_CHROME)
+        assert m_asmjs.perf.cycles() > m_wasm.perf.cycles()
+
+    def test_asmjs_indirect_calls_skip_signature_check(self):
+        assert not ASMJS_CHROME.config.indirect_check
+        assert ASMJS_CHROME.config.heap_mask
+        assert ASMJS_CHROME.config.coerce_call_results

@@ -1,0 +1,72 @@
+"""Fuzz the binary decoder: corrupted modules must fail with the
+toolchain's own exceptions, never with raw Python errors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import compile_wasm_bytes
+
+from repro.errors import ReproError, TrapError, ValidationError
+from repro.wasm import WasmInstance, decode_module, validate_module
+
+_DATA, _, _ = compile_wasm_bytes("""
+int helper(int x) { return x * 3 + 1; }
+int main(void) {
+    int i; int s = 0;
+    for (i = 0; i < 5; i++) { s += helper(i); }
+    print_i32(s);
+    return 0;
+}
+""")
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=8, max_value=len(_DATA) - 1),
+       st.integers(min_value=0, max_value=255))
+def test_single_byte_corruption_never_escapes(position, value):
+    corrupted = bytearray(_DATA)
+    corrupted[position] = value
+    try:
+        module = decode_module(bytes(corrupted))
+        validate_module(module)
+    except (ValidationError, TrapError):
+        return  # rejected cleanly
+    except (IndexError, KeyError, ValueError, OverflowError,
+            UnicodeDecodeError, MemoryError, struct_error()):
+        raise AssertionError(
+            f"decoder leaked a raw exception at byte {position}")
+    # Decoded and validated: the mutation was semantically harmless
+    # (e.g. inside a data segment).  That's fine.
+
+
+def struct_error():
+    import struct
+    return struct.error
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=8, max_value=len(_DATA) - 8),
+       st.integers(min_value=1, max_value=16))
+def test_truncation_never_escapes(cut_at, tail):
+    truncated = _DATA[:cut_at]
+    try:
+        module = decode_module(truncated)
+        validate_module(module)
+    except ReproError:
+        return
+    except Exception as exc:  # noqa: BLE001 - the point of the test
+        raise AssertionError(f"decoder leaked {type(exc).__name__}: {exc}")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=64))
+def test_garbage_prefixed_with_magic_never_escapes(blob):
+    data = b"\x00asm\x01\x00\x00\x00" + blob
+    try:
+        module = decode_module(data)
+        validate_module(module)
+        WasmInstance(module)
+    except ReproError:
+        return
+    except Exception as exc:  # noqa: BLE001
+        raise AssertionError(f"decoder leaked {type(exc).__name__}: {exc}")

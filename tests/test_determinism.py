@@ -1,0 +1,60 @@
+"""Determinism: the entire toolchain is reproducible bit for bit."""
+
+import subprocess
+import sys
+
+from conftest import compile_wasm_bytes, run_native
+
+from repro.jit import CHROME_ENGINE
+
+SOURCE = """
+int main(void) {
+    int i; int acc = 1;
+    for (i = 0; i < 64; i++) { acc = acc * 33 + i; }
+    print_i32(acc);
+    return 0;
+}
+"""
+
+
+def test_wasm_bytes_deterministic():
+    a, _, _ = compile_wasm_bytes(SOURCE)
+    b, _, _ = compile_wasm_bytes(SOURCE)
+    assert a == b
+
+
+def test_jit_codegen_deterministic():
+    data, _, _ = compile_wasm_bytes(SOURCE)
+    prog_a = CHROME_ENGINE.compile_bytes(data)
+    prog_b = CHROME_ENGINE.compile_bytes(data)
+    listing_a = [f.listing() for f in prog_a.functions.values()]
+    listing_b = [f.listing() for f in prog_b.functions.values()]
+    assert listing_a == listing_b
+
+
+def test_perf_counters_deterministic():
+    _, _, m1 = run_native(SOURCE)
+    _, _, m2 = run_native(SOURCE)
+    assert m1.perf.as_dict() == m2.perf.as_dict()
+
+
+def test_benchmark_times_stable_across_processes():
+    """The harness's synthesized measurement noise must be seeded stably,
+    not with Python's per-process randomized hash()."""
+    script = (
+        "from repro.benchsuite import spec_benchmark\n"
+        "from repro.harness.runner import compile_benchmark, run_compiled\n"
+        "c = compile_benchmark(spec_benchmark('462.libquantum', 'test'),"
+        " ('native',))\n"
+        "r = run_compiled(c, 'native', runs=3)\n"
+        "print([f'{t:.12e}' for t in r.times])\n"
+    )
+    outputs = set()
+    for seed in ("1", "2"):
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd="/root/repo")
+        assert proc.returncode == 0, proc.stderr
+        outputs.add(proc.stdout.strip())
+    assert len(outputs) == 1, outputs

@@ -1,0 +1,220 @@
+"""Differential tests: every pipeline must agree byte-for-byte.
+
+The central invariant of the reproduction: a program compiled through the
+native backend, the WebAssembly interpreter, the Chrome/Firefox JITs, and
+the asm.js pipelines produces identical stdout and return codes.  These
+tests sweep language features, and the benchmark differential test in
+test_benchsuite.py extends the property to the full suites.
+"""
+
+import pytest
+
+PROGRAMS = {
+    "loops_and_arrays": """
+int data[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) { data[i] = (i * 37) % 19; }
+    int sum = 0;
+    for (i = 0; i < 64; i++) { sum = sum * 3 + data[i]; }
+    print_i32(sum);
+    return 0;
+}
+""",
+    "recursion_and_longs": """
+long fact(long n) { if (n < 2L) return 1L; return n * fact(n - 1L); }
+int main(void) {
+    print_i64(fact(20L));
+    return (int)(fact(10L) % 100L);
+}
+""",
+    "floats": """
+double series(int n) {
+    double s = 0.0;
+    int i;
+    for (i = 1; i <= n; i++) { s = s + 1.0 / (double)(i * i); }
+    return s;
+}
+int main(void) {
+    print_f64(series(50));
+    print_f64(sqrt(series(100) * 6.0));
+    return 0;
+}
+""",
+    "function_pointers": """
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+int (*ops[3])(int, int) = { add, sub, mul };
+int main(void) {
+    int acc = 100;
+    int i;
+    for (i = 0; i < 12; i++) {
+        acc = ops[i % 3](acc, i + 1);
+    }
+    print_i32(acc);
+    return 0;
+}
+""",
+    "structs_and_pointers": """
+struct Node { int value; int next; };
+struct Node nodes[16];
+int main(void) {
+    int i;
+    for (i = 0; i < 16; i++) {
+        nodes[i].value = i * i;
+        nodes[i].next = (i + 7) % 16;
+    }
+    int cursor = 0;
+    int sum = 0;
+    for (i = 0; i < 40; i++) {
+        sum += nodes[cursor].value;
+        cursor = nodes[cursor].next;
+    }
+    print_i32(sum);
+    return 0;
+}
+""",
+    "switch_heavy": """
+int classify(int x) {
+    switch (x % 7) {
+    case 0: return 1;
+    case 1: return x;
+    case 2: return x * 2;
+    case 3: x += 3;
+    case 4: return x - 1;
+    case 5: break;
+    default: return -x;
+    }
+    return 1000 + x;
+}
+int main(void) {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 50; i++) { sum += classify(i); }
+    print_i32(sum);
+    return 0;
+}
+""",
+    "division_and_shifts": """
+int main(void) {
+    int acc = 0;
+    int i;
+    for (i = 1; i < 40; i++) {
+        acc += (1000000 / i) % (i + 3);
+        acc ^= acc >> 3;
+        acc += acc << 2;
+    }
+    print_i32(acc);
+    long la = 123456789123L;
+    print_i64(la / 1000L);
+    print_i64(la % 997L);
+    return 0;
+}
+""",
+    "strings_and_heap": """
+int main(void) {
+    char *buf = malloc(64);
+    strcpy(buf, "differential");
+    int n = strlen(buf);
+    print_i32(n);
+    char *copy = malloc(64);
+    memcpy(copy, buf, n + 1);
+    print_i32(strcmp(buf, copy));
+    copy[0] = 'D';
+    print_i32(strcmp(buf, copy) > 0);
+    print_str(copy);
+    print_str("\\n");
+    return 0;
+}
+""",
+    "globals_and_char_arrays": """
+char grid[8][8];
+int histogram[4];
+int main(void) {
+    int r; int c;
+    for (r = 0; r < 8; r++)
+        for (c = 0; c < 8; c++)
+            grid[r][c] = (char)((r * 8 + c) % 4);
+    for (r = 0; r < 8; r++)
+        for (c = 0; c < 8; c++)
+            histogram[grid[r][c]]++;
+    for (r = 0; r < 4; r++) print_i32(histogram[r]);
+    return 0;
+}
+""",
+    "mixed_arithmetic": """
+int main(void) {
+    int i;
+    double acc = 1.0;
+    long bits = 0L;
+    for (i = 1; i <= 30; i++) {
+        acc = acc * 1.01 + (double)i / 7.0;
+        bits = (bits << 1) | (long)((int)acc & 1);
+    }
+    print_f64(acc);
+    print_i64(bits);
+    print_i32((int)(acc * 100.0) % 1000);
+    return 0;
+}
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_all_pipelines_agree(name, everywhere):
+    everywhere(PROGRAMS[name])
+
+
+def test_deep_call_chain(everywhere):
+    # Exercises stack checks + shadow-stack frames through deep recursion.
+    everywhere("""
+int walk(int depth, int acc) {
+    char pad[16];
+    pad[0] = (char)depth;
+    if (depth == 0) { return acc + pad[0]; }
+    return walk(depth - 1, acc + depth);
+}
+int main(void) { print_i32(walk(200, 0)); return 0; }
+""")
+
+
+def test_many_arguments_spill_to_stack(everywhere):
+    everywhere("""
+int many(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main(void) {
+    print_i32(many(1, 2, 3, 4, 5, 6, 7, 8));
+    return 0;
+}
+""")
+
+
+def test_long_shifts_and_masks(everywhere):
+    everywhere("""
+int main(void) {
+    long x = 0x123456789abcdefL;
+    print_i64(x >> 12);
+    print_i64(x << 7);
+    print_i64(x & 0xffff0000L);
+    long neg = -1000000007L;
+    print_i64(neg >> 3);
+    print_i64(neg * neg);
+    print_i64(neg / 13L);
+    print_i64(neg % 13L);
+    return 0;
+}
+""")
+
+
+def test_float_arguments(everywhere):
+    everywhere("""
+double mix(double a, double b, double c, int k) {
+    return a * b - c / (double)k;
+}
+int main(void) {
+    print_f64(mix(1.5, 2.0, 9.0, 3));
+    return 0;
+}
+""")

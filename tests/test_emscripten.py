@@ -1,0 +1,187 @@
+"""Emscripten backend tests: relooper structure and module assembly."""
+
+from conftest import compile_wasm_bytes, run_ir, run_wasm_interp
+
+from repro.codegen.emscripten import compile_emscripten, compile_ir_to_wasm
+from repro.wasm import decode_module, validate_module
+
+
+def wasm_for(source):
+    wasm, ir = compile_emscripten(source, "t")
+    validate_module(wasm)
+    return wasm, ir
+
+
+def body_ops(wasm, name):
+    index = wasm.export_index(name)
+    func = wasm.functions[index - wasm.num_imported_funcs]
+    return [i.op for i in func.body]
+
+
+def test_loop_structure_uses_wasm_loop():
+    wasm, _ = wasm_for("""
+int main(void) {
+    int i; int s = 0;
+    for (i = 0; i < 10; i++) { s += i; }
+    return s;
+}
+""")
+    ops = body_ops(wasm, "main")
+    assert "loop" in ops
+    assert "br_if" in ops or "br" in ops
+
+
+def test_if_else_structure():
+    wasm, _ = wasm_for("""
+int f(int x) { if (x > 0) { return 1; } else { return -1; } }
+int main(void) { return f(3); }
+""")
+    ops = body_ops(wasm, "f")
+    assert "if" in ops
+
+
+def test_merge_nodes_become_blocks():
+    # Two branches reconverging on shared code => a block + br structure.
+    wasm, _ = wasm_for("""
+int f(int x) {
+    int r = 0;
+    if (x > 0) { r = 1; }
+    else { r = 2; }
+    return r * 10;   // the merge point
+}
+int main(void) { return f(1); }
+""")
+    ops = body_ops(wasm, "f")
+    assert ops.count("end") >= 1
+
+
+def test_nested_loops_nest_wasm_loops():
+    wasm, _ = wasm_for("""
+int main(void) {
+    int i; int j; int s = 0;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+            s += i * j;
+    return s;
+}
+""")
+    ops = body_ops(wasm, "main")
+    assert ops.count("loop") == 2
+
+
+def test_break_in_nested_control():
+    value, out = run_wasm_interp("""
+int main(void) {
+    int i; int found = -1;
+    for (i = 0; i < 100; i++) {
+        if (i * i > 50) {
+            found = i;
+            break;
+        }
+    }
+    print_i32(found);
+    return 0;
+}
+""")
+    assert out == b"8\n"
+
+
+def test_externs_become_env_imports():
+    wasm, _ = wasm_for('int main(void){ print_str("x\\n"); return 0; }')
+    assert all(imp.module == "env" for imp in wasm.imports)
+    names = {imp.name for imp in wasm.imports}
+    assert "sys_write" in names
+
+
+def test_function_table_and_null_stub():
+    wasm, _ = wasm_for("""
+int a(int x) { return x + 1; }
+int b(int x) { return x + 2; }
+int (*fns[2])(int) = { a, b };
+int main(void) { return fns[1](5); }
+""")
+    assert len(wasm.table) >= 3  # null stub + a + b
+    stub_index = wasm.table[0]
+    stub = wasm.functions[stub_index - wasm.num_imported_funcs]
+    assert stub.name == "__null_stub"
+    assert [i.op for i in stub.body] == ["unreachable"]
+
+
+def test_null_function_pointer_traps():
+    import pytest
+    from repro.errors import TrapError
+
+    # Table index 0 is the null stub: calling through it must trap (the
+    # signature check fails against the stub's void type).
+    source = """
+int a(int x) { return x; }
+int run_at(int idx) {
+    int (*fp)(int);
+    fp = idx;  // integer -> function-pointer conversion
+    return fp(1);
+}
+int main(void) { return run_at(0); }
+"""
+    with pytest.raises(TrapError):
+        run_wasm_interp(source)
+
+    # A valid pointer through the same path still works.
+    value, out = run_wasm_interp("""
+int a(int x) { return x; }
+int (*keep)(int) = a;
+int main(void) { print_i32(keep(4)); return 0; }
+""")
+    assert out == b"4\n"
+
+
+def test_heap_base_exported():
+    wasm, ir = wasm_for("int main(void){ return 0; }")
+    exports = {e.name: e for e in wasm.exports}
+    assert "__heap_base" in exports
+    glob = wasm.globals[exports["__heap_base"].index]
+    assert glob.init.args[0] == ir.heap_base
+
+
+def test_memory_sized_from_module():
+    wasm, ir = wasm_for("int main(void){ return 0; }")
+    pages, maximum = wasm.memory_pages
+    assert pages * 65536 >= ir.memory_size
+
+
+def test_data_segments_roundtrip():
+    source = 'char msg[8] = "hiya";\nint main(void){ return msg[2]; }'
+    wasm, ir = wasm_for(source)
+    data, _, _ = compile_wasm_bytes(source)
+    decoded = decode_module(data)
+    blob = b"".join(seg.data for seg in decoded.data)
+    assert b"hiya" in blob
+
+
+def test_wasm_matches_ir_reference_for_gnarly_cfg():
+    source = """
+int collatz_steps(int n) {
+    int steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; }
+        else { n = 3 * n + 1; }
+        steps++;
+        if (steps > 1000) { break; }
+    }
+    return steps;
+}
+int main(void) {
+    int total = 0;
+    int i;
+    for (i = 1; i < 30; i++) {
+        total += collatz_steps(i);
+        if (total > 500) { continue; }
+        total += 1;
+    }
+    print_i32(total);
+    return 0;
+}
+"""
+    ref_value, ref_out = run_ir(source)
+    value, out = run_wasm_interp(source)
+    assert out == ref_out
+    assert value == (ref_value or 0) & 0xFFFFFFFF

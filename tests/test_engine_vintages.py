@@ -1,0 +1,25 @@
+"""Figure 1 machinery at small scale: the engine-vintage comparison."""
+
+from repro.analysis import FIG1_THRESHOLDS, fig1
+
+
+def test_fig1_on_kernel_subset():
+    kernels = ["gemm", "mvt", "trisolv", "gesummv"]
+    counts, details, text = fig1(size="test", runs=1, kernels=kernels)
+
+    assert set(counts) == {2017, 2018, 2019}
+    for year in counts:
+        # Counts are cumulative in the threshold: <1.1x <= <1.5x <= ...
+        series = [counts[year][t] for t in FIG1_THRESHOLDS]
+        assert series == sorted(series)
+        assert all(0 <= c <= len(kernels) for c in series)
+
+    # Per-kernel detail ratios are positive and finite.
+    for year, ratios in details.items():
+        assert set(ratios) == set(kernels)
+        assert all(0 < r < 100 for r in ratios.values())
+
+    # Monotone improvement at the loosest threshold.
+    loose = FIG1_THRESHOLDS[-1]
+    assert counts[2017][loose] <= counts[2019][loose]
+    assert "Figure 1" in text

@@ -1,0 +1,99 @@
+"""Error paths: the toolchain fails loudly and precisely, never silently."""
+
+import pytest
+
+from repro.errors import CompileError, TrapError, ValidationError
+
+
+class TestFrontendErrors:
+    def test_syntax_error_has_position(self):
+        from repro.mcc import compile_source
+        with pytest.raises(CompileError) as exc:
+            compile_source("int main(void) { int x = ; }", "t",
+                           with_stdlib=False)
+        assert "at" in str(exc.value)
+
+    def test_type_error_message_names_the_problem(self):
+        from repro.mcc import compile_source
+        with pytest.raises(CompileError, match="undeclared"):
+            compile_source("int main(void) { return ghost; }", "t",
+                           with_stdlib=False)
+
+    def test_break_outside_loop(self):
+        from repro.mcc import compile_source
+        with pytest.raises(CompileError, match="break"):
+            compile_source("int main(void) { break; return 0; }", "t")
+
+    def test_fn_pointer_signature_mismatch(self):
+        from repro.mcc import compile_source
+        with pytest.raises(CompileError):
+            compile_source("""
+int f(int a, int b) { return a + b; }
+int (*fp)(int) = f;
+int main(void) { return fp(1); }
+""", "t")
+
+
+class TestTranslatorErrors:
+    def test_f32_rejected_with_clear_message(self):
+        from repro.jit import wasm_to_ir
+        from repro.wasm import parse_wat
+
+        module = parse_wat("""
+(module
+  (memory 1)
+  (func $f (param f32) (result f32) local.get 0)
+  (export "f" (func $f)))
+""")
+        with pytest.raises(CompileError, match="f32"):
+            wasm_to_ir(module)
+
+
+class TestRuntimeTraps:
+    def test_out_of_bounds_with_context(self, tmp_path):
+        from conftest import run_native
+        with pytest.raises(TrapError) as exc:
+            run_native("""
+int main(void) {
+    int *p = (int *)100000000;
+    return *p;
+}
+""")
+        assert "in main at #" in str(exc.value)
+
+    def test_instruction_budget(self):
+        from conftest import run_native
+        with pytest.raises(TrapError, match="budget"):
+            run_native("int main(void) { while (1) { } return 0; }",
+                       max_instructions=10_000)
+
+    def test_stack_overflow_check_fires_in_jit(self):
+        from conftest import run_engine
+        from repro.jit import CHROME_ENGINE
+        with pytest.raises(TrapError, match="stack overflow|budget"):
+            run_engine("""
+int dive(int n) { return dive(n + 1); }
+int main(void) { return dive(0); }
+""", CHROME_ENGINE, max_instructions=100_000_000)
+
+    def test_wasm_interp_stack_exhaustion(self):
+        from conftest import run_wasm_interp
+        with pytest.raises(TrapError, match="stack"):
+            run_wasm_interp("""
+int dive(int n) { return dive(n + 1); }
+int main(void) { return dive(0); }
+""")
+
+
+class TestValidatorErrors:
+    def test_messages_name_the_function(self):
+        from repro.wasm import (
+            WasmFuncType, WasmFunction, WasmInstr, WasmModule,
+            validate_module,
+        )
+        module = WasmModule("m")
+        ti = module.type_index(WasmFuncType((), ("i32",)))
+        module.functions.append(
+            WasmFunction(ti, [], [WasmInstr("i32.add")], "broken_fn"))
+        with pytest.raises(ValidationError, match="broken_fn"):
+            validate_module(module)

@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts must run to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = _run_example("quickstart.py", monkeypatch, capsys)
+    assert "All pipelines must agree" in out
+    assert "asmjs-firefox" in out
+
+
+def test_unix_in_the_browser(monkeypatch, capsys):
+    out = _run_example("unix_in_the_browser.py", monkeypatch, capsys)
+    assert "native" in out and "chrome" in out
+    assert "legacy" in out
+    assert "recopied" in out
+
+
+def test_reproduce_paper(monkeypatch, capsys):
+    out = _run_example("reproduce_paper.py", monkeypatch, capsys)
+    assert "Step 5" in out
+    assert "safety guarantees" in out
+
+
+@pytest.mark.slow
+def test_matmul_case_study(monkeypatch, capsys):
+    out = _run_example("matmul_case_study.py", monkeypatch, capsys)
+    assert "Figure 7" in out
+    assert "Figure 8" in out

@@ -1,0 +1,74 @@
+"""Property tests for the L1 i-cache model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x86.icache import ICache
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                max_size=200))
+def test_misses_never_exceed_accesses(addresses):
+    cache = ICache(size=1024, ways=4)
+    for addr in addresses:
+        cache.fetch(addr, 4)
+        cache._last_line = -1
+    assert 0 <= cache.misses <= cache.accesses
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1,
+                max_size=100))
+def test_repeating_a_trace_in_cache_capacity_hits(addresses):
+    """A working set that fits entirely in the cache never misses on the
+    second pass."""
+    cache = ICache(size=64 * 1024, ways=16)  # huge: everything fits
+    for addr in addresses:
+        cache.fetch(addr, 4)
+        cache._last_line = -1
+    first_pass = cache.misses
+    for addr in addresses:
+        cache.fetch(addr, 4)
+        cache._last_line = -1
+    assert cache.misses == first_pass
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=1 << 20))
+def test_fetch_within_one_line_counts_once(addr):
+    cache = ICache(size=2048, ways=4)
+    line_start = addr & ~63
+    cache.fetch(line_start, 4)
+    for offset in range(0, 60, 4):
+        cache.fetch(line_start + offset, 4)
+    assert cache.accesses == 1
+
+
+def test_misses_monotone_in_working_set():
+    """More distinct lines than capacity => more misses on cycling."""
+
+    def misses_for(num_lines):
+        cache = ICache(size=1024, ways=4)  # 16 lines capacity
+        for _ in range(5):
+            for i in range(num_lines):
+                cache.fetch(i * 64, 4)
+                cache._last_line = -1
+        return cache.misses
+
+    fits = misses_for(8)
+    exact = misses_for(16)
+    thrash = misses_for(24)
+    assert fits <= exact <= thrash
+    assert fits == 8          # cold misses only
+    assert thrash > 24        # capacity misses on every pass
+
+
+def test_reset_clears_state():
+    cache = ICache(size=1024, ways=4)
+    cache.fetch(0, 4)
+    cache.fetch(4096, 4)
+    cache.reset()
+    assert cache.accesses == cache.misses == 0
+    cache.fetch(0, 4)
+    assert cache.misses == 1

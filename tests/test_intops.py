@@ -1,0 +1,89 @@
+"""Property-based tests of the shared two's-complement semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import intops
+
+i32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+u32s = st.integers(min_value=0, max_value=2 ** 32 - 1)
+u64s = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+
+@given(u32s)
+def test_signed32_roundtrip(x):
+    assert intops.signed32(x) & 0xFFFFFFFF == x
+
+
+@given(u64s)
+def test_signed64_roundtrip(x):
+    assert intops.signed64(x) & intops.MASK64 == x
+
+
+@given(i32s, i32s)
+def test_div_s_matches_c_semantics(a, b):
+    if b == 0:
+        return
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    q = intops.signed32(intops.div_s(ua, ub, 32))
+    r = intops.signed32(intops.rem_s(ua, ub, 32))
+    # Division identity and truncation toward zero.
+    assert (q * b + r) & 0xFFFFFFFF == a & 0xFFFFFFFF
+    if a % b != 0:
+        assert abs(q) == abs(a) // abs(b)
+    assert r == 0 or (r < 0) == (a < 0)
+
+
+@given(u32s, u32s)
+def test_div_u_identity(a, b):
+    if b == 0:
+        return
+    q = intops.div_u(a, b, 32)
+    r = intops.rem_u(a, b, 32)
+    assert q * b + r == a
+    assert 0 <= r < b
+
+
+@given(u32s, st.integers(min_value=0, max_value=255))
+def test_shifts_mask_count(a, count):
+    assert intops.shl(a, count, 32) == intops.shl(a, count % 32, 32)
+    assert intops.shr_u(a, count, 32) == intops.shr_u(a, count % 32, 32)
+    assert intops.shr_s(a, count, 32) == intops.shr_s(a, count % 32, 32)
+
+
+@given(u32s)
+def test_shr_s_preserves_sign(a):
+    result = intops.shr_s(a, 31, 32)
+    assert result in (0, 0xFFFFFFFF)
+    assert (result == 0xFFFFFFFF) == (a >= 0x80000000)
+
+
+@given(u32s, st.integers(min_value=0, max_value=31))
+def test_rotl_rotr_inverse(a, count):
+    assert intops.rotr(intops.rotl(a, count, 32), count, 32) == a
+
+
+@given(u32s)
+def test_clz_ctz_popcnt_consistency(a):
+    clz = intops.clz(a, 32)
+    ctz = intops.ctz(a, 32)
+    pop = intops.popcnt(a, 32)
+    assert 0 <= clz <= 32 and 0 <= ctz <= 32 and 0 <= pop <= 32
+    if a == 0:
+        assert clz == ctz == 32 and pop == 0
+    else:
+        assert clz == 32 - a.bit_length()
+        assert (a >> ctz) & 1 == 1
+        assert pop == bin(a).count("1")
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-2.0 ** 31 + 1, max_value=2.0 ** 31 - 1))
+def test_trunc_f64_truncates_toward_zero(x):
+    result = intops.signed32(intops.trunc_f64(x, 32, True))
+    assert result == int(x)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_f64_bits_roundtrip(x):
+    assert intops.bits_f64(intops.f64_bits(x)) == x

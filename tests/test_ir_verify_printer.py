@@ -1,0 +1,116 @@
+"""IR verifier and printer tests."""
+
+import pytest
+
+from repro.ir import (
+    BinOp, CondBr, Const, FuncType, Function, Jump, Module, Move, Return,
+    Type, VReg, VerifyError, format_function, format_module,
+    verify_function, verify_module,
+)
+
+
+def _func(name="f", params=(), result=Type.I32):
+    results = [result] if result else []
+    func = Function(name, FuncType(params, results))
+    for i, ty in enumerate(params):
+        func.params.append(func.new_vreg(ty, f"p{i}"))
+    return func
+
+
+def test_minimal_valid_function():
+    func = _func()
+    block = func.new_block("entry")
+    block.terminate(Return(Const(0, Type.I32)))
+    verify_function(func)
+
+
+def test_unterminated_block_rejected():
+    func = _func()
+    func.new_block("entry")
+    with pytest.raises(VerifyError, match="not terminated"):
+        verify_function(func)
+
+
+def test_branch_to_missing_label_rejected():
+    func = _func()
+    block = func.new_block("entry")
+    block.terminate(Jump("nowhere"))
+    with pytest.raises(VerifyError, match="missing"):
+        verify_function(func)
+
+
+def test_use_of_undefined_register_rejected():
+    func = _func()
+    block = func.new_block("entry")
+    ghost = VReg(999, Type.I32)
+    block.terminate(Return(ghost))
+    with pytest.raises(VerifyError, match="undefined"):
+        verify_function(func)
+
+
+def test_operand_type_mismatch_rejected():
+    func = _func(params=(Type.I32, Type.F64))
+    block = func.new_block("entry")
+    dst = func.new_vreg(Type.I32)
+    block.append(BinOp(dst, "add", func.params[0], func.params[1]))
+    block.terminate(Return(dst))
+    with pytest.raises(VerifyError, match="differ"):
+        verify_function(func)
+
+
+def test_return_type_mismatch_rejected():
+    func = _func(result=Type.F64)
+    block = func.new_block("entry")
+    block.terminate(Return(Const(1, Type.I32)))
+    with pytest.raises(VerifyError, match="return type"):
+        verify_function(func)
+
+
+def test_condbr_requires_i32():
+    func = _func(params=(Type.F64,))
+    entry = func.new_block("entry")
+    exit1 = func.new_block("a")
+    exit1.terminate(Return(Const(1, Type.I32)))
+    exit2 = func.new_block("b")
+    exit2.terminate(Return(Const(2, Type.I32)))
+    entry.terminate(CondBr(func.params[0], exit1.label, exit2.label))
+    with pytest.raises(VerifyError, match="condition"):
+        verify_function(func)
+
+
+def test_call_arity_checked_against_module():
+    from repro.ir import Call
+    module = Module("m")
+    callee = _func("callee", params=(Type.I32,))
+    block = callee.new_block("entry")
+    block.terminate(Return(Const(0, Type.I32)))
+    module.add_function(callee)
+
+    caller = _func("caller")
+    block = caller.new_block("entry")
+    dst = caller.new_vreg(Type.I32)
+    block.append(Call(dst, "callee", []))  # missing the argument
+    block.terminate(Return(dst))
+    module.add_function(caller)
+    with pytest.raises(VerifyError, match="arity"):
+        verify_module(module)
+
+
+def test_table_entry_must_exist():
+    module = Module("m")
+    module.table.extend(["", "ghost"])
+    with pytest.raises(VerifyError, match="table"):
+        verify_module(module)
+
+
+def test_printer_round_trips_structure():
+    from repro.mcc import compile_source
+    module = compile_source(
+        "int main(void){ int i; int s=0; "
+        "for(i=0;i<3;i++){s+=i;} return s; }", "t")
+    text = format_module(module)
+    assert "func @main" in text
+    assert "global $__sp" in text
+    func_text = format_function(module.functions["main"])
+    assert "ret" in func_text
+    assert "br " in func_text or "jump" in func_text

@@ -1,0 +1,183 @@
+"""JIT engine tests: wasm->IR translation + engine codegen properties."""
+
+from conftest import compile_wasm_bytes, run_engine, run_ir
+
+from repro.codegen.target import CHROME, FIREFOX
+from repro.jit import (
+    CHROME_2017, CHROME_ENGINE, ENGINES_BY_YEAR, FIREFOX_ENGINE, wasm_to_ir,
+)
+from repro.wasm import decode_module
+from repro.x86.isa import Mem
+from repro.x86.registers import R15, RBX
+
+MATMUL = """
+#define N 8
+int A[N][N]; int B[N][N]; int C[N][N];
+void matmul(void) {
+    int i; int j; int k;
+    for (i = 0; i < N; i++)
+        for (k = 0; k < N; k++)
+            for (j = 0; j < N; j++)
+                C[i][j] += A[i][k] * B[k][j];
+}
+int main(void) {
+    int i; int j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) { A[i][j] = i + j; B[i][j] = i - j; }
+    matmul();
+    int s = 0;
+    for (i = 0; i < N; i++) for (j = 0; j < N; j++) s += C[i][j];
+    print_i32(s);
+    return 0;
+}
+"""
+
+CALLS = """
+int helper(int a, int b, int c) {
+    int acc = a;
+    int i;
+    for (i = 0; i < b; i++) { acc = acc * 3 + c + i; acc %= 100003; }
+    return acc;
+}
+int main(void) {
+    int total = 0;
+    int i;
+    for (i = 0; i < 10; i++) { total += helper(i, 5, total); }
+    print_i32(total % 10007);
+    return 0;
+}
+"""
+
+INDIRECT = """
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int (*ops[2])(int) = { inc, dec };
+int main(void) {
+    int v = 10;
+    int i;
+    for (i = 0; i < 9; i++) { v = ops[i % 2](v); }
+    print_i32(v);
+    return 0;
+}
+"""
+
+
+def _program(source, engine):
+    data, _, _ = compile_wasm_bytes(source)
+    return engine.compile_bytes(data)
+
+
+def test_translate_roundtrip_preserves_semantics():
+    # wasm -> IR -> interpret must match the original reference.
+    from conftest import GuestHost
+    from repro.ir import IRInterpreter
+
+    ref_value, ref_out = run_ir(MATMUL)
+    data, _, _ = compile_wasm_bytes(MATMUL)
+    ir = wasm_to_ir(decode_module(data))
+    host = GuestHost(ir.heap_base)
+    value = IRInterpreter(ir, host).run("main")
+    assert bytes(host.output) == ref_out
+    assert (value or 0) & 0xFFFFFFFF == (ref_value or 0) & 0xFFFFFFFF
+
+
+def test_engines_execute_correctly():
+    for engine in (CHROME_ENGINE, FIREFOX_ENGINE):
+        rc, out, _ = run_engine(MATMUL, engine)
+        assert rc == 0 and out
+    ref = run_ir(CALLS)
+    for engine in (CHROME_ENGINE, FIREFOX_ENGINE):
+        rc, out, _ = run_engine(CALLS, engine)
+        assert out == ref[1]
+
+
+def test_stack_check_emitted_per_function():
+    program = _program(CALLS, CHROME_ENGINE)
+    func = program.functions["helper"]
+    comments = [i.comment for i in func.raw]
+    assert any("stack overflow check" in c for c in comments)
+
+
+def test_native_has_no_stack_check():
+    from repro.codegen import compile_native
+    program, _ = compile_native(CALLS, "t")
+    comments = [i.comment for i in program.functions["helper"].raw]
+    assert not any("stack overflow" in c for c in comments)
+
+
+def test_indirect_call_checks_emitted():
+    program = _program(INDIRECT, CHROME_ENGINE)
+    comments = [i.comment for f in program.functions.values()
+                for i in f.raw]
+    assert any("table bounds check" in c for c in comments)
+    assert any("signature check" in c for c in comments)
+
+
+def test_heap_base_register_used_for_memory_access():
+    def heap_accesses(program, base_reg):
+        count = 0
+        for func in program.functions.values():
+            for ins in func.instrs:
+                for op in (ins.a, ins.b):
+                    if isinstance(op, Mem) and op.base == base_reg:
+                        count += 1
+        return count
+
+    chrome = _program(MATMUL, CHROME_ENGINE)
+    firefox = _program(MATMUL, FIREFOX_ENGINE)
+    assert heap_accesses(chrome, RBX) > 10      # V8: rbx = heap base
+    assert heap_accesses(firefox, R15) > 10     # SpiderMonkey: r15
+
+
+def test_reserved_registers_never_allocated():
+    program = _program(MATMUL, CHROME_ENGINE)
+    from repro.x86.registers import R10, R13
+    # r13 is reserved (GC roots); it must never appear as an operand.
+    for func in program.functions.values():
+        for ins in func.instrs:
+            for op in (ins.a, ins.b):
+                reg = getattr(op, "reg", None)
+                assert reg != R13
+                if isinstance(op, Mem):
+                    assert op.base != R13 and op.index != R13
+
+
+def test_chrome_emits_loop_entry_jumps_firefox_does_not():
+    chrome = _program(MATMUL, CHROME_ENGINE)
+    firefox = _program(MATMUL, FIREFOX_ENGINE)
+
+    def entry_jumps(program):
+        return sum(
+            1 for f in program.functions.values() for i in f.raw
+            if i.op == "label" and str(i.a).startswith("jentry_"))
+
+    assert entry_jumps(chrome) > 0
+    assert entry_jumps(firefox) == 0
+
+
+def test_vintage_engines_are_slower():
+    data, _, _ = compile_wasm_bytes(MATMUL)
+    from repro.x86 import X86Machine
+    from conftest import GuestHost
+
+    cycles = {}
+    for engine in (CHROME_2017, CHROME_ENGINE):
+        program = engine.compile_bytes(data)
+        machine = X86Machine(program, host=GuestHost(program.heap_base))
+        machine.call("main")
+        cycles[engine.name] = machine.perf.cycles()
+    assert cycles["chrome-2017"] > cycles["chrome"]
+
+
+def test_engines_by_year_registry():
+    assert set(ENGINES_BY_YEAR) == {2017, 2018, 2019}
+    for year, (chrome, firefox) in ENGINES_BY_YEAR.items():
+        assert chrome.year == year and firefox.year == year
+
+
+def test_code_alignment_pads_jit_targets():
+    chrome = _program(MATMUL, CHROME_ENGINE)
+    from repro.codegen import compile_native
+    native, _ = compile_native(MATMUL, "t")
+    assert chrome.code_alignment == CHROME.code_alignment == 32
+    assert native.code_alignment == 1

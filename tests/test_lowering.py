@@ -1,0 +1,163 @@
+"""Code generation tests: lowering engine, memfold, leafold, targets."""
+
+from conftest import GuestHost, run_native
+
+from repro.codegen import CHROME, FIREFOX, NATIVE, compile_native
+from repro.codegen.memfold import fold_memory_ops
+from repro.ir import IRInterpreter, verify_module
+from repro.ir.instructions import Lea, Load, MemBinOp, Store
+from repro.ir.passes import optimize_module
+from repro.jit.leafold import fold_leas
+from repro.mcc import compile_source
+from repro.x86 import X86Machine
+from repro.x86.isa import Mem
+
+
+RMW = """
+int data[32];
+int main(void) {
+    int i;
+    for (i = 0; i < 32; i++) { data[i] = i; }
+    for (i = 0; i < 32; i++) { data[i] += i * 3; }
+    int s = 0;
+    for (i = 0; i < 32; i++) { s += data[i]; }
+    print_i32(s);
+    return 0;
+}
+"""
+
+
+def _run_module(module):
+    host = GuestHost(module.heap_base)
+    rc = IRInterpreter(module, host).run("main")
+    return rc, bytes(host.output)
+
+
+class TestMemfold:
+    def _folded_module(self, source):
+        module = compile_source(source, "t")
+        optimize_module(module, level=2)
+        reference = _run_module(compile_source(source, "ref"))
+        count = sum(fold_memory_ops(f)
+                    for f in module.functions.values())
+        verify_module(module)
+        return module, count, reference
+
+    def test_rmw_pattern_folds_to_membinop(self):
+        module, count, reference = self._folded_module(RMW)
+        assert count > 0
+        ops = [i for f in module.functions.values()
+               for b in f.blocks.values() for i in b.instrs
+               if isinstance(i, MemBinOp)]
+        assert ops, "the += loop must fold to a memory-destination add"
+        assert _run_module(module) == reference
+
+    def test_scaled_addressing_folds(self):
+        module, count, reference = self._folded_module(RMW)
+        scaled = [i for f in module.functions.values()
+                  for b in f.blocks.values() for i in b.instrs
+                  if isinstance(i, (Load, Store, MemBinOp))
+                  and i.index is not None]
+        assert scaled, "array accesses must use scaled-index form"
+        assert any(i.scale == 4 for i in scaled)
+        assert _run_module(module) == reference
+
+    def test_no_fold_across_aliasing_store(self):
+        source = """
+int a[4];
+int main(void) {
+    a[0] = 1;
+    int x = a[0];
+    a[0] = 9;          // aliasing store between load and the final store
+    a[0] = x + 5;
+    print_i32(a[0]);
+    return 0;
+}
+"""
+        module, _count, reference = self._folded_module(source)
+        assert _run_module(module) == reference
+
+
+class TestLeafold:
+    def test_mul_add_folds_to_lea(self):
+        module = compile_source(RMW, "t")
+        optimize_module(module, level=2)
+        folded = sum(fold_leas(f) for f in module.functions.values())
+        assert folded > 0
+        leas = [i for f in module.functions.values()
+                for b in f.blocks.values() for i in b.instrs
+                if isinstance(i, Lea)]
+        assert any(i.scale == 4 for i in leas)
+        verify_module(module)
+        reference = _run_module(compile_source(RMW, "ref"))
+        assert _run_module(module) == reference
+
+
+class TestTargets:
+    def test_native_uses_memory_operand_instructions(self):
+        program, _ = compile_native(RMW, "t")
+        rmw_forms = [i for f in program.functions.values()
+                     for i in f.instrs
+                     if i.op in ("add", "sub", "and", "or", "xor")
+                     and isinstance(i.a, Mem)]
+        assert rmw_forms
+
+    def test_configs_disjoint_register_budgets(self):
+        assert len(CHROME.gprs) < len(FIREFOX.gprs) < len(NATIVE.gprs)
+        assert NATIVE.callee_saved and not CHROME.callee_saved
+        assert CHROME.heap_base is not None and NATIVE.heap_base is None
+
+    def test_clone_overrides_and_validates(self):
+        clone = CHROME.clone("x", stack_check=False)
+        assert not clone.stack_check and CHROME.stack_check
+        import pytest
+        with pytest.raises(AttributeError):
+            CHROME.clone("y", not_a_field=1)
+
+    def test_spilled_operand_collision_regression(self):
+        # Regression for the scratch-register collision: a store whose
+        # base, index, and source are all spilled must still be correct.
+        source = """
+int supply[64];
+int main(void) {
+    int a0 = 1; int a1 = 2; int a2 = 3; int a3 = 4; int a4 = 5;
+    int a5 = 6; int a6 = 7; int a7 = 8; int a8 = 9; int a9 = 10;
+    int i;
+    for (i = 0; i < 32; i++) {
+        int idx = (a0 + a3 * i) % 64;
+        int val = a1 + a2 + a4 + a5 + a6 + a7 + a8 + a9 + i;
+        supply[idx] = supply[idx] + val;
+        a0 += val & 3;
+        a1 ^= idx;
+        a2 += a0 & 1;
+        a4 += a1 & 1;
+        a5 ^= a2;
+        a6 += a4 & 7;
+        a7 ^= a5 & 15;
+        a8 += a6 & 3;
+        a9 ^= a7 & 7;
+    }
+    int s = a0 + a1 + a2 + a4 + a5 + a6 + a7 + a8 + a9;
+    for (i = 0; i < 64; i++) { s += supply[i] * (i + 1); }
+    print_i32(s);
+    return 0;
+}
+"""
+        from conftest import run_everywhere
+        run_everywhere(source)
+
+    def test_frame_alignment_and_epilogue_balance(self):
+        # Deep call chains with frames must not corrupt rsp/rbp.
+        rc, out, machine = run_native("""
+int depth(int n) {
+    int local[6];
+    int i;
+    for (i = 0; i < 6; i++) { local[i] = n + i; }
+    if (n == 0) { return local[3]; }
+    return depth(n - 1) + local[1];
+}
+int main(void) { print_i32(depth(40)); return 0; }
+""")
+        assert rc == 0
+        from repro.x86.registers import RSP
+        assert machine.regs[RSP] == machine.program.stack_top

@@ -1,0 +1,187 @@
+"""Coverage for corners not exercised elsewhere: link errors, registry
+factories, perf-counter utilities, machine float ops, IR module layout."""
+
+import pytest
+
+from repro.benchsuite import all_factories
+from repro.benchsuite.registry import spec_benchmark
+from repro.errors import LinkError, TrapError
+from repro.ir import Module, Type
+from repro.wasm import (
+    WasmFuncType, WasmFunction, WasmInstance, WasmInstr, WasmModule,
+)
+from repro.wasm.module import WasmExport, WasmImport
+from repro.x86.perf import PerfCounters
+
+_I = WasmInstr
+
+
+class TestWasmEmbedding:
+    def _module_with_import(self):
+        module = WasmModule("m")
+        ti = module.type_index(WasmFuncType(("i32",), ("i32",)))
+        module.imports.append(WasmImport("env", "mystery", "func", ti))
+        body = [_I("local.get", 0), _I("call", 0)]
+        module.functions.append(WasmFunction(ti, [], body, "f"))
+        module.exports.append(WasmExport("f", "func", 1))
+        return module
+
+    def test_unresolved_import_raises_link_error(self):
+        instance = WasmInstance(self._module_with_import())
+        with pytest.raises(LinkError):
+            instance.invoke("f", [1])
+
+    def test_host_resolves_import(self):
+        class Host:
+            def call(self, env, name, args):
+                assert name == "mystery"
+                return args[0] * 10
+
+        instance = WasmInstance(self._module_with_import(), host=Host())
+        assert instance.invoke("f", [7]) == 70
+
+    def test_missing_export(self):
+        instance = WasmInstance(self._module_with_import())
+        with pytest.raises(LinkError):
+            instance.invoke("nonexistent")
+
+
+class TestRegistry:
+    def test_all_factories_build_and_are_distinct(self):
+        factories = all_factories()
+        assert len(factories) == 38
+        names = set()
+        for factory in factories:
+            spec = factory.build("test")
+            assert spec.source
+            names.add(spec.name)
+        assert len(names) == 38
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            spec_benchmark("999.nothing")
+
+
+class TestPerfCounters:
+    def test_merge_adds_fields(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.instructions, a.loads = 10, 3
+        b.instructions, b.stores = 5, 2
+        a.merge(b)
+        assert a.instructions == 15
+        assert a.loads == 3 and a.stores == 2
+
+    def test_as_dict_includes_cycles_and_seconds(self):
+        perf = PerfCounters()
+        perf.instructions = 1000
+        data = perf.as_dict()
+        assert data["cycles"] == pytest.approx(perf.cycles())
+        assert data["seconds"] > 0
+
+    def test_event_lookup_matches_fields(self):
+        perf = PerfCounters()
+        perf.loads, perf.icache_misses = 42, 7
+        assert perf.event("all-loads-retired") == 42
+        assert perf.event("L1-icache-load-misses") == 7
+        with pytest.raises(KeyError):
+            perf.event("not-an-event")
+
+
+class TestIRModuleLayout:
+    def test_place_data_and_bss_do_not_overlap(self):
+        module = Module("m", memory_size=1 << 16, stack_size=1 << 12)
+        a = module.place_data(b"abc", "a")
+        b = module.reserve_bss(100, "b")
+        c = module.place_data(b"xyz", "c")
+        assert a < b < c
+        assert b >= a + 3
+        assert c >= b + 100
+        memory = module.initial_memory()
+        assert memory[a:a + 3] == b"abc"
+        assert memory[c:c + 3] == b"xyz"
+
+    def test_stack_region_is_above_heap(self):
+        module = Module("m", memory_size=1 << 16, stack_size=1 << 12)
+        module.reserve_bss(1000)
+        assert module.heap_base < module.stack_limit
+        assert module.stack_top == 1 << 16
+
+    def test_table_index_reserves_null_slot(self):
+        module = Module("m")
+        idx = module.table_index("f")
+        assert idx == 1
+        assert module.table[0] == ""
+        assert module.table_index("f") == 1  # stable
+
+    def test_duplicate_function_rejected(self):
+        from repro.ir import FuncType, Function
+        module = Module("m")
+        module.add_function(Function("f", FuncType((), ())))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f", FuncType((), ())))
+
+    def test_conflicting_extern_rejected(self):
+        from repro.ir import FuncType
+        module = Module("m")
+        module.declare_extern("e", FuncType((Type.I32,), ()))
+        module.declare_extern("e", FuncType((Type.I32,), ()))  # same: ok
+        with pytest.raises(ValueError):
+            module.declare_extern("e", FuncType((), ()))
+
+
+class TestMachineFloatOps:
+    def _run(self, build):
+        from repro.x86 import Instr, Mem, Reg, X86Machine, X86Program
+        from repro.x86.registers import XMM0, xmm
+
+        program = X86Program("t", 1 << 16)
+        func = program.new_function("f")
+        build(program, func, Instr, Reg, Mem, xmm)
+        func.emit(Instr("movsd", Reg(XMM0), Reg(xmm(1))))
+        func.emit(Instr("ret"))
+        program.layout()
+        machine = X86Machine(program)
+        _, result = machine.call("f", setup_regs=False)
+        return result
+
+    def test_minsd_maxsd(self):
+        def build(program, func, Instr, Reg, Mem, xmm):
+            a = program.f64_constant(2.0)
+            b = program.f64_constant(-3.0)
+            func.emit(Instr("movsd", Reg(xmm(1)), Mem(disp=a, size=8)))
+            func.emit(Instr("minsd", Reg(xmm(1)), Mem(disp=b, size=8)))
+
+        assert self._run(build) == -3.0
+
+    def test_xorpd_negates_via_sign_mask(self):
+        def build(program, func, Instr, Reg, Mem, xmm):
+            a = program.f64_constant(5.5)
+            mask = program.add_rodata(
+                (0x8000000000000000).to_bytes(8, "little"))
+            func.emit(Instr("movsd", Reg(xmm(1)), Mem(disp=a, size=8)))
+            func.emit(Instr("xorpd", Reg(xmm(1)), Mem(disp=mask, size=8)))
+
+        assert self._run(build) == -5.5
+
+    def test_sqrtsd_of_negative_is_nan(self):
+        def build(program, func, Instr, Reg, Mem, xmm):
+            a = program.f64_constant(-1.0)
+            func.emit(Instr("movsd", Reg(xmm(2)), Mem(disp=a, size=8)))
+            func.emit(Instr("sqrtsd", Reg(xmm(1)), Reg(xmm(2))))
+
+        result = self._run(build)
+        assert result != result
+
+    def test_cvttsd2si_overflow_traps(self):
+        from repro.x86 import Instr, Mem, Reg, X86Machine, X86Program
+        from repro.x86.registers import RAX, xmm
+
+        program = X86Program("t", 1 << 16)
+        a = program.f64_constant(1e30)
+        func = program.new_function("f")
+        func.emit(Instr("movsd", Reg(xmm(1)), Mem(disp=a, size=8)))
+        func.emit(Instr("cvttsd2si", Reg(RAX, 4), Reg(xmm(1)), size=4))
+        func.emit(Instr("ret"))
+        program.layout()
+        with pytest.raises(TrapError):
+            X86Machine(program).call("f", setup_regs=False)

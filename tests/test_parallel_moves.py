@@ -1,0 +1,108 @@
+"""Property test: the call-argument parallel-move resolver.
+
+Marshalling call arguments assigns ABI registers from sources that may
+themselves be ABI registers (overlapping permutations, including cycles).
+The resolver must order the moves — breaking cycles through the scratch
+register — so that every destination ends with its intended value.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codegen.lower import FunctionLowering
+from repro.x86.isa import Imm, Mem, Reg
+from repro.x86.registers import R8, R9, RBP, RCX, RDI, RDX, RSI
+
+ABI_REGS = [RDI, RSI, RDX, RCX, R8, R9]
+SCRATCH = 11  # r11, the resolver's cycle-break register
+
+
+class _Recorder:
+    """Minimal stand-in for FunctionLowering: records emitted moves."""
+
+    def __init__(self):
+        self.instrs = []
+
+        class _Cfg:
+            scratch_gprs = (10, SCRATCH)
+
+            def _xscratch(self, idx):  # pragma: no cover
+                return 30 + idx
+
+        self.cfg = _Cfg()
+
+    def emit(self, op, a=None, b=None, **kwargs):
+        self.instrs.append((op, a, b))
+
+    def _xscratch(self, idx):
+        return 30 + idx
+
+    _parallel_moves = FunctionLowering._parallel_moves
+
+
+def _simulate(instrs, initial):
+    regs = dict(initial)
+    regs.setdefault(SCRATCH, "scratch-garbage")
+    for op, dst, src in instrs:
+        assert op in ("mov", "movsd")
+        if isinstance(src, Reg):
+            regs[dst.reg] = regs.get(src.reg)
+        elif isinstance(src, Imm):
+            regs[dst.reg] = ("imm", src.value)
+        elif isinstance(src, Mem):
+            regs[dst.reg] = ("mem", src.base, src.disp)
+    return regs
+
+
+@given(st.lists(st.sampled_from(ABI_REGS), min_size=1, max_size=6,
+                unique=True).flatmap(
+    lambda dsts: st.tuples(
+        st.just(dsts),
+        st.lists(st.one_of(
+            st.sampled_from(ABI_REGS),
+            st.integers(min_value=-99, max_value=99),
+            st.integers(min_value=0, max_value=4),
+        ), min_size=len(dsts), max_size=len(dsts)))))
+def test_parallel_moves_realize_the_assignment(case):
+    dsts, raw_srcs = case
+    moves = []
+    expected = {}
+    initial = {reg: f"v{reg}" for reg in ABI_REGS}
+    for dst, raw in zip(dsts, raw_srcs):
+        if isinstance(raw, int) and raw < 0:
+            src = Imm(raw)
+            expected[dst] = ("imm", raw)
+        elif isinstance(raw, int):
+            src = Mem(base=RBP, disp=-8 * (raw + 1), size=8)
+            expected[dst] = ("mem", RBP, -8 * (raw + 1))
+        else:
+            src = Reg(raw)
+            expected[dst] = initial[raw]
+        moves.append((dst, src, False))
+
+    recorder = _Recorder()
+    recorder._parallel_moves(moves)
+    final = _simulate(recorder.instrs, initial)
+    for dst, want in expected.items():
+        assert final[dst] == want, \
+            f"dst {dst}: got {final[dst]}, want {want}\n{recorder.instrs}"
+
+
+def test_pure_cycle_is_broken_with_scratch():
+    # rdi <- rsi, rsi <- rdi: a 2-cycle.
+    recorder = _Recorder()
+    recorder._parallel_moves([(RDI, Reg(RSI), False),
+                              (RSI, Reg(RDI), False)])
+    final = _simulate(recorder.instrs, {RDI: "a", RSI: "b"})
+    assert final[RDI] == "b" and final[RSI] == "a"
+    assert any(isinstance(s, Reg) and d.reg == SCRATCH
+               for _o, d, s in recorder.instrs)
+
+
+def test_three_cycle():
+    recorder = _Recorder()
+    recorder._parallel_moves([(RDI, Reg(RSI), False),
+                              (RSI, Reg(RDX), False),
+                              (RDX, Reg(RDI), False)])
+    final = _simulate(recorder.instrs, {RDI: "a", RSI: "b", RDX: "c"})
+    assert (final[RDI], final[RSI], final[RDX]) == ("b", "c", "a")

@@ -1,0 +1,161 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.mcc import parse
+from repro.mcc import astnodes as ast
+from repro.mcc.types_c import (
+    ArrayType, DOUBLE, FunctionCType, INT, PointerType, StructType,
+)
+
+
+def first_decl(source):
+    return parse(source).decls[0]
+
+
+def test_function_definition():
+    fn = first_decl("int add(int a, int b) { return a + b; }")
+    assert isinstance(fn, ast.FuncDef)
+    assert fn.name == "add"
+    assert fn.param_names == ["a", "b"]
+    assert fn.ftype.ret == INT
+    assert len(fn.body.stmts) == 1
+
+
+def test_void_parameter_list():
+    fn = first_decl("int main(void) { return 0; }")
+    assert fn.param_names == []
+
+
+def test_prototype_declaration():
+    fn = first_decl("extern int sys_write(int fd, char *buf, int len);")
+    assert fn.body is None
+    assert isinstance(fn.ftype.params[1], PointerType)
+
+
+def test_global_array_multidim():
+    decl = first_decl("double A[3][4];")
+    assert isinstance(decl.ctype, ArrayType)
+    assert decl.ctype.length == 3
+    assert decl.ctype.element.length == 4
+    assert decl.ctype.size == 3 * 4 * 8
+
+
+def test_global_with_const_expr_size():
+    decl = first_decl("#define N 4\nint a[N * 2 + 1];")
+    assert decl.ctype.length == 9
+
+
+def test_struct_definition_and_layout():
+    program = parse("struct P { int x; char c; double w; };")
+    struct = program.structs["P"]
+    assert struct.complete
+    assert struct.fields["x"][0] == 0
+    assert struct.fields["c"][0] == 4
+    assert struct.fields["w"][0] == 8   # aligned to 8
+    assert struct.size == 16
+
+
+def test_function_pointer_declarator():
+    decl = first_decl("int (*handler)(int, int);")
+    assert isinstance(decl.ctype, PointerType)
+    assert isinstance(decl.ctype.pointee, FunctionCType)
+    assert len(decl.ctype.pointee.params) == 2
+
+
+def test_function_pointer_array():
+    decl = first_decl("int (*ops[4])(int);")
+    assert isinstance(decl.ctype, ArrayType)
+    assert decl.ctype.length == 4
+    assert isinstance(decl.ctype.element.pointee, FunctionCType)
+
+
+def test_precedence_mul_over_add():
+    fn = first_decl("int f(int a, int b, int c) { return a + b * c; }")
+    ret = fn.body.stmts[0]
+    assert isinstance(ret.value, ast.Binary)
+    assert ret.value.op == "+"
+    assert ret.value.rhs.op == "*"
+
+
+def test_ternary_and_assignment_right_assoc():
+    fn = first_decl("void f(int a, int b) { a = b = a ? 1 : 2; }")
+    expr = fn.body.stmts[0].expr
+    assert isinstance(expr, ast.Assign)
+    assert isinstance(expr.value, ast.Assign)
+    assert isinstance(expr.value.value, ast.Cond)
+
+
+def test_cast_vs_parenthesized_expression():
+    fn = first_decl("double f(int x) { return (double)x + (x); }")
+    expr = fn.body.stmts[0].value
+    assert isinstance(expr.lhs, ast.Cast)
+
+
+def test_sizeof_type():
+    fn = first_decl("int f(void) { return sizeof(double); }")
+    node = fn.body.stmts[0].value
+    assert isinstance(node, ast.SizeofType)
+    assert node.target_type == DOUBLE
+
+
+def test_for_with_declaration_init():
+    fn = first_decl("int f(void) { int s = 0; "
+                    "for (int i = 0; i < 4; i++) s += i; return s; }")
+    loop = fn.body.stmts[1]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.Block)
+
+
+def test_switch_with_cases_and_default():
+    fn = first_decl("""
+int f(int x) {
+    switch (x) {
+    case 1: return 10;
+    case 2: break;
+    default: return -1;
+    }
+    return 0;
+}
+""")
+    sw = fn.body.stmts[0]
+    assert isinstance(sw, ast.Switch)
+    assert [v for v, _ in sw.cases] == [1, 2]
+    assert sw.default is not None
+
+
+def test_duplicate_case_rejected_by_typer():
+    from repro.mcc import typecheck
+    program = parse("int f(int x) { switch (x) { case 1: break; "
+                    "case 1: break; } return 0; }")
+    with pytest.raises(CompileError):
+        typecheck(program)
+
+
+def test_multiple_declarators_split():
+    fn = first_decl("void f(void) { int a, b, c; a = b = c = 1; }")
+    decls = [s for s in fn.body.stmts if isinstance(s, ast.VarDecl)]
+    assert [d.name for d in decls] == ["a", "b", "c"]
+
+
+def test_missing_semicolon_is_error():
+    with pytest.raises(CompileError):
+        parse("int f(void) { return 0 }")
+
+
+def test_do_while():
+    fn = first_decl("int f(void) { int i = 0; do { i++; } while (i < 3);"
+                    " return i; }")
+    assert isinstance(fn.body.stmts[1], ast.DoWhile)
+
+
+def test_pointer_member_access_chain():
+    src = """
+struct Node { int value; struct Node *next; };
+int f(struct Node *n) { return n->next->value; }
+"""
+    fn = parse(src).decls[0]
+    ret = fn.body.stmts[0]
+    assert isinstance(ret.value, ast.Member)
+    assert ret.value.arrow

@@ -1,0 +1,57 @@
+"""PolyBench port sanity: each kernel keeps its defining structure."""
+
+import re
+
+import pytest
+
+from repro.benchsuite import POLYBENCH_NAMES, polybench_spec
+
+
+def test_23_unique_kernels():
+    sources = {name: polybench_spec(name, "ref").source
+               for name in POLYBENCH_NAMES}
+    assert len(sources) == 23
+    assert len(set(sources.values())) == 23
+
+
+@pytest.mark.parametrize("name", POLYBENCH_NAMES)
+def test_every_kernel_has_init_kernel_main(name):
+    source = polybench_spec(name, "ref").source
+    assert "void init(void)" in source
+    assert "void kernel(void)" in source
+    assert "int main(void)" in source
+    assert "check" in source  # prints a checksum
+
+
+def test_ref_larger_than_test():
+    for name in POLYBENCH_NAMES:
+        test_n = re.search(r"#define N (\d+)",
+                           polybench_spec(name, "test").source)
+        ref_n = re.search(r"#define N (\d+)",
+                          polybench_spec(name, "ref").source)
+        assert int(ref_n.group(1)) > int(test_n.group(1)), name
+
+
+def test_kernels_use_expected_math():
+    # The kernels that need sqrt in PolyBench use it here too.
+    for name in ("cholesky", "gramschmidt", "correlation"):
+        assert "sqrt(" in polybench_spec(name, "ref").source
+
+
+def test_matrix_kernels_have_triple_loops():
+    for name in ("gemm", "2mm", "3mm", "syrk", "syr2k", "trmm"):
+        source = polybench_spec(name, "ref").source
+        kernel = source[source.index("void kernel"):]
+        kernel = kernel[:kernel.index("int main")]
+        assert kernel.count("for (") >= 3, name
+
+
+def test_no_syscalls_in_timed_kernels():
+    """The paper's point about PolyBench: no system calls at all (beyond
+    the final checksum prints)."""
+    for name in POLYBENCH_NAMES:
+        source = polybench_spec(name, "ref").source
+        assert "sys_open" not in source
+        assert "sys_read" not in source
+        spec = polybench_spec(name, "ref")
+        assert not spec.uses_syscalls

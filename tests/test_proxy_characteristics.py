@@ -1,0 +1,102 @@
+"""The SPEC proxies must keep the code shapes DESIGN.md promises.
+
+These tests pin the *mechanism* behind each benchmark's paper behaviour,
+so a future edit that accidentally removes a characteristic (say, inlines
+away gobmk's call pressure) fails loudly rather than silently shifting
+the reproduced figures.
+"""
+
+import pytest
+
+from repro.benchsuite import spec_benchmark
+from repro.harness.runner import compile_benchmark, run_compiled
+from repro.ir.instructions import Call, CallIndirect
+from repro.ir.loops import natural_loops
+from repro.ir.passes import optimize_module
+from repro.mcc import compile_source
+
+
+def optimized_ir(name, size="test"):
+    spec = spec_benchmark(name, size)
+    module = compile_source(spec.source, name)
+    optimize_module(module, level=2)
+    return module
+
+
+def test_mcf_has_one_dominant_callfree_hot_loop():
+    module = optimized_ir("429.mcf", "ref")
+    func = module.functions["price_sweep"]
+    loops = natural_loops(func)
+    assert len(loops) == 1
+    body_instrs = [i for label in loops[0].body
+                   for i in func.blocks[label].all_instrs()]
+    assert not any(isinstance(i, (Call, CallIndirect))
+                   for i in body_instrs)
+    # Big enough to be an unrolling target (the anomaly's precondition).
+    assert len(body_instrs) > 60
+
+
+def test_gobmk_is_call_dense():
+    def call_density(name):
+        spec = spec_benchmark(name, "ref")
+        compiled = compile_benchmark(spec, ("native",))
+        perf = run_compiled(compiled, "native", runs=1).run.perf
+        return perf.calls / perf.instructions
+
+    # Recursion-driven gobmk is far more call-dense than the
+    # loop-structured lbm (its stack-check overhead driver).
+    assert call_density("445.gobmk") > 5 * call_density("470.lbm")
+
+
+def test_indirect_call_proxies_perform_indirect_calls():
+    for name in ("450.soplex", "453.povray", "482.sphinx3"):
+        module = optimized_ir(name)
+        sites = [i for f in module.functions.values()
+                 for b in f.blocks.values() for i in b.instrs
+                 if isinstance(i, CallIndirect)]
+        assert sites, f"{name} lost its indirect calls"
+
+
+def test_h264ref_appends_per_macroblock():
+    spec = spec_benchmark("464.h264ref", "ref")
+    compiled = compile_benchmark(spec, ("native",))
+    result = run_compiled(compiled, "native", runs=1)
+    # One write per macroblock (40 at ref size) plus open/close/reads.
+    assert result.run.syscalls >= 40
+
+
+def test_sjeng_has_large_switch_dense_footprint():
+    spec = spec_benchmark("458.sjeng", "ref")
+    compiled = compile_benchmark(spec, ("native", "chrome"))
+    native_evals = sum(
+        f.code_size() for name, f in compiled.programs["native"]
+        .functions.items() if name.startswith("eval"))
+    chrome_evals = sum(
+        f.code_size() for name, f in compiled.programs["chrome"]
+        .functions.items() if name.startswith("eval"))
+    assert native_evals > 2000          # several KB of evaluator code
+    assert chrome_evals > native_evals * 0.8
+
+
+def test_lbm_is_memory_bound():
+    spec = spec_benchmark("470.lbm", "test")
+    compiled = compile_benchmark(spec, ("native",))
+    perf = run_compiled(compiled, "native", runs=1).run.perf
+    # Loads+stores form a large share of the instruction stream.
+    assert (perf.loads + perf.stores) * 5 > perf.instructions
+
+
+def test_bzip2_is_byte_oriented():
+    module = optimized_ir("401.bzip2")
+    from repro.ir.instructions import Load, Store
+    byte_ops = [i for f in module.functions.values()
+                for b in f.blocks.values() for i in b.instrs
+                if isinstance(i, (Load, Store)) and i.size == 1]
+    assert len(byte_ops) > 10
+
+
+def test_every_proxy_prints_a_checksum():
+    from repro.benchsuite import SPEC_NAMES
+    for name in SPEC_NAMES:
+        source = spec_benchmark(name, "test").source
+        assert "print_i32" in source or "print_f64" in source, name

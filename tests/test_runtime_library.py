@@ -1,0 +1,136 @@
+"""The mcc runtime library, exercised end to end on every pipeline."""
+
+from conftest import run_everywhere, run_ir
+
+
+def test_memcpy_word_and_tail_paths():
+    # Length 21 exercises the 8-byte fast path plus the byte tail.
+    run_everywhere("""
+char src[24];
+char dst[24];
+int main(void) {
+    int i;
+    for (i = 0; i < 24; i++) { src[i] = (char)(i * 7 + 1); }
+    memcpy(dst, src, 21);
+    int match = 1;
+    for (i = 0; i < 21; i++) {
+        if (dst[i] != src[i]) { match = 0; }
+    }
+    print_i32(match);
+    print_i32(dst[21]);   // untouched tail stays zero
+    return 0;
+}
+""")
+
+
+def test_memset_and_strlen_strcpy():
+    run_everywhere("""
+char buf[40];
+int main(void) {
+    memset(buf, 'x', 10);
+    buf[10] = (char)0;
+    print_i32(strlen(buf));
+    char copy[40];
+    strcpy(copy, buf);
+    print_i32(strcmp(copy, buf));
+    print_i32(strncmp("abcdef", "abcxyz", 3));
+    print_i32(strncmp("abcdef", "abcxyz", 4) < 0);
+    return 0;
+}
+""")
+
+
+def test_atoi():
+    run_everywhere("""
+int main(void) {
+    print_i32(atoi("12345"));
+    print_i32(atoi("-987"));
+    print_i32(atoi("  42"));
+    print_i32(atoi("+7tail"));
+    print_i32(atoi(""));
+    return 0;
+}
+""")
+
+
+def test_qsort_with_comparators():
+    source = """
+int ascending(int a, int b) { return a - b; }
+int descending(int a, int b) { return b - a; }
+int data[16];
+int main(void) {
+    int i;
+    rt_srand(5);
+    for (i = 0; i < 16; i++) { data[i] = rt_rand() % 100; }
+    qsort_i32(data, 0, 15, ascending);
+    int sorted = 1;
+    for (i = 1; i < 16; i++) {
+        if (data[i - 1] > data[i]) { sorted = 0; }
+    }
+    print_i32(sorted);
+    qsort_i32(data, 0, 15, descending);
+    for (i = 1; i < 16; i++) {
+        if (data[i - 1] < data[i]) { sorted = 0; }
+    }
+    print_i32(sorted);
+    print_i32(data[0] >= data[15]);
+    return 0;
+}
+"""
+    rc, out = run_everywhere(source)
+    assert out == b"1\n1\n1\n"
+
+
+def test_qsort_semantics_against_python():
+    source = """
+int up(int a, int b) { return a - b; }
+int data[20];
+int main(void) {
+    int i;
+    for (i = 0; i < 20; i++) { data[i] = ((i * 37) % 13) - 6; }
+    qsort_i32(data, 0, 19, up);
+    for (i = 0; i < 20; i++) { print_i32(data[i]); }
+    return 0;
+}
+"""
+    _value, out = run_ir(source)
+    got = [int(line) for line in out.decode().split()]
+    want = sorted((((i * 37) % 13) - 6) for i in range(20))
+    assert got == want
+
+
+def test_rand_is_deterministic():
+    source = """
+int main(void) {
+    rt_srand(42);
+    int a = rt_rand();
+    int b = rt_rand();
+    rt_srand(42);
+    print_i32(rt_rand() == a);
+    print_i32(rt_rand() == b);
+    print_i32(a >= 0 && a < 32768);
+    return 0;
+}
+"""
+    rc, out = run_everywhere(source)
+    assert out == b"1\n1\n1\n"
+
+
+def test_libm_identities():
+    source = """
+int close_to(double a, double b) {
+    double d = a - b;
+    if (d < 0.0) { d = -d; }
+    return d < 0.0001;
+}
+int main(void) {
+    print_i32(close_to(sqrt(2.0) * sqrt(2.0), 2.0));
+    print_i32(close_to(exp(log(5.0)), 5.0));
+    print_i32(close_to(pow(2.0, 0.5), sqrt(2.0)));
+    print_i32(close_to(fabs(-3.5), 3.5));
+    print_i32(close_to(log(exp(1.0)), 1.0));
+    return 0;
+}
+"""
+    rc, out = run_everywhere(source)
+    assert out == b"1\n" * 5

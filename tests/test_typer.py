@@ -1,0 +1,146 @@
+"""Type checker unit tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.mcc import parse, typecheck
+from repro.mcc import astnodes as ast
+from repro.mcc.types_c import DOUBLE, INT, LONG, PointerType
+
+
+def check(source):
+    return typecheck(parse(source))
+
+
+def expr_of(source):
+    """Type-check and return the expression of the first ExprStmt/Return
+    in the first function."""
+    program = check(source)
+    fn = next(d for d in program.decls
+              if isinstance(d, ast.FuncDef) and d.body)
+    for stmt in fn.body.stmts:
+        if isinstance(stmt, ast.ExprStmt):
+            return stmt.expr
+        if isinstance(stmt, ast.Return):
+            return stmt.value
+    raise AssertionError("no expression found")
+
+
+def test_usual_arithmetic_conversions_int_double():
+    expr = expr_of("double f(int a, double b) { return a + b; }")
+    assert expr.ctype == DOUBLE
+    assert isinstance(expr.lhs, ast.Cast)   # int promoted to double
+
+
+def test_long_plus_int_promotes_to_long():
+    expr = expr_of("long f(long a, int b) { return a + b; }")
+    assert expr.ctype == LONG
+    assert isinstance(expr.rhs, ast.Cast)
+
+
+def test_comparison_yields_int():
+    expr = expr_of("int f(double a, double b) { return a < b; }")
+    assert expr.ctype == INT
+
+
+def test_pointer_arithmetic_scales():
+    expr = expr_of("int *f(int *p, int n) { return p + n; }")
+    assert isinstance(expr.ctype, PointerType)
+
+
+def test_pointer_minus_pointer_is_int():
+    expr = expr_of("int f(int *a, int *b) { return a - b; }")
+    assert expr.ctype == INT
+
+
+def test_array_decays_in_call_argument():
+    check("""
+void g(int *p);
+int arr[4];
+void f(void) { g(arr); }
+""")
+
+
+def test_undeclared_identifier():
+    with pytest.raises(CompileError):
+        check("int f(void) { return missing; }")
+
+
+def test_call_arity_mismatch():
+    with pytest.raises(CompileError):
+        check("int g(int a); int f(void) { return g(1, 2); }")
+
+
+def test_assignment_to_non_lvalue():
+    with pytest.raises(CompileError):
+        check("void f(int a) { (a + 1) = 2; }")
+
+
+def test_void_function_returning_value():
+    with pytest.raises(CompileError):
+        check("void f(void) { return 3; }")
+
+
+def test_nonvoid_function_returning_nothing():
+    with pytest.raises(CompileError):
+        check("int f(void) { return; }")
+
+
+def test_deref_non_pointer():
+    with pytest.raises(CompileError):
+        check("int f(int a) { return *a; }")
+
+
+def test_member_of_non_struct():
+    with pytest.raises(CompileError):
+        check("int f(int a) { return a.x; }")
+
+
+def test_unknown_struct_field():
+    with pytest.raises(CompileError):
+        check("struct S { int x; }; int f(struct S *s) { return s->y; }")
+
+
+def test_modulo_requires_integers():
+    with pytest.raises(CompileError):
+        check("double f(double a) { return a % 2.0; }")
+
+
+def test_global_initializer_must_be_constant():
+    with pytest.raises(CompileError):
+        check("int g(void); int x = g();")
+
+
+def test_function_name_as_global_initializer_allowed():
+    check("int h(int a) { return a; } int (*fp)(int) = h;")
+
+
+def test_address_taken_is_marked():
+    program = check("void f(void) { int a; int *p = &a; *p = 3; }")
+    fn = program.decls[0]
+    decl = fn.body.stmts[0]
+    assert decl.symbol.address_taken
+
+
+def test_param_symbols_attached():
+    program = check("int f(int a, double b) { return a; }")
+    fn = program.decls[0]
+    assert [s.name for s in fn.param_symbols] == ["a", "b"]
+
+
+def test_char_assignment_inserts_truncation_cast():
+    program = check("void f(void) { char c; c = 300; }")
+    fn = program.decls[0]
+    assign = fn.body.stmts[1].expr
+    assert isinstance(assign.value, ast.Cast)
+
+
+def test_conflicting_redeclaration():
+    with pytest.raises(CompileError):
+        check("int f(int a); double f(int a) { return 1.0; }")
+
+
+def test_scalar_condition_required():
+    with pytest.raises(CompileError):
+        check("struct S { int x; }; struct S s; "
+              "void f(void) { if (s) { } }")

@@ -1,0 +1,275 @@
+"""WebAssembly layer tests: binary format, validation, interpreter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import compile_wasm_bytes
+
+from repro.errors import TrapError, ValidationError
+from repro.wasm import (
+    WasmFuncType, WasmFunction, WasmInstance, WasmInstr, WasmModule,
+    decode_module, encode_module, validate_module,
+)
+from repro.wasm.binary import Reader, encode_s64, encode_u32
+from repro.wasm.text import format_module
+
+_I = WasmInstr
+
+
+# -- LEB128 -------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_u32_leb_roundtrip(x):
+    assert Reader(encode_u32(x)).u32() == x
+
+
+@given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+def test_s64_leb_roundtrip(x):
+    assert Reader(encode_s64(x)).s64() == x
+
+
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_s32_leb_roundtrip(x):
+    assert Reader(encode_s64(x)).s32() == x
+
+
+def test_u32_leb_is_minimal_for_small_values():
+    assert encode_u32(0) == b"\x00"
+    assert encode_u32(127) == b"\x7f"
+    assert encode_u32(128) == b"\x80\x01"
+
+
+# -- module construction + encode/decode ----------------------------------------
+
+def _add_module():
+    module = WasmModule("add")
+    ti = module.type_index(WasmFuncType(("i32", "i32"), ("i32",)))
+    body = [_I("local.get", 0), _I("local.get", 1), _I("i32.add")]
+    module.functions.append(WasmFunction(ti, [], body, "add"))
+    from repro.wasm.module import WasmExport
+    module.exports.append(WasmExport("add", "func", 0))
+    return module
+
+
+def test_encode_decode_roundtrip_simple():
+    module = _add_module()
+    data = encode_module(module)
+    assert data[:4] == b"\x00asm"
+    decoded = decode_module(data)
+    assert len(decoded.functions) == 1
+    assert [i.op for i in decoded.functions[0].body] == \
+        ["local.get", "local.get", "i32.add"]
+    assert decoded.export_index("add") == 0
+
+
+def test_roundtrip_full_program():
+    data, wasm, _ = compile_wasm_bytes(
+        "int main(void){ print_i32(1 + 2); return 0; }")
+    decoded = decode_module(data)
+    validate_module(decoded)
+    # Round-tripping again is byte-identical (canonical encoding).
+    assert encode_module(decoded) == data
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValidationError):
+        decode_module(b"\x00abc\x01\x00\x00\x00")
+
+
+def test_truncated_module_rejected():
+    data, _, _ = compile_wasm_bytes("int main(void){ return 0; }")
+    with pytest.raises(ValidationError):
+        decode_module(data[:20])
+
+
+def test_wat_rendering_mentions_key_sections():
+    _, wasm, _ = compile_wasm_bytes("int main(void){ return 0; }")
+    text = format_module(wasm)
+    assert "(module" in text
+    assert "(memory" in text
+    assert '(export "main"' in text
+
+
+# -- validation ----------------------------------------------------------------
+
+def _module_with_body(body, results=("i32",), locals_=()):
+    module = WasmModule("t")
+    ti = module.type_index(WasmFuncType((), results))
+    module.functions.append(WasmFunction(ti, list(locals_), body, "f"))
+    return module
+
+
+def test_validate_accepts_simple_body():
+    validate_module(_module_with_body([_I("i32.const", 1)]))
+
+
+def test_validate_rejects_stack_underflow():
+    with pytest.raises(ValidationError):
+        validate_module(_module_with_body([_I("i32.add")]))
+
+
+def test_validate_rejects_type_mismatch():
+    body = [_I("i32.const", 1), _I("f64.const", 2.0), _I("i32.add")]
+    with pytest.raises(ValidationError):
+        validate_module(_module_with_body(body))
+
+
+def test_validate_rejects_bad_local_index():
+    with pytest.raises(ValidationError):
+        validate_module(_module_with_body([_I("local.get", 3)]))
+
+
+def test_validate_rejects_bad_branch_depth():
+    with pytest.raises(ValidationError):
+        validate_module(_module_with_body(
+            [_I("br", 5), _I("i32.const", 0)]))
+
+
+def test_validate_unreachable_code_is_polymorphic():
+    body = [_I("unreachable"), _I("i32.add")]
+    validate_module(_module_with_body(body))
+
+
+def test_validate_block_result():
+    body = [_I("block", "i32"), _I("i32.const", 4), _I("end")]
+    validate_module(_module_with_body(body))
+
+
+def test_validate_rejects_excess_alignment():
+    body = [_I("i32.const", 0), _I("i32.load", 4, 0), _I("drop"),
+            _I("i32.const", 9)]
+    with pytest.raises(ValidationError):
+        validate_module(_module_with_body(body))
+
+
+# -- interpreter -----------------------------------------------------------------
+
+def _run_body(body, results=("i32",), locals_=(), args=()):
+    module = _module_with_body(body, results, locals_)
+    from repro.wasm.module import WasmExport
+    module.exports.append(WasmExport("f", "func", 0))
+    return WasmInstance(module).invoke("f", args)
+
+
+def test_interp_arithmetic():
+    assert _run_body([_I("i32.const", 6), _I("i32.const", 7),
+                      _I("i32.mul")]) == 42
+
+
+def test_interp_wrapping():
+    assert _run_body([_I("i32.const", 2 ** 31 - 1), _I("i32.const", 1),
+                      _I("i32.add")]) == 2 ** 31
+
+
+def test_interp_div_by_zero_traps():
+    with pytest.raises(TrapError):
+        _run_body([_I("i32.const", 1), _I("i32.const", 0),
+                   _I("i32.div_s")])
+
+
+def test_interp_block_br():
+    # br 0 out of a block skips the unreachable.
+    body = [_I("block", None), _I("br", 0), _I("unreachable"), _I("end"),
+            _I("i32.const", 9)]
+    assert _run_body(body) == 9
+
+
+def test_interp_loop_counts():
+    # local 0 counts to 10 via a loop back edge.
+    body = [
+        _I("loop", None),
+        _I("local.get", 0), _I("i32.const", 1), _I("i32.add"),
+        _I("local.set", 0),
+        _I("local.get", 0), _I("i32.const", 10), _I("i32.lt_s"),
+        _I("br_if", 0),
+        _I("end"),
+        _I("local.get", 0),
+    ]
+    assert _run_body(body, locals_=["i32"]) == 10
+
+
+def test_interp_if_else():
+    body = [
+        _I("local.get", 0),
+        _I("if", "i32"),
+        _I("i32.const", 100),
+        _I("else"),
+        _I("i32.const", 200),
+        _I("end"),
+    ]
+    module = WasmModule("t")
+    ti = module.type_index(WasmFuncType(("i32",), ("i32",)))
+    module.functions.append(WasmFunction(ti, [], body, "f"))
+    from repro.wasm.module import WasmExport
+    module.exports.append(WasmExport("f", "func", 0))
+    inst = WasmInstance(module)
+    assert inst.invoke("f", [1]) == 100
+    assert inst.invoke("f", [0]) == 200
+
+
+def test_interp_memory_load_store():
+    body = [
+        _I("i32.const", 16), _I("i32.const", -2), _I("i32.store", 2, 0),
+        _I("i32.const", 16), _I("i32.load8_u", 0, 0),
+    ]
+    assert _run_body(body) == 0xFE
+
+
+def test_interp_oob_access_traps():
+    body = [_I("i32.const", 2 ** 20), _I("i32.load", 2, 0)]
+    with pytest.raises(TrapError):
+        _run_body(body)
+
+
+def test_interp_memory_grow_and_size():
+    body = [_I("memory.size")]
+    assert _run_body(body) == 1
+    body = [_I("i32.const", 2), _I("memory.grow"), _I("drop"),
+            _I("memory.size")]
+    module = _module_with_body(body)
+    module.memory_pages = (1, None)
+    from repro.wasm.module import WasmExport
+    module.exports.append(WasmExport("f", "func", 0))
+    assert WasmInstance(module).invoke("f") == 3
+
+
+def test_interp_select():
+    body = [_I("i32.const", 11), _I("i32.const", 22), _I("i32.const", 0),
+            _I("select")]
+    assert _run_body(body) == 22
+
+
+def test_interp_br_table():
+    def make(n):
+        return [
+            _I("block", None), _I("block", None), _I("block", None),
+            _I("i32.const", n),
+            _I("br_table", [0, 1], 2),
+            _I("end"),
+            _I("i32.const", 10), _I("return"),
+            _I("end"),
+            _I("i32.const", 20), _I("return"),
+            _I("end"),
+            _I("i32.const", 30),
+        ]
+    assert _run_body(make(0)) == 10
+    assert _run_body(make(1)) == 20
+    assert _run_body(make(5)) == 30
+
+
+def test_interp_call_stack_exhaustion_traps():
+    module = WasmModule("t")
+    ti = module.type_index(WasmFuncType((), ("i32",)))
+    module.functions.append(
+        WasmFunction(ti, [], [_I("call", 0)], "f"))
+    from repro.wasm.module import WasmExport
+    module.exports.append(WasmExport("f", "func", 0))
+    with pytest.raises(TrapError):
+        WasmInstance(module).invoke("f")
+
+
+def test_interp_f64_ops():
+    body = [_I("f64.const", 2.25), _I("f64.const", 4.0), _I("f64.mul"),
+            _I("f64.sqrt")]
+    assert _run_body(body, results=("f64",)) == 3.0

@@ -1,0 +1,83 @@
+"""f32 support in the WebAssembly layer (interpreter + codec).
+
+The compilation pipelines never emit f32 (mcc's ``double`` is f64), but
+the wasm substrate itself implements the full MVP type set; these tests
+pin the single-precision semantics: results are narrowed to f32 after
+every operation.
+"""
+
+import struct
+
+from repro.wasm import (
+    WasmFuncType, WasmFunction, WasmInstance, WasmInstr, WasmModule,
+    decode_module, encode_module, validate_module,
+)
+from repro.wasm.module import WasmExport
+
+_I = WasmInstr
+
+
+def _narrow(x: float) -> float:
+    return struct.unpack("<f", struct.pack("<f", x))[0]
+
+
+def _instance(body, params=(), results=("f32",), locals_=()):
+    module = WasmModule("f32")
+    ti = module.type_index(WasmFuncType(params, results))
+    module.functions.append(WasmFunction(ti, list(locals_), body, "f"))
+    module.exports.append(WasmExport("f", "func", 0))
+    validate_module(module)
+    return WasmInstance(module)
+
+
+def test_f32_add_narrows():
+    # 1e8 + 1 is not representable in f32: the addition rounds.
+    inst = _instance([_I("f32.const", 1e8), _I("f32.const", 1.0),
+                      _I("f32.add")])
+    assert inst.invoke("f") == _narrow(1e8 + 1.0) == 1e8
+
+
+def test_f32_mul_precision():
+    inst = _instance([_I("f32.const", 1.1), _I("f32.const", 1.1),
+                      _I("f32.mul")])
+    expected = _narrow(_narrow(1.1) * _narrow(1.1))
+    assert inst.invoke("f") == expected
+
+
+def test_f32_demote_promote_roundtrip():
+    inst = _instance([_I("f64.const", 3.14159265358979),
+                      _I("f32.demote_f64"), _I("f64.promote_f32")],
+                     results=("f64",))
+    assert inst.invoke("f") == _narrow(3.14159265358979)
+
+
+def test_f32_memory_roundtrip():
+    body = [
+        _I("i32.const", 8), _I("f32.const", 2.5), _I("f32.store", 2, 0),
+        _I("i32.const", 8), _I("f32.load", 2, 0),
+    ]
+    inst = _instance(body)
+    assert inst.invoke("f") == 2.5
+
+
+def test_f32_convert_from_int():
+    inst = _instance([_I("i32.const", 16777217),  # 2^24 + 1: rounds in f32
+                      _I("f32.convert_i32_s")])
+    assert inst.invoke("f") == 16777216.0
+
+
+def test_f32_reinterpret():
+    bits = struct.unpack("<I", struct.pack("<f", -1.5))[0]
+    inst = _instance([_I("i32.const", bits), _I("f32.reinterpret_i32")])
+    assert inst.invoke("f") == -1.5
+
+
+def test_f32_binary_roundtrip_through_codec():
+    module = WasmModule("f32rt")
+    ti = module.type_index(WasmFuncType(("f32",), ("f32",)))
+    body = [_I("local.get", 0), _I("f32.sqrt")]
+    module.functions.append(WasmFunction(ti, [], body, "root"))
+    module.exports.append(WasmExport("root", "func", 0))
+    decoded = decode_module(encode_module(module))
+    validate_module(decoded)
+    assert WasmInstance(decoded).invoke("root", [4.0]) == 2.0

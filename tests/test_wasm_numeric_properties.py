@@ -1,0 +1,139 @@
+"""Property tests: wasm interpreter numerics agree with the shared
+two's-complement reference (repro.ir.intops) and with the IR evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrapError
+from repro.ir import intops
+from repro.ir.interp import eval_binop
+from repro.ir.types import Type
+from repro.wasm import (
+    WasmFuncType, WasmFunction, WasmInstance, WasmInstr, WasmModule,
+)
+from repro.wasm.module import WasmExport
+
+_I = WasmInstr
+
+u32s = st.integers(min_value=0, max_value=2 ** 32 - 1)
+u64s = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+_I32_BINOPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "shr_s",
+               "shr_u", "rotl", "rotr", "div_s", "div_u", "rem_s",
+               "rem_u", "eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u",
+               "le_s", "le_u", "ge_s", "ge_u"]
+
+
+_CMP_OPS = {"eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u",
+            "ge_s", "ge_u", "lt", "le", "gt", "ge"}
+
+
+def _make_binop_module(op: str, prefix: str = "i32") -> WasmInstance:
+    module = WasmModule("prop")
+    result = "i32" if op in _CMP_OPS else prefix
+    ti = module.type_index(WasmFuncType((prefix, prefix), (result,)))
+    body = [_I("local.get", 0), _I("local.get", 1), _I(f"{prefix}.{op}")]
+    module.functions.append(WasmFunction(ti, [], body, "f"))
+    module.exports.append(WasmExport("f", "func", 0))
+    return WasmInstance(module)
+
+
+_INSTANCES = {}
+
+
+def _run_op(prefix, op, a, b):
+    key = (prefix, op)
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _make_binop_module(op, prefix)
+    return _INSTANCES[key].invoke("f", [a, b])
+
+
+@settings(max_examples=40, deadline=None)
+@given(u32s, u32s, st.sampled_from(_I32_BINOPS))
+def test_i32_binops_match_ir_semantics(a, b, op):
+    try:
+        expected = eval_binop(op, a, b, Type.I32)
+    except TrapError:
+        with pytest.raises(TrapError):
+            _run_op("i32", op, a, b)
+        return
+    if op == "div_s" and intops.signed32(a) == -(2 ** 31) \
+            and intops.signed32(b) == -1:
+        # wasm traps on INT_MIN / -1; the IR evaluator wraps (C UB).
+        with pytest.raises(TrapError):
+            _run_op("i32", op, a, b)
+        return
+    assert _run_op("i32", op, a, b) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(u64s, u64s, st.sampled_from(["add", "sub", "mul", "shl", "shr_u",
+                                    "xor", "lt_u", "ge_s"]))
+def test_i64_binops_match_ir_semantics(a, b, op):
+    expected = eval_binop(op, a, b, Type.I64)
+    assert _run_op("i64", op, a, b) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64),
+       st.floats(allow_nan=False, allow_infinity=False, width=64),
+       st.sampled_from(["add", "sub", "mul", "min", "max", "copysign",
+                        "lt", "le", "gt", "ge", "eq", "ne"]))
+def test_f64_binops_match_ir_semantics(a, b, op):
+    expected = eval_binop(op, a, b, Type.F64)
+    got = _run_op("f64", op, a, b)
+    if isinstance(expected, float) and expected != expected:
+        assert got != got
+    else:
+        assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(u32s)
+def test_i32_unops_match_intops(a):
+    module = WasmModule("u")
+    ti = module.type_index(WasmFuncType(("i32",), ("i32",)))
+    for i, op in enumerate(["clz", "ctz", "popcnt", "eqz"]):
+        body = [_I("local.get", 0), _I(f"i32.{op}")]
+        module.functions.append(WasmFunction(ti, [], body, op))
+        module.exports.append(WasmExport(op, "func", i))
+    instance = WasmInstance(module)
+    assert instance.invoke("clz", [a]) == intops.clz(a, 32)
+    assert instance.invoke("ctz", [a]) == intops.ctz(a, 32)
+    assert instance.invoke("popcnt", [a]) == intops.popcnt(a, 32)
+    assert instance.invoke("eqz", [a]) == (1 if a == 0 else 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(u64s)
+def test_reinterpret_roundtrip(bits):
+    module = WasmModule("r")
+    ti = module.type_index(WasmFuncType(("i64",), ("i64",)))
+    body = [_I("local.get", 0), _I("f64.reinterpret_i64"),
+            _I("i64.reinterpret_f64")]
+    module.functions.append(WasmFunction(ti, [], body, "rt"))
+    module.exports.append(WasmExport("rt", "func", 0))
+    instance = WasmInstance(module)
+    result = instance.invoke("rt", [bits])
+    # NaN payloads may canonicalize through the Python float; everything
+    # else round-trips exactly.
+    exponent = (bits >> 52) & 0x7FF
+    mantissa = bits & ((1 << 52) - 1)
+    if exponent == 0x7FF and mantissa:
+        assert (result >> 52) & 0x7FF == 0x7FF
+    else:
+        assert result == bits
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+def test_extend_then_wrap_is_identity(x):
+    module = WasmModule("e")
+    ti = module.type_index(WasmFuncType(("i32",), ("i32",)))
+    body = [_I("local.get", 0), _I("i64.extend_i32_s"),
+            _I("i32.wrap_i64")]
+    module.functions.append(WasmFunction(ti, [], body, "ew"))
+    module.exports.append(WasmExport("ew", "func", 0))
+    instance = WasmInstance(module)
+    assert instance.invoke("ew", [x & 0xFFFFFFFF]) == x & 0xFFFFFFFF

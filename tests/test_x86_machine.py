@@ -1,0 +1,313 @@
+"""Simulated x86-64 machine unit tests."""
+
+import pytest
+
+from repro.errors import TrapError
+from repro.x86 import ICache, Imm, Instr, Label, Mem, Reg, X86Machine, X86Program
+from repro.x86.registers import (
+    R8, R9, RAX, RBX, RCX, RDI, RDX, RSI, XMM0, xmm,
+)
+
+_I = Instr
+
+
+def build_program(instrs, name="f", linear_size=1 << 16):
+    program = X86Program("t", linear_size)
+    func = program.new_function(name)
+    for ins in instrs:
+        if isinstance(ins, str):
+            func.label(ins)
+        else:
+            func.emit(ins)
+    program.layout()
+    return program
+
+
+def run(instrs, setup=None, **kwargs):
+    program = build_program(list(instrs) + [_I("ret")])
+    machine = X86Machine(program, **kwargs)
+    if setup:
+        setup(machine)
+    machine.call("f", setup_regs=False)
+    return machine
+
+
+def test_mov_and_alu():
+    m = run([
+        _I("mov", Reg(RAX), Imm(10)),
+        _I("mov", Reg(RBX), Imm(32)),
+        _I("add", Reg(RAX), Reg(RBX)),
+    ])
+    assert m.regs[RAX] == 42
+
+
+def test_32bit_write_zero_extends():
+    m = run([
+        _I("mov", Reg(RAX), Imm(-1)),
+        _I("mov", Reg(RBX, 4), Reg(RAX, 4), size=4),
+    ])
+    assert m.regs[RBX] == 0xFFFFFFFF
+
+
+def test_sub_sets_flags_for_signed_compare():
+    m = run([
+        _I("mov", Reg(RAX), Imm(-5)),
+        _I("cmp", Reg(RAX, 4), Imm(3), size=4),
+        _I("setcc", Reg(RBX), cond="l"),
+        _I("setcc", Reg(RCX), cond="b"),   # unsigned: -5 is huge
+    ])
+    assert m.regs[RBX] == 1
+    assert m.regs[RCX] == 0
+
+
+def test_memory_store_load_roundtrip():
+    m = run([
+        _I("mov", Reg(RAX), Imm(0x11223344)),
+        _I("mov", Mem(disp=0x100, size=4), Reg(RAX), size=4),
+        _I("movzx", Reg(RBX, 8), Mem(disp=0x101, size=1), size=8),
+    ])
+    assert m.regs[RBX] == 0x33
+
+
+def test_movsx_sign_extends():
+    m = run([
+        _I("mov", Reg(RAX), Imm(0x80)),
+        _I("mov", Mem(disp=0x40, size=1), Reg(RAX), size=1),
+        _I("movsx", Reg(RBX, 4), Mem(disp=0x40, size=1), size=4),
+    ])
+    assert m.regs[RBX] == 0xFFFFFF80
+
+
+def test_scaled_index_addressing():
+    def setup(m):
+        m.write_mem(0x200 + 3 * 4, (99).to_bytes(4, "little"))
+
+    m = run([
+        _I("mov", Reg(RSI), Imm(3)),
+        _I("mov", Reg(RAX, 4), Mem(index=RSI, scale=4, disp=0x200, size=4),
+           size=4),
+    ], setup=setup)
+    assert m.regs[RAX] == 99
+
+
+def test_rmw_memory_destination_counts_load_and_store():
+    m = run([
+        _I("mov", Mem(disp=0x80, size=4), Imm(5), size=4),
+        _I("add", Mem(disp=0x80, size=4), Imm(7), size=4),
+        _I("mov", Reg(RAX, 4), Mem(disp=0x80, size=4), size=4),
+    ])
+    assert m.regs[RAX] == 12
+    assert m.perf.loads == 3    # RMW load + final load + ret
+    assert m.perf.stores == 2   # initial store + RMW store
+
+
+def test_idiv_signed():
+    m = run([
+        _I("mov", Reg(RAX), Imm(-7 & 0xFFFFFFFF)),
+        _I("cdq"),
+        _I("mov", Reg(RBX), Imm(2)),
+        _I("idiv", Reg(RBX, 4), size=4),
+    ])
+    assert m.regs[RAX] == (-3) & 0xFFFFFFFF
+    assert m.regs[RDX] == (-1) & 0xFFFFFFFF
+
+
+def test_div_by_zero_traps():
+    with pytest.raises(TrapError):
+        run([
+            _I("mov", Reg(RAX), Imm(1)),
+            _I("cdq"),
+            _I("mov", Reg(RBX), Imm(0)),
+            _I("idiv", Reg(RBX, 4), size=4),
+        ])
+
+
+def test_shifts():
+    m = run([
+        _I("mov", Reg(RAX), Imm(0x80000000)),
+        _I("sar", Reg(RAX, 4), Imm(4), size=4),
+        _I("mov", Reg(RBX), Imm(0x80000000)),
+        _I("shr", Reg(RBX, 4), Imm(4), size=4),
+        _I("mov", Reg(RCX), Imm(3)),
+        _I("shl", Reg(RCX, 4), Imm(2), size=4),
+    ])
+    assert m.regs[RAX] == 0xF8000000
+    assert m.regs[RBX] == 0x08000000
+    assert m.regs[RCX] == 12
+
+
+def test_variable_shift_uses_cl():
+    m = run([
+        _I("mov", Reg(RAX), Imm(1)),
+        _I("mov", Reg(RCX), Imm(5)),
+        _I("shl", Reg(RAX, 4), Reg(RCX, 1), size=4),
+    ])
+    assert m.regs[RAX] == 32
+
+
+def test_jcc_and_jmp():
+    m = run([
+        _I("mov", Reg(RAX), Imm(0)),
+        _I("mov", Reg(RBX), Imm(0)),
+        "loop",
+        _I("add", Reg(RAX), Imm(1)),
+        _I("add", Reg(RBX), Reg(RAX)),
+        _I("cmp", Reg(RAX, 4), Imm(10), size=4),
+        _I("jcc", Label("loop"), cond="l"),
+    ])
+    assert m.regs[RBX] == 55
+    assert m.perf.cond_branches == 10
+
+
+def test_call_and_ret():
+    program = X86Program("t", 1 << 16)
+    callee = program.new_function("callee")
+    callee.emit(_I("mov", Reg(RAX), Imm(7)))
+    callee.emit(_I("ret"))
+    caller = program.new_function("caller")
+    caller.emit(_I("call", Label("callee")))
+    caller.emit(_I("add", Reg(RAX), Imm(1)))
+    caller.emit(_I("ret"))
+    program.layout()
+    machine = X86Machine(program)
+    rax, _ = machine.call("caller", setup_regs=False)
+    assert rax == 8
+    assert machine.perf.calls == 1
+
+
+def test_indirect_call_through_table():
+    program = X86Program("t", 1 << 16)
+    target = program.new_function("target")
+    target.emit(_I("mov", Reg(RAX), Imm(123)))
+    target.emit(_I("ret"))
+    table = program.add_call_table([("target", 0)], with_sig=False)
+    caller = program.new_function("caller")
+    caller.emit(_I("mov", Reg(RSI), Imm(0)))
+    caller.emit(_I("callr", Mem(index=RSI, scale=8, disp=table, size=8)))
+    caller.emit(_I("ret"))
+    program.layout()
+    machine = X86Machine(program)
+    rax, _ = machine.call("caller", setup_regs=False)
+    assert rax == 123
+
+
+def test_indirect_call_to_garbage_traps():
+    program = X86Program("t", 1 << 16)
+    caller = program.new_function("caller")
+    caller.emit(_I("mov", Reg(RSI), Imm(0xDEAD)))
+    caller.emit(_I("callr", Reg(RSI)))
+    caller.emit(_I("ret"))
+    program.layout()
+    with pytest.raises(TrapError):
+        X86Machine(program).call("caller", setup_regs=False)
+
+
+def test_float_arithmetic():
+    program = X86Program("t", 1 << 16)
+    a = program.f64_constant(2.5)
+    b = program.f64_constant(4.0)
+    func = program.new_function("f")
+    func.emit(_I("movsd", Reg(xmm(1)), Mem(disp=a, size=8)))
+    func.emit(_I("mulsd", Reg(xmm(1)), Mem(disp=b, size=8)))
+    func.emit(_I("movsd", Reg(XMM0), Reg(xmm(1))))
+    func.emit(_I("ret"))
+    program.layout()
+    machine = X86Machine(program)
+    _, x = machine.call("f", setup_regs=False)
+    assert x == 10.0
+
+
+def test_ucomisd_sets_carry_for_less_than():
+    program = X86Program("t", 1 << 16)
+    a = program.f64_constant(1.0)
+    b = program.f64_constant(2.0)
+    func = program.new_function("f")
+    func.emit(_I("movsd", Reg(xmm(1)), Mem(disp=a, size=8)))
+    func.emit(_I("ucomisd", Reg(xmm(1)), Mem(disp=b, size=8)))
+    func.emit(_I("setcc", Reg(RAX), cond="b"))
+    func.emit(_I("ret"))
+    program.layout()
+    machine = X86Machine(program)
+    rax, _ = machine.call("f", setup_regs=False)
+    assert rax == 1
+
+
+def test_cvt_roundtrip():
+    m = run([
+        _I("mov", Reg(RSI), Imm(-9)),
+        _I("cvtsi2sd", Reg(xmm(2)), Reg(RSI, 4), size=4),
+        _I("cvttsd2si", Reg(RAX, 4), Reg(xmm(2)), size=4),
+    ])
+    assert m.regs[RAX] == (-9) & 0xFFFFFFFF
+
+
+def test_push_pop():
+    m = run([
+        _I("mov", Reg(RAX), Imm(77)),
+        _I("push", Reg(RAX)),
+        _I("mov", Reg(RAX), Imm(0)),
+        _I("pop", Reg(RBX)),
+    ])
+    assert m.regs[RBX] == 77
+
+
+def test_instruction_budget_guards_runaway():
+    with pytest.raises(TrapError):
+        run([
+            "spin",
+            _I("jmp", Label("spin")),
+        ], max_instructions=1000)
+
+
+def test_perf_counters_basic():
+    m = run([
+        _I("mov", Reg(RAX, 4), Mem(disp=0x10, size=4), size=4),
+        _I("mov", Mem(disp=0x20, size=4), Reg(RAX), size=4),
+        _I("jmp", Label("end")),
+        "end",
+    ])
+    assert m.perf.loads == 2     # the explicit load + ret's stack pop
+    assert m.perf.stores == 1
+    assert m.perf.branches == 2  # jmp + ret
+    assert m.perf.instructions == 4
+    assert m.perf.cycles() > 0
+
+
+def test_trap_message_includes_context():
+    try:
+        run([_I("mov", Reg(RAX, 4), Mem(disp=1 << 30, size=4), size=4)])
+        assert False
+    except TrapError as exc:
+        assert "in f at #" in str(exc)
+
+
+class TestICache:
+    def test_sequential_fetch_same_line_is_filtered(self):
+        cache = ICache(size=1024, ways=4)
+        cache.fetch(0x100, 4)
+        cache.fetch(0x104, 4)
+        cache.fetch(0x108, 4)
+        assert cache.accesses == 1
+        assert cache.misses == 1
+
+    def test_capacity_eviction(self):
+        cache = ICache(size=256, line_size=64, ways=2)  # 2 sets
+        # Touch 3 lines mapping to set 0: 0x000, 0x080, 0x100.
+        for addr in (0x000, 0x080, 0x100, 0x000):
+            cache.fetch(addr, 4)
+            cache.invalidate_stream()
+            cache._last_line = -1
+        assert cache.misses == 4  # last access misses again (LRU evicted)
+
+    def test_hit_after_fill(self):
+        cache = ICache(size=1024, ways=4)
+        cache.fetch(0x100, 4)
+        cache._last_line = -1
+        cache.fetch(0x100, 4)
+        assert cache.misses == 1
+        assert cache.accesses == 2
+
+    def test_straddling_fetch_touches_two_lines(self):
+        cache = ICache(size=1024, ways=4)
+        cache.fetch(0x13E, 8)  # crosses the 0x140 line boundary
+        assert cache.accesses == 2
