@@ -1,0 +1,209 @@
+"""Micro-benchmarks for the measurement-stack fast paths.
+
+Times each optimized subsystem against its in-tree pre-optimization
+baseline and writes ``BENCH_repro.json`` at the repo root:
+
+* ``compile_cache``   — a repeated 2-experiment suite run, cold
+  (``--no-cache`` semantics) vs. warm (content-addressed cache);
+* ``wasm_interp``     — a single-pass PolyBench run on the table-dispatch
+  interpreter vs. the original chain-dispatch one;
+* ``x86_machine``     — the decoded x86 executor vs. the original
+  if/elif chain, same program, counters asserted identical;
+* ``parallel_suite``  — a 4-benchmark suite sweep, ``jobs=4`` vs.
+  serial, results asserted bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python bench/run_bench.py [--output BENCH_repro.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.benchsuite import polybench_benchmark          # noqa: E402
+from repro.codegen import compile_native                  # noqa: E402
+from repro.codegen.emscripten import compile_emscripten   # noqa: E402
+from repro.harness.compilecache import CompileCache       # noqa: E402
+from repro.harness.parallel import run_suite              # noqa: E402
+from repro.harness.runner import compile_benchmark        # noqa: E402
+from repro.ir import CollectingHost                       # noqa: E402
+from repro.wasm.interp import WasmInstance                # noqa: E402
+from repro.wasm.interp_baseline import BaselineWasmInstance  # noqa: E402
+from repro.x86.machine import X86Machine                  # noqa: E402
+from repro.x86.machine_baseline import X86MachineBaseline  # noqa: E402
+
+
+class _Host(CollectingHost):
+    def __init__(self, heap_base):
+        super().__init__()
+        self.heap_base = heap_base
+
+    def call(self, env, name, args):
+        if name == "sys_heap_base":
+            return self.heap_base
+        return super().call(env, name, args)
+
+
+def _best_of(fn, repeats=3):
+    """Best wall-clock of ``repeats`` runs; returns (seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_compile_cache():
+    """Two experiments over the same 2 benchmarks: each experiment
+    recompiles every (benchmark, target) cell, so the second pass and
+    the repeated benchmarks are pure cache-hit territory."""
+    names = ["trisolv", "bicg"]
+    targets = ("native", "chrome", "firefox")
+
+    def experiment(cache):
+        for _ in range(2):  # e.g. Table 1 then Fig. 3 over the same suite
+            for name in names:
+                compile_benchmark(polybench_benchmark(name, "test"),
+                                  targets, cache=cache)
+
+    cold_seconds, _ = _best_of(lambda: experiment(False), repeats=2)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = CompileCache(directory=tmp)
+        experiment(cache)  # populate
+        warm_seconds, _ = _best_of(lambda: experiment(cache), repeats=2)
+        stats = cache.stats.as_dict()
+
+    return {
+        "description": "repeated 2-experiment compile sweep, "
+                       "cold vs content-addressed cache",
+        "baseline_seconds": cold_seconds,
+        "optimized_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "cache_stats": stats,
+    }
+
+
+def bench_wasm_interp():
+    spec = polybench_benchmark("2mm", "test")
+    wasm, ir = compile_emscripten(spec.source, spec.name)
+
+    def run(cls):
+        host = _Host(ir.heap_base)
+        value = cls(wasm, host=host).invoke("main")
+        return value, bytes(host.output)
+
+    base_seconds, base_out = _best_of(lambda: run(BaselineWasmInstance))
+    fast_seconds, fast_out = _best_of(lambda: run(WasmInstance))
+    assert base_out == fast_out, "interpreters disagree"
+    return {
+        "description": "single-pass 2mm on the wasm interpreter, "
+                       "chain dispatch vs pre-decoded table dispatch",
+        "baseline_seconds": base_seconds,
+        "optimized_seconds": fast_seconds,
+        "speedup": base_seconds / fast_seconds,
+    }
+
+
+def bench_x86_machine():
+    spec = polybench_benchmark("gemm", "test")
+    program, module = compile_native(spec.source, spec.name)
+
+    def run(cls):
+        machine = cls(program, host=_Host(module.heap_base))
+        machine.call("main")
+        return machine.perf.as_dict()
+
+    base_seconds, base_perf = _best_of(lambda: run(X86MachineBaseline))
+    fast_seconds, fast_perf = _best_of(lambda: run(X86Machine))
+    assert base_perf == fast_perf, "perf counters diverge"
+    return {
+        "description": "native gemm on the simulated x86 machine, "
+                       "chain dispatch vs pre-decoded dispatch",
+        "baseline_seconds": base_seconds,
+        "optimized_seconds": fast_seconds,
+        "speedup": base_seconds / fast_seconds,
+        "instructions": fast_perf["instructions"],
+    }
+
+
+def bench_parallel_suite():
+    # Heavy enough that per-cell work dominates worker startup.
+    names = ["2mm", "3mm", "gemm", "covariance"]
+    targets = ["native", "chrome", "firefox"]
+
+    def sweep(jobs):
+        suite = [polybench_benchmark(name, "test") for name in names]
+        return run_suite(suite, targets, runs=3, jobs=jobs, cache=False)
+
+    serial_seconds, (serial, _) = _best_of(lambda: sweep(1), repeats=1)
+    parallel_seconds, (parallel, _) = _best_of(lambda: sweep(4),
+                                               repeats=1)
+    for name in names:
+        for target in targets:
+            assert serial[name][target].times == \
+                parallel[name][target].times, "parallel diverged"
+    return {
+        "description": "4-benchmark x 3-target suite sweep, serial vs "
+                       "jobs=4; results asserted bit-identical. "
+                       "Wall-clock speedup needs multiple cores.",
+        "baseline_seconds": serial_seconds,
+        "optimized_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "jobs": 4,
+        "cpus": os.cpu_count(),
+    }
+
+
+SCENARIOS = {
+    "compile_cache": bench_compile_cache,
+    "wasm_interp": bench_wasm_interp,
+    "x86_machine": bench_x86_machine,
+    "parallel_suite": bench_parallel_suite,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_out = os.path.join(os.path.dirname(__file__), "..",
+                               "BENCH_repro.json")
+    parser.add_argument("--output", default=os.path.normpath(default_out))
+    parser.add_argument("--scenario", action="append",
+                        choices=sorted(SCENARIOS),
+                        help="run only the named scenario(s)")
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name in (args.scenario or SCENARIOS):
+        print(f"[bench] {name} ...", flush=True)
+        results[name] = SCENARIOS[name]()
+        print(f"[bench]   {results[name]['speedup']:.2f}x "
+              f"({results[name]['baseline_seconds']:.3f}s -> "
+              f"{results[name]['optimized_seconds']:.3f}s)")
+
+    payload = {
+        "generated_by": "bench/run_bench.py",
+        "python": sys.version.split()[0],
+        "scenarios": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

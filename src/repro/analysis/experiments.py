@@ -14,8 +14,10 @@ from ..benchsuite import (
     all_polybench_benchmarks, all_spec_benchmarks, matmul_spec,
     polybench_benchmark, spec_benchmark,
 )
+from ..harness.parallel import normalize_jobs, run_suite
 from ..harness.runner import (
-    ASMJS_TARGETS, TARGETS, compile_benchmark, run_compiled,
+    ASMJS_TARGETS, TARGETS, CompiledBenchmark, compile_benchmark,
+    run_compiled,
 )
 from ..harness.stats import geomean, median
 from ..jit.engine import ENGINES_BY_YEAR
@@ -28,18 +30,37 @@ from .tables import fmt_ratio, fmt_time, render_table
 
 
 class SuiteData:
-    """Runs a set of benchmarks over a set of targets, once each."""
+    """Runs a set of benchmarks over a set of targets, once each.
+
+    ``jobs`` > 1 fans the (benchmark, target) cells out over worker
+    processes via :mod:`repro.harness.parallel`; results are
+    bit-identical to ``jobs=1`` (deterministic machine + per-cell seeded
+    noise) and are stored in suite order either way.
+    """
 
     def __init__(self, benchmarks, targets, runs: int = 5,
-                 max_instructions: int = 2_000_000_000):
+                 max_instructions: int = 2_000_000_000, jobs: int = 1):
         self.benchmarks = list(benchmarks)
         self.targets = list(targets)
         self.runs = runs
         self.max_instructions = max_instructions
+        self.jobs = jobs
         self.results = {}
         self.compiled = {}
 
     def collect(self, progress=None) -> "SuiteData":
+        jobs = normalize_jobs(self.jobs)
+        if jobs > 1:
+            self.results, compile_seconds = run_suite(
+                self.benchmarks, self.targets, runs=self.runs,
+                max_instructions=self.max_instructions, jobs=jobs,
+                progress=progress)
+            for spec in self.benchmarks:
+                compiled = CompiledBenchmark(spec)
+                compiled.compile_seconds = compile_seconds[spec.name]
+                self.compiled[spec.name] = compiled
+            self._validate()
+            return self
         for spec in self.benchmarks:
             compiled = compile_benchmark(spec, self.targets)
             self.compiled[spec.name] = compiled
@@ -66,16 +87,17 @@ class SuiteData:
 
 
 def spec_data(size: str = "ref", include_asmjs: bool = False,
-              runs: int = 5, benchmarks=None, progress=None) -> SuiteData:
+              runs: int = 5, benchmarks=None, progress=None,
+              jobs: int = 1) -> SuiteData:
     targets = list(TARGETS) + (list(ASMJS_TARGETS) if include_asmjs else [])
     specs = benchmarks or all_spec_benchmarks(size)
-    return SuiteData(specs, targets, runs).collect(progress)
+    return SuiteData(specs, targets, runs, jobs=jobs).collect(progress)
 
 
 def polybench_data(size: str = "ref", runs: int = 5,
-                   progress=None) -> SuiteData:
+                   progress=None, jobs: int = 1) -> SuiteData:
     return SuiteData(all_polybench_benchmarks(size),
-                     TARGETS, runs).collect(progress)
+                     TARGETS, runs, jobs=jobs).collect(progress)
 
 
 # ---------------------------------------------------------------------------

@@ -62,5 +62,7 @@ def matmul_source(ni: int, nk: int, nj: int) -> str:
 
 
 def matmul_spec(ni: int = 24, nk: int = 26, nj: int = 28) -> BenchmarkSpec:
-    return BenchmarkSpec(f"matmul-{ni}x{nk}x{nj}", "casestudy",
+    spec = BenchmarkSpec(f"matmul-{ni}x{nk}x{nj}", "casestudy",
                          matmul_source(ni, nk, nj))
+    spec.matmul_dims = (ni, nk, nj)  # lets the parallel runner rebuild it
+    return spec

@@ -1076,7 +1076,8 @@ def polybench_spec(name: str, size: str = "ref") -> BenchmarkSpec:
     test_n, ref_n = _SIZES[name]
     n = test_n if size == "test" else ref_n
     return BenchmarkSpec(name, "polybench", _body(name, n),
-                         description=f"PolyBenchC {name} (N={n})")
+                         description=f"PolyBenchC {name} (N={n})",
+                         size=size)
 
 
 def polybench_factories():

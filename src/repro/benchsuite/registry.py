@@ -19,7 +19,9 @@ def spec_benchmark(name: str, size: str = "ref") -> BenchmarkSpec:
     """Build one SPEC proxy benchmark at the given size preset."""
     if name not in _ALL_BUILDERS:
         raise KeyError(f"unknown SPEC benchmark {name}")
-    return _ALL_BUILDERS[name](size)
+    spec = _ALL_BUILDERS[name](size)
+    spec.size = size
+    return spec
 
 
 def all_spec_benchmarks(size: str = "ref"):

@@ -125,8 +125,10 @@ def cmd_wat(args) -> int:
 def cmd_bench(args) -> int:
     from .benchsuite import (POLYBENCH_NAMES, SPEC_NAMES,
                              polybench_benchmark, spec_benchmark)
-    from .harness import run_benchmark
+    from .harness import compilecache, run_benchmark
 
+    if args.no_cache:
+        compilecache.set_enabled(False)
     if args.benchmark in SPEC_NAMES:
         spec = spec_benchmark(args.benchmark, args.size)
     elif args.benchmark in POLYBENCH_NAMES:
@@ -138,7 +140,8 @@ def cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
     targets = args.target or ["native", "chrome", "firefox"]
-    results = run_benchmark(spec, targets=targets, runs=args.runs)
+    results = run_benchmark(spec, targets=targets, runs=args.runs,
+                            jobs=args.jobs)
     native = results.get("native") or next(iter(results.values()))
     from .analysis import fmt_time, render_table
     rows = []
@@ -156,7 +159,10 @@ def cmd_report(args) -> int:
     from .analysis import (fig1, fig3a, fig3b, fig4, fig5, fig6, fig7,
                            fig8, fig9, fig10, polybench_data, spec_data,
                            table1, table2, table3, table4)
+    from .harness import compilecache
 
+    if args.no_cache:
+        compilecache.set_enabled(False)
     artifact = args.artifact
     if artifact == "table3":
         print(table3()[1])
@@ -171,7 +177,7 @@ def cmd_report(args) -> int:
         print(fig1(size=args.size, runs=args.runs)[2])
         return 0
     if artifact == "fig3a":
-        data = polybench_data(args.size, runs=args.runs)
+        data = polybench_data(args.size, runs=args.runs, jobs=args.jobs)
         print(fig3a(data)[2])
         return 0
 
@@ -193,7 +199,7 @@ def cmd_report(args) -> int:
         return 2
     include_asmjs = artifact in ("fig5", "fig6")
     data = spec_data(args.size, include_asmjs=include_asmjs,
-                     runs=args.runs)
+                     runs=args.runs, jobs=args.jobs)
     print(spec_figures[artifact](data))
     return 0
 
@@ -233,12 +239,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", choices=("test", "ref"), default="test")
     p.add_argument("--runs", type=int, default=3)
     p.add_argument("--target", action="append", choices=TARGETS)
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for (benchmark, target) cells "
+                        "(default: cpu count, capped at 8; 1 = serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk compile cache")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="regenerate a paper table/figure")
     p.add_argument("artifact")
     p.add_argument("--size", choices=("test", "ref"), default="test")
     p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for suite sweeps "
+                        "(default: cpu count, capped at 8; 1 = serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk compile cache")
     p.set_defaults(func=cmd_report)
 
     return parser

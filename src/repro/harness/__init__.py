@@ -1,6 +1,8 @@
 """BROWSIX-SPEC: benchmark harness, statistics, orchestration."""
 
 from .browsix_spec import BrowsixSpecSession
+from .compilecache import CompileCache, get_cache
+from .parallel import default_jobs, normalize_jobs, run_suite
 from .runner import (
     ASMJS_TARGETS, BenchResult, CompiledBenchmark, TARGETS, ValidationError,
     compile_benchmark, run_benchmark, run_compiled,
@@ -10,8 +12,9 @@ from .stats import geomean, mean, median, stderr
 
 __all__ = [
     "BenchmarkSpec", "SpecFactory", "BenchResult", "CompiledBenchmark",
-    "BrowsixSpecSession", "ValidationError",
-    "compile_benchmark", "run_benchmark", "run_compiled",
+    "BrowsixSpecSession", "ValidationError", "CompileCache",
+    "compile_benchmark", "run_benchmark", "run_compiled", "run_suite",
+    "get_cache", "default_jobs", "normalize_jobs",
     "TARGETS", "ASMJS_TARGETS",
     "mean", "stderr", "geomean", "median",
 ]

@@ -1,0 +1,224 @@
+"""Content-addressed compile cache for the measurement harness.
+
+Every figure and table of the paper recompiles the same PolyBench/SPEC
+sources through the same pipelines: Table 1, Fig. 3 and the ablation
+suites each rebuild identical artifacts.  This module makes each
+(source, pipeline, flags, toolchain) combination compile exactly once
+per toolchain version with a two-tier cache:
+
+* an in-process dict (shared artifacts, zero-copy hits), and
+* an on-disk pickle store under ``~/.cache/repro`` so hits survive
+  process boundaries — including the workers of the parallel suite
+  runner (:mod:`repro.harness.parallel`).
+
+Keys are SHA-256 digests over the source text, the pipeline identity,
+the optimization flags, and a *toolchain fingerprint*: a content hash of
+every ``repro`` source file.  Changing any compiler code (or the package
+version) therefore invalidates the whole cache automatically — there is
+no way to observe a stale artifact.
+
+Escape hatches: the ``--no-cache`` CLI flag, the ``REPRO_NO_CACHE``
+environment variable, or :func:`set_enabled`.  ``REPRO_CACHE_DIR``
+relocates the disk tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+
+class CacheStats:
+    """Hit/miss accounting for one :class:`CompileCache`."""
+
+    __slots__ = ("memory_hits", "disk_hits", "misses", "stores",
+                 "disk_errors")
+
+    def __init__(self):
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_errors = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+            "hits": self.hits, "misses": self.misses,
+            "stores": self.stores, "disk_errors": self.disk_errors,
+        }
+
+    def __repr__(self):
+        return (f"<cache-stats hits={self.hits} "
+                f"(mem={self.memory_hits} disk={self.disk_hits}) "
+                f"misses={self.misses}>")
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME",
+                          os.path.join(os.path.expanduser("~"), ".cache"))
+    return os.path.join(base, "repro")
+
+
+_FINGERPRINT = None
+
+
+def toolchain_fingerprint() -> str:
+    """Content hash of every repro source file (computed once).
+
+    Any change to the compilers, the IR passes, or the harness itself
+    yields a new fingerprint, so cached artifacts can never outlive the
+    toolchain that produced them.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256(repro.__version__.encode())
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+class CompileCache:
+    """Two-tier (memory + disk) content-addressed artifact store."""
+
+    def __init__(self, directory: str = None, use_disk: bool = True):
+        self.directory = directory or default_cache_dir()
+        self.use_disk = use_disk
+        self._memory: dict[str, object] = {}
+        self.stats = CacheStats()
+
+    # -- keys -------------------------------------------------------------------
+
+    def key(self, *parts) -> str:
+        """SHA-256 over the toolchain fingerprint and ``parts``.
+
+        Parts may be str/bytes/int/float/bool/None or nested tuples of
+        those; each is tagged so e.g. ``1`` and ``"1"`` hash differently.
+        """
+        digest = hashlib.sha256(toolchain_fingerprint().encode())
+        self._feed(digest, parts)
+        return digest.hexdigest()
+
+    def _feed(self, digest, value) -> None:
+        if isinstance(value, (tuple, list)):
+            digest.update(b"(")
+            for item in value:
+                self._feed(digest, item)
+            digest.update(b")")
+        elif isinstance(value, bytes):
+            digest.update(b"b" + len(value).to_bytes(8, "little") + value)
+        else:
+            blob = f"{type(value).__name__}:{value!r};".encode()
+            digest.update(blob)
+
+    # -- lookup / store -----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key + ".pkl")
+
+    def get(self, key: str):
+        """Return the cached artifact or None (miss)."""
+        value = self._memory.get(key)
+        if value is not None:
+            self.stats.memory_hits += 1
+            return value
+        if self.use_disk:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError, AttributeError):
+                value = None
+            if value is not None:
+                self._memory[key] = value
+                self.stats.disk_hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        self._memory[key] = value
+        self.stats.stores += 1
+        if not self.use_disk:
+            return
+        path = self._path(key)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent workers never clash
+        except (OSError, pickle.PickleError):
+            self.stats.disk_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def __len__(self):
+        return len(self._memory)
+
+
+# -- process-global default cache --------------------------------------------------
+
+_GLOBAL: CompileCache = None
+_ENABLED = None
+
+
+def get_cache() -> CompileCache:
+    """The process-wide default cache (created lazily)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = CompileCache()
+    return _GLOBAL
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable caching (the --no-cache escape hatch)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def is_enabled() -> bool:
+    if _ENABLED is not None:
+        return _ENABLED
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+def resolve_cache(cache):
+    """Map a ``cache`` argument to an active cache or None.
+
+    ``None`` selects the global default (subject to :func:`is_enabled`),
+    ``False`` disables caching for the call, and a :class:`CompileCache`
+    instance is used as-is.
+    """
+    if cache is False:
+        return None
+    if cache is None:
+        return get_cache() if is_enabled() else None
+    return cache

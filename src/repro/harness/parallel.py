@@ -1,0 +1,161 @@
+"""Parallel BROWSIX-SPEC suite execution.
+
+A full Table 1 / Fig. 3 sweep measures every benchmark on every target —
+dozens of independent (benchmark, target) cells that the serial drivers
+grind through one at a time.  This module fans those cells out over a
+``concurrent.futures.ProcessPoolExecutor`` while keeping every
+measurement *bit-identical* to a serial run:
+
+* the simulated machine is deterministic, and the synthesized
+  measurement noise is seeded per (benchmark, target) with the existing
+  ``zlib.crc32(f"{name}:{target}")`` scheme in
+  :func:`repro.harness.runner.run_compiled` — no per-process state leaks
+  into a result;
+* results are reassembled in suite order (benchmark order × target
+  order), so completion order never changes output;
+* ``jobs=1`` (or a single cell) falls back to the plain serial loop.
+
+Jobs are shipped to workers as *spec references* — ``(suite, name,
+size)`` triples resolved through :mod:`repro.benchsuite` — because
+benchmark specs carry setup closures that cannot cross a process
+boundary.  Specs that cannot be referenced (ad-hoc sources) simply run
+serially in the parent.  Workers share the on-disk compile cache, so a
+benchmark whose wasm module is needed by several targets is still
+compiled once per toolchain version across the whole pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from . import compilecache
+from .runner import NOISE, compile_benchmark, run_compiled
+
+#: Upper bound for auto-selected worker counts: beyond this, pool
+#: startup and artifact pickling dominate the simulated workloads.
+MAX_JOBS = 8
+
+
+def default_jobs() -> int:
+    """``os.cpu_count()`` capped at :data:`MAX_JOBS`."""
+    return max(1, min(os.cpu_count() or 1, MAX_JOBS))
+
+
+def normalize_jobs(jobs) -> int:
+    if jobs is None:
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+# -- spec references ---------------------------------------------------------------
+
+def spec_ref(spec):
+    """A picklable reference that rebuilds ``spec`` in a worker.
+
+    Returns None when the spec is not reconstructible from the registry
+    (the caller should then run it in-process).
+    """
+    dims = getattr(spec, "matmul_dims", None)
+    if dims is not None:
+        return ("matmul", dims)
+    if spec.size not in ("test", "ref"):
+        return None
+    if spec.suite == "polybench":
+        return ("polybench", spec.name, spec.size)
+    if spec.suite in ("spec2006", "spec2017"):
+        return ("spec", spec.name, spec.size)
+    return None
+
+
+def resolve_ref(ref):
+    from ..benchsuite import (matmul_spec, polybench_benchmark,
+                              spec_benchmark)
+
+    kind = ref[0]
+    if kind == "polybench":
+        return polybench_benchmark(ref[1], ref[2])
+    if kind == "spec":
+        return spec_benchmark(ref[1], ref[2])
+    if kind == "matmul":
+        return matmul_spec(*ref[1])
+    raise ValueError(f"unknown spec reference {ref!r}")
+
+
+# -- the worker --------------------------------------------------------------------
+
+def _run_cell(ref, target, runs, noise, max_instructions, use_cache):
+    """Measure one (benchmark, target) cell; runs inside a worker.
+
+    Returns (BenchResult, compile_seconds) — both plain picklable data.
+    """
+    if not use_cache:
+        compilecache.set_enabled(False)
+    spec = resolve_ref(ref)
+    compiled = compile_benchmark(spec, (target,))
+    result = run_compiled(compiled, target, runs=runs, noise=noise,
+                          max_instructions=max_instructions)
+    return result, dict(compiled.compile_seconds)
+
+
+# -- the suite runner --------------------------------------------------------------
+
+def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
+              max_instructions: int = 2_000_000_000, jobs=1,
+              progress=None, cache=None):
+    """Measure every (benchmark, target) cell of a suite.
+
+    Returns ``(results, compile_seconds)`` where ``results`` maps
+    benchmark name -> target -> BenchResult in suite order, and
+    ``compile_seconds`` maps benchmark name -> {pipeline: seconds}.
+    ``jobs`` > 1 distributes cells over that many worker processes;
+    ``jobs=None`` auto-selects :func:`default_jobs`.
+    """
+    benchmarks = list(benchmarks)
+    targets = list(targets)
+    jobs = normalize_jobs(jobs)
+    use_cache = compilecache.resolve_cache(cache) is not None
+
+    serial_specs = list(benchmarks)
+    cell_results = {}       # (name, target) -> BenchResult
+    compile_seconds = {spec.name: {} for spec in benchmarks}
+
+    if jobs > 1 and len(benchmarks) * len(targets) > 1:
+        refs = {spec.name: spec_ref(spec) for spec in benchmarks}
+        pool_specs = [s for s in benchmarks if refs[s.name] is not None]
+        serial_specs = [s for s in benchmarks if refs[s.name] is None]
+        if pool_specs:
+            pending = {}  # future -> (name, target)
+            remaining = {s.name: len(targets) for s in pool_specs}
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for spec in pool_specs:
+                    for target in targets:
+                        future = pool.submit(
+                            _run_cell, refs[spec.name], target, runs,
+                            noise, max_instructions, use_cache)
+                        pending[future] = (spec.name, target)
+                for future, (name, target) in pending.items():
+                    result, seconds = future.result()
+                    cell_results[(name, target)] = result
+                    compile_seconds[name].update(seconds)
+                    remaining[name] -= 1
+                    if not remaining[name] and progress is not None:
+                        progress(name)
+
+    for spec in serial_specs:
+        compiled = compile_benchmark(spec, targets, cache=cache)
+        compile_seconds[spec.name].update(compiled.compile_seconds)
+        for target in targets:
+            cell_results[(spec.name, target)] = run_compiled(
+                compiled, target, runs=runs, noise=noise,
+                max_instructions=max_instructions)
+        if progress is not None:
+            progress(spec.name)
+
+    # Reassemble in suite order: stable no matter who finished first.
+    results = {}
+    for spec in benchmarks:
+        results[spec.name] = {
+            target: cell_results[(spec.name, target)] for target in targets
+        }
+    return results, compile_seconds

@@ -15,6 +15,7 @@ measurement noise.  Counters are exact.
 from __future__ import annotations
 
 import random
+import time
 
 from ..asmjs import ASMJS_CHROME, ASMJS_FIREFOX
 from ..browser.browser import execute_program
@@ -25,6 +26,7 @@ from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE
 from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
 from ..mcc import compile_source
 from ..wasm.binary import encode_module
+from . import compilecache
 from .spec import BenchmarkSpec
 from .stats import mean, stderr
 
@@ -87,34 +89,83 @@ class CompiledBenchmark:
         return self.programs[target]
 
 
+def _engine_signature(engine):
+    """A stable content identity for an engine's code generation."""
+    config = engine.config
+    abi = config.abi
+    fields = tuple(sorted(
+        (key, tuple(value) if isinstance(value, (list, tuple)) else value)
+        for key, value in vars(config).items()
+        if isinstance(value, (str, int, float, bool, type(None), list,
+                              tuple))))
+    return (engine.name, engine.year, engine.local_cleanup, fields,
+            tuple(abi.int_args), tuple(abi.float_args))
+
+
 def compile_benchmark(spec: BenchmarkSpec, targets=None,
-                      engines=None) -> CompiledBenchmark:
-    """Compile ``spec`` for every requested target."""
+                      engines=None, cache=None) -> CompiledBenchmark:
+    """Compile ``spec`` for every requested target.
+
+    ``cache`` selects the compile cache: ``None`` uses the process-wide
+    default (two-tier, content-addressed), ``False`` disables caching
+    for this call, and an explicit :class:`~repro.harness.compilecache.
+    CompileCache` is used as-is.  Keyed on (source, pipeline, opt flags,
+    toolchain fingerprint), so each (benchmark, target) compiles exactly
+    once per toolchain version no matter how many experiments request it.
+    """
     engines = dict(_ENGINES, **(engines or {}))
     targets = list(targets or TARGETS)
     result = CompiledBenchmark(spec)
+    store = compilecache.resolve_cache(cache)
 
     if "native" in targets:
-        ir = compile_source(spec.source, spec.name,
-                            memory_size=spec.memory_size)
-        program = compile_ir_native(ir)
+        program = key = None
+        if store is not None:
+            key = store.key("native", spec.source, spec.name,
+                            spec.memory_size, ("opt", 2), ("unroll", True))
+            program = store.get(key)
+        if program is None:
+            ir = compile_source(spec.source, spec.name,
+                                memory_size=spec.memory_size)
+            program = compile_ir_native(ir)
+            if store is not None:
+                store.put(key, program)
         result.programs["native"] = program
         result.compile_seconds["native"] = \
             program.compile_stats["compile_seconds"]
 
     wasm_targets = [t for t in targets if t != "native"]
     if wasm_targets:
-        import time
-        start = time.perf_counter()
-        ir = compile_source(spec.source, spec.name,
-                            memory_size=spec.memory_size)
-        optimize_module(ir, level=2, unroll=False)
-        wasm = compile_ir_to_wasm(ir)
-        result.wasm_bytes = encode_module(wasm)
-        emcc_seconds = time.perf_counter() - start
+        wasm_key = cached = None
+        if store is not None:
+            wasm_key = store.key("emscripten", spec.source, spec.name,
+                                 spec.memory_size, ("opt", 2),
+                                 ("unroll", False))
+            cached = store.get(wasm_key)
+        if cached is None:
+            start = time.perf_counter()
+            ir = compile_source(spec.source, spec.name,
+                                memory_size=spec.memory_size)
+            optimize_module(ir, level=2, unroll=False)
+            wasm = compile_ir_to_wasm(ir)
+            wasm_bytes = encode_module(wasm)
+            emcc_seconds = time.perf_counter() - start
+            if store is not None:
+                store.put(wasm_key, (wasm_bytes, emcc_seconds))
+        else:
+            wasm_bytes, emcc_seconds = cached
+        result.wasm_bytes = wasm_bytes
         for target in wasm_targets:
             engine = engines[target]
-            program = engine.compile_bytes(result.wasm_bytes)
+            program = engine_key = None
+            if store is not None:
+                engine_key = store.key("jit", _engine_signature(engine),
+                                       wasm_key)
+                program = store.get(engine_key)
+            if program is None:
+                program = engine.compile_bytes(wasm_bytes)
+                if store is not None:
+                    store.put(engine_key, program)
             result.programs[target] = program
             result.compile_seconds[target] = \
                 program.compile_stats["compile_seconds"]
@@ -152,18 +203,29 @@ def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
 
 def run_benchmark(spec: BenchmarkSpec, targets=None, runs: int = 5,
                   validate: bool = True, noise: float = NOISE,
-                  max_instructions: int = 2_000_000_000):
+                  max_instructions: int = 2_000_000_000, cache=None,
+                  jobs: int = 1):
     """Compile + run ``spec`` on each target; returns {target: BenchResult}.
 
     With ``validate``, every target's stdout must byte-compare equal to
-    the native baseline's (the harness's ``cmp`` step).
+    the native baseline's (the harness's ``cmp`` step).  ``jobs`` > 1
+    fans the targets out over worker processes (results are bit-identical
+    to the serial path; see :mod:`repro.harness.parallel`).
     """
     targets = list(targets or TARGETS)
-    compiled = compile_benchmark(spec, targets)
-    results = {}
-    for target in targets:
-        results[target] = run_compiled(compiled, target, runs, noise,
-                                       max_instructions=max_instructions)
+    if jobs is None or jobs > 1:
+        from .parallel import run_suite
+        by_name, _compiled = run_suite(
+            [spec], targets, runs=runs, noise=noise,
+            max_instructions=max_instructions, jobs=jobs, cache=cache)
+        results = by_name[spec.name]
+    else:
+        compiled = compile_benchmark(spec, targets, cache=cache)
+        results = {}
+        for target in targets:
+            results[target] = run_compiled(
+                compiled, target, runs, noise,
+                max_instructions=max_instructions)
     if validate and "native" in results:
         expected = results["native"].run.stdout
         for target, result in results.items():

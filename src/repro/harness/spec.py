@@ -15,7 +15,8 @@ class BenchmarkSpec:
 
     def __init__(self, name: str, suite: str, source: str,
                  setup=None, description: str = "",
-                 memory_size: int = None, uses_syscalls: bool = False):
+                 memory_size: int = None, uses_syscalls: bool = False,
+                 size: str = None):
         self.name = name
         self.suite = suite          # 'polybench' | 'spec2006' | 'spec2017'
         self.source = source
@@ -23,6 +24,10 @@ class BenchmarkSpec:
         self.description = description
         self.memory_size = memory_size
         self.uses_syscalls = uses_syscalls
+        #: Size preset this spec was built at ('test'/'ref'), when known.
+        #: Lets the parallel runner rebuild the spec by (suite, name,
+        #: size) in worker processes instead of pickling setup closures.
+        self.size = size
 
     def setup_kernel(self, kernel) -> None:
         """Stage input files into the kernel filesystem."""

@@ -1,0 +1,177 @@
+"""Chain-dispatch WebAssembly interpreter (pre-optimization baseline).
+
+:class:`BaselineWasmInstance` keeps the original ``_exec_body`` — an
+if/elif chain over opcode strings with numeric operations routed through
+:meth:`WasmInstance._numeric` — exactly as it was before the
+table-dispatch rewrite in :mod:`repro.wasm.interp`.  It serves two
+purposes:
+
+* ``bench/`` measures the table-dispatch interpreter's speedup against
+  this implementation on the same modules;
+* the differential tests can cross-check the two interpreters, which
+  share no dispatch code, as independent semantic references.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import TrapError
+from .interp import _LOAD_FMT, _M32, _M64, _STORE_FMT, WasmInstance
+from .interp import _match_control
+from .module import PAGE_SIZE
+
+
+class BaselineWasmInstance(WasmInstance):
+    """A :class:`WasmInstance` executing via the original opcode chain."""
+
+    def _exec_body(self, func, ftype, locals_):
+        body = func.body
+        key = id(func)
+        # Separate cache from the table-dispatch decode cache: this one
+        # holds control-matching maps, not decoded instruction streams.
+        cache = self.__dict__.setdefault("_baseline_match_cache", {})
+        matches = cache.get(key)
+        if matches is None:
+            matches = _match_control(body)
+            cache[key] = matches
+
+        stack = []
+        # Control stack entries: (op, start, end, else, height, arity)
+        ctrl = [("func", -1, len(body), None, 0, len(ftype.results))]
+        pc = 0
+        n = len(body)
+        memory = self.memory
+
+        while pc < n or ctrl:
+            if pc >= n:
+                break
+            instr = body[pc]
+            op = instr.op
+            pc += 1
+
+            if op == "local.get":
+                stack.append(locals_[instr.args[0]])
+            elif op == "local.set":
+                locals_[instr.args[0]] = stack.pop()
+            elif op == "local.tee":
+                locals_[instr.args[0]] = stack[-1]
+            elif op == "i32.const":
+                stack.append(instr.args[0] & _M32)
+            elif op == "i64.const":
+                stack.append(instr.args[0] & _M64)
+            elif op in ("f32.const", "f64.const"):
+                stack.append(float(instr.args[0]))
+            elif op == "block" or op == "loop":
+                end, _else = matches[pc - 1]
+                arity = 1 if instr.args[0] else 0
+                ctrl.append((op, pc - 1, end, None, len(stack), arity))
+            elif op == "if":
+                end, else_idx = matches[pc - 1]
+                cond = stack.pop()
+                arity = 1 if instr.args[0] else 0
+                ctrl.append(("if", pc - 1, end, else_idx,
+                             len(stack), arity))
+                if not cond:
+                    pc = (else_idx + 1) if else_idx is not None else end
+            elif op == "else":
+                # Falling into else after the then-arm: jump to end.
+                frame = ctrl[-1]
+                pc = frame[2]
+            elif op == "end":
+                ctrl.pop()
+            elif op == "br" or op == "br_if":
+                if op == "br_if":
+                    if not stack.pop():
+                        continue
+                pc = self._do_branch(instr.args[0], ctrl, stack)
+            elif op == "br_table":
+                targets, default = instr.args
+                index = stack.pop()
+                depth = targets[index] if index < len(targets) else default
+                pc = self._do_branch(depth, ctrl, stack)
+            elif op == "return":
+                break
+            elif op == "call":
+                pc_args = self._pop_call_args(stack, instr.args[0])
+                result = self._call_function(instr.args[0], pc_args)
+                if result is not None:
+                    stack.append(self._norm_result(instr.args[0], result))
+            elif op == "call_indirect":
+                index = stack.pop()
+                if not 0 <= index < len(self.table):
+                    raise TrapError("undefined table element")
+                target = self.table[index]
+                expect = self.module.types[instr.args[0]]
+                actual = self.module.func_type_of(target)
+                if expect != actual:
+                    raise TrapError("indirect call type mismatch")
+                nargs = len(expect.params)
+                args = stack[len(stack) - nargs:]
+                del stack[len(stack) - nargs:]
+                result = self._call_function(target, args)
+                if result is not None and expect.results:
+                    stack.append(result)
+            elif op == "drop":
+                stack.pop()
+            elif op == "select":
+                cond = stack.pop()
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(a if cond else b)
+            elif op == "global.get":
+                stack.append(self.globals[instr.args[0]])
+            elif op == "global.set":
+                self.globals[instr.args[0]] = stack.pop()
+            elif op == "unreachable":
+                raise TrapError("unreachable executed")
+            elif op == "nop":
+                pass
+            elif op == "memory.size":
+                stack.append(len(memory) // PAGE_SIZE)
+            elif op == "memory.grow":
+                delta = stack.pop()
+                old = len(memory) // PAGE_SIZE
+                new = old + delta
+                if self.max_pages is not None and new > self.max_pages:
+                    stack.append(_M32)  # -1
+                else:
+                    self.memory.extend(bytes(delta * PAGE_SIZE))
+                    memory = self.memory
+                    stack.append(old)
+            elif op == "f64.load" or op == "f32.load":
+                addr = stack.pop() + instr.args[1]
+                width = 8 if op == "f64.load" else 4
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                fmt = "<d" if op == "f64.load" else "<f"
+                stack.append(struct.unpack_from(fmt, memory, addr)[0])
+            elif op in _LOAD_FMT:
+                fmt, width, signed_load, bits = _LOAD_FMT[op]
+                addr = stack.pop() + instr.args[1]
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                value = struct.unpack_from(fmt, memory, addr)[0]
+                stack.append(value & ((1 << bits) - 1))
+            elif op == "f64.store" or op == "f32.store":
+                value = stack.pop()
+                addr = stack.pop() + instr.args[1]
+                width = 8 if op == "f64.store" else 4
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                fmt = "<d" if op == "f64.store" else "<f"
+                struct.pack_into(fmt, memory, addr, value)
+            elif op in _STORE_FMT:
+                fmt, width, bits = _STORE_FMT[op]
+                value = stack.pop()
+                addr = stack.pop() + instr.args[1]
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                struct.pack_into(fmt, memory, addr,
+                                 value & ((1 << bits) - 1))
+            else:
+                self._numeric(op, stack)
+
+        if ftype.results:
+            return stack[-1] if stack else 0
+        return None

@@ -10,6 +10,7 @@ actually executed and counted.
 
 from __future__ import annotations
 
+import math
 import struct
 
 from ..errors import TrapError
@@ -25,6 +26,67 @@ _M32 = (1 << 32) - 1
 def _signed(value: int, bits: int) -> int:
     sign = 1 << (bits - 1)
     return value - (1 << bits) if value & sign else value
+
+
+# Decoded-instruction kinds.  Each assembled instruction is decoded once
+# per machine into ``(kind, payload, icache-first, icache-last,
+# single-line, instr)`` so the hot loop dispatches on a small int and
+# touches pre-extracted operands instead of re-testing opcode strings
+# and operand classes on every retired instruction.  Numbering roughly
+# follows dynamic frequency in the generated code.
+K_MOV_RR = 0        # reg <- reg (64-bit)
+K_MOV_RR32 = 1      # reg <- reg (32-bit, zero-extends)
+K_MOV_RI = 2        # reg <- immediate (pre-masked)
+K_MOV_LOAD = 3
+K_MOV_STORE_R = 4
+K_MOV_STORE_I = 5
+K_ALU = 6           # add/sub/and/or/xor/imul
+K_CMP = 7
+K_TEST = 8
+K_JCC = 9
+K_JMP = 10
+K_LEA = 11
+K_MOVX = 12         # movsx/movzx
+K_SHIFT = 13        # shl/shr/sar
+K_PUSH = 14
+K_POP = 15
+K_CALL = 16
+K_CALLR = 17
+K_RET = 18
+K_HOSTCALL = 19
+K_SETCC = 20
+K_CDQ = 21
+K_CQO = 22
+K_IDIV = 23         # idiv/div
+K_MOVSD_LOAD = 24
+K_MOVSD_STORE = 25
+K_MOVSD_RR = 26
+K_SSE = 27          # addsd/subsd/mulsd/divsd/minsd/maxsd
+K_UCOMISD = 28
+K_CVTSI2SD = 29
+K_CVTTSD2SI = 30
+K_SQRTSD = 31
+K_PD = 32           # xorpd/andpd
+K_NEG = 33
+K_TRAP = 34
+K_NOP = 35
+K_UNKNOWN = 36
+
+_ALU_IDX = {"add": 0, "sub": 1, "and": 2, "or": 3, "xor": 4, "imul": 5}
+_SHIFT_IDX = {"shl": 0, "shr": 1, "sar": 2}
+_SSE_IDX = {"addsd": 0, "subsd": 1, "mulsd": 2, "divsd": 3,
+            "minsd": 4, "maxsd": 5}
+_COND_IDX = {"e": 0, "ne": 1, "l": 2, "le": 3, "g": 4, "ge": 5,
+             "b": 6, "be": 7, "a": 8, "ae": 9, "s": 10, "ns": 11}
+
+
+def _operand_ref(opnd, size):
+    """(kind, value) for a read-only operand: 0 reg, 1 imm, 2 mem."""
+    if isinstance(opnd, Reg):
+        return 0, opnd.reg
+    if isinstance(opnd, Imm):
+        return 1, int(opnd.value) & (_M32 if size == 4 else _M64)
+    return 2, opnd
 
 
 class X86Machine:
@@ -51,6 +113,7 @@ class X86Machine:
         self.max_instructions = max_instructions
         self._entry_map = program.entry_map()
         self._abi = getattr(program, "abi", None)
+        self._decode_cache = {}
 
     # -- guest memory interface (Host-compatible) --------------------------------
 
@@ -172,16 +235,181 @@ class X86Machine:
         self._execute(func)
         return self.regs[RAX], self.xmm[0]
 
+    def _decode_func(self, func):
+        key = id(func)
+        rec = self._decode_cache.get(key)
+        if rec is None:
+            rec = self._build_decode(func)
+            self._decode_cache[key] = rec
+        return rec
+
+    def _build_decode(self, func):
+        """Decode one function into (kind, payload, first, last, single,
+        instr) tuples; every operand shape and counter decision that is
+        static per instruction is resolved here, once."""
+        functions = self.program.functions
+        decoded = []
+        for ins in func.instrs:
+            op = ins.op
+            a = ins.a
+            b = ins.b
+            size = ins.size
+            bits = size * 8
+            mask = (1 << bits) - 1
+            if op == "mov":
+                if isinstance(b, Mem):
+                    kind = K_MOV_LOAD
+                    wsize = size if b.size >= 4 else 8
+                    pay = (a.reg, b.base, b.index, b.scale, b.disp,
+                           b.size, _M32 if wsize == 4 else _M64)
+                elif isinstance(a, Mem):
+                    smask = (1 << (a.size * 8)) - 1
+                    if isinstance(b, Reg):
+                        kind = K_MOV_STORE_R
+                        pay = (a.base, a.index, a.scale, a.disp, a.size,
+                               smask, b.reg)
+                    else:
+                        kind = K_MOV_STORE_I
+                        pay = (a.base, a.index, a.scale, a.disp, a.size,
+                               (int(b.value) & smask)
+                               .to_bytes(a.size, "little"))
+                elif isinstance(b, Reg):
+                    kind = K_MOV_RR32 if size == 4 else K_MOV_RR
+                    pay = (a.reg, b.reg)
+                else:
+                    kind = K_MOV_RI
+                    pay = (a.reg,
+                           int(b.value) & (_M32 if size == 4 else _M64))
+            elif op in _ALU_IDX:
+                a_is_mem = isinstance(a, Mem)
+                if isinstance(b, Mem):
+                    b_kind, bb = 2, b
+                elif isinstance(b, Imm):
+                    b_kind, bb = 1, int(b.value) & mask
+                else:
+                    b_kind, bb = 0, b.reg
+                kind = K_ALU
+                pay = (_ALU_IDX[op], a if a_is_mem else a.reg, bb,
+                       a_is_mem, b_kind, size, bits, mask, bits - 1,
+                       1 << (bits - 1))
+            elif op == "cmp":
+                ak, av = _operand_ref(a, size)
+                bk, bv = _operand_ref(b, size)
+                nl = (1 if ak == 2 else 0) + (1 if bk == 2 else 0)
+                kind = K_CMP
+                pay = (ak, av, bk, bv, nl, size, mask, bits - 1)
+            elif op == "test":
+                ak, av = _operand_ref(a, size)
+                bk, bv = _operand_ref(b, size)
+                kind = K_TEST
+                pay = (ak, av, bk, bv, 1 if ak == 2 else 0, size,
+                       mask, bits - 1)
+            elif op == "jcc":
+                kind = K_JCC
+                pay = (_COND_IDX.get(ins.cond, ins.cond), ins.b)
+            elif op == "jmp":
+                kind, pay = K_JMP, ins.b
+            elif op == "lea":
+                kind, pay = K_LEA, (a.reg, b, size)
+            elif op in ("movsx", "movzx"):
+                b_is_mem = isinstance(b, Mem)
+                src_bits = b.size * 8
+                kind = K_MOVX
+                pay = (a.reg, b if b_is_mem else b.reg, b_is_mem,
+                       op == "movsx", src_bits, (1 << src_bits) - 1, size)
+            elif op in _SHIFT_IDX:
+                count = (int(b.value) & (bits - 1)) \
+                    if isinstance(b, Imm) else None
+                kind = K_SHIFT
+                pay = (_SHIFT_IDX[op], a, isinstance(a, Mem), count,
+                       size, bits)
+            elif op == "push":
+                if isinstance(a, Reg):
+                    kind, pay = K_PUSH, (a.reg, 0)
+                else:
+                    kind, pay = K_PUSH, (None, int(a.value))
+            elif op == "pop":
+                kind, pay = K_POP, a.reg
+            elif op == "call":
+                kind, pay = K_CALL, (functions.get(a.name), a.name)
+            elif op == "callr":
+                a_is_mem = isinstance(a, Mem)
+                kind, pay = K_CALLR, (a if a_is_mem else a.reg, a_is_mem)
+            elif op == "ret":
+                kind, pay = K_RET, None
+            elif op == "hostcall":
+                kind, pay = K_HOSTCALL, a
+            elif op == "setcc":
+                kind, pay = K_SETCC, (a.reg, ins.cond)
+            elif op == "cdq":
+                kind, pay = K_CDQ, None
+            elif op == "cqo":
+                kind, pay = K_CQO, None
+            elif op in ("idiv", "div"):
+                kind = K_IDIV
+                pay = (a, 1 if isinstance(a, Mem) else 0, size, bits,
+                       op == "idiv")
+            elif op == "movsd":
+                if isinstance(b, Mem):
+                    kind, pay = K_MOVSD_LOAD, (a.reg - XMM0, b)
+                elif isinstance(a, Mem):
+                    kind, pay = K_MOVSD_STORE, (a, b.reg - XMM0)
+                else:
+                    kind, pay = K_MOVSD_RR, (a.reg - XMM0, b.reg - XMM0)
+            elif op in _SSE_IDX:
+                b_is_mem = isinstance(b, Mem)
+                kind = K_SSE
+                pay = (_SSE_IDX[op], a.reg - XMM0, b_is_mem,
+                       b if b_is_mem else b.reg - XMM0)
+            elif op == "ucomisd":
+                b_is_mem = isinstance(b, Mem)
+                kind = K_UCOMISD
+                pay = (a.reg - XMM0, b_is_mem,
+                       b if b_is_mem else b.reg - XMM0)
+            elif op == "cvtsi2sd":
+                kind, pay = K_CVTSI2SD, (a.reg - XMM0, b, size, bits)
+            elif op == "cvttsd2si":
+                kind = K_CVTTSD2SI
+                pay = (a.reg, b.reg - XMM0, size,
+                       -(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+            elif op == "sqrtsd":
+                b_is_mem = isinstance(b, Mem)
+                kind = K_SQRTSD
+                pay = (a.reg - XMM0, b_is_mem,
+                       b if b_is_mem else b.reg - XMM0)
+            elif op in ("xorpd", "andpd"):
+                b_is_mem = isinstance(b, Mem)
+                kind = K_PD
+                pay = (op == "xorpd", a.reg - XMM0, b_is_mem,
+                       b if b_is_mem else b.reg - XMM0)
+            elif op == "neg":
+                kind, pay = K_NEG, (a.reg, size, bits)
+            elif op == "trap":
+                kind, pay = K_TRAP, str(a)
+            elif op == "nop":
+                kind, pay = K_NOP, None
+            else:
+                kind, pay = K_UNKNOWN, op
+            addr = ins.addr
+            first = addr >> 6
+            last = (addr + ins.enc_size - 1) >> 6
+            decoded.append((kind, pay, first, last, first == last, ins))
+        return decoded
+
     def _execute(self, func) -> None:
         regs = self.regs
         xmm = self.xmm
         memory = self.memory
+        memlen = len(memory)
+        from_bytes = int.from_bytes
         perf = self.perf
         icache = self.icache
+        access_line = icache._access_line
         budget = self.max_instructions
 
-        call_stack = []  # (function, return index)
-        code = func.instrs
+        call_stack = []  # (function, decoded code, return index)
+        dcode = self._decode_func(func)
+        n = len(dcode)
         i = 0
         n_instr = 0
         # Local mirrors of hot counters (folded back at the end).
@@ -192,10 +420,10 @@ class X86Machine:
         ins = None
         try:
             while True:
-                if i >= len(code):
+                if i >= n:
                     raise TrapError(
                         f"fell off the end of {getattr(func, 'name', '?')}")
-                ins = code[i]
+                kind, pay, first, last, single, ins = dcode[i]
                 i += 1
                 n_instr += 1
                 c_instr += 1
@@ -203,133 +431,226 @@ class X86Machine:
                     raise TrapError("instruction budget exceeded")
 
                 # I-cache fetch (fast path: same line).
-                addr = ins.addr
-                first = addr >> 6
-                last = (addr + ins.enc_size - 1) >> 6
-                if first != last_line or last != first:
+                if single:
+                    if first != last_line:
+                        access_line(first)
+                        last_line = first
+                else:
                     line = first
                     while True:
                         if line != last_line:
-                            icache._access_line(line)
+                            access_line(line)
                         if line >= last:
                             break
                         line += 1
                     last_line = last
 
-                op = ins.op
-                size = ins.size
-
-                if op == "mov":
-                    a, b = ins.a, ins.b
-                    if isinstance(b, Mem):
+                if kind == 0:                         # K_MOV_RR
+                    regs[pay[0]] = regs[pay[1]]
+                elif kind == 1:                       # K_MOV_RR32
+                    regs[pay[0]] = regs[pay[1]] & _M32
+                elif kind == 2:                       # K_MOV_RI
+                    regs[pay[0]] = pay[1]
+                elif kind == 3:                       # K_MOV_LOAD
+                    c_loads += 1
+                    dst, base, index, scale, disp, msize, wmask = pay
+                    addr = disp
+                    if base is not None:
+                        addr += regs[base]
+                    if index is not None:
+                        addr += regs[index] * scale
+                    addr &= _M64
+                    if addr + msize > memlen:
+                        raise TrapError(
+                            f"out-of-bounds load at {addr:#x}")
+                    regs[dst] = from_bytes(memory[addr:addr + msize],
+                                           "little") & wmask
+                elif kind == 4:                       # K_MOV_STORE_R
+                    c_stores += 1
+                    base, index, scale, disp, msize, smask, src = pay
+                    addr = disp
+                    if base is not None:
+                        addr += regs[base]
+                    if index is not None:
+                        addr += regs[index] * scale
+                    addr &= _M64
+                    if addr + msize > memlen:
+                        raise TrapError(
+                            f"out-of-bounds store at {addr:#x}")
+                    memory[addr:addr + msize] = \
+                        (regs[src] & smask).to_bytes(msize, "little")
+                elif kind == 5:                       # K_MOV_STORE_I
+                    c_stores += 1
+                    base, index, scale, disp, msize, vbytes = pay
+                    addr = disp
+                    if base is not None:
+                        addr += regs[base]
+                    if index is not None:
+                        addr += regs[index] * scale
+                    addr &= _M64
+                    if addr + msize > memlen:
+                        raise TrapError(
+                            f"out-of-bounds store at {addr:#x}")
+                    memory[addr:addr + msize] = vbytes
+                elif kind == 6:                       # K_ALU
+                    alu, aa, bb, a_is_mem, b_kind, size, bits, mask, \
+                        shift, sbit = pay
+                    if a_is_mem:
                         c_loads += 1
-                        value = self._load_int(self._ea(b), b.size)
-                        if b.size == 4 and size == 4:
-                            pass
-                        self._write_reg(a.reg, size if b.size >= 4 else 8,
-                                        value)
-                    elif isinstance(a, Mem):
-                        c_stores += 1
-                        value = regs[b.reg] if isinstance(b, Reg) \
-                            else int(b.value)
-                        self._store_int(self._ea(a), a.size, value)
+                        ea = self._ea(aa)
+                        x = self._load_int(ea, aa.size) & mask
                     else:
-                        value = regs[b.reg] if isinstance(b, Reg) \
-                            else int(b.value)
-                        self._write_reg(a.reg, size, value)
-                elif op in ("add", "sub", "and", "or", "xor", "imul"):
-                    a, b = ins.a, ins.b
-                    dst_is_mem = isinstance(a, Mem)
-                    if dst_is_mem:
-                        c_loads += 1
-                        ea = self._ea(a)
-                        x = self._load_int(ea, a.size)
-                    else:
-                        x = regs[a.reg]
+                        x = regs[aa]
                         if size == 4:
                             x &= _M32
-                    if isinstance(b, Mem):
-                        c_loads += 1
-                        y = self._load_int(self._ea(b), b.size)
-                    elif isinstance(b, Imm):
-                        y = int(b.value)
-                    else:
-                        y = regs[b.reg]
+                    if b_kind == 0:
+                        y = regs[bb]
                         if size == 4:
                             y &= _M32
-                    bits = size * 8
-                    if op == "add":
-                        self._set_flags_add(x, y, bits)
-                        result = x + y
-                    elif op == "sub":
-                        self._set_flags_sub(x, y, bits)
-                        result = x - y
-                    elif op == "and":
-                        result = x & y
-                        self._set_flags_logic(result, bits)
-                    elif op == "or":
-                        result = x | y
-                        self._set_flags_logic(result, bits)
-                    elif op == "xor":
-                        result = x ^ y
-                        self._set_flags_logic(result, bits)
-                    else:  # imul
-                        c_muls += 1
-                        result = _signed(x, bits) * _signed(y, bits)
-                        self._set_flags_logic(result & ((1 << bits) - 1),
-                                              bits)
-                    if dst_is_mem:
-                        c_stores += 1
-                        self._store_int(ea, a.size, result)
+                    elif b_kind == 1:
+                        y = bb
                     else:
-                        self._write_reg(a.reg, size, result)
-                elif op == "cmp":
-                    a, b = ins.a, ins.b
-                    if isinstance(a, Mem):
                         c_loads += 1
-                    if isinstance(b, Mem):
-                        c_loads += 1
-                    x = self._value(a, size)
-                    y = self._value(b, size)
-                    self._set_flags_sub(x, y, size * 8)
-                elif op == "test":
-                    a, b = ins.a, ins.b
-                    if isinstance(a, Mem):
-                        c_loads += 1
-                    x = self._value(a, size)
-                    y = self._value(b, size)
-                    self._set_flags_logic(x & y, size * 8)
-                elif op == "jcc":
+                        y = self._load_int(self._ea(bb), bb.size) & mask
+                    # Operands are pre-masked; flags are computed inline
+                    # (same math as _set_flags_add/_sub/_logic).
+                    if alu == 0:                      # add
+                        full = x + y
+                        result = full & mask
+                        self.zf = 1 if result == 0 else 0
+                        self.sf = (result >> shift) & 1
+                        self.cf = 1 if full > mask else 0
+                        self.of = (~(x ^ y) & (x ^ result)) >> shift & 1
+                    elif alu == 1:                    # sub
+                        result = (x - y) & mask
+                        self.zf = 1 if result == 0 else 0
+                        self.sf = (result >> shift) & 1
+                        self.cf = 1 if x < y else 0
+                        self.of = ((x ^ y) & (x ^ result)) >> shift & 1
+                    elif alu == 5:                    # imul
+                        c_muls += 1
+                        sx = x - (sbit << 1) if x & sbit else x
+                        sy = y - (sbit << 1) if y & sbit else y
+                        result = (sx * sy) & mask
+                        self.zf = 1 if result == 0 else 0
+                        self.sf = (result >> shift) & 1
+                        self.of = self.cf = 0
+                    else:                             # and/or/xor
+                        if alu == 2:
+                            result = x & y
+                        elif alu == 3:
+                            result = x | y
+                        else:
+                            result = x ^ y
+                        self.zf = 1 if result == 0 else 0
+                        self.sf = (result >> shift) & 1
+                        self.of = self.cf = 0
+                    if a_is_mem:
+                        c_stores += 1
+                        self._store_int(ea, aa.size, result)
+                    else:
+                        regs[aa] = result if size == 4 else result & _M64
+                elif kind == 7:                       # K_CMP
+                    ak, av, bk, bv, nl, size, mask, shift = pay
+                    c_loads += nl
+                    if ak == 0:
+                        x = regs[av]
+                        if size == 4:
+                            x &= _M32
+                    elif ak == 1:
+                        x = av
+                    else:
+                        x = self._load_int(self._ea(av), av.size) & mask
+                    if bk == 0:
+                        y = regs[bv]
+                        if size == 4:
+                            y &= _M32
+                    elif bk == 1:
+                        y = bv
+                    else:
+                        y = self._load_int(self._ea(bv), bv.size) & mask
+                    result = (x - y) & mask
+                    self.zf = 1 if result == 0 else 0
+                    self.sf = (result >> shift) & 1
+                    self.cf = 1 if x < y else 0
+                    self.of = ((x ^ y) & (x ^ result)) >> shift & 1
+                elif kind == 8:                       # K_TEST
+                    ak, av, bk, bv, nl, size, mask, shift = pay
+                    c_loads += nl
+                    if ak == 0:
+                        x = regs[av]
+                        if size == 4:
+                            x &= _M32
+                    elif ak == 1:
+                        x = av
+                    else:
+                        x = self._load_int(self._ea(av), av.size) & mask
+                    if bk == 0:
+                        y = regs[bv]
+                        if size == 4:
+                            y &= _M32
+                    elif bk == 1:
+                        y = bv
+                    else:
+                        y = self._load_int(self._ea(bv), bv.size) & mask
+                    result = (x & y) & mask
+                    self.zf = 1 if result == 0 else 0
+                    self.sf = (result >> shift) & 1
+                    self.of = self.cf = 0
+                elif kind == 9:                       # K_JCC
                     c_branches += 1
                     c_cond += 1
-                    if self._cond(ins.cond):
-                        i = ins.b
+                    c = pay[0]
+                    if c == 0:
+                        taken = self.zf == 1
+                    elif c == 1:
+                        taken = self.zf == 0
+                    elif c == 2:
+                        taken = self.sf != self.of
+                    elif c == 3:
+                        taken = self.zf == 1 or self.sf != self.of
+                    elif c == 4:
+                        taken = self.zf == 0 and self.sf == self.of
+                    elif c == 5:
+                        taken = self.sf == self.of
+                    elif c == 6:
+                        taken = self.cf == 1
+                    elif c == 7:
+                        taken = self.cf == 1 or self.zf == 1
+                    elif c == 8:
+                        taken = self.cf == 0 and self.zf == 0
+                    elif c == 9:
+                        taken = self.cf == 0
+                    elif c == 10:
+                        taken = self.sf == 1
+                    elif c == 11:
+                        taken = self.sf == 0
+                    else:
+                        taken = self._cond(c)
+                    if taken:
+                        i = pay[1]
                         last_line = -1
-                elif op == "jmp":
+                elif kind == 10:                      # K_JMP
                     c_branches += 1
-                    i = ins.b
+                    i = pay
                     last_line = -1
-                elif op == "lea":
-                    self._write_reg(ins.a.reg, size, self._ea(ins.b))
-                elif op in ("movsx", "movzx"):
-                    b = ins.b
-                    if isinstance(b, Mem):
+                elif kind == 11:                      # K_LEA
+                    dst, mem, size = pay
+                    self._write_reg(dst, size, self._ea(mem))
+                elif kind == 12:                      # K_MOVX
+                    dst, src, b_is_mem, sign, src_bits, smask, size = pay
+                    if b_is_mem:
                         c_loads += 1
-                        raw = self._load_int(self._ea(b), b.size)
-                        src_bits = b.size * 8
+                        raw = self._load_int(self._ea(src), src.size)
                     else:
-                        raw = regs[b.reg] & ((1 << (b.size * 8)) - 1)
-                        src_bits = b.size * 8
-                    if op == "movsx":
-                        value = _signed(raw, src_bits)
-                    else:
-                        value = raw
-                    self._write_reg(ins.a.reg, size, value)
-                elif op in ("shl", "shr", "sar"):
-                    a = ins.a
-                    count = (int(ins.b.value) if isinstance(ins.b, Imm)
-                             else regs[RCX]) & (size * 8 - 1)
-                    if isinstance(a, Mem):
+                        raw = regs[src] & smask
+                    self._write_reg(dst, size,
+                                    _signed(raw, src_bits) if sign else raw)
+                elif kind == 13:                      # K_SHIFT
+                    sh, a, a_is_mem, count, size, bits = pay
+                    if count is None:
+                        count = regs[RCX] & (bits - 1)
+                    if a_is_mem:
                         c_loads += 1
                         c_stores += 1
                         ea = self._ea(a)
@@ -338,86 +659,92 @@ class X86Machine:
                         x = regs[a.reg]
                         if size == 4:
                             x &= _M32
-                    bits = size * 8
-                    if op == "shl":
+                    if sh == 0:
                         result = x << count
-                    elif op == "shr":
+                    elif sh == 1:
                         result = x >> count
                     else:
                         result = _signed(x, bits) >> count
                     result &= (1 << bits) - 1
                     self.zf = 1 if result == 0 else 0
                     self.sf = (result >> (bits - 1)) & 1
-                    if isinstance(a, Mem):
+                    if a_is_mem:
                         self._store_int(ea, a.size, result)
                     else:
                         self._write_reg(a.reg, size, result)
-                elif op == "push":
+                elif kind == 14:                      # K_PUSH
                     c_stores += 1
-                    value = regs[ins.a.reg] if isinstance(ins.a, Reg) \
-                        else int(ins.a.value)
+                    src, imm = pay
                     regs[RSP] = (regs[RSP] - 8) & _M64
-                    self._store_int(regs[RSP], 8, value)
-                elif op == "pop":
+                    self._store_int(regs[RSP], 8,
+                                    regs[src] if src is not None else imm)
+                elif kind == 15:                      # K_POP
                     c_loads += 1
                     value = self._load_int(regs[RSP], 8)
                     regs[RSP] = (regs[RSP] + 8) & _M64
-                    self._write_reg(ins.a.reg, 8, value)
-                elif op == "call":
+                    self._write_reg(pay, 8, value)
+                elif kind == 16:                      # K_CALL
                     c_branches += 1
                     c_calls += 1
                     c_stores += 1
-                    target = self.program.functions.get(ins.a.name)
+                    target, tname = pay
                     if target is None:
-                        raise TrapError(f"call to unknown {ins.a.name}")
+                        raise TrapError(f"call to unknown {tname}")
                     regs[RSP] = (regs[RSP] - 8) & _M64
                     self._store_int(regs[RSP], 8, 0)
-                    call_stack.append((func, code, i))
-                    func, code, i = target, target.instrs, 0
+                    call_stack.append((func, dcode, i))
+                    func = target
+                    dcode = self._decode_func(target)
+                    n = len(dcode)
+                    i = 0
                     last_line = -1
-                elif op == "callr":
+                elif kind == 17:                      # K_CALLR
                     c_branches += 1
                     c_calls += 1
                     c_stores += 1
-                    if isinstance(ins.a, Mem):
+                    aa, a_is_mem = pay
+                    if a_is_mem:
                         c_loads += 1
-                        code_addr = self._load_int(self._ea(ins.a), 8)
+                        code_addr = self._load_int(self._ea(aa), 8)
                     else:
-                        code_addr = regs[ins.a.reg]
+                        code_addr = regs[aa]
                     target = self._entry_map.get(code_addr)
                     if target is None:
                         raise TrapError(
                             f"indirect call to bad address {code_addr:#x}")
                     regs[RSP] = (regs[RSP] - 8) & _M64
                     self._store_int(regs[RSP], 8, 0)
-                    call_stack.append((func, code, i))
-                    func, code, i = target, target.instrs, 0
+                    call_stack.append((func, dcode, i))
+                    func = target
+                    dcode = self._decode_func(target)
+                    n = len(dcode)
+                    i = 0
                     last_line = -1
-                elif op == "ret":
+                elif kind == 18:                      # K_RET
                     c_branches += 1
                     c_loads += 1
                     regs[RSP] = (regs[RSP] + 8) & _M64
                     if not call_stack:
                         return
-                    func, code, i = call_stack.pop()
+                    func, dcode, i = call_stack.pop()
+                    n = len(dcode)
                     last_line = -1
-                elif op == "hostcall":
+                elif kind == 19:                      # K_HOSTCALL
                     c_branches += 1
                     c_calls += 1
-                    self._do_hostcall(ins.a)
-                elif op == "setcc":
-                    self._write_reg(ins.a.reg, 8,
-                                    1 if self._cond(ins.cond) else 0)
-                elif op == "cdq":
+                    self._do_hostcall(pay)
+                elif kind == 20:                      # K_SETCC
+                    self._write_reg(pay[0], 8,
+                                    1 if self._cond(pay[1]) else 0)
+                elif kind == 21:                      # K_CDQ
                     regs[RDX] = _M32 if regs[RAX] & 0x80000000 else 0
-                elif op == "cqo":
+                elif kind == 22:                      # K_CQO
                     regs[RDX] = _M64 if regs[RAX] >> 63 else 0
-                elif op in ("idiv", "div"):
+                elif kind == 23:                      # K_IDIV
                     c_divs += 1
-                    if isinstance(ins.a, Mem):
-                        c_loads += 1
-                    divisor = self._value(ins.a, size)
-                    bits = size * 8
+                    a, nl, size, bits, is_signed = pay
+                    c_loads += nl
+                    divisor = self._value(a, size)
                     if size == 4:
                         dividend = ((regs[RDX] & _M32) << 32) | \
                             (regs[RAX] & _M32)
@@ -425,7 +752,7 @@ class X86Machine:
                     else:
                         dividend = (regs[RDX] << 64) | regs[RAX]
                         total_bits = 128
-                    if op == "idiv":
+                    if is_signed:
                         sd = _signed(dividend, total_bits)
                         sv = _signed(divisor, bits)
                         if sv == 0:
@@ -441,55 +768,56 @@ class X86Machine:
                         r = dividend % divisor
                     self._write_reg(RAX, size, q)
                     self._write_reg(RDX, size, r)
-                elif op == "movsd":
-                    a, b = ins.a, ins.b
-                    if isinstance(b, Mem):
-                        c_loads += 1
-                        raw = self.read_mem(self._ea(b), 8)
-                        xmm[a.reg - XMM0] = struct.unpack("<d", raw)[0]
-                    elif isinstance(a, Mem):
-                        c_stores += 1
-                        self.write_mem(self._ea(a),
-                                       struct.pack("<d", xmm[b.reg - XMM0]))
-                    else:
-                        xmm[a.reg - XMM0] = xmm[b.reg - XMM0]
-                elif op in ("addsd", "subsd", "mulsd", "divsd",
-                            "minsd", "maxsd"):
+                elif kind == 24:                      # K_MOVSD_LOAD
+                    c_loads += 1
+                    dst, mem = pay
+                    xmm[dst] = struct.unpack(
+                        "<d", self.read_mem(self._ea(mem), 8))[0]
+                elif kind == 25:                      # K_MOVSD_STORE
+                    c_stores += 1
+                    mem, src = pay
+                    self.write_mem(self._ea(mem),
+                                   struct.pack("<d", xmm[src]))
+                elif kind == 26:                      # K_MOVSD_RR
+                    xmm[pay[0]] = xmm[pay[1]]
+                elif kind == 27:                      # K_SSE
                     c_fpu += 1
-                    a = ins.a.reg - XMM0
-                    if isinstance(ins.b, Mem):
+                    sse, a, b_is_mem, bb = pay
+                    if b_is_mem:
                         c_loads += 1
-                        y = struct.unpack("<d",
-                                          self.read_mem(self._ea(ins.b), 8))[0]
+                        y = struct.unpack(
+                            "<d", self.read_mem(self._ea(bb), 8))[0]
                     else:
-                        y = xmm[ins.b.reg - XMM0]
+                        y = xmm[bb]
                     x = xmm[a]
-                    if op == "addsd":
+                    if sse == 0:
                         xmm[a] = x + y
-                    elif op == "subsd":
+                    elif sse == 1:
                         xmm[a] = x - y
-                    elif op == "mulsd":
+                    elif sse == 2:
                         xmm[a] = x * y
-                    elif op == "divsd":
+                    elif sse == 3:
                         c_fdivs += 1
                         if y == 0.0:
                             xmm[a] = (float("inf") if x > 0 else
-                                      float("-inf") if x < 0 else float("nan"))
+                                      float("-inf") if x < 0
+                                      else float("nan"))
                         else:
                             xmm[a] = x / y
-                    elif op == "minsd":
+                    elif sse == 4:
                         xmm[a] = min(x, y)
                     else:
                         xmm[a] = max(x, y)
-                elif op == "ucomisd":
+                elif kind == 28:                      # K_UCOMISD
                     c_fpu += 1
-                    x = xmm[ins.a.reg - XMM0]
-                    if isinstance(ins.b, Mem):
+                    a, b_is_mem, bb = pay
+                    x = xmm[a]
+                    if b_is_mem:
                         c_loads += 1
-                        y = struct.unpack("<d",
-                                          self.read_mem(self._ea(ins.b), 8))[0]
+                        y = struct.unpack(
+                            "<d", self.read_mem(self._ea(bb), 8))[0]
                     else:
-                        y = xmm[ins.b.reg - XMM0]
+                        y = xmm[bb]
                     if x != x or y != y:      # unordered
                         self.zf = self.cf = 1
                     elif x == y:
@@ -499,63 +827,59 @@ class X86Machine:
                     else:
                         self.zf = self.cf = 0
                     self.sf = self.of = 0
-                elif op == "cvtsi2sd":
+                elif kind == 29:                      # K_CVTSI2SD
                     c_fpu += 1
-                    value = self._value(ins.b, size)
-                    xmm[ins.a.reg - XMM0] = float(_signed(value, size * 8))
-                elif op == "cvttsd2si":
+                    dst, b, size, bits = pay
+                    xmm[dst] = float(_signed(self._value(b, size), bits))
+                elif kind == 30:                      # K_CVTTSD2SI
                     c_fpu += 1
-                    x = xmm[ins.b.reg - XMM0]
+                    dst, src, size, lo, hi = pay
+                    x = xmm[src]
                     if x != x:
-                        raise TrapError("invalid conversion: NaN to integer")
+                        raise TrapError(
+                            "invalid conversion: NaN to integer")
                     truncated = int(x)
-                    bits = size * 8
-                    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
                     if not lo <= truncated <= hi:
                         raise TrapError(
                             "integer overflow in float->int conversion")
-                    self._write_reg(ins.a.reg, size, truncated)
-                elif op == "sqrtsd":
+                    self._write_reg(dst, size, truncated)
+                elif kind == 31:                      # K_SQRTSD
                     c_fpu += 1
-                    import math
-                    if isinstance(ins.b, Mem):
+                    dst, b_is_mem, bb = pay
+                    if b_is_mem:
                         c_loads += 1
-                        y = struct.unpack("<d",
-                                          self.read_mem(self._ea(ins.b), 8))[0]
+                        y = struct.unpack(
+                            "<d", self.read_mem(self._ea(bb), 8))[0]
                     else:
-                        y = xmm[ins.b.reg - XMM0]
-                    xmm[ins.a.reg - XMM0] = math.sqrt(y) if y >= 0 \
-                        else float("nan")
-                elif op in ("xorpd", "andpd"):
+                        y = xmm[bb]
+                    xmm[dst] = math.sqrt(y) if y >= 0 else float("nan")
+                elif kind == 32:                      # K_PD
                     c_fpu += 1
-                    a = ins.a.reg - XMM0
-                    if isinstance(ins.b, Mem):
+                    is_xor, a, b_is_mem, bb = pay
+                    if b_is_mem:
                         c_loads += 1
-                        mask_bits = self._load_int(self._ea(ins.b), 8)
+                        mask_bits = self._load_int(self._ea(bb), 8)
                     else:
                         mask_bits = struct.unpack(
-                            "<Q", struct.pack("<d", xmm[ins.b.reg - XMM0]))[0]
+                            "<Q", struct.pack("<d", xmm[bb]))[0]
                     x_bits = struct.unpack("<Q",
                                            struct.pack("<d", xmm[a]))[0]
-                    if op == "xorpd":
-                        out = x_bits ^ mask_bits
-                    else:
-                        out = x_bits & mask_bits
+                    out = x_bits ^ mask_bits if is_xor \
+                        else x_bits & mask_bits
                     xmm[a] = struct.unpack("<d", struct.pack("<Q", out))[0]
-                elif op == "neg":
-                    a = ins.a
-                    x = regs[a.reg]
+                elif kind == 33:                      # K_NEG
+                    reg, size, bits = pay
+                    x = regs[reg]
                     if size == 4:
                         x &= _M32
-                    result = -x
-                    self._set_flags_sub(0, x, size * 8)
-                    self._write_reg(a.reg, size, result)
-                elif op == "trap":
-                    raise TrapError(str(ins.a))
-                elif op == "nop":
+                    self._set_flags_sub(0, x, bits)
+                    self._write_reg(reg, size, -x)
+                elif kind == 34:                      # K_TRAP
+                    raise TrapError(pay)
+                elif kind == 35:                      # K_NOP
                     pass
                 else:
-                    raise TrapError(f"unknown opcode {op}")
+                    raise TrapError(f"unknown opcode {pay}")
         except TrapError as exc:
             name = getattr(func, "name", "?")
             raise TrapError(f"{exc} [in {name} at #{i - 1}: {ins!r}]") \

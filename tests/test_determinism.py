@@ -1,10 +1,12 @@
 """Determinism: the entire toolchain is reproducible bit for bit."""
 
+import os
 import subprocess
 import sys
 
 from conftest import compile_wasm_bytes, run_native
 
+import repro
 from repro.jit import CHROME_ENGINE
 
 SOURCE = """
@@ -49,11 +51,15 @@ def test_benchmark_times_stable_across_processes():
         "r = run_compiled(c, 'native', runs=3)\n"
         "print([f'{t:.12e}' for t in r.times])\n"
     )
+    # The child process gets a minimal environment, so point it at the
+    # repro package explicitly (the parent may be running from src/).
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
     outputs = set()
     for seed in ("1", "2"):
         proc = subprocess.run(
             [sys.executable, "-c", script],
-            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin",
+                 "PYTHONPATH": src_dir},
             capture_output=True, text=True, cwd="/root/repo")
         assert proc.returncode == 0, proc.stderr
         outputs.add(proc.stdout.strip())

@@ -1,0 +1,78 @@
+"""Parallel suite runner: bit-identical to serial, stable ordering."""
+
+import pytest
+
+from repro.benchsuite import matmul_spec, polybench_benchmark
+from repro.harness.parallel import (
+    MAX_JOBS, default_jobs, normalize_jobs, resolve_ref, run_suite,
+    spec_ref,
+)
+from repro.harness.spec import BenchmarkSpec
+
+SUBSET = ["trisolv", "bicg", "mvt", "gesummv"]
+TARGETS = ["native", "chrome", "firefox"]
+
+
+def _suite():
+    return [polybench_benchmark(name, "test") for name in SUBSET]
+
+
+def test_parallel_matches_serial_bit_for_bit():
+    serial, _ = run_suite(_suite(), TARGETS, runs=3, jobs=1, cache=False)
+    parallel, _ = run_suite(_suite(), TARGETS, runs=3, jobs=4,
+                            cache=False)
+    assert list(serial) == SUBSET          # suite order preserved
+    assert list(parallel) == SUBSET
+    for name in SUBSET:
+        assert list(parallel[name]) == TARGETS
+        for target in TARGETS:
+            s = serial[name][target]
+            p = parallel[name][target]
+            assert p.times == s.times      # bit-identical, not approx
+            assert p.perf.as_dict() == s.perf.as_dict()
+            assert p.run.stdout == s.run.stdout
+
+
+def test_parallel_compile_seconds_reported():
+    _, compile_seconds = run_suite(_suite()[:2], ["native"], runs=1,
+                                   jobs=2, cache=False)
+    for name in SUBSET[:2]:
+        assert compile_seconds[name]["native"] > 0
+
+
+def test_spec_ref_round_trip():
+    spec = polybench_benchmark("trisolv", "test")
+    ref = spec_ref(spec)
+    assert ref == ("polybench", "trisolv", "test")
+    rebuilt = resolve_ref(ref)
+    assert rebuilt.name == spec.name
+    assert rebuilt.source == spec.source
+
+
+def test_spec_ref_matmul():
+    spec = matmul_spec(10, 11, 12)
+    rebuilt = resolve_ref(spec_ref(spec))
+    assert rebuilt.source == spec.source
+
+
+def test_spec_ref_unreferencable():
+    adhoc = BenchmarkSpec("adhoc", "none",
+                          "int main(void){return 0;}")
+    assert spec_ref(adhoc) is None
+
+
+def test_adhoc_specs_run_serially_in_suite():
+    adhoc = BenchmarkSpec(
+        "adhoc", "none",
+        "int main(void){ print_i32(7); return 0; }")
+    results, _ = run_suite([adhoc], ["native"], runs=2, jobs=4,
+                           cache=False)
+    assert results["adhoc"]["native"].run.stdout == b"7\n"
+
+
+def test_normalize_jobs():
+    assert normalize_jobs(1) == 1
+    assert normalize_jobs(0) == 1
+    assert normalize_jobs(6) == 6
+    assert 1 <= normalize_jobs(None) <= MAX_JOBS
+    assert normalize_jobs(None) == default_jobs()
