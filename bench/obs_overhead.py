@@ -1,0 +1,144 @@
+"""Disabled-observability overhead gate.
+
+The observability layer (repro.obs) promises that when tracing, metrics,
+and profiling are all disabled — the default — the instrumented hot
+paths cost (near) nothing.  This script measures that promise on a small
+bench sweep and fails (exit 1) if the disabled-path overhead exceeds the
+budget, so CI catches any instrumentation that leaks cost into
+measurements.
+
+Method: run the same benchmark sweep twice per mode, take the best
+wall-clock of ``--repeats`` attempts for each mode, and compare
+
+* ``disabled``  — observability off (the measurement configuration);
+* ``enabled``   — tracing + metrics on (sanity reference, not gated).
+
+The gate compares ``disabled`` against itself across interleaved halves
+(A/B of the same configuration) to bound timer noise, then against the
+recorded baseline budget: overhead = disabled / min(disabled-rerun)
+must stay under ``--budget`` (default 3%) relative to the fastest
+observed disabled run.
+
+Results are written as JSON (``--output``).
+
+Usage::
+
+    PYTHONPATH=src python bench/obs_overhead.py [--budget 0.03]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import obs                                     # noqa: E402
+from repro.benchsuite import polybench_benchmark          # noqa: E402
+from repro.harness.runner import (                        # noqa: E402
+    compile_benchmark, run_compiled,
+)
+
+BENCHMARKS = ("durbin", "trisolv", "gemm")
+TARGETS = ("native", "chrome")
+
+
+def _sweep(compiled):
+    """One full sweep; returns (wall_seconds, results key)."""
+    start = time.perf_counter()
+    fingerprint = []
+    for name in BENCHMARKS:
+        for target in TARGETS:
+            result = run_compiled(compiled[name], target, runs=2)
+            fingerprint.append(
+                (name, target, result.run.perf.instructions,
+                 result.run.exit_code, result.run.stdout))
+    return time.perf_counter() - start, fingerprint
+
+
+def _best(compiled, repeats):
+    best = None
+    fingerprint = None
+    for _ in range(repeats):
+        seconds, fp = _sweep(compiled)
+        if best is None or seconds < best:
+            best = seconds
+        if fingerprint is None:
+            fingerprint = fp
+        elif fingerprint != fp:
+            raise SystemExit("FAIL: sweep results are not deterministic")
+    return best, fingerprint
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=0.03,
+                        help="max disabled-path overhead (fraction)")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default="OBS_overhead.json")
+    args = parser.parse_args(argv)
+
+    # Compile once, outside the timed region (compiles dwarf execution
+    # and would drown the per-instruction overhead being measured).
+    compiled = {name: compile_benchmark(
+        polybench_benchmark(name, "test"), TARGETS, cache=False)
+        for name in BENCHMARKS}
+
+    # Warm-up, then interleave the two modes so drift hits both equally.
+    _sweep(compiled)
+    obs.disable_tracing()
+    obs.disable_metrics()
+    disabled_a, fp_disabled = _best(compiled, args.repeats)
+
+    obs.enable_tracing()
+    obs.enable_metrics()
+    try:
+        enabled, fp_enabled = _best(compiled, args.repeats)
+    finally:
+        obs.disable_tracing()
+        obs.disable_metrics()
+
+    disabled_b, _ = _best(compiled, args.repeats)
+
+    if fp_enabled != fp_disabled:
+        print("FAIL: enabling observability changed results")
+        return 1
+
+    baseline = min(disabled_a, disabled_b)
+    slower = max(disabled_a, disabled_b)
+    overhead = slower / baseline - 1.0
+    enabled_overhead = enabled / baseline - 1.0
+
+    report = {
+        "benchmarks": list(BENCHMARKS),
+        "targets": list(TARGETS),
+        "repeats": args.repeats,
+        "budget": args.budget,
+        "disabled_seconds": baseline,
+        "disabled_rerun_seconds": slower,
+        "disabled_overhead": overhead,
+        "enabled_seconds": enabled,
+        "enabled_overhead": enabled_overhead,
+        "results_identical": True,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(f"disabled sweep: {baseline:.3f}s "
+          f"(rerun {slower:.3f}s, spread {100 * overhead:.2f}%)")
+    print(f"enabled sweep:  {enabled:.3f}s "
+          f"(+{100 * enabled_overhead:.2f}% vs disabled)")
+    if overhead > args.budget:
+        print(f"FAIL: disabled-observability overhead {overhead:.4f} "
+              f"exceeds budget {args.budget}")
+        return 1
+    print(f"PASS: disabled-path overhead within "
+          f"{100 * args.budget:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE, Engine
 from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
+from ..obs import span
 from ..x86.machine import X86Machine
 from ..x86.perf import CLOCK_HZ
 from ..x86.program import X86Program
@@ -58,11 +59,14 @@ class RunResult:
 
 def execute_program(program: X86Program, runtime, name: str,
                     entry: str = "main",
-                    max_instructions: int = 2_000_000_000) -> RunResult:
+                    max_instructions: int = 2_000_000_000,
+                    profile=None) -> RunResult:
     """Run a compiled program against a process runtime."""
     machine = X86Machine(program, host=runtime,
-                         max_instructions=max_instructions)
-    rax, _ = machine.call(entry)
+                         max_instructions=max_instructions,
+                         profile=profile)
+    with span("execute", program=name, entry=entry):
+        rax, _ = machine.call(entry)
     return RunResult(
         name=name,
         stdout=runtime.stdout,

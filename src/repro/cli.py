@@ -8,11 +8,15 @@ Usage (also via ``python -m repro``):
     repro wat prog.c                        # WebAssembly text format
     repro bench 453.povray --size test      # one suite benchmark
     repro report fig3b --size test          # regenerate a paper artifact
+    repro trace matmul --target chrome      # Chrome trace-event JSON
+    repro profile matmul --annotate         # simulated perf annotate
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from .asmjs import ASMJS_CHROME, ASMJS_FIREFOX
@@ -22,6 +26,7 @@ from .codegen.emscripten import compile_emscripten
 from .jit import CHROME_ENGINE, FIREFOX_ENGINE
 from .kernel import BrowsixRuntime, Kernel, NativeRuntime
 from .wasm import encode_module, format_module
+from .x86.perf import EVENT_TABLE
 
 _ENGINES = {
     "chrome": CHROME_ENGINE,
@@ -42,13 +47,79 @@ def _compile_target(source: str, target: str):
 
 
 def _execute(program, target: str, stage=None):
-    kernel = Kernel()
-    if stage is not None:
-        stage(kernel)
-    process = kernel.spawn("cli")
-    runtime_cls = NativeRuntime if target == "native" else BrowsixRuntime
-    runtime = runtime_cls(kernel, process, program.heap_base)
+    from .obs import span
+    with span("kernel.boot", target=target):
+        kernel = Kernel()
+        if stage is not None:
+            stage(kernel)
+        process = kernel.spawn("cli")
+        runtime_cls = NativeRuntime if target == "native" \
+            else BrowsixRuntime
+        runtime = runtime_cls(kernel, process, program.heap_base)
     return execute_program(program, runtime, f"cli@{target}")
+
+
+def _resolve_spec(name: str, size: str):
+    """Map a benchmark name to a spec; None if unknown."""
+    from .benchsuite import (POLYBENCH_NAMES, SPEC_NAMES, matmul_spec,
+                             polybench_benchmark, spec_benchmark)
+    if name in SPEC_NAMES:
+        return spec_benchmark(name, size)
+    if name in POLYBENCH_NAMES:
+        return polybench_benchmark(name, size)
+    if name == "matmul":
+        return matmul_spec()
+    return None
+
+
+def _unknown_benchmark(name: str) -> int:
+    from .benchsuite import POLYBENCH_NAMES, SPEC_NAMES
+    print(f"unknown benchmark {name}; choose from:", file=sys.stderr)
+    print(" ", ", ".join(("matmul",) + tuple(SPEC_NAMES) +
+                         tuple(POLYBENCH_NAMES)), file=sys.stderr)
+    return 2
+
+
+def _print_observability_summary() -> None:
+    """The post-run cache one-liner plus any enabled metrics."""
+    from .harness import compilecache
+    from .obs import get_registry
+    if compilecache.is_enabled():
+        print(compilecache.get_cache().stats.summary_line(),
+              file=sys.stderr)
+    registry = get_registry()
+    if registry.enabled:
+        for line in registry.summary_lines():
+            print(f"  {line}", file=sys.stderr)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.2f}us"
+
+
+def _jsonify(value):
+    """Best-effort conversion of artifact data to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return _jsonify(as_dict())
+    if isinstance(value, bytes):
+        return value.decode("utf-8", "replace")
+    if hasattr(value, "__dict__"):
+        return _jsonify(vars(value))
+    slots = getattr(type(value), "__slots__", None)
+    if slots:
+        return _jsonify({s: getattr(value, s, None) for s in slots})
+    return repr(value)
 
 
 def _stage_files(paths):
@@ -67,12 +138,14 @@ def cmd_run(args) -> int:
     if args.stats:
         perf = result.perf
         print(f"--- {args.target}: {perf.instructions} instrs, "
-              f"{perf.loads} loads, {perf.stores} stores, "
-              f"{perf.branches} branches, "
-              f"{perf.icache_misses} L1I misses, "
               f"{perf.cycles():.0f} cycles "
               f"({result.total_seconds * 1e6:.1f} simulated us)",
               file=sys.stderr)
+        # The full Table 3 event set, for every target (asm.js included).
+        for event, raw, _summary in EVENT_TABLE:
+            value = perf.event(event)
+            text = f"{value:.0f}" if isinstance(value, float) else str(value)
+            print(f"    {event:22s} ({raw}): {text}", file=sys.stderr)
     return result.exit_code
 
 
@@ -123,22 +196,16 @@ def cmd_wat(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from .benchsuite import (POLYBENCH_NAMES, SPEC_NAMES,
-                             polybench_benchmark, spec_benchmark)
     from .harness import compilecache, run_benchmark
 
     if args.no_cache:
         compilecache.set_enabled(False)
-    if args.benchmark in SPEC_NAMES:
-        spec = spec_benchmark(args.benchmark, args.size)
-    elif args.benchmark in POLYBENCH_NAMES:
-        spec = polybench_benchmark(args.benchmark, args.size)
-    else:
-        print(f"unknown benchmark {args.benchmark}; choose from:",
-              file=sys.stderr)
-        print(" ", ", ".join(SPEC_NAMES + POLYBENCH_NAMES),
-              file=sys.stderr)
-        return 2
+    if args.stats:
+        from .obs import enable_metrics
+        enable_metrics()
+    spec = _resolve_spec(args.benchmark, args.size)
+    if spec is None:
+        return _unknown_benchmark(args.benchmark)
     targets = args.target or ["native", "chrome", "firefox"]
     results = run_benchmark(spec, targets=targets, runs=args.runs,
                             jobs=args.jobs)
@@ -148,10 +215,14 @@ def cmd_bench(args) -> int:
     for target, res in results.items():
         rows.append([target, fmt_time(res.mean_seconds,
                                       res.stderr_seconds),
+                     _fmt_seconds(res.p50_seconds),
+                     _fmt_seconds(res.p95_seconds),
                      f"{res.mean_seconds / native.mean_seconds:.2f}x",
                      res.perf.instructions, res.perf.icache_misses])
-    print(render_table(["target", "time", "rel", "instrs", "L1I miss"],
+    print(render_table(["target", "time", "p50", "p95", "rel",
+                        "instrs", "L1I miss"],
                        rows, f"{spec.name} ({args.size})"))
+    _print_observability_summary()
     return 0
 
 
@@ -160,47 +231,135 @@ def cmd_report(args) -> int:
                            fig8, fig9, fig10, polybench_data, spec_data,
                            table1, table2, table3, table4)
     from .harness import compilecache
+    from .obs import enable_metrics, get_registry
 
     if args.no_cache:
         compilecache.set_enabled(False)
+    if args.stats or args.json:
+        enable_metrics()
     artifact = args.artifact
-    if artifact == "table3":
-        print(table3()[1])
-        return 0
-    if artifact == "fig7":
-        print(fig7()[1])
-        return 0
-    if artifact == "fig8":
-        print(fig8(runs=args.runs)[1])
-        return 0
-    if artifact == "fig1":
-        print(fig1(size=args.size, runs=args.runs)[2])
-        return 0
-    if artifact == "fig3a":
-        data = polybench_data(args.size, runs=args.runs, jobs=args.jobs)
-        print(fig3a(data)[2])
-        return 0
 
-    spec_figures = {
-        "table1": lambda d: table1(d)[1],
-        "table2": lambda d: table2(d)[1],
-        "table4": lambda d: table4(d)[1],
-        "fig3b": lambda d: fig3b(d)[2],
-        "fig4": lambda d: fig4(d)[2],
-        "fig9": lambda d: fig9(d)[1],
-        "fig10": lambda d: fig10(d)[2],
-        "fig5": lambda d: fig5(d)[2],
-        "fig6": lambda d: fig6(d)[2],
+    # Every artifact function returns a tuple whose LAST element is the
+    # rendered text; the leading elements are the underlying data, which
+    # --json serializes alongside the metrics block.
+    standalone = {
+        "table3": lambda: table3(),
+        "fig7": lambda: fig7(),
+        "fig8": lambda: fig8(runs=args.runs),
+        "fig1": lambda: fig1(size=args.size, runs=args.runs),
+        "fig3a": lambda: fig3a(polybench_data(args.size, runs=args.runs,
+                                              jobs=args.jobs)),
     }
-    if artifact not in spec_figures:
+    spec_figures = {
+        "table1": table1, "table2": table2, "table4": table4,
+        "fig3b": fig3b, "fig4": fig4, "fig9": fig9, "fig10": fig10,
+        "fig5": fig5, "fig6": fig6,
+    }
+    if artifact in standalone:
+        ret = standalone[artifact]()
+    elif artifact in spec_figures:
+        include_asmjs = artifact in ("fig5", "fig6")
+        data = spec_data(args.size, include_asmjs=include_asmjs,
+                         runs=args.runs, jobs=args.jobs)
+        ret = spec_figures[artifact](data)
+    else:
         print(f"unknown artifact {artifact}; choose from: table1 table2 "
               "table3 table4 fig1 fig3a fig3b fig4 fig5 fig6 fig7 fig8 "
               "fig9 fig10", file=sys.stderr)
         return 2
-    include_asmjs = artifact in ("fig5", "fig6")
-    data = spec_data(args.size, include_asmjs=include_asmjs,
-                     runs=args.runs, jobs=args.jobs)
-    print(spec_figures[artifact](data))
+    print(ret[-1])
+    if args.json:
+        payload = {
+            "artifact": artifact,
+            "data": _jsonify(list(ret[:-1])),
+            "text": ret[-1],
+            "metrics": get_registry().as_dict(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    _print_observability_summary()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import trace as obs_trace
+
+    tracer = obs_trace.enable()
+    exit_code = 0
+    try:
+        if os.path.exists(args.program):
+            source = open(args.program).read()
+            program = _compile_target(source, args.target)
+            result = _execute(program, args.target,
+                              _stage_files(args.file))
+            exit_code = result.exit_code
+        else:
+            spec = _resolve_spec(args.program, args.size)
+            if spec is None:
+                return _unknown_benchmark(args.program)
+            from .harness.runner import compile_benchmark, run_compiled
+            # cache=False: a cache hit would skip the compile phases the
+            # trace exists to show.
+            compiled = compile_benchmark(spec, (args.target,),
+                                         cache=False)
+            result = run_compiled(compiled, args.target, runs=1)
+            exit_code = result.run.exit_code
+    finally:
+        obs_trace.disable()
+    tracer.write(args.output)
+    phases = tracer.phases()
+    print(f"wrote {args.output}: {len(tracer.events)} spans, "
+          f"{len(phases)} phases, {tracer.total_seconds():.3f}s wall",
+          file=sys.stderr)
+    print("phases:", " ".join(phases), file=sys.stderr)
+    return exit_code
+
+
+def cmd_profile(args) -> int:
+    from .analysis import render_table
+    from .harness import compilecache
+    from .obs.profile import profile_benchmark
+
+    if args.no_cache:
+        compilecache.set_enabled(False)
+    spec = _resolve_spec(args.benchmark, args.size)
+    if spec is None:
+        return _unknown_benchmark(args.benchmark)
+    comparison = profile_benchmark(spec, target=args.target)
+    print(comparison.render_table())
+    print()
+    print(comparison.render_events())
+    hot = comparison.target_profile.hot_opcodes(8)
+    if hot:
+        print()
+        print(render_table(
+            ["x86 opcode", "instrs retired"],
+            [[op, count] for op, count in hot],
+            f"{spec.name}@{args.target}: hottest opcodes"))
+    if args.annotate:
+        print()
+        print(comparison.annotate())
+    if args.json:
+        rows = {}
+        for name, native, target in comparison.function_rows():
+            rows[name] = {
+                "native": _jsonify(native) if native else None,
+                args.target: _jsonify(target) if target else None,
+            }
+        payload = {
+            "benchmark": spec.name,
+            "target": args.target,
+            "functions": rows,
+            "events": {event: {"native":
+                               comparison.native_run.perf.event(event),
+                               args.target:
+                               comparison.target_run.perf.event(event)}
+                       for event, _raw, _s in EVENT_TABLE},
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -244,6 +403,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: cpu count, capped at 8; 1 = serial)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk compile cache")
+    p.add_argument("--stats", action="store_true",
+                   help="collect and print harness metrics")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -255,7 +416,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: cpu count, capped at 8; 1 = serial)")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk compile cache")
+    p.add_argument("--stats", action="store_true",
+                   help="collect and print harness metrics")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the artifact data + metrics as JSON")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "trace", help="trace the pipeline as Chrome trace-event JSON")
+    p.add_argument("program",
+                   help="an mcc source file or a benchmark name")
+    p.add_argument("--target", choices=TARGETS, default="chrome")
+    p.add_argument("--size", choices=("test", "ref"), default="test")
+    p.add_argument("--file", action="append",
+                   help="stage a file into the kernel filesystem")
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="output path (load via chrome://tracing)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-function native-vs-wasm counter attribution")
+    p.add_argument("benchmark")
+    p.add_argument("--target",
+                   choices=[t for t in TARGETS if t != "native"],
+                   default="chrome")
+    p.add_argument("--size", choices=("test", "ref"), default="test")
+    p.add_argument("--annotate", action="store_true",
+                   help="render the source with per-function deltas")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the attribution as JSON")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk compile cache")
+    p.set_defaults(func=cmd_profile)
 
     return parser
 

@@ -410,7 +410,9 @@ def _store_op(instr: Store) -> str:
 
 def compile_ir_to_wasm(module: Module) -> WasmModule:
     """Lower an (already optimized) IR module to WebAssembly."""
-    return EmscriptenBackend(module).compile()
+    from ..obs import span
+    with span("wasm.lower", module=module.name):
+        return EmscriptenBackend(module).compile()
 
 
 def compile_emscripten(source: str, name: str = "program",

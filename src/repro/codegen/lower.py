@@ -20,6 +20,7 @@ from ..ir.loops import natural_loops
 from ..ir.module import Module
 from ..ir.types import Type
 from ..ir.values import Const, VReg
+from ..obs import span
 from ..regalloc.graph_coloring import graph_coloring
 from ..regalloc.linear_scan import linear_scan
 from ..regalloc.liveness import LivenessInfo
@@ -72,8 +73,10 @@ class ModuleLowering:
 
         self._build_tables()
 
-        for func in self.module.functions.values():
-            FunctionLowering(self, func).run()
+        with span("codegen.lower", target=self.config.name,
+                  module=self.module.name):
+            for func in self.module.functions.values():
+                FunctionLowering(self, func).run()
         program.layout()
         program.initial_image = bytes(self.module.initial_memory())
         program.heap_base = self.module.heap_base
@@ -136,13 +139,15 @@ class FunctionLowering:
             _insert_loop_entry_jumps(func)
 
         self.use_counts = _use_counts(func)
-        self.info = LivenessInfo(func)
-        if cfg.allocator == "graph":
-            self.assignment = graph_coloring(self.info, cfg.gprs, cfg.xmms,
-                                             cfg.callee_saved)
-        else:
-            self.assignment = linear_scan(self.info, cfg.gprs, cfg.xmms,
-                                          cfg.callee_saved)
+        with span("regalloc", function=func.name,
+                  allocator=cfg.allocator):
+            self.info = LivenessInfo(func)
+            if cfg.allocator == "graph":
+                self.assignment = graph_coloring(
+                    self.info, cfg.gprs, cfg.xmms, cfg.callee_saved)
+            else:
+                self.assignment = linear_scan(
+                    self.info, cfg.gprs, cfg.xmms, cfg.callee_saved)
         self.order = [b.label for b in func.block_order()]
 
         self.pushed = sorted(self.assignment.used_callee_saved)

@@ -16,6 +16,7 @@ import time
 from ..ir.module import Module
 from ..ir.passes import optimize_module
 from ..mcc import compile_source
+from ..obs import span
 from ..x86.program import X86Program
 from .lower import lower_module
 from .memfold import fold_module
@@ -29,7 +30,8 @@ def compile_ir_native(module: Module, config: TargetConfig = None,
     start = time.perf_counter()
     optimize_module(module, level=opt_level, unroll=unroll)
     if config.fold_mem_ops:
-        fold_module(module)
+        with span("codegen.memfold", module=module.name):
+            fold_module(module)
     program = lower_module(module, config)
     program.compile_stats["compile_seconds"] = time.perf_counter() - start
     program.compile_stats["pipeline"] = "native"

@@ -28,12 +28,14 @@ import hashlib
 import os
 import pickle
 
+from ..obs import get_registry
+
 
 class CacheStats:
     """Hit/miss accounting for one :class:`CompileCache`."""
 
     __slots__ = ("memory_hits", "disk_hits", "misses", "stores",
-                 "disk_errors")
+                 "disk_errors", "evictions", "bytes_stored")
 
     def __init__(self):
         self.memory_hits = 0
@@ -41,6 +43,8 @@ class CacheStats:
         self.misses = 0
         self.stores = 0
         self.disk_errors = 0
+        self.evictions = 0
+        self.bytes_stored = 0
 
     @property
     def hits(self) -> int:
@@ -55,7 +59,15 @@ class CacheStats:
             "memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
             "hits": self.hits, "misses": self.misses,
             "stores": self.stores, "disk_errors": self.disk_errors,
+            "evictions": self.evictions, "bytes_stored": self.bytes_stored,
         }
+
+    def summary_line(self) -> str:
+        """The one-line cache report printed after bench/report runs."""
+        return (f"compile cache: {self.hits} hits "
+                f"({self.memory_hits} mem, {self.disk_hits} disk), "
+                f"{self.misses} misses, {self.stores} stores, "
+                f"{self.bytes_stored} bytes written")
 
     def __repr__(self):
         return (f"<cache-stats hits={self.hits} "
@@ -144,6 +156,7 @@ class CompileCache:
         value = self._memory.get(key)
         if value is not None:
             self.stats.memory_hits += 1
+            get_registry().counter("cache.memory_hits").inc()
             return value
         if self.use_disk:
             try:
@@ -154,30 +167,39 @@ class CompileCache:
             if value is not None:
                 self._memory[key] = value
                 self.stats.disk_hits += 1
+                get_registry().counter("cache.disk_hits").inc()
                 return value
         self.stats.misses += 1
+        get_registry().counter("cache.misses").inc()
         return None
 
     def put(self, key: str, value) -> None:
         self._memory[key] = value
         self.stats.stores += 1
+        get_registry().counter("cache.stores").inc()
         if not self.use_disk:
             return
         path = self._path(key)
         tmp = f"{path}.{os.getpid()}.tmp"
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(data)
             os.replace(tmp, path)  # atomic: concurrent workers never clash
+            self.stats.bytes_stored += len(data)
+            get_registry().counter("cache.bytes_stored").inc(len(data))
         except (OSError, pickle.PickleError):
             self.stats.disk_errors += 1
+            get_registry().counter("cache.disk_errors").inc()
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
 
     def clear_memory(self) -> None:
+        self.stats.evictions += len(self._memory)
+        get_registry().counter("cache.evictions").inc(len(self._memory))
         self._memory.clear()
 
     def __len__(self):

@@ -27,8 +27,10 @@ compiled once per toolchain version across the whole pool.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
+from ..obs import get_registry
 from . import compilecache
 from .runner import NOISE, compile_benchmark, run_compiled
 
@@ -87,15 +89,22 @@ def resolve_ref(ref):
 def _run_cell(ref, target, runs, noise, max_instructions, use_cache):
     """Measure one (benchmark, target) cell; runs inside a worker.
 
-    Returns (BenchResult, compile_seconds) — both plain picklable data.
+    Returns (BenchResult, compile_seconds, timing) — all plain picklable
+    data.  ``timing`` carries the worker pid, the wall-clock start, and
+    the cell duration so the parent can aggregate per-worker utilization
+    and queue wait into its metrics registry (the worker's own registry,
+    if any, never crosses the process boundary).
     """
+    start = time.time()
     if not use_cache:
         compilecache.set_enabled(False)
     spec = resolve_ref(ref)
     compiled = compile_benchmark(spec, (target,))
     result = run_compiled(compiled, target, runs=runs, noise=noise,
                           max_instructions=max_instructions)
-    return result, dict(compiled.compile_seconds)
+    timing = {"pid": os.getpid(), "start": start,
+              "seconds": time.time() - start}
+    return result, dict(compiled.compile_seconds), timing
 
 
 # -- the suite runner --------------------------------------------------------------
@@ -125,30 +134,55 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
         pool_specs = [s for s in benchmarks if refs[s.name] is not None]
         serial_specs = [s for s in benchmarks if refs[s.name] is None]
         if pool_specs:
-            pending = {}  # future -> (name, target)
+            metrics = get_registry()
+            pending = {}  # future -> (name, target, submit_time)
             remaining = {s.name: len(targets) for s in pool_specs}
+            busy_by_pid = {}
+            pool_start = time.time()
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 for spec in pool_specs:
                     for target in targets:
                         future = pool.submit(
                             _run_cell, refs[spec.name], target, runs,
                             noise, max_instructions, use_cache)
-                        pending[future] = (spec.name, target)
-                for future, (name, target) in pending.items():
-                    result, seconds = future.result()
+                        pending[future] = (spec.name, target, time.time())
+                for future, (name, target, submitted) in pending.items():
+                    result, seconds, timing = future.result()
                     cell_results[(name, target)] = result
                     compile_seconds[name].update(seconds)
+                    if metrics.enabled:
+                        metrics.histogram("runner.cell_seconds").observe(
+                            timing["seconds"])
+                        metrics.histogram(
+                            "runner.queue_wait_seconds").observe(
+                            max(timing["start"] - submitted, 0.0))
+                        busy_by_pid[timing["pid"]] = \
+                            busy_by_pid.get(timing["pid"], 0.0) + \
+                            timing["seconds"]
                     remaining[name] -= 1
                     if not remaining[name] and progress is not None:
                         progress(name)
+            if metrics.enabled:
+                pool_wall = max(time.time() - pool_start, 1e-9)
+                metrics.gauge("runner.jobs").set(jobs)
+                metrics.counter("runner.cells").inc(len(pending))
+                for i, pid in enumerate(sorted(busy_by_pid)):
+                    metrics.gauge(f"runner.worker.{i}.utilization").set(
+                        busy_by_pid[pid] / pool_wall)
 
+    metrics = get_registry()
     for spec in serial_specs:
         compiled = compile_benchmark(spec, targets, cache=cache)
         compile_seconds[spec.name].update(compiled.compile_seconds)
         for target in targets:
+            cell_start = time.time()
             cell_results[(spec.name, target)] = run_compiled(
                 compiled, target, runs=runs, noise=noise,
                 max_instructions=max_instructions)
+            if metrics.enabled:
+                metrics.histogram("runner.cell_seconds").observe(
+                    time.time() - cell_start)
+                metrics.counter("runner.cells").inc()
         if progress is not None:
             progress(spec.name)
 

@@ -25,10 +25,11 @@ from ..ir.passes import optimize_module
 from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE
 from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
 from ..mcc import compile_source
+from ..obs import span
 from ..wasm.binary import encode_module
 from . import compilecache
 from .spec import BenchmarkSpec
-from .stats import mean, stderr
+from .stats import mean, p50, p95, p99, stderr
 
 #: Default measurement-noise level (fraction of the run time).
 NOISE = 0.004
@@ -62,6 +63,18 @@ class BenchResult:
     @property
     def stderr_seconds(self) -> float:
         return stderr(self.times)
+
+    @property
+    def p50_seconds(self) -> float:
+        return p50(self.times)
+
+    @property
+    def p95_seconds(self) -> float:
+        return p95(self.times)
+
+    @property
+    def p99_seconds(self) -> float:
+        return p99(self.times)
 
     @property
     def perf(self):
@@ -117,6 +130,13 @@ def compile_benchmark(spec: BenchmarkSpec, targets=None,
     targets = list(targets or TARGETS)
     result = CompiledBenchmark(spec)
     store = compilecache.resolve_cache(cache)
+    with span("harness.compile", benchmark=spec.name,
+              targets=",".join(targets)):
+        _compile_benchmark(spec, targets, engines, store, result)
+    return result
+
+
+def _compile_benchmark(spec, targets, engines, store, result):
 
     if "native" in targets:
         program = key = None
@@ -175,20 +195,29 @@ def compile_benchmark(spec: BenchmarkSpec, targets=None,
 
 def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
                  noise: float = NOISE, seed: int = None,
-                 max_instructions: int = 2_000_000_000):
-    """Execute one compiled target; returns a BenchResult."""
+                 max_instructions: int = 2_000_000_000, profile=None):
+    """Execute one compiled target; returns a BenchResult.
+
+    ``profile`` optionally attaches a
+    :class:`repro.obs.profile.MachineProfile` to the simulated machine,
+    bucketing retired events per function (and optionally per opcode /
+    basic block) without perturbing any counter or output.
+    """
     spec = compiled.spec
     program = compiled.programs[target]
-    kernel = Kernel()
-    spec.setup_kernel(kernel)
-    process = kernel.spawn(spec.name)
-    if target == "native":
-        runtime = NativeRuntime(kernel, process, program.heap_base)
-    else:
-        runtime = BrowsixRuntime(kernel, process, program.heap_base)
-    run_result = execute_program(program, runtime,
-                                 f"{spec.name}@{target}",
-                                 max_instructions=max_instructions)
+    with span("kernel.boot", benchmark=spec.name, target=target):
+        kernel = Kernel()
+        spec.setup_kernel(kernel)
+        process = kernel.spawn(spec.name)
+        if target == "native":
+            runtime = NativeRuntime(kernel, process, program.heap_base)
+        else:
+            runtime = BrowsixRuntime(kernel, process, program.heap_base)
+    with span("harness.run", benchmark=spec.name, target=target):
+        run_result = execute_program(program, runtime,
+                                     f"{spec.name}@{target}",
+                                     max_instructions=max_instructions,
+                                     profile=profile)
     base_time = run_result.total_seconds
     if seed is None:
         # Stable across processes (Python's hash() is randomized).

@@ -37,3 +37,37 @@ def median(values) -> float:
     if n % 2:
         return values[mid]
     return (values[mid - 1] + values[mid]) / 2.0
+
+
+def percentile(values, p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation.
+
+    Matches ``numpy.percentile``'s default ("linear") method:
+    ``percentile(v, 50) == median(v)``, ``percentile(v, 0) == min(v)``,
+    and ``percentile(v, 100) == max(v)``.
+    """
+    values = sorted(values)
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    if len(values) == 1:
+        return values[0]
+    rank = (p / 100.0) * (len(values) - 1)
+    low = int(rank)
+    frac = rank - low
+    if frac == 0.0:
+        return values[low]
+    return values[low] + (values[low + 1] - values[low]) * frac
+
+
+def p50(values) -> float:
+    return percentile(values, 50.0)
+
+
+def p95(values) -> float:
+    return percentile(values, 95.0)
+
+
+def p99(values) -> float:
+    return percentile(values, 99.0)

@@ -10,6 +10,7 @@ unrolling is the mechanism behind the 429.mcf instruction-cache anomaly
 
 from __future__ import annotations
 
+from ...obs import span
 from ..module import Module
 from .collapse import collapse_defs
 from .constfold import fold_constants
@@ -57,24 +58,29 @@ def optimize_module(module: Module, level: int = 2,
     """
     if level <= 0:
         return module
-    for func in module.functions.values():
-        _cleanup(func)
-    if level >= 2:
-        inline_calls(module, threshold=inline_threshold)
+    with span("opt.cleanup", module=module.name):
         for func in module.functions.values():
             _cleanup(func)
+    if level >= 2:
+        with span("opt.inline", module=module.name):
+            inline_calls(module, threshold=inline_threshold)
+            for func in module.functions.values():
+                _cleanup(func)
         if licm:
-            for func in module.functions.values():
-                hoist_invariants(func)
-                _cleanup(func)
+            with span("opt.licm", module=module.name):
+                for func in module.functions.values():
+                    hoist_invariants(func)
+                    _cleanup(func)
         if rotate:
-            for func in module.functions.values():
-                rotate_loops(func)
-                _cleanup(func)
+            with span("opt.rotate", module=module.name):
+                for func in module.functions.values():
+                    rotate_loops(func)
+                    _cleanup(func)
     if unroll:
-        for func in module.functions.values():
-            if unroll_loops(func, factor=unroll_factor,
-                            max_instrs=unroll_max_instrs):
-                localize_temps(func)
-            simplify_cfg(func)
+        with span("opt.unroll", module=module.name):
+            for func in module.functions.values():
+                if unroll_loops(func, factor=unroll_factor,
+                                max_instrs=unroll_max_instrs):
+                    localize_temps(func)
+                simplify_cfg(func)
     return module

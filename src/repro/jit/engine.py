@@ -19,6 +19,7 @@ from ..codegen.target import CHROME, FIREFOX, TargetConfig
 from ..ir.passes import (
     eliminate_dead_code, propagate_copies, simplify_cfg,
 )
+from ..obs import span
 from ..wasm.binary import decode_module, encode_module
 from ..wasm.module import WasmModule
 from ..wasm.validate import validate_module
@@ -39,8 +40,10 @@ class Engine:
     def compile_bytes(self, data: bytes) -> X86Program:
         """Compile binary wasm bytes to a simulated x86 program."""
         start = time.perf_counter()
-        module = decode_module(data, name=f"wasm.{self.name}")
-        validate_module(module)
+        with span("jit.decode", engine=self.name, bytes=len(data)):
+            module = decode_module(data, name=f"wasm.{self.name}")
+        with span("jit.validate", engine=self.name):
+            validate_module(module)
         program = self.compile_module(module)
         program.compile_stats["compile_seconds"] = \
             time.perf_counter() - start
@@ -50,18 +53,21 @@ class Engine:
     def compile_module(self, module: WasmModule) -> X86Program:
         """Compile an in-memory wasm module (already validated)."""
         start = time.perf_counter()
-        ir = wasm_to_ir(module)
+        with span("jit.translate", engine=self.name, module=module.name):
+            ir = wasm_to_ir(module)
         if self.local_cleanup:
             from .leafold import fold_leas
-            for func in ir.functions.values():
-                # Per-block cleanup only: enough to collapse the worst of
-                # the stack-machine shuffle, but (like the engines' fast
-                # register allocators) it does not reach Clang's quality —
-                # wasm code retains extra moves between operations.
-                propagate_copies(func)
-                eliminate_dead_code(func)
-                fold_leas(func)
-                simplify_cfg(func)
+            with span("jit.cleanup", engine=self.name):
+                for func in ir.functions.values():
+                    # Per-block cleanup only: enough to collapse the worst
+                    # of the stack-machine shuffle, but (like the engines'
+                    # fast register allocators) it does not reach Clang's
+                    # quality — wasm code retains extra moves between
+                    # operations.
+                    propagate_copies(func)
+                    eliminate_dead_code(func)
+                    fold_leas(func)
+                    simplify_cfg(func)
         program = lower_module(ir, self.config, name=self.name)
         program.compile_stats.setdefault(
             "compile_seconds", time.perf_counter() - start)

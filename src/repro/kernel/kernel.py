@@ -10,6 +10,7 @@ Browsix) and the §2 BrowserFS ablation.
 from __future__ import annotations
 
 from ..errors import TrapError
+from ..obs import get_registry
 from .costs import BROWSIX_WASM_COSTS, SyscallCosts
 from .fs import FileSystem, FsError, GROW_CHUNKED, OpenFile
 from .pipes import Pipe
@@ -76,6 +77,9 @@ class Kernel:
 
     def syscall(self, proc: Process, name: str, args, env):
         self.syscall_count += 1
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.counter(f"kernel.syscall.{name}").inc()
         handler = getattr(self, "_sys_" + name[4:], None) \
             if name.startswith("sys_") else None
         if handler is None:

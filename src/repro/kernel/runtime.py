@@ -17,6 +17,7 @@ from __future__ import annotations
 from ..errors import TrapError
 from ..ir.interp import Host
 from ..ir import intops
+from ..obs import get_registry
 from .costs import NATIVE_COSTS, SyscallCosts
 from .kernel import Kernel, Process
 
@@ -25,6 +26,22 @@ _BUFFER_SYSCALLS = {"sys_read": 2, "sys_write": 2}
 
 #: Path-taking syscalls (payload ~= path length; small).
 _PATH_SYSCALLS = {"sys_open": 64}
+
+
+def _observe_syscall(cost: float, name: str = None) -> None:
+    """Count one syscall (and its cycle cost) in the metrics registry.
+
+    The print helpers bypass :meth:`Kernel.syscall`, so totals and
+    latency are recorded here — the one choke point every kernel trip
+    passes through — while per-``sys_*`` name counters live in the
+    kernel's dispatcher.
+    """
+    metrics = get_registry()
+    if metrics.enabled:
+        metrics.counter("kernel.syscalls").inc()
+        metrics.histogram("kernel.syscall.cycles").observe(cost)
+        if name is not None:
+            metrics.counter(f"kernel.syscall.{name}").inc()
 
 
 class BrowsixRuntime(Host):
@@ -69,6 +86,7 @@ class BrowsixRuntime(Host):
         self.syscall_count += 1
         cost = self.kernel.charge(self._payload(name, args))
         self.overhead_cycles += cost
+        _observe_syscall(cost)
         return self.kernel.syscall(self.process, name, args, env)
 
     def _print(self, env, text: str):
@@ -76,6 +94,7 @@ class BrowsixRuntime(Host):
         self.syscall_count += 1
         cost = self.kernel.charge(len(data))
         self.overhead_cycles += cost
+        _observe_syscall(cost, "print")
         self.kernel.write_bytes(self.process, 1, data)
         return None
 
@@ -96,6 +115,7 @@ class NativeRuntime(BrowsixRuntime):
         cost = self.costs.call_cost(self._payload(name, args))
         self.overhead_cycles += cost
         self.kernel.cycles += cost
+        _observe_syscall(cost)
         return self.kernel.syscall(self.process, name, args, env)
 
     def _print(self, env, text: str):
@@ -104,5 +124,6 @@ class NativeRuntime(BrowsixRuntime):
         cost = self.costs.call_cost(len(data))
         self.overhead_cycles += cost
         self.kernel.cycles += cost
+        _observe_syscall(cost, "print")
         self.kernel.write_bytes(self.process, 1, data)
         return None

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..ir import Module, verify_module
+from ..obs import span
 from .irgen import generate
 from .parser import parse
 from .runtime import STDLIB_SOURCE
@@ -20,9 +21,13 @@ def compile_source(source: str, name: str = "program",
     prepended unless ``with_stdlib`` is False.
     """
     text = (STDLIB_SOURCE + "\n" + source) if with_stdlib else source
-    program = parse(text)
-    typecheck(program)
-    module = generate(program, name, memory_size, stack_size)
+    with span("frontend.parse", module=name, bytes=len(text)):
+        program = parse(text)
+    with span("frontend.typecheck", module=name):
+        typecheck(program)
+    with span("frontend.irgen", module=name):
+        module = generate(program, name, memory_size, stack_size)
     if verify:
-        verify_module(module)
+        with span("frontend.verify", module=name):
+            verify_module(module)
     return module

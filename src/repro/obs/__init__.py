@@ -1,0 +1,43 @@
+"""repro.obs: the observability layer for the whole measurement stack.
+
+Three subsystems, all off by default and engineered so the disabled
+path costs (near) nothing and never changes behaviour:
+
+* :mod:`~repro.obs.trace` — nested span tracing across every pipeline
+  phase, exported as Chrome trace-event JSON (``repro trace``);
+* :mod:`~repro.obs.profile` — per-function/-block/-opcode retired-event
+  attribution for the x86 machine and wasm interpreter, and the
+  simulated ``perf annotate`` comparing native vs wasm builds
+  (``repro profile``);
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms wired into the
+  kernel, compile cache, and parallel runner (``--stats``,
+  ``repro report --json``).
+
+The invariant the test suite enforces: with observability disabled,
+every benchmark result, counter value, and program output is
+bit-identical to a build without the instrumentation.
+"""
+
+from .metrics import (
+    NULL_REGISTRY, Counter, Gauge, Histogram, MetricsRegistry,
+    get_registry, metrics_enabled,
+)
+from .metrics import disable as disable_metrics
+from .metrics import enable as enable_metrics
+from .profile import (
+    PROFILE_FIELDS, MachineProfile, ProfileComparison, WasmProfile,
+    profile_benchmark,
+)
+from .trace import NULL_SPAN, Tracer, current, span
+from .trace import disable as disable_tracing
+from .trace import enable as enable_tracing
+
+__all__ = [
+    "span", "Tracer", "current", "enable_tracing", "disable_tracing",
+    "NULL_SPAN",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "get_registry",
+    "enable_metrics", "disable_metrics", "metrics_enabled",
+    "NULL_REGISTRY",
+    "MachineProfile", "WasmProfile", "ProfileComparison",
+    "profile_benchmark", "PROFILE_FIELDS",
+]

@@ -1,0 +1,326 @@
+"""Profile attribution: the paper's §6 root-cause analysis as a tool.
+
+The whole-program counters in :mod:`repro.x86.perf` reproduce the
+paper's Table 3 *totals*; this module reproduces the attribution — the
+``perf record`` / ``perf annotate`` step that maps counter inflation
+back onto specific functions and source lines.
+
+:class:`MachineProfile` attaches to an :class:`repro.x86.machine.
+X86Machine` and buckets every retired-event counter per function (and
+optionally per basic block and per opcode mnemonic).  The buckets are
+exact: their sum equals the machine's whole-program
+:class:`~repro.x86.perf.PerfCounters` field for field, which the test
+suite asserts.  :class:`WasmProfile` does the same for the wasm
+interpreter at wasm-opcode granularity.
+
+:func:`profile_benchmark` runs the native and a wasm build of one
+benchmark with profiles attached and returns a
+:class:`ProfileComparison` whose ``annotate()`` renders the benchmark's
+mcc source with per-function counter deltas — the simulated
+``perf annotate`` view of the paper's §6 analysis.
+"""
+
+from __future__ import annotations
+
+from ..x86.perf import EVENT_TABLE, PerfCounters
+
+#: PerfCounters fields shown in per-function tables, with short labels.
+PROFILE_FIELDS = (
+    ("instructions", "instrs"),
+    ("loads", "loads"),
+    ("stores", "stores"),
+    ("branches", "branches"),
+    ("icache_misses", "L1I miss"),
+)
+
+
+class MachineProfile:
+    """Per-function retired-event buckets for the x86 machine.
+
+    Pass an instance as ``X86Machine(..., profile=...)``; after the run,
+    ``functions`` maps function name -> :class:`PerfCounters` whose sum
+    over all functions equals the machine's whole-program counters
+    exactly.  ``opcodes`` / ``blocks`` additionally record instructions
+    retired per x86 mnemonic and per basic block (identified by the
+    instruction index of its leader).
+    """
+
+    def __init__(self, opcodes: bool = False, blocks: bool = False):
+        self.opcodes = opcodes
+        self.blocks = blocks
+        self.functions: dict[str, PerfCounters] = {}
+        #: function -> {mnemonic: instructions retired}
+        self.opcode_instrs: dict[str, dict] = {}
+        #: function -> {leader instruction index: instructions retired}
+        self.block_instrs: dict[str, dict] = {}
+
+    def bucket(self, name: str) -> PerfCounters:
+        counters = self.functions.get(name)
+        if counters is None:
+            counters = self.functions[name] = PerfCounters()
+        return counters
+
+    def opcode_bucket(self, name: str) -> dict:
+        bucket = self.opcode_instrs.get(name)
+        if bucket is None:
+            bucket = self.opcode_instrs[name] = {}
+        return bucket
+
+    def block_bucket(self, name: str) -> dict:
+        bucket = self.block_instrs.get(name)
+        if bucket is None:
+            bucket = self.block_instrs[name] = {}
+        return bucket
+
+    def totals(self) -> PerfCounters:
+        """Sum of all per-function buckets (icache_accesses excluded —
+        that counter is a global property of the i-cache model)."""
+        total = PerfCounters()
+        for counters in self.functions.values():
+            total.merge(counters)
+        return total
+
+    def hot_functions(self, limit: int = None):
+        """(name, counters) sorted by instructions retired, descending."""
+        ranked = sorted(self.functions.items(),
+                        key=lambda item: item[1].instructions,
+                        reverse=True)
+        return ranked[:limit] if limit else ranked
+
+    def hot_opcodes(self, limit: int = None):
+        """(mnemonic, instructions) over all functions, descending."""
+        merged: dict[str, int] = {}
+        for per_func in self.opcode_instrs.values():
+            for op, count in per_func.items():
+                merged[op] = merged.get(op, 0) + count
+        ranked = sorted(merged.items(), key=lambda item: -item[1])
+        return ranked[:limit] if limit else ranked
+
+    def __repr__(self):
+        return f"<machine-profile {len(self.functions)} functions>"
+
+
+class WasmProfile:
+    """Per-function / per-opcode execution counts for the interpreter.
+
+    Pass as ``WasmInstance(..., profile=...)``.  Records wasm
+    instructions executed per function, per wasm opcode, and entries
+    into each structured block (``block``/``loop``/``if``), keyed by the
+    instruction index of the construct.
+    """
+
+    def __init__(self):
+        self.functions: dict[str, int] = {}
+        self.opcode_instrs: dict[str, dict] = {}
+        #: function -> {block start index: entry count}
+        self.block_entries: dict[str, dict] = {}
+
+    def opcode_bucket(self, name: str) -> dict:
+        bucket = self.opcode_instrs.get(name)
+        if bucket is None:
+            bucket = self.opcode_instrs[name] = {}
+        return bucket
+
+    def block_bucket(self, name: str) -> dict:
+        bucket = self.block_entries.get(name)
+        if bucket is None:
+            bucket = self.block_entries[name] = {}
+        return bucket
+
+    def total_instrs(self) -> int:
+        return sum(self.functions.values())
+
+    def hot_opcodes(self, limit: int = None):
+        merged: dict[str, int] = {}
+        for per_func in self.opcode_instrs.values():
+            for op, count in per_func.items():
+                merged[op] = merged.get(op, 0) + count
+        ranked = sorted(merged.items(), key=lambda item: -item[1])
+        return ranked[:limit] if limit else ranked
+
+    def __repr__(self):
+        return (f"<wasm-profile {len(self.functions)} functions, "
+                f"{self.total_instrs()} instrs>")
+
+
+# -- the perf-annotate driver -------------------------------------------------------
+
+class ProfileComparison:
+    """Native-vs-wasm per-function attribution for one benchmark."""
+
+    def __init__(self, spec, target: str,
+                 native_profile: MachineProfile,
+                 target_profile: MachineProfile,
+                 native_run, target_run):
+        self.spec = spec
+        self.target = target
+        self.native_profile = native_profile
+        self.target_profile = target_profile
+        self.native_run = native_run
+        self.target_run = target_run
+
+    # -- exactness --------------------------------------------------------
+
+    def verify_totals(self) -> None:
+        """Assert per-function buckets sum to the whole-program counters.
+
+        Raises AssertionError on any mismatch — attribution is only
+        trustworthy if it is exact.
+        """
+        for profile, run, label in (
+                (self.native_profile, self.native_run, "native"),
+                (self.target_profile, self.target_run, self.target)):
+            totals = profile.totals()
+            whole = run.perf
+            for field, _ in PROFILE_FIELDS:
+                bucketed = getattr(totals, field)
+                counted = getattr(whole, field)
+                if bucketed != counted:
+                    raise AssertionError(
+                        f"{label}: per-function {field} sum {bucketed} "
+                        f"!= whole-program {counted}")
+
+    # -- tables -----------------------------------------------------------
+
+    def function_rows(self):
+        """Rows of (name, native PerfCounters|None, target
+        PerfCounters|None) ordered by target instructions retired."""
+        names = dict.fromkeys(
+            list(self.target_profile.functions) +
+            list(self.native_profile.functions))
+        rows = [(name,
+                 self.native_profile.functions.get(name),
+                 self.target_profile.functions.get(name))
+                for name in names]
+        rows.sort(key=lambda row: -(row[2].instructions if row[2]
+                                    else row[1].instructions))
+        return rows
+
+    def render_table(self) -> str:
+        from ..analysis.tables import render_table
+        rows = []
+        for name, native, target in self.function_rows():
+            row = [name]
+            for field, _label in PROFILE_FIELDS:
+                n = getattr(native, field) if native else 0
+                t = getattr(target, field) if target else 0
+                row.append(f"{n} -> {t} ({_ratio(t, n)})")
+            rows.append(row)
+        headers = ["function"] + [label for _, label in PROFILE_FIELDS]
+        return render_table(
+            headers, rows,
+            f"{self.spec.name}: per-function counters, "
+            f"native -> {self.target}")
+
+    def render_events(self) -> str:
+        """Whole-program Table-3 event deltas (the §6 summary row)."""
+        from ..analysis.tables import render_table
+        rows = []
+        for event, _raw, summary in EVENT_TABLE:
+            n = self.native_run.perf.event(event)
+            t = self.target_run.perf.event(event)
+            rows.append([event, f"{n:.0f}" if isinstance(n, float) else n,
+                        f"{t:.0f}" if isinstance(t, float) else t,
+                        _ratio(t, n), summary])
+        return render_table(
+            ["perf event", "native", self.target, "ratio",
+             "Wasm summary"], rows,
+            f"{self.spec.name}: Table 3 events, native vs {self.target}")
+
+    # -- perf annotate ----------------------------------------------------
+
+    def annotate(self) -> str:
+        """The benchmark source annotated with per-function deltas.
+
+        Functions are located by re-parsing the benchmark with the mcc
+        frontend; each definition line is preceded by the function's
+        native -> target counter deltas.  Runtime-library functions
+        (prepended stdlib) are summarized separately since they have no
+        line in the benchmark source.
+        """
+        from ..mcc import STDLIB_SOURCE, parse
+
+        source = self.spec.source
+        stdlib_lines = STDLIB_SOURCE.count("\n") + 1
+        program = parse(STDLIB_SOURCE + "\n" + source)
+        func_lines = {}      # user-source line number -> function name
+        stdlib_funcs = set()
+        for decl in getattr(program, "decls", []):
+            name = getattr(decl, "name", None)
+            line = getattr(decl, "line", None)
+            if name is None or line is None or \
+                    not hasattr(decl, "body"):
+                continue
+            if getattr(decl, "body", None) is None:
+                continue
+            if line > stdlib_lines:
+                func_lines[line - stdlib_lines] = name
+            else:
+                stdlib_funcs.add(name)
+
+        out = [f";; perf annotate: {self.spec.name}, "
+               f"native -> {self.target}"]
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            name = func_lines.get(lineno)
+            if name is not None:
+                out.append(self._annotation(name))
+            out.append(f"{lineno:4d} | {text}")
+
+        profiled_stdlib = [
+            name for name, _c in self.target_profile.hot_functions()
+            if name in stdlib_funcs or
+            name not in set(func_lines.values())]
+        if profiled_stdlib:
+            out.append("")
+            out.append(";; runtime library:")
+            for name in profiled_stdlib:
+                out.append(self._annotation(name))
+        return "\n".join(out)
+
+    def _annotation(self, name: str) -> str:
+        native = self.native_profile.functions.get(name)
+        target = self.target_profile.functions.get(name)
+        parts = []
+        for field, label in PROFILE_FIELDS:
+            n = getattr(native, field) if native else 0
+            t = getattr(target, field) if target else 0
+            if n == 0 and t == 0:
+                continue
+            parts.append(f"{label} {n} -> {t} ({_ratio(t, n)})")
+        detail = ", ".join(parts) if parts else "not executed"
+        return f"     ;; {name}: {detail}"
+
+
+def _ratio(target: float, native: float) -> str:
+    if native == 0:
+        return "new" if target else "-"
+    return f"{target / native:.2f}x"
+
+
+def profile_benchmark(spec, target: str = "chrome",
+                      opcodes: bool = True, blocks: bool = False,
+                      cache=None,
+                      max_instructions: int = 2_000_000_000) \
+        -> ProfileComparison:
+    """Compile and run ``spec`` native + ``target`` with attribution.
+
+    Returns a verified :class:`ProfileComparison` (per-function totals
+    are asserted to match the whole-program counters exactly).
+    """
+    from ..harness.runner import compile_benchmark, run_compiled
+
+    compiled = compile_benchmark(spec, ["native", target], cache=cache)
+    profiles = {}
+    runs = {}
+    for pipeline in ("native", target):
+        profile = MachineProfile(opcodes=opcodes, blocks=blocks)
+        result = run_compiled(compiled, pipeline, runs=1,
+                              max_instructions=max_instructions,
+                              profile=profile)
+        profiles[pipeline] = profile
+        runs[pipeline] = result.run
+    comparison = ProfileComparison(
+        spec, target, profiles["native"], profiles[target],
+        runs["native"], runs[target])
+    comparison.verify_totals()
+    return comparison

@@ -218,6 +218,12 @@ def _section(section_id: int, payload: bytes) -> bytes:
 
 def encode_module(module: WasmModule) -> bytes:
     """Serialize a module to MVP binary bytes."""
+    from ..obs import span
+    with span("wasm.encode", module=module.name):
+        return _encode_module(module)
+
+
+def _encode_module(module: WasmModule) -> bytes:
     out = bytearray(MAGIC + VERSION)
 
     if module.types:

@@ -475,11 +475,18 @@ class WasmInstance:
     """An instantiated module: memory, table, globals, and execution."""
 
     def __init__(self, module: WasmModule, host=None, validate: bool = True,
-                 max_call_depth: int = 2000):
+                 max_call_depth: int = 2000, profile=None):
         if validate:
             validate_module(module)
         self.module = module
         self.host = host
+        #: Optional :class:`repro.obs.profile.WasmProfile`.  When None
+        #: (the default) execution is unchanged; when set, instruction
+        #: counts are bucketed per function, per wasm opcode, and per
+        #: structured block.
+        self.profile = profile
+        self._ops_cache = {}
+        self._name_cache = {}
         initial, maximum = module.memory_pages
         self.memory = bytearray(initial * PAGE_SIZE)
         self.max_pages = maximum
@@ -674,12 +681,44 @@ class WasmInstance:
         finally:
             self.call_depth -= 1
 
+    def _ops_for(self, func):
+        """Opcode names parallel to the decoded stream (profiling only)."""
+        key = id(func)
+        ops = self._ops_cache.get(key)
+        if ops is None:
+            ops = [instr.op for instr in func.body]
+            self._ops_cache[key] = ops
+        return ops
+
+    def _func_name(self, func) -> str:
+        name = func.name
+        if name:
+            return name
+        key = id(func)
+        cached = self._name_cache.get(key)
+        if cached is None:
+            index = self.module.functions.index(func)
+            cached = f"f{index + len(self._imports)}"
+            self._name_cache[key] = cached
+        return cached
+
     def _exec_body(self, func, ftype, locals_):
         key = id(func)
         code = self._decode_cache.get(key)
         if code is None:
             code = self._decode_body(func.body)
             self._decode_cache[key] = code
+
+        # Profiling (prof=None, the default, leaves the loop untouched
+        # but for one local test per step).
+        prof = self.profile
+        ops = pf = po = pb = fname = None
+        if prof is not None:
+            ops = self._ops_for(func)
+            fname = self._func_name(func)
+            pf = prof.functions
+            po = prof.opcode_bucket(fname)
+            pb = prof.block_bucket(fname)
 
         stack = []
         n = len(code)
@@ -690,6 +729,16 @@ class WasmInstance:
 
         while pc < n:
             kind, a = code[pc]
+            if prof is not None:
+                pf[fname] = pf.get(fname, 0) + 1
+                op = ops[pc]
+                po[op] = po.get(op, 0) + 1
+                if kind == 6:                 # block/loop entry
+                    start = a[1]
+                    pb[start] = pb.get(start, 0) + 1
+                elif kind == 7:               # if entry
+                    start = a[0]
+                    pb[start] = pb.get(start, 0) + 1
             pc += 1
 
             if kind == 0:                     # K_RAW

@@ -198,6 +198,9 @@ class FunctionValidator:
             self.set_unreachable()
             return
         if op == "call":
+            if instr.args[0] >= self.module.function_count():
+                self.error(f"call to function index {instr.args[0]} "
+                           f"out of range")
             ftype = self.module.func_type_of(instr.args[0])
             for expect in reversed(ftype.params):
                 self.pop(expect)
@@ -208,6 +211,9 @@ class FunctionValidator:
             if not self.module.table and not self.module.imports:
                 self.error("call_indirect without a table")
             self.pop("i32")
+            if instr.args[0] >= len(self.module.types):
+                self.error(f"call_indirect type index {instr.args[0]} "
+                           f"out of range")
             ftype = self.module.types[instr.args[0]]
             for expect in reversed(ftype.params):
                 self.pop(expect)
@@ -305,6 +311,12 @@ class FunctionValidator:
 
 def validate_module(module: WasmModule) -> None:
     """Validate every function body; raises ValidationError on failure."""
+    from ..obs import span
+    with span("wasm.validate", module=module.name):
+        _validate_module(module)
+
+
+def _validate_module(module: WasmModule) -> None:
     imports = module.num_imported_funcs
     for imp in module.imports:
         if imp.type_index >= len(module.types):

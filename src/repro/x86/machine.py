@@ -94,7 +94,7 @@ class X86Machine:
 
     def __init__(self, program: X86Program, initial_memory: bytes = None,
                  host=None, icache: ICache = None,
-                 max_instructions: int = 2_000_000_000):
+                 max_instructions: int = 2_000_000_000, profile=None):
         self.program = program
         self.memory = bytearray(program.machine_memory_size)
         if initial_memory is None:
@@ -114,6 +114,13 @@ class X86Machine:
         self._entry_map = program.entry_map()
         self._abi = getattr(program, "abi", None)
         self._decode_cache = {}
+        #: Optional :class:`repro.obs.profile.MachineProfile`.  When
+        #: None (the default) execution takes the exact pre-existing
+        #: fast path; when set, retired events are additionally
+        #: bucketed per function (and optionally per basic block and
+        #: per mnemonic) with totals that match ``perf`` exactly.
+        self.profile = profile
+        self._leaders_cache = {}
 
     # -- guest memory interface (Host-compatible) --------------------------------
 
@@ -396,6 +403,27 @@ class X86Machine:
             decoded.append((kind, pay, first, last, first == last, ins))
         return decoded
 
+    def _leaders(self, dcode) -> set:
+        """Basic-block leader indices of one decoded function (profiling
+        only): branch targets plus the instruction after every branch or
+        call."""
+        key = id(dcode)
+        leaders = self._leaders_cache.get(key)
+        if leaders is None:
+            leaders = {0}
+            for idx, entry in enumerate(dcode):
+                kind = entry[0]
+                if kind == K_JCC:
+                    leaders.add(entry[1][1])
+                    leaders.add(idx + 1)
+                elif kind == K_JMP:
+                    leaders.add(entry[1])
+                    leaders.add(idx + 1)
+                elif kind in (K_CALL, K_CALLR, K_HOSTCALL):
+                    leaders.add(idx + 1)
+            self._leaders_cache[key] = leaders
+        return leaders
+
     def _execute(self, func) -> None:
         regs = self.regs
         xmm = self.xmm
@@ -416,6 +444,61 @@ class X86Machine:
         c_instr = c_loads = c_stores = c_branches = c_cond = 0
         c_calls = c_muls = c_divs = c_fdivs = c_fpu = 0
         last_line = -1
+
+        # Profiling support.  With profile=None (the default) the hot
+        # loop is untouched except for one ``if profile is not None``
+        # test at call/ret boundaries and one ``if prof_detail`` test
+        # per retired instruction; counters and results are exactly
+        # those of the unprofiled path.
+        profile = self.profile
+        prof_detail = False
+        prof_ops = prof_blocks = False
+        cur_ops = cur_blocks = cur_leaders = None
+        cur_block = 0
+        prof_miss_base = 0
+        if profile is not None:
+            prof_miss_base = icache.misses
+            prof_ops = profile.opcodes
+            prof_blocks = profile.blocks
+            prof_detail = prof_ops or prof_blocks
+            if prof_ops:
+                cur_ops = profile.opcode_bucket(func.name)
+            if prof_blocks:
+                cur_leaders = self._leaders(dcode)
+                cur_blocks = profile.block_bucket(func.name)
+
+            def _prof_flush(fname):
+                """Fold the counter mirrors into fname's bucket *and*
+                the whole-program counters, then reset the mirrors, so
+                every event lands in each exactly once."""
+                nonlocal c_instr, c_loads, c_stores, c_branches, c_cond
+                nonlocal c_calls, c_muls, c_divs, c_fdivs, c_fpu
+                nonlocal prof_miss_base
+                bucket = profile.bucket(fname)
+                bucket.instructions += c_instr
+                bucket.loads += c_loads
+                bucket.stores += c_stores
+                bucket.branches += c_branches
+                bucket.cond_branches += c_cond
+                bucket.calls += c_calls
+                bucket.muls += c_muls
+                bucket.divs += c_divs
+                bucket.fdivs += c_fdivs
+                bucket.fpu_ops += c_fpu
+                bucket.icache_misses += icache.misses - prof_miss_base
+                prof_miss_base = icache.misses
+                perf.instructions += c_instr
+                perf.loads += c_loads
+                perf.stores += c_stores
+                perf.branches += c_branches
+                perf.cond_branches += c_cond
+                perf.calls += c_calls
+                perf.muls += c_muls
+                perf.divs += c_divs
+                perf.fdivs += c_fdivs
+                perf.fpu_ops += c_fpu
+                c_instr = c_loads = c_stores = c_branches = c_cond = 0
+                c_calls = c_muls = c_divs = c_fdivs = c_fpu = 0
 
         ins = None
         try:
@@ -444,6 +527,17 @@ class X86Machine:
                             break
                         line += 1
                     last_line = last
+
+                if prof_detail:
+                    if prof_ops:
+                        op = ins.op
+                        cur_ops[op] = cur_ops.get(op, 0) + 1
+                    if prof_blocks:
+                        j = i - 1
+                        if j in cur_leaders:
+                            cur_block = j
+                        cur_blocks[cur_block] = \
+                            cur_blocks.get(cur_block, 0) + 1
 
                 if kind == 0:                         # K_MOV_RR
                     regs[pay[0]] = regs[pay[1]]
@@ -693,11 +787,21 @@ class X86Machine:
                     regs[RSP] = (regs[RSP] - 8) & _M64
                     self._store_int(regs[RSP], 8, 0)
                     call_stack.append((func, dcode, i))
+                    if profile is not None:
+                        _prof_flush(func.name)
                     func = target
                     dcode = self._decode_func(target)
                     n = len(dcode)
                     i = 0
                     last_line = -1
+                    if profile is not None:
+                        if prof_ops:
+                            cur_ops = profile.opcode_bucket(func.name)
+                        if prof_blocks:
+                            cur_leaders = self._leaders(dcode)
+                            cur_blocks = \
+                                profile.block_bucket(func.name)
+                            cur_block = 0
                 elif kind == 17:                      # K_CALLR
                     c_branches += 1
                     c_calls += 1
@@ -715,20 +819,40 @@ class X86Machine:
                     regs[RSP] = (regs[RSP] - 8) & _M64
                     self._store_int(regs[RSP], 8, 0)
                     call_stack.append((func, dcode, i))
+                    if profile is not None:
+                        _prof_flush(func.name)
                     func = target
                     dcode = self._decode_func(target)
                     n = len(dcode)
                     i = 0
                     last_line = -1
+                    if profile is not None:
+                        if prof_ops:
+                            cur_ops = profile.opcode_bucket(func.name)
+                        if prof_blocks:
+                            cur_leaders = self._leaders(dcode)
+                            cur_blocks = \
+                                profile.block_bucket(func.name)
+                            cur_block = 0
                 elif kind == 18:                      # K_RET
                     c_branches += 1
                     c_loads += 1
                     regs[RSP] = (regs[RSP] + 8) & _M64
+                    if profile is not None:
+                        _prof_flush(func.name)
                     if not call_stack:
                         return
                     func, dcode, i = call_stack.pop()
                     n = len(dcode)
                     last_line = -1
+                    if profile is not None:
+                        if prof_ops:
+                            cur_ops = profile.opcode_bucket(func.name)
+                        if prof_blocks:
+                            cur_leaders = self._leaders(dcode)
+                            cur_blocks = \
+                                profile.block_bucket(func.name)
+                            cur_block = 0
                 elif kind == 19:                      # K_HOSTCALL
                     c_branches += 1
                     c_calls += 1
@@ -885,6 +1009,21 @@ class X86Machine:
             raise TrapError(f"{exc} [in {name} at #{i - 1}: {ins!r}]") \
                 from None
         finally:
+            if profile is not None:
+                # Fold whatever accrued since the last call boundary
+                # (trap unwinds included) into the current function.
+                bucket = profile.bucket(getattr(func, "name", "?"))
+                bucket.instructions += c_instr
+                bucket.loads += c_loads
+                bucket.stores += c_stores
+                bucket.branches += c_branches
+                bucket.cond_branches += c_cond
+                bucket.calls += c_calls
+                bucket.muls += c_muls
+                bucket.divs += c_divs
+                bucket.fdivs += c_fdivs
+                bucket.fpu_ops += c_fpu
+                bucket.icache_misses += icache.misses - prof_miss_base
             perf.instructions += c_instr
             perf.loads += c_loads
             perf.stores += c_stores

@@ -1,0 +1,371 @@
+"""Observability layer tests: tracing, metrics, and profile exactness.
+
+The load-bearing invariants:
+
+* per-function profile buckets sum EXACTLY to the whole-program
+  counters (attribution is only trustworthy if it is exact);
+* enabling tracing/metrics/profiling changes no output, counter, or
+  synthesized timing — observability only observes;
+* the cycle model is linear in the event counts;
+* ``percentile`` satisfies the usual order statistics properties.
+"""
+
+import json
+import math
+
+import pytest
+from conftest import GuestHost, compile_wasm_bytes
+
+from repro import obs
+from repro.benchsuite import matmul_spec
+from repro.codegen import compile_native
+from repro.harness.compilecache import CompileCache
+from repro.harness.runner import compile_benchmark, run_compiled
+from repro.harness.stats import p50, p95, p99, percentile
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.profile import (
+    PROFILE_FIELDS, MachineProfile, WasmProfile, profile_benchmark,
+)
+from repro.wasm import WasmInstance, decode_module
+from repro.x86 import X86Machine
+from repro.x86.perf import EVENT_TABLE, PerfCounters
+
+PROGRAM = """
+int square(int x) {
+    int j; int acc = 0;
+    for (j = 0; j < x; j++) {
+        acc += x * j;
+        if (acc > 10000) { acc -= 10000; }
+        acc += j / 3;
+        acc -= j / 5;
+        acc += (j * 7) / 11;
+        if (acc < 0) { acc += 13; }
+        acc += x / 7;
+    }
+    return acc;
+}
+int main(void) {
+    int i; int s = 0;
+    for (i = 0; i < 25; i++) { s += square(i); }
+    print_i32(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _observability_off():
+    """Never leak an enabled tracer/registry into another test."""
+    yield
+    obs.disable_tracing()
+    obs.disable_metrics()
+
+
+def _run_native(profile=None):
+    program, module = compile_native(PROGRAM, "test")
+    host = GuestHost(module.heap_base)
+    machine = X86Machine(program, host=host, profile=profile)
+    rax, _ = machine.call("main")
+    return rax & 0xFFFFFFFF, bytes(host.output), machine
+
+
+# -- span tracing -------------------------------------------------------------------
+
+
+def test_tracer_records_nested_spans():
+    tracer = obs_trace.Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner", {"k": 1}):
+            pass
+    assert [e[0] for e in tracer.events] == ["inner", "outer"]
+    names_by_depth = {e[0]: e[3] for e in tracer.events}
+    assert names_by_depth == {"outer": 0, "inner": 1}
+    assert tracer.phases() == ["outer", "inner"]  # first-start order
+    assert tracer.total_seconds() >= 0.0
+
+
+def test_span_marks_errors():
+    tracer = obs_trace.Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    (name, _s, _e, _d, args) = tracer.events[0]
+    assert name == "doomed"
+    assert args["error"] == "ValueError"
+
+
+def test_global_span_is_null_when_disabled():
+    assert obs_trace.current() is None
+    assert obs.span("anything", k=1) is obs_trace.NULL_SPAN
+    tracer = obs.enable_tracing()
+    with obs.span("real", k=1):
+        pass
+    assert obs_trace.current() is tracer
+    assert tracer.events[0][0] == "real"
+    obs.disable_tracing()
+    assert obs.span("again") is obs_trace.NULL_SPAN
+
+
+def test_chrome_export_is_valid_trace_event_json():
+    tracer = obs_trace.Tracer()
+    with tracer.span("phase.a", {"module": "m", "obj": object()}):
+        with tracer.span("phase.b"):
+            pass
+    doc = json.loads(json.dumps(tracer.to_chrome()))
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"          # process_name metadata
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"phase.a", "phase.b"}
+    for event in complete:
+        assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+        assert event["pid"] == 1 and event["tid"] == 1
+    # Non-primitive args are stringified, never structural.
+    (a,) = [e for e in complete if e["name"] == "phase.a"]
+    assert isinstance(a["args"]["obj"], str)
+
+
+def test_full_pipeline_trace_covers_phases():
+    obs.enable_tracing()
+    spec = matmul_spec(8)
+    compiled = compile_benchmark(spec, ("native", "chrome"), cache=False)
+    run_compiled(compiled, "chrome", runs=1)
+    phases = obs_trace.current().phases()
+    expected = {
+        "frontend.parse", "frontend.irgen", "opt.cleanup",
+        "codegen.lower", "regalloc", "wasm.encode", "wasm.validate",
+        "jit.translate", "kernel.boot", "execute",
+    }
+    assert expected <= set(phases)
+    assert len(phases) >= 8
+
+
+# -- percentiles --------------------------------------------------------------------
+
+
+def test_percentile_order_statistics():
+    values = [5.0, 1.0, 4.0, 2.0, 3.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 5.0
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 25) == 2.0
+    assert percentile(values, 62.5) == pytest.approx(3.5)
+    assert values == [5.0, 1.0, 4.0, 2.0, 3.0]  # input not mutated
+    assert percentile([], 99) == 0.0
+    assert percentile([7.0], 95) == 7.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+    with pytest.raises(ValueError):
+        percentile(values, -1)
+
+
+def test_percentile_shortcuts_and_monotonicity():
+    values = [float(i) for i in range(101)]
+    assert p50(values) == 50.0
+    assert p95(values) == 95.0
+    assert p99(values) == 99.0
+    samples = [percentile(values, p) for p in range(0, 101, 5)]
+    assert samples == sorted(samples)
+
+
+# -- metrics ------------------------------------------------------------------------
+
+
+def test_metrics_null_sink_by_default():
+    registry = obs.get_registry()
+    assert not registry.enabled
+    assert registry.counter("x") is obs_metrics.NULL_INSTRUMENT
+    registry.counter("x").inc()
+    registry.histogram("h").observe(1.0)
+    assert registry.as_dict() == {}
+    assert registry.summary_lines() == []
+
+
+def test_metrics_registry_records():
+    registry = obs.enable_metrics()
+    registry.counter("c").inc()
+    registry.counter("c").inc(4)
+    registry.gauge("g").set(2.5)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("h").observe(value)
+    data = registry.as_dict()
+    assert data["counters"]["c"] == 5
+    assert data["gauges"]["g"] == 2.5
+    hist = data["histograms"]["h"]
+    assert hist["count"] == 4 and hist["sum"] == 10.0
+    assert hist["min"] == 1.0 and hist["max"] == 4.0
+    assert hist["p50"] == pytest.approx(2.5)
+    assert any("c: 5" in line for line in registry.summary_lines())
+    obs.disable_metrics()
+    assert obs.get_registry() is obs_metrics.NULL_REGISTRY
+
+
+def test_kernel_syscall_metrics():
+    registry = obs.enable_metrics()
+    spec = matmul_spec(8)
+    compiled = compile_benchmark(spec, ("native",), cache=False)
+    run_compiled(compiled, "native", runs=1)
+    counters = registry.as_dict()["counters"]
+    assert counters["kernel.syscalls"] >= 1
+    assert any(name.startswith("kernel.syscall.") and
+               name != "kernel.syscalls" for name in counters)
+    hist = registry.as_dict()["histograms"]["kernel.syscall.cycles"]
+    assert hist["count"] == counters["kernel.syscalls"]
+
+
+def test_compile_cache_metrics():
+    registry = obs.enable_metrics()
+    cache = CompileCache(use_disk=False)
+    key = cache.key("pipeline", "source")
+    assert cache.get(key) is None
+    cache.put(key, {"artifact": 1})
+    assert cache.get(key) == {"artifact": 1}
+    cache.clear_memory()
+    counters = registry.as_dict()["counters"]
+    assert counters["cache.misses"] == 1
+    assert counters["cache.stores"] == 1
+    assert counters["cache.memory_hits"] == 1
+    assert counters["cache.evictions"] == 1
+    line = cache.stats.summary_line()
+    assert "1 hits" in line and "1 misses" in line
+
+
+# -- the cycle model ----------------------------------------------------------------
+
+
+def _counters(**values):
+    counters = PerfCounters()
+    for field, value in values.items():
+        setattr(counters, field, value)
+    return counters
+
+
+def test_cycle_model_is_linear():
+    a = _counters(instructions=1000, loads=300, stores=100, branches=80,
+                  muls=20, divs=4, icache_misses=7, calls=11)
+    b = _counters(instructions=777, loads=123, stores=45, branches=67,
+                  fdivs=8, fpu_ops=90, icache_misses=1, calls=2)
+    merged = PerfCounters()
+    merged.merge(a)
+    merged.merge(b)
+    assert merged.cycles() == pytest.approx(a.cycles() + b.cycles(),
+                                            rel=1e-12)
+    # Scaling every event count by k scales cycles by k.
+    k = 13
+    scaled = PerfCounters()
+    for _ in range(k):
+        scaled.merge(a)
+    assert scaled.cycles() == pytest.approx(k * a.cycles(), rel=1e-12)
+    assert PerfCounters().cycles() == 0.0
+
+
+# -- profile attribution ------------------------------------------------------------
+
+
+def test_machine_profile_totals_are_exact():
+    profile = MachineProfile(opcodes=True, blocks=True)
+    rax, out, machine = _run_native(profile)
+    assert rax == 0
+    assert {"main", "square"} <= set(profile.functions)
+    totals = profile.totals()
+    for field, _label in PROFILE_FIELDS:
+        assert getattr(totals, field) == getattr(machine.perf, field), field
+    # Per-opcode and per-block instruction counts partition each
+    # function's retired instructions.
+    for name, counters in profile.functions.items():
+        assert sum(profile.opcode_instrs[name].values()) == \
+            counters.instructions, name
+        assert sum(profile.block_instrs[name].values()) == \
+            counters.instructions, name
+    hot = profile.hot_functions()
+    assert hot[0][1].instructions == \
+        max(c.instructions for c in profile.functions.values())
+
+
+def test_profiling_does_not_perturb_execution():
+    rax_plain, out_plain, machine_plain = _run_native(None)
+    profile = MachineProfile(opcodes=True, blocks=True)
+    rax_prof, out_prof, machine_prof = _run_native(profile)
+    assert rax_plain == rax_prof
+    assert out_plain == out_prof
+    for field in PerfCounters.__slots__:
+        assert getattr(machine_plain.perf, field) == \
+            getattr(machine_prof.perf, field), field
+
+
+def test_wasm_interp_profile():
+    data, _wasm, ir = compile_wasm_bytes(PROGRAM)
+    module = decode_module(data, "test")
+
+    plain_host = GuestHost(ir.heap_base)
+    WasmInstance(module, host=plain_host).invoke("main")
+
+    profile = WasmProfile()
+    host = GuestHost(ir.heap_base)
+    WasmInstance(module, host=host, profile=profile).invoke("main")
+
+    assert bytes(host.output) == bytes(plain_host.output)
+    assert profile.total_instrs() > 0
+    assert any("square" in name for name in profile.functions)
+    for name, count in profile.functions.items():
+        assert sum(profile.opcode_instrs[name].values()) == count, name
+    assert profile.hot_opcodes()
+    assert profile.total_instrs() == \
+        sum(count for _op, count in profile.hot_opcodes())
+
+
+def test_profile_benchmark_attribution_matches_whole_program():
+    comparison = profile_benchmark(matmul_spec(8), target="chrome",
+                                   cache=False)
+    comparison.verify_totals()   # exactness, both builds
+    rows = comparison.function_rows()
+    assert any(name == "matmul" for name, _n, _t in rows)
+    table = comparison.render_table()
+    assert "matmul" in table and "native -> chrome" in table
+    events = comparison.render_events()
+    for event, _raw, _summary in EVENT_TABLE:
+        assert event in events
+    annotated = comparison.annotate()
+    assert ";; matmul:" in annotated.replace("     ;;", ";;")
+    assert "perf annotate" in annotated
+
+
+def test_verify_totals_detects_mismatch():
+    comparison = profile_benchmark(matmul_spec(8), target="chrome",
+                                   cache=False)
+    comparison.target_profile.bucket("matmul").instructions += 1
+    with pytest.raises(AssertionError):
+        comparison.verify_totals()
+
+
+# -- the invisibility invariant -----------------------------------------------------
+
+
+def test_enabling_observability_changes_nothing():
+    """Tracing + metrics + profiling on: identical results, counters,
+    and synthesized timings versus the fully disabled path."""
+    spec = matmul_spec(8)
+    compiled = compile_benchmark(spec, ("native", "chrome"), cache=False)
+    baseline = {target: run_compiled(compiled, target, runs=3)
+                for target in ("native", "chrome")}
+
+    obs.enable_tracing()
+    obs.enable_metrics()
+    observed = {}
+    for target in ("native", "chrome"):
+        profile = MachineProfile(opcodes=True, blocks=True)
+        observed[target] = run_compiled(compiled, target, runs=3,
+                                        profile=profile)
+    obs.disable_tracing()
+    obs.disable_metrics()
+
+    for target in ("native", "chrome"):
+        base, seen = baseline[target], observed[target]
+        assert seen.run.stdout == base.run.stdout
+        assert seen.run.exit_code == base.run.exit_code
+        assert seen.times == base.times            # bit-identical noise
+        for field in PerfCounters.__slots__:
+            assert getattr(seen.run.perf, field) == \
+                getattr(base.run.perf, field), (target, field)
+        assert seen.run.overhead_cycles == base.run.overhead_cycles
+        assert seen.run.syscalls == base.run.syscalls
