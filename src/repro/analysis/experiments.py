@@ -36,20 +36,36 @@ class SuiteData:
     processes via :mod:`repro.harness.parallel`; results are
     bit-identical to ``jobs=1`` (deterministic machine + per-cell seeded
     noise) and are stored in suite order either way.
+
+    ``tolerant`` (implied by a fault-injection ``plan``) collects
+    through the fault-tolerant sweep: failed cells land in
+    ``self.failures`` (as :class:`~repro.resilience.CellFailure`
+    records), benchmarks with any failed cell are pruned from
+    ``self.results`` so every figure/table consumes only complete rows,
+    and the sweep itself never raises.
     """
 
     def __init__(self, benchmarks, targets, runs: int = 5,
-                 max_instructions: int = 2_000_000_000, jobs: int = 1):
+                 max_instructions: int = 2_000_000_000, jobs: int = 1,
+                 tolerant: bool = False, plan=None, retries: int = None,
+                 timeout: float = None):
         self.benchmarks = list(benchmarks)
         self.targets = list(targets)
         self.runs = runs
         self.max_instructions = max_instructions
         self.jobs = jobs
+        self.tolerant = tolerant or plan is not None
+        self.plan = plan
+        self.retries = retries
+        self.timeout = timeout
         self.results = {}
         self.compiled = {}
+        self.failures = []
 
     def collect(self, progress=None) -> "SuiteData":
         jobs = normalize_jobs(self.jobs)
+        if self.tolerant:
+            return self._collect_tolerant(jobs, progress)
         if jobs > 1:
             self.results, compile_seconds = run_suite(
                 self.benchmarks, self.targets, runs=self.runs,
@@ -75,6 +91,33 @@ class SuiteData:
         self._validate()
         return self
 
+    def _collect_tolerant(self, jobs, progress) -> "SuiteData":
+        from ..harness.runner import _validate_tolerant
+        from ..resilience import RetryPolicy, is_failure
+
+        policy = None
+        if self.retries is not None:
+            policy = RetryPolicy(retries=self.retries)
+        self.results, compile_seconds = run_suite(
+            self.benchmarks, self.targets, runs=self.runs,
+            max_instructions=self.max_instructions, jobs=jobs,
+            progress=progress, tolerant=True, plan=self.plan,
+            policy=policy, timeout=self.timeout)
+        for spec in self.benchmarks:
+            compiled = CompiledBenchmark(spec)
+            compiled.compile_seconds = compile_seconds[spec.name]
+            self.compiled[spec.name] = compiled
+        for name, by_target in self.results.items():
+            _validate_tolerant(name, by_target, self.plan)
+        self.failures = [cell
+                         for by_target in self.results.values()
+                         for cell in by_target.values() if is_failure(cell)]
+        self.results = {
+            name: by_target for name, by_target in self.results.items()
+            if not any(is_failure(cell) for cell in by_target.values())
+        }
+        return self
+
     def _validate(self) -> None:
         for name, by_target in self.results.items():
             baseline = by_target.get("native")
@@ -88,16 +131,23 @@ class SuiteData:
 
 def spec_data(size: str = "ref", include_asmjs: bool = False,
               runs: int = 5, benchmarks=None, progress=None,
-              jobs: int = 1) -> SuiteData:
+              jobs: int = 1, tolerant: bool = False, plan=None,
+              retries: int = None, timeout: float = None) -> SuiteData:
     targets = list(TARGETS) + (list(ASMJS_TARGETS) if include_asmjs else [])
     specs = benchmarks or all_spec_benchmarks(size)
-    return SuiteData(specs, targets, runs, jobs=jobs).collect(progress)
+    return SuiteData(specs, targets, runs, jobs=jobs, tolerant=tolerant,
+                     plan=plan, retries=retries,
+                     timeout=timeout).collect(progress)
 
 
 def polybench_data(size: str = "ref", runs: int = 5,
-                   progress=None, jobs: int = 1) -> SuiteData:
+                   progress=None, jobs: int = 1, tolerant: bool = False,
+                   plan=None, retries: int = None,
+                   timeout: float = None) -> SuiteData:
     return SuiteData(all_polybench_benchmarks(size),
-                     TARGETS, runs, jobs=jobs).collect(progress)
+                     TARGETS, runs, jobs=jobs, tolerant=tolerant,
+                     plan=plan, retries=retries,
+                     timeout=timeout).collect(progress)
 
 
 # ---------------------------------------------------------------------------

@@ -60,11 +60,18 @@ class RunResult:
 def execute_program(program: X86Program, runtime, name: str,
                     entry: str = "main",
                     max_instructions: int = 2_000_000_000,
-                    profile=None) -> RunResult:
-    """Run a compiled program against a process runtime."""
+                    profile=None, timeout: float = None) -> RunResult:
+    """Run a compiled program against a process runtime.
+
+    ``timeout`` (wall-clock seconds) arms the machine's deadline
+    watchdog: a run that exceeds it raises
+    :class:`~repro.errors.CellTimeout` instead of hanging the sweep.
+    """
+    from time import monotonic
+    deadline = None if timeout is None else monotonic() + timeout
     machine = X86Machine(program, host=runtime,
                          max_instructions=max_instructions,
-                         profile=profile)
+                         profile=profile, deadline=deadline)
     with span("execute", program=name, entry=entry):
         rax, _ = machine.call(entry)
     return RunResult(

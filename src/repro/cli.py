@@ -69,6 +69,13 @@ def _resolve_spec(name: str, size: str):
         return polybench_benchmark(name, size)
     if name == "matmul":
         return matmul_spec()
+    if name.startswith("matmul-"):
+        # The expanded form failure records print: matmul-NIxNKxNJ.
+        try:
+            ni, nk, nj = (int(d) for d in name[len("matmul-"):].split("x"))
+        except ValueError:
+            return None
+        return matmul_spec(ni, nk, nj)
     return None
 
 
@@ -78,6 +85,44 @@ def _unknown_benchmark(name: str) -> int:
     print(" ", ", ".join(("matmul",) + tuple(SPEC_NAMES) +
                          tuple(POLYBENCH_NAMES)), file=sys.stderr)
     return 2
+
+
+def _parse_inject(args):
+    """``--inject``/``--inject-seed`` -> FaultPlan (None when absent).
+
+    A grammar error (unknown point, bad rate) is a usage error: print it
+    and exit 2, like argparse would.
+    """
+    if not getattr(args, "inject", None):
+        return None
+    from .resilience import FaultPlan
+    try:
+        return FaultPlan.parse(args.inject, seed=args.inject_seed)
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _print_failures(failures, size) -> None:
+    """One stderr line per failed cell, plus its exact repro command."""
+    for failure in failures:
+        injected = " [injected]" if failure.injected else ""
+        print(f"FAILED {failure.benchmark}@{failure.target}: "
+              f"{failure.status} in {failure.phase}{injected} "
+              f"({failure.error_type}: {failure.message}) "
+              f"after {failure.attempts} attempt(s)", file=sys.stderr)
+        print(f"  repro: {failure.repro_command(size)}", file=sys.stderr)
+
+
+def _sweep_exit_code(failures, total_cells=None) -> int:
+    """0 = clean, 3 = partial success, 1 = nothing usable, 130 = ^C."""
+    if any(f.phase == "interrupted" for f in failures):
+        return 130
+    if not failures:
+        return 0
+    if total_cells is not None and len(failures) >= total_cells:
+        return 1
+    return 3
 
 
 def _print_observability_summary() -> None:
@@ -203,27 +248,49 @@ def cmd_bench(args) -> int:
     if args.stats:
         from .obs import enable_metrics
         enable_metrics()
+    plan = _parse_inject(args)
+    tolerant = plan is not None or args.tolerant or args.timeout is not None
     spec = _resolve_spec(args.benchmark, args.size)
     if spec is None:
         return _unknown_benchmark(args.benchmark)
     targets = args.target or ["native", "chrome", "firefox"]
-    results = run_benchmark(spec, targets=targets, runs=args.runs,
-                            jobs=args.jobs)
-    native = results.get("native") or next(iter(results.values()))
+    policy = None
+    if tolerant:
+        from .resilience import RetryPolicy
+        policy = RetryPolicy(retries=args.retries)
+    try:
+        results = run_benchmark(spec, targets=targets, runs=args.runs,
+                                jobs=args.jobs, tolerant=tolerant,
+                                plan=plan, policy=policy,
+                                timeout=args.timeout)
+    except KeyboardInterrupt:
+        print(f"\ninterrupted: {spec.name} sweep cancelled "
+              "(use --tolerant to keep partial results)", file=sys.stderr)
+        return 130
     from .analysis import fmt_time, render_table
+    from .resilience import is_failure
+    ok = {t: r for t, r in results.items() if not is_failure(r)}
+    failures = [r for r in results.values() if is_failure(r)]
+    native = ok.get("native") or (next(iter(ok.values())) if ok else None)
     rows = []
     for target, res in results.items():
+        if is_failure(res):
+            rows.append([target, res.status, "-", "-", "-", "-", "-"])
+            continue
+        rel = "-"
+        if native is not None and native.mean_seconds:
+            rel = f"{res.mean_seconds / native.mean_seconds:.2f}x"
         rows.append([target, fmt_time(res.mean_seconds,
                                       res.stderr_seconds),
                      _fmt_seconds(res.p50_seconds),
-                     _fmt_seconds(res.p95_seconds),
-                     f"{res.mean_seconds / native.mean_seconds:.2f}x",
+                     _fmt_seconds(res.p95_seconds), rel,
                      res.perf.instructions, res.perf.icache_misses])
     print(render_table(["target", "time", "p50", "p95", "rel",
                         "instrs", "L1I miss"],
                        rows, f"{spec.name} ({args.size})"))
+    _print_failures(failures, args.size)
     _print_observability_summary()
-    return 0
+    return _sweep_exit_code(failures, total_cells=len(results))
 
 
 def cmd_report(args) -> int:
@@ -238,35 +305,53 @@ def cmd_report(args) -> int:
     if args.stats or args.json:
         enable_metrics()
     artifact = args.artifact
+    plan = _parse_inject(args)
+    tolerant = plan is not None or args.tolerant or args.timeout is not None
 
     # Every artifact function returns a tuple whose LAST element is the
     # rendered text; the leading elements are the underlying data, which
-    # --json serializes alongside the metrics block.
+    # --json serializes alongside the metrics block.  The standalone
+    # artifacts drive the pipelines directly (no suite sweep), so the
+    # fault-tolerant path does not apply to them.
     standalone = {
         "table3": lambda: table3(),
         "fig7": lambda: fig7(),
         "fig8": lambda: fig8(runs=args.runs),
         "fig1": lambda: fig1(size=args.size, runs=args.runs),
-        "fig3a": lambda: fig3a(polybench_data(args.size, runs=args.runs,
-                                              jobs=args.jobs)),
     }
     spec_figures = {
         "table1": table1, "table2": table2, "table4": table4,
         "fig3b": fig3b, "fig4": fig4, "fig9": fig9, "fig10": fig10,
         "fig5": fig5, "fig6": fig6,
     }
-    if artifact in standalone:
-        ret = standalone[artifact]()
+    data = None
+    if artifact == "fig3a":
+        data = polybench_data(args.size, runs=args.runs, jobs=args.jobs,
+                              tolerant=tolerant, plan=plan,
+                              retries=args.retries, timeout=args.timeout)
     elif artifact in spec_figures:
         include_asmjs = artifact in ("fig5", "fig6")
         data = spec_data(args.size, include_asmjs=include_asmjs,
-                         runs=args.runs, jobs=args.jobs)
-        ret = spec_figures[artifact](data)
-    else:
+                         runs=args.runs, jobs=args.jobs,
+                         tolerant=tolerant, plan=plan,
+                         retries=args.retries, timeout=args.timeout)
+    elif artifact not in standalone:
         print(f"unknown artifact {artifact}; choose from: table1 table2 "
               "table3 table4 fig1 fig3a fig3b fig4 fig5 fig6 fig7 fig8 "
               "fig9 fig10", file=sys.stderr)
         return 2
+    failures = list(data.failures) if data is not None else []
+    if data is not None and failures and not data.results:
+        _print_failures(failures, args.size)
+        print("every benchmark had a failed cell; nothing to render",
+              file=sys.stderr)
+        return _sweep_exit_code(failures, total_cells=len(failures))
+    if artifact == "fig3a":
+        ret = fig3a(data)
+    elif artifact in spec_figures:
+        ret = spec_figures[artifact](data)
+    else:
+        ret = standalone[artifact]()
     print(ret[-1])
     if args.json:
         payload = {
@@ -274,12 +359,15 @@ def cmd_report(args) -> int:
             "data": _jsonify(list(ret[:-1])),
             "text": ret[-1],
             "metrics": get_registry().as_dict(),
+            "failures": [_jsonify(f.as_dict(args.size)) for f in failures],
+            "partial": bool(failures),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}", file=sys.stderr)
+    _print_failures(failures, args.size)
     _print_observability_summary()
-    return 0
+    return _sweep_exit_code(failures)
 
 
 def cmd_trace(args) -> int:
@@ -363,6 +451,28 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _add_resilience_args(p) -> None:
+    """The fault-injection / fault-tolerance knobs (bench + report)."""
+    p.add_argument("--inject", metavar="SPEC",
+                   help="fault-injection mix 'point:rate,...' — points: "
+                        "trap, fuel, syscall, cache, worker "
+                        "(e.g. 'trap:0.05,syscall:0.1'); implies "
+                        "--tolerant")
+    p.add_argument("--inject-seed", type=int, default=0, metavar="N",
+                   help="seed for the deterministic fault injector "
+                        "(default: 0)")
+    p.add_argument("--tolerant", action="store_true",
+                   help="never abort the sweep: failed cells become "
+                        "ERROR/TIMEOUT rows and exit code 3 marks a "
+                        "partial result")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries per cell for transient failures and "
+                        "worker crashes (default: 2)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-cell wall-clock deadline in seconds; "
+                        "implies --tolerant")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -405,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bypass the on-disk compile cache")
     p.add_argument("--stats", action="store_true",
                    help="collect and print harness metrics")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -420,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect and print harness metrics")
     p.add_argument("--json", metavar="PATH",
                    help="also write the artifact data + metrics as JSON")
+    _add_resilience_args(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -455,7 +567,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

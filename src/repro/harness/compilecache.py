@@ -28,14 +28,39 @@ import hashlib
 import os
 import pickle
 
+from ..errors import CacheCorruptionError
 from ..obs import get_registry
+from ..resilience import faults
+
+#: On-disk entry header: magic + 32-byte SHA-256 of the pickled payload.
+#: Entries that fail the checksum (bit flips, truncation, a stray write)
+#: are detected, evicted, and recompiled — never blindly unpickled.
+ENTRY_MAGIC = b"RPRC1\x00"
+
+
+def encode_entry(payload: bytes) -> bytes:
+    """Frame a pickled artifact with its content checksum."""
+    return ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def decode_entry(blob: bytes) -> bytes:
+    """Verify and strip an entry frame; raises CacheCorruptionError."""
+    header = len(ENTRY_MAGIC) + 32
+    if len(blob) < header or not blob.startswith(ENTRY_MAGIC):
+        raise CacheCorruptionError("bad cache entry header")
+    digest = blob[len(ENTRY_MAGIC):header]
+    payload = blob[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheCorruptionError("cache entry checksum mismatch")
+    return payload
 
 
 class CacheStats:
     """Hit/miss accounting for one :class:`CompileCache`."""
 
     __slots__ = ("memory_hits", "disk_hits", "misses", "stores",
-                 "disk_errors", "evictions", "bytes_stored")
+                 "disk_errors", "evictions", "bytes_stored",
+                 "corruptions")
 
     def __init__(self):
         self.memory_hits = 0
@@ -45,6 +70,7 @@ class CacheStats:
         self.disk_errors = 0
         self.evictions = 0
         self.bytes_stored = 0
+        self.corruptions = 0
 
     @property
     def hits(self) -> int:
@@ -60,14 +86,18 @@ class CacheStats:
             "hits": self.hits, "misses": self.misses,
             "stores": self.stores, "disk_errors": self.disk_errors,
             "evictions": self.evictions, "bytes_stored": self.bytes_stored,
+            "corruptions": self.corruptions,
         }
 
     def summary_line(self) -> str:
         """The one-line cache report printed after bench/report runs."""
-        return (f"compile cache: {self.hits} hits "
+        line = (f"compile cache: {self.hits} hits "
                 f"({self.memory_hits} mem, {self.disk_hits} disk), "
                 f"{self.misses} misses, {self.stores} stores, "
                 f"{self.bytes_stored} bytes written")
+        if self.corruptions:
+            line += f", {self.corruptions} corrupt entries evicted"
+        return line
 
     def __repr__(self):
         return (f"<cache-stats hits={self.hits} "
@@ -152,18 +182,36 @@ class CompileCache:
         return os.path.join(self.directory, key[:2], key + ".pkl")
 
     def get(self, key: str):
-        """Return the cached artifact or None (miss)."""
+        """Return the cached artifact or None (miss).
+
+        Disk entries are verified against their content checksum before
+        unpickling; a corrupted or truncated entry (including one
+        mangled by the ``cache`` fault point) is evicted, counted, and
+        treated as a miss so the artifact recompiles.
+        """
         value = self._memory.get(key)
         if value is not None:
             self.stats.memory_hits += 1
             get_registry().counter("cache.memory_hits").inc()
             return value
         if self.use_disk:
+            path = self._path(key)
+            blob = None
             try:
-                with open(self._path(key), "rb") as fh:
-                    value = pickle.load(fh)
-            except (OSError, pickle.PickleError, EOFError, AttributeError):
-                value = None
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+            except OSError:
+                blob = None
+            if blob is not None:
+                # Fault point: bit flips / truncation on the read path.
+                blob = faults.mangle("cache", blob)
+                try:
+                    value = pickle.loads(decode_entry(blob))
+                except (CacheCorruptionError, pickle.PickleError,
+                        EOFError, AttributeError, IndexError,
+                        ImportError, MemoryError, ValueError):
+                    self._evict_corrupt(path)
+                    value = None
             if value is not None:
                 self._memory[key] = value
                 self.stats.disk_hits += 1
@@ -172,6 +220,16 @@ class CompileCache:
         self.stats.misses += 1
         get_registry().counter("cache.misses").inc()
         return None
+
+    def _evict_corrupt(self, path: str) -> None:
+        self.stats.corruptions += 1
+        self.stats.evictions += 1
+        get_registry().counter("cache.corruption_detected").inc()
+        get_registry().counter("cache.evictions").inc()
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def put(self, key: str, value) -> None:
         self._memory[key] = value
@@ -183,7 +241,8 @@ class CompileCache:
         tmp = f"{path}.{os.getpid()}.tmp"
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            data = encode_entry(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
             with open(tmp, "wb") as fh:
                 fh.write(data)
             os.replace(tmp, path)  # atomic: concurrent workers never clash

@@ -30,6 +30,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 
+from ..errors import CellTimeout, WorkerCrashError
 from ..obs import get_registry
 from . import compilecache
 from .runner import NOISE, compile_benchmark, run_compiled
@@ -107,11 +108,259 @@ def _run_cell(ref, target, runs, noise, max_instructions, use_cache):
     return result, dict(compiled.compile_seconds), timing
 
 
+# -- the fault-tolerant worker -----------------------------------------------------
+
+def _cell_worker_main(conn, payload):
+    """Entry point of one tolerant-sweep cell process.
+
+    Sends exactly one ``("ok"| "fail", value, compile_seconds,
+    attempts)`` message over ``conn``, unless it crashes first — the
+    parent scheduler treats a closed pipe without a message as a worker
+    death and respawns.  The ``worker`` fault point is drawn here, in a
+    per-incarnation scope (``"{name}:{target}:w{incarnation}"``), so a
+    respawned worker re-draws and the crash/respawn sequence is a pure
+    function of the injection seed.
+    """
+    from ..resilience import RetryPolicy, failure_from_exception, measure_cell
+    from ..resilience import faults
+
+    name, target = payload["name"], payload["target"]
+    plan = payload["plan"]
+    try:
+        if not payload["use_cache"]:
+            compilecache.set_enabled(False)
+        if plan is not None:
+            scope_name = f"{name}:{target}:w{payload['incarnation']}"
+            with faults.scope(plan, scope_name) as injector:
+                if injector.should("worker"):
+                    conn.close()
+                    os._exit(17)  # die before reporting, like a real crash
+        spec = resolve_ref(payload["ref"])
+        policy = RetryPolicy(retries=payload["retries"])
+        result, failure, seconds, attempts = measure_cell(
+            spec, target, runs=payload["runs"], noise=payload["noise"],
+            max_instructions=payload["max_instructions"], plan=plan,
+            policy=policy, timeout=payload["timeout"])
+        if failure is not None:
+            conn.send(("fail", failure, seconds, attempts))
+        else:
+            conn.send(("ok", result, seconds, attempts))
+    except KeyboardInterrupt:
+        os._exit(130)
+    except BaseException as exc:  # pragma: no cover - measure_cell classifies
+        try:
+            conn.send(("fail",
+                       failure_from_exception(name, target, "worker", exc,
+                                              plan=plan),
+                       {}, 1))
+        except (OSError, ValueError):
+            os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _spawn_cell(ctx, job, incarnation):
+    """Start one isolated cell process; returns its bookkeeping state."""
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    payload = dict(job, incarnation=incarnation)
+    proc = ctx.Process(target=_cell_worker_main,
+                       args=(child_conn, payload), daemon=True)
+    proc.start()
+    child_conn.close()
+    return {"proc": proc, "conn": parent_conn, "job": job,
+            "incarnation": incarnation, "started": time.time()}
+
+
+def _reap(state):
+    """Close a finished/killed cell's pipe and collect the process."""
+    try:
+        state["conn"].close()
+    except OSError:
+        pass
+    state["proc"].join()
+
+
+def _run_cells_isolated(jobs_list, jobs, plan, policy, timeout, record):
+    """Run cells one-process-each with crash isolation.
+
+    Unlike the shared pool, a dying worker takes down exactly one cell
+    — the scheduler knows which, respawns it up to ``policy.retries``
+    times, and records a ``worker``-phase failure if it keeps dying.  A
+    parent-side watchdog terminates cells that hang past twice the cell
+    ``timeout`` (the in-machine deadline normally fires first; this
+    catches hangs outside the instrumented loop).  ``KeyboardInterrupt``
+    terminates everything in flight and propagates so the caller can
+    mark unfinished cells interrupted.
+    """
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as _wait
+
+    ctx = mp.get_context()
+    pending = list(jobs_list)
+    running = {}  # conn -> state
+
+    def _finish_crash(state):
+        code = state["proc"].exitcode
+        if state["incarnation"] < policy.retries:
+            fresh = _spawn_cell(ctx, state["job"],
+                                state["incarnation"] + 1)
+            running[fresh["conn"]] = fresh
+            return
+        job = state["job"]
+        exc = WorkerCrashError(
+            f"worker died (exit code {code}) before reporting")
+        exc.injected = code == 17
+        from ..resilience import failure_from_exception
+        record(job, None,
+               failure_from_exception(job["name"], job["target"], "worker",
+                                      exc, attempts=state["incarnation"] + 1,
+                                      plan=plan),
+               {}, state["incarnation"] + 1)
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                state = _spawn_cell(ctx, pending.pop(0), 0)
+                running[state["conn"]] = state
+            for conn in _wait(list(running), timeout=0.05):
+                state = running.pop(conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                _reap(state)
+                if message is None:
+                    _finish_crash(state)
+                    continue
+                kind, value, seconds, attempts = message
+                job = state["job"]
+                if kind == "ok":
+                    record(job, value, None, seconds, attempts)
+                else:
+                    record(job, None, value, seconds, attempts)
+            if timeout is None:
+                continue
+            now = time.time()
+            for conn, state in list(running.items()):
+                if now - state["started"] <= 2 * timeout + 1.0:
+                    continue
+                running.pop(conn)
+                state["proc"].terminate()
+                _reap(state)
+                job = state["job"]
+                from ..resilience import failure_from_exception
+                record(job, None,
+                       failure_from_exception(
+                           job["name"], job["target"], "execute",
+                           CellTimeout(
+                               f"cell hung past {timeout:g}s; "
+                               f"worker terminated"),
+                           attempts=state["incarnation"] + 1, plan=plan),
+                       {}, state["incarnation"] + 1)
+    except KeyboardInterrupt:
+        for state in running.values():
+            state["proc"].terminate()
+        for state in running.values():
+            _reap(state)
+        raise
+
+
+# -- the fault-tolerant suite runner -----------------------------------------------
+
+def _run_tolerant_suite(benchmarks, targets, runs, noise, max_instructions,
+                        jobs, progress, cache, plan, policy, timeout):
+    """The tolerant sweep: every cell completes or yields a CellFailure.
+
+    Referenceable specs run one-process-per-cell (crash isolation);
+    ad-hoc specs run in-process through the same
+    :func:`repro.resilience.measure_cell` path.  Ctrl-C stops the sweep
+    and marks every unfinished cell ``interrupted`` — partial results
+    are always returned, never an escaped exception.
+    """
+    from ..resilience import RetryPolicy, interrupted_cell, measure_cell
+
+    policy = policy or RetryPolicy()
+    use_cache = compilecache.resolve_cache(cache) is not None
+    metrics = get_registry()
+    cell_results = {}
+    compile_seconds = {spec.name: {} for spec in benchmarks}
+    remaining = {spec.name: len(targets) for spec in benchmarks}
+
+    def record(job, result, failure, seconds, attempts):
+        name, target = job["name"], job["target"]
+        cell_results[(name, target)] = \
+            failure if failure is not None else result
+        compile_seconds[name].update(seconds or {})
+        if metrics.enabled:
+            metrics.counter("resilience.cells").inc()
+            if attempts > 1:
+                metrics.counter("resilience.retries").inc(attempts - 1)
+            if failure is not None:
+                metrics.counter(
+                    f"resilience.failures.{failure.status}").inc()
+                if failure.injected:
+                    metrics.counter("resilience.injected").inc()
+        remaining[name] -= 1
+        if not remaining[name] and progress is not None:
+            progress(name)
+
+    refs = {spec.name: spec_ref(spec) for spec in benchmarks}
+    fan_out = jobs > 1 and len(benchmarks) * len(targets) > 1
+    pool_cells, serial_cells = [], []
+    for spec in benchmarks:
+        bucket = pool_cells if fan_out and refs[spec.name] is not None \
+            else serial_cells
+        for target in targets:
+            bucket.append((spec, target))
+
+    try:
+        if pool_cells:
+            jobs_list = [{
+                "ref": refs[spec.name], "name": spec.name, "target": target,
+                "runs": runs, "noise": noise,
+                "max_instructions": max_instructions,
+                "use_cache": use_cache, "plan": plan,
+                "retries": policy.retries, "timeout": timeout,
+            } for spec, target in pool_cells]
+            _run_cells_isolated(jobs_list, jobs, plan, policy, timeout,
+                                record)
+        for spec, target in serial_cells:
+            result, failure, seconds, attempts = measure_cell(
+                spec, target, runs=runs, noise=noise,
+                max_instructions=max_instructions, cache=cache,
+                plan=plan, policy=policy, timeout=timeout)
+            record({"name": spec.name, "target": target},
+                   result, failure, seconds, attempts)
+    except KeyboardInterrupt:
+        pass  # fall through: unfinished cells become interrupted rows
+
+    interrupted = 0
+    for spec in benchmarks:
+        for target in targets:
+            if (spec.name, target) not in cell_results:
+                cell_results[(spec.name, target)] = \
+                    interrupted_cell(spec.name, target, plan)
+                interrupted += 1
+    if interrupted and metrics.enabled:
+        metrics.counter("resilience.failures.INTERRUPTED").inc(interrupted)
+
+    results = {}
+    for spec in benchmarks:
+        results[spec.name] = {
+            target: cell_results[(spec.name, target)] for target in targets
+        }
+    return results, compile_seconds
+
+
 # -- the suite runner --------------------------------------------------------------
 
 def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
               max_instructions: int = 2_000_000_000, jobs=1,
-              progress=None, cache=None):
+              progress=None, cache=None, tolerant: bool = False,
+              plan=None, policy=None, timeout: float = None):
     """Measure every (benchmark, target) cell of a suite.
 
     Returns ``(results, compile_seconds)`` where ``results`` maps
@@ -119,10 +368,19 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
     ``compile_seconds`` maps benchmark name -> {pipeline: seconds}.
     ``jobs`` > 1 distributes cells over that many worker processes;
     ``jobs=None`` auto-selects :func:`default_jobs`.
+
+    ``tolerant`` (implied by a fault-injection ``plan``) switches to the
+    crash-isolated scheduler: failed cells come back as
+    :class:`~repro.resilience.CellFailure` values in ``results`` instead
+    of raising, and the sweep always completes the full matrix.
     """
     benchmarks = list(benchmarks)
     targets = list(targets)
     jobs = normalize_jobs(jobs)
+    if tolerant or plan is not None:
+        return _run_tolerant_suite(
+            benchmarks, targets, runs, noise, max_instructions, jobs,
+            progress, cache, plan, policy, timeout)
     use_cache = compilecache.resolve_cache(cache) is not None
 
     serial_specs = list(benchmarks)
@@ -147,7 +405,14 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
                             noise, max_instructions, use_cache)
                         pending[future] = (spec.name, target, time.time())
                 for future, (name, target, submitted) in pending.items():
-                    result, seconds, timing = future.result()
+                    try:
+                        result, seconds, timing = future.result()
+                    except KeyboardInterrupt:
+                        # Ctrl-C: drop queued cells, let workers die with
+                        # the process group, surface partial results via
+                        # the CLI's interrupt handler.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
                     cell_results[(name, target)] = result
                     compile_seconds[name].update(seconds)
                     if metrics.enabled:

@@ -195,13 +195,16 @@ def _compile_benchmark(spec, targets, engines, store, result):
 
 def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
                  noise: float = NOISE, seed: int = None,
-                 max_instructions: int = 2_000_000_000, profile=None):
+                 max_instructions: int = 2_000_000_000, profile=None,
+                 timeout: float = None):
     """Execute one compiled target; returns a BenchResult.
 
     ``profile`` optionally attaches a
     :class:`repro.obs.profile.MachineProfile` to the simulated machine,
     bucketing retired events per function (and optionally per opcode /
     basic block) without perturbing any counter or output.
+    ``timeout`` (wall-clock seconds) arms the per-cell deadline
+    watchdog.
     """
     spec = compiled.spec
     program = compiled.programs[target]
@@ -217,7 +220,7 @@ def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
         run_result = execute_program(program, runtime,
                                      f"{spec.name}@{target}",
                                      max_instructions=max_instructions,
-                                     profile=profile)
+                                     profile=profile, timeout=timeout)
     base_time = run_result.total_seconds
     if seed is None:
         # Stable across processes (Python's hash() is randomized).
@@ -233,32 +236,71 @@ def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
 def run_benchmark(spec: BenchmarkSpec, targets=None, runs: int = 5,
                   validate: bool = True, noise: float = NOISE,
                   max_instructions: int = 2_000_000_000, cache=None,
-                  jobs: int = 1):
+                  jobs: int = 1, tolerant: bool = False, plan=None,
+                  policy=None, timeout: float = None):
     """Compile + run ``spec`` on each target; returns {target: BenchResult}.
 
     With ``validate``, every target's stdout must byte-compare equal to
     the native baseline's (the harness's ``cmp`` step).  ``jobs`` > 1
     fans the targets out over worker processes (results are bit-identical
     to the serial path; see :mod:`repro.harness.parallel`).
+
+    ``tolerant`` (implied by a fault-injection ``plan``) switches to the
+    fault-tolerant path: failed cells come back as
+    :class:`~repro.resilience.CellFailure` values instead of raising,
+    transient failures are retried per ``policy``, every cell gets the
+    fuel watchdog plus the optional wall-clock ``timeout``, and Ctrl-C
+    yields partial results (remaining cells marked interrupted).
     """
     targets = list(targets or TARGETS)
-    if jobs is None or jobs > 1:
-        from .parallel import run_suite
-        by_name, _compiled = run_suite(
-            [spec], targets, runs=runs, noise=noise,
-            max_instructions=max_instructions, jobs=jobs, cache=cache)
-        results = by_name[spec.name]
-    else:
-        compiled = compile_benchmark(spec, targets, cache=cache)
-        results = {}
-        for target in targets:
-            results[target] = run_compiled(
-                compiled, target, runs, noise,
-                max_instructions=max_instructions)
-    if validate and "native" in results:
-        expected = results["native"].run.stdout
-        for target, result in results.items():
-            if result.run.stdout != expected:
-                raise ValidationError(
-                    f"{spec.name}@{target}: output mismatch vs native")
+    tolerant = tolerant or plan is not None
+    if not tolerant:
+        if jobs is None or jobs > 1:
+            from .parallel import run_suite
+            by_name, _compiled = run_suite(
+                [spec], targets, runs=runs, noise=noise,
+                max_instructions=max_instructions, jobs=jobs, cache=cache)
+            results = by_name[spec.name]
+        else:
+            compiled = compile_benchmark(spec, targets, cache=cache)
+            results = {}
+            for target in targets:
+                results[target] = run_compiled(
+                    compiled, target, runs, noise,
+                    max_instructions=max_instructions)
+        if validate and "native" in results:
+            expected = results["native"].run.stdout
+            for target, result in results.items():
+                if result.run.stdout != expected:
+                    raise ValidationError(
+                        f"{spec.name}@{target}: output mismatch vs native")
+        return results
+
+    from .parallel import run_suite
+    by_name, _seconds = run_suite(
+        [spec], targets, runs=runs, noise=noise,
+        max_instructions=max_instructions, jobs=jobs, cache=cache,
+        tolerant=True, plan=plan, policy=policy, timeout=timeout)
+    results = by_name[spec.name]
+    if validate:
+        _validate_tolerant(spec.name, results, plan)
     return results
+
+
+def _validate_tolerant(name: str, results: dict, plan=None) -> None:
+    """The ``cmp`` step, tolerant flavour: a mismatch marks the cell
+    failed instead of aborting the sweep; failed cells are skipped."""
+    from ..resilience import failure_from_exception, is_failure
+    baseline = results.get("native")
+    if baseline is None or is_failure(baseline):
+        return
+    expected = baseline.run.stdout
+    for target, result in results.items():
+        if is_failure(result):
+            continue
+        if result.run.stdout != expected:
+            results[target] = failure_from_exception(
+                name, target, "validate",
+                ValidationError(
+                    f"{name}@{target}: output mismatch vs native"),
+                plan=plan)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import struct
 
-from ..errors import TrapError
+from ..errors import FuelExhausted, ReproError, TrapError
 from . import intops
 from .instructions import (
     BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Lea, Load,
@@ -88,13 +88,22 @@ class Frame:
 class IRInterpreter:
     """Executes an IR module directly."""
 
-    def __init__(self, module: Module, host: Host = None):
+    #: Default fuel: basic-block transitions before a loop is declared
+    #: runaway — the IR-level analogue of the x86 instruction budget.
+    DEFAULT_FUEL = 1_000_000_000
+
+    def __init__(self, module: Module, host: Host = None,
+                 max_fuel: int = None):
         self.module = module
         self.host = host or CollectingHost()
         self.memory = module.initial_memory()
         self.globals = {name: g.init for name, g in module.wasm_globals.items()}
         self.call_depth = 0
         self.max_call_depth = 10_000
+        self.max_fuel = max_fuel if max_fuel is not None else \
+            self.DEFAULT_FUEL
+        #: Basic blocks executed so far, shared across nested calls.
+        self.fuel_used = 0
 
     # -- guest memory access ------------------------------------------------
 
@@ -115,7 +124,17 @@ class IRInterpreter:
         name = func_name or self.module.start
         if name not in self.module.functions:
             raise TrapError(f"no such function: {name}")
-        return self._call(name, list(args))
+        # Guest boundary: raw Python errors escaping the interpreter
+        # degrade into TrapError instead of aborting the embedder.
+        try:
+            return self._call(name, list(args))
+        except ReproError:
+            raise
+        except (IndexError, KeyError, ValueError, TypeError,
+                ArithmeticError, MemoryError, UnicodeDecodeError,
+                struct.error, RecursionError) as exc:
+            raise TrapError(
+                f"interpreter fault: {type(exc).__name__}: {exc}") from exc
 
     # -- execution ------------------------------------------------------------
 
@@ -141,7 +160,12 @@ class IRInterpreter:
         func = frame.func
         block = func.blocks[func.entry]
         regs = frame.regs
+        max_fuel = self.max_fuel
         while True:
+            self.fuel_used += 1
+            if self.fuel_used > max_fuel:
+                raise FuelExhausted(
+                    "fuel exhausted: IR block budget exceeded")
             for instr in block.instrs:
                 self._exec_instr(instr, regs)
             term = block.term

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..errors import TrapError
 from ..obs import get_registry
+from ..resilience import faults
 from .costs import BROWSIX_WASM_COSTS, SyscallCosts
 from .fs import FileSystem, FsError, GROW_CHUNKED, OpenFile
 from .pipes import Pipe
@@ -80,6 +81,8 @@ class Kernel:
         metrics = get_registry()
         if metrics.enabled:
             metrics.counter(f"kernel.syscall.{name}").inc()
+        # Fault point: a transient EIO/ENOSPC at the OS boundary.
+        faults.check("syscall")
         handler = getattr(self, "_sys_" + name[4:], None) \
             if name.startswith("sys_") else None
         if handler is None:
@@ -142,6 +145,9 @@ class Kernel:
         return self.write_bytes(proc, fd, data)
 
     def write_bytes(self, proc, fd: int, data: bytes) -> int:
+        # Fault point: the runtimes' print fast path skips syscall(), so
+        # a transient write error must be injectable here as well.
+        faults.check("syscall")
         obj = proc.fds.get(fd)
         if obj is None:
             return -1

@@ -1,0 +1,138 @@
+"""The fault-tolerant per-cell runner.
+
+:func:`measure_cell` is the one code path through which both the serial
+driver and every parallel worker measure a (benchmark, target) cell.  It
+wraps compile + execute in:
+
+* a fault-injection scope (``"{benchmark}:{target}:a{attempt}"``), so
+  every injected decision is deterministic per seed and attempt;
+* a fuel watchdog (the executor's instruction budget) plus an optional
+  wall-clock deadline;
+* classification of *any* raised exception — including raw Python
+  errors escaping a buggy layer — via :func:`repro.errors.classify`;
+* bounded retry with exponential backoff for transient failures.
+
+A failed cell comes back as a :class:`CellFailure` carrying the phase,
+the taxonomy, the attempt count, and the exact command that reproduces
+the failure — never as an escaped exception.  ``KeyboardInterrupt`` is
+the one exception deliberately re-raised, so a Ctrl-C can cancel the
+whole sweep.
+"""
+
+from __future__ import annotations
+
+from ..errors import classify
+from . import faults as _faults
+from .retry import RetryPolicy
+
+
+class CellFailure:
+    """Everything `repro report` needs to explain one failed cell."""
+
+    def __init__(self, benchmark: str, target: str, phase: str,
+                 info, attempts: int = 1, plan=None):
+        self.benchmark = benchmark
+        self.target = target
+        self.phase = phase              # compile | execute | worker | interrupted
+        self.status = info.status       # ERROR | TIMEOUT
+        self.origin = info.origin
+        self.transient = info.transient
+        self.injected = info.injected
+        self.error_type = info.error_type
+        self.message = info.message
+        self.attempts = attempts
+        self.inject_spec = plan.spec if plan is not None else None
+        self.inject_seed = plan.seed if plan is not None else None
+
+    def repro_command(self, size: str = None) -> str:
+        """The exact CLI invocation that replays this failure."""
+        parts = ["repro", "bench", self.benchmark,
+                 "--target", self.target]
+        if size in ("test", "ref"):
+            parts += ["--size", size]
+        if self.inject_spec:
+            parts += ["--inject", f"'{self.inject_spec}'",
+                      "--inject-seed", str(self.inject_seed)]
+        return " ".join(parts)
+
+    def as_dict(self, size: str = None) -> dict:
+        return {
+            "benchmark": self.benchmark, "target": self.target,
+            "status": self.status, "phase": self.phase,
+            "origin": self.origin, "transient": self.transient,
+            "injected": self.injected, "error": self.error_type,
+            "message": self.message, "attempts": self.attempts,
+            "inject": self.inject_spec, "inject_seed": self.inject_seed,
+            "repro": self.repro_command(size),
+        }
+
+    def __repr__(self):
+        return (f"<cell-failure {self.benchmark}@{self.target} "
+                f"{self.status} phase={self.phase} "
+                f"{self.error_type} after {self.attempts} attempt(s)>")
+
+
+def is_failure(cell) -> bool:
+    """True when a sweep cell holds a failure record, not a result."""
+    return isinstance(cell, CellFailure)
+
+
+def interrupted_cell(benchmark: str, target: str, plan=None) -> CellFailure:
+    """The failure recorded for cells cancelled by Ctrl-C."""
+    from ..errors import InterruptedSweep
+    info = classify(
+        InterruptedSweep("sweep interrupted before this cell finished"))
+    return CellFailure(benchmark, target, "interrupted", info,
+                       attempts=0, plan=plan)
+
+
+def failure_from_exception(benchmark: str, target: str, phase: str,
+                           exc: BaseException, attempts: int = 1,
+                           plan=None) -> CellFailure:
+    """Classify any exception into a :class:`CellFailure`."""
+    return CellFailure(benchmark, target, phase, classify(exc),
+                       attempts=attempts, plan=plan)
+
+
+def measure_cell(spec, target: str, runs: int = 5, noise: float = None,
+                 max_instructions: int = 2_000_000_000, cache=None,
+                 plan=None, policy: RetryPolicy = None,
+                 timeout: float = None):
+    """Measure one cell, tolerating faults.
+
+    Returns ``(result, failure, compile_seconds, attempts)`` where
+    exactly one of ``result`` (a BenchResult) and ``failure`` (a
+    :class:`CellFailure`) is not None.
+    """
+    from ..harness.runner import NOISE, compile_benchmark, run_compiled
+
+    if noise is None:
+        noise = NOISE
+    policy = policy or RetryPolicy()
+    compile_seconds = {}
+    failure = None
+    for attempt in range(policy.max_attempts):
+        scope_name = f"{spec.name}:{target}:a{attempt}"
+        phase = "compile"
+        try:
+            with _faults.scope(plan, scope_name):
+                compiled = compile_benchmark(spec, (target,), cache=cache)
+                compile_seconds.update(compiled.compile_seconds)
+                phase = "execute"
+                _faults.check("trap")
+                _faults.check("fuel")
+                result = run_compiled(
+                    compiled, target, runs=runs, noise=noise,
+                    max_instructions=max_instructions, timeout=timeout)
+            return result, None, compile_seconds, attempt + 1
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - classified, never lost
+            info = classify(exc)
+            failure = CellFailure(spec.name, target, phase, info,
+                                  attempts=attempt + 1, plan=plan)
+            if info.transient and attempt < policy.retries:
+                policy.backoff(attempt)
+                continue
+            return None, failure, compile_seconds, attempt + 1
+    return None, failure, compile_seconds, policy.max_attempts

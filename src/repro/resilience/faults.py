@@ -1,0 +1,209 @@
+"""Seeded, deterministic fault injection at the harness's failure points.
+
+A :class:`FaultPlan` is parsed from the CLI grammar
+``'point:rate,point:rate'`` (e.g. ``--inject 'trap:0.05,syscall:0.1'``)
+plus a seed.  For each benchmark cell the harness installs a
+:class:`FaultInjector` scoped to ``"{benchmark}:{target}:a{attempt}"``;
+every fault point draws from its own RNG stream seeded by
+``sha256(seed | scope | point)``, so
+
+* decisions are a pure function of (seed, scope, point, draw index) —
+  independent of worker scheduling, pool size, or wall-clock time;
+* reruns with the same seed produce bit-identical failure manifests;
+* cells the injector leaves alone are untouched: the measurement RNGs
+  (the per-cell noise seed in :mod:`repro.harness.runner`) never share
+  state with the injection streams.
+
+Fault points
+------------
+
+``trap``
+    Guest execution aborts with a :class:`~repro.errors.TrapError`
+    (models a wasm/x86 trap: unreachable, OOB access, JIT bailout).
+``fuel``
+    Guest execution hangs; surfaces as
+    :class:`~repro.errors.FuelExhausted` via the fuel watchdog.
+``syscall``
+    A kernel syscall fails with a transient errno
+    (:class:`~repro.errors.SyscallError`); checked in
+    :meth:`repro.kernel.kernel.Kernel.syscall`.
+``cache``
+    An on-disk compile-cache read returns corrupted bytes (bit flip or
+    truncation); the cache's content checksum must detect and evict it.
+``worker``
+    A parallel-sweep worker process dies (``os._exit``) before
+    reporting; the scheduler must respawn and continue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from contextlib import contextmanager
+
+from ..errors import FuelExhausted, ReproError, SyscallError, TrapError
+
+FAULT_POINTS = ("trap", "fuel", "syscall", "cache", "worker")
+
+
+class FaultPlan:
+    """A parsed injection mix: per-point probabilities plus a seed."""
+
+    def __init__(self, rates: dict, seed: int = 0, spec: str = None):
+        self.rates = dict(rates)
+        self.seed = int(seed)
+        self.spec = spec if spec is not None else self.spec_string()
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the ``'point:rate,point:rate'`` grammar.
+
+        Raises ``ValueError`` (with the offending token) on unknown
+        points, malformed rates, or rates outside [0, 1].
+        """
+        rates = {}
+        for token in filter(None, (t.strip() for t in spec.split(","))):
+            point, sep, rate_text = token.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"bad --inject token {token!r}: expected point:rate")
+            point = point.strip()
+            if point not in FAULT_POINTS:
+                raise ValueError(
+                    f"unknown fault point {point!r}: choose from "
+                    f"{', '.join(FAULT_POINTS)}")
+            try:
+                rate = float(rate_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad rate {rate_text!r} for fault point {point!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"rate {rate} for {point!r} outside [0, 1]")
+            rates[point] = rate
+        if not rates:
+            raise ValueError(f"empty --inject spec {spec!r}")
+        return cls(rates, seed, spec=spec)
+
+    def spec_string(self) -> str:
+        return ",".join(f"{p}:{r:g}" for p, r in sorted(self.rates.items()))
+
+    def as_dict(self) -> dict:
+        return {"rates": dict(self.rates), "seed": self.seed,
+                "spec": self.spec}
+
+    def __repr__(self):
+        return f"<fault-plan {self.spec_string()} seed={self.seed}>"
+
+
+def _stream_seed(seed: int, scope: str, point: str) -> int:
+    digest = hashlib.sha256(f"{seed}|{scope}|{point}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class FaultInjector:
+    """Draws deterministic fault decisions for one cell scope."""
+
+    def __init__(self, plan: FaultPlan, scope: str):
+        self.plan = plan
+        self.scope = scope
+        self._streams: dict[str, random.Random] = {}
+
+    def _stream(self, point: str) -> random.Random:
+        rng = self._streams.get(point)
+        if rng is None:
+            rng = random.Random(
+                _stream_seed(self.plan.seed, self.scope, point))
+            self._streams[point] = rng
+        return rng
+
+    def should(self, point: str) -> bool:
+        """One deterministic draw: does this fault fire here?"""
+        rate = self.plan.rates.get(point, 0.0)
+        if rate <= 0.0:
+            return False
+        return self._stream(point).random() < rate
+
+    def fire(self, point: str) -> None:
+        """Raise the exception modeling ``point``'s failure mode."""
+        if point == "trap":
+            exc = TrapError("injected fault: guest trap")
+        elif point == "fuel":
+            exc = FuelExhausted(
+                "fuel exhausted: injected fault (hung guest)")
+        elif point == "syscall":
+            errno = self._stream(point).choice(
+                SyscallError.TRANSIENT_ERRNOS)
+            exc = SyscallError(errno, syscall="injected")
+        else:
+            exc = ReproError(f"injected fault at point {point!r}")
+        exc.injected = True
+        raise exc
+
+    def check(self, point: str) -> None:
+        if self.should(point):
+            self.fire(point)
+
+    def mangle(self, point: str, data: bytes) -> bytes:
+        """Corrupt ``data`` (bit flip or truncation) if the draw fires."""
+        if not self.should(point) or not data:
+            return data
+        rng = self._stream(point)
+        if rng.random() < 0.5:
+            cut = rng.randrange(len(data))
+            return data[:cut]
+        position = rng.randrange(len(data))
+        flipped = data[position] ^ (1 << rng.randrange(8))
+        return data[:position] + bytes((flipped,)) + data[position + 1:]
+
+
+# -- the process-global injector ---------------------------------------------------
+#
+# Deep layers (the kernel's syscall dispatcher, the compile cache's disk
+# reads) cannot thread an injector through their signatures; they consult
+# the installed injector instead.  ``None`` (the default) short-circuits
+# every check to a single global read.
+
+_CURRENT: FaultInjector = None
+
+
+def install(injector: FaultInjector) -> None:
+    global _CURRENT
+    _CURRENT = injector
+
+
+def clear() -> None:
+    global _CURRENT
+    _CURRENT = None
+
+
+def current() -> FaultInjector:
+    return _CURRENT
+
+
+@contextmanager
+def scope(plan: FaultPlan, scope_name: str):
+    """Install an injector for one cell attempt, then restore."""
+    if plan is None:
+        yield None
+        return
+    previous = _CURRENT
+    injector = FaultInjector(plan, scope_name)
+    install(injector)
+    try:
+        yield injector
+    finally:
+        install(previous)
+
+
+def check(point: str) -> None:
+    """Fault-point hook: no-op unless an injector is installed."""
+    if _CURRENT is not None:
+        _CURRENT.check(point)
+
+
+def mangle(point: str, data: bytes) -> bytes:
+    """Data-corruption hook: identity unless an injector is installed."""
+    if _CURRENT is not None:
+        return _CURRENT.mangle(point, data)
+    return data

@@ -1,0 +1,42 @@
+"""Bounded retry with exponential backoff for transient failures."""
+
+from __future__ import annotations
+
+import time
+
+
+class RetryPolicy:
+    """How many times to retry a cell, and how long to wait between.
+
+    ``delay(attempt)`` is ``base_delay * 2**attempt`` capped at
+    ``max_delay`` — classic exponential backoff, deterministic (no
+    jitter) so failure manifests are reproducible.  ``sleep`` is
+    injectable for tests.
+    """
+
+    def __init__(self, retries: int = 2, base_delay: float = 0.05,
+                 max_delay: float = 2.0, sleep=time.sleep):
+        self.retries = max(0, int(retries))
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.sleep = sleep
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base_delay * (2 ** attempt), self.max_delay)
+
+    def backoff(self, attempt: int) -> None:
+        delay = self.delay(attempt)
+        if delay > 0:
+            self.sleep(delay)
+
+    def as_dict(self) -> dict:
+        return {"retries": self.retries, "base_delay": self.base_delay,
+                "max_delay": self.max_delay}
+
+    def __repr__(self):
+        return (f"<retry-policy retries={self.retries} "
+                f"base={self.base_delay}s cap={self.max_delay}s>")

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import struct
 
-from ..errors import LinkError, TrapError
+from ..errors import FuelExhausted, LinkError, ReproError, TrapError
 from ..ir import intops
 from .module import PAGE_SIZE, WasmModule
 from .validate import validate_module
@@ -474,8 +474,15 @@ K_FALLBACK = 15      # payload: opcode string -> self._numeric
 class WasmInstance:
     """An instantiated module: memory, table, globals, and execution."""
 
+    #: Default fuel: taken branches before a loop is declared runaway.
+    #: Matches the x86 executor's 2G-instruction budget in spirit; every
+    #: loop iteration takes at least one taken branch, so a hung guest
+    #: raises ``TrapError("fuel exhausted: ...")`` instead of spinning.
+    DEFAULT_FUEL = 2_000_000_000
+
     def __init__(self, module: WasmModule, host=None, validate: bool = True,
-                 max_call_depth: int = 2000, profile=None):
+                 max_call_depth: int = 2000, profile=None,
+                 max_fuel: int = None):
         if validate:
             validate_module(module)
         self.module = module
@@ -494,6 +501,10 @@ class WasmInstance:
         self.table = list(module.table)
         self.max_call_depth = max_call_depth
         self.call_depth = 0
+        self.max_fuel = max_fuel if max_fuel is not None else \
+            self.DEFAULT_FUEL
+        #: Taken branches so far, shared across nested calls.
+        self.fuel_used = 0
         self._imports = [imp for imp in module.imports if imp.kind == "func"]
         self._decode_cache = {}
         for seg in module.data:
@@ -526,7 +537,18 @@ class WasmInstance:
         index = self.module.export_index(export_name)
         if index is None:
             raise LinkError(f"no exported function {export_name}")
-        return self._call_function(index, list(args))
+        # Guest boundary: any raw Python error escaping the interpreter
+        # (the kind the fuzz suite hunts for) degrades into a TrapError,
+        # so a misbehaving module can never abort the embedder.
+        try:
+            return self._call_function(index, list(args))
+        except ReproError:
+            raise
+        except (IndexError, KeyError, ValueError, TypeError,
+                ArithmeticError, MemoryError, UnicodeDecodeError,
+                struct.error, RecursionError) as exc:
+            raise TrapError(
+                f"interpreter fault: {type(exc).__name__}: {exc}") from exc
 
     # -- pre-decoding ----------------------------------------------------------------
 
@@ -726,6 +748,7 @@ class WasmInstance:
         ctrl = [("func", -1, n, None, 0, len(ftype.results))]
         pc = 0
         do_branch = self._do_branch
+        max_fuel = self.max_fuel
 
         while pc < n:
             kind, a = code[pc]
@@ -771,14 +794,26 @@ class WasmInstance:
             elif kind == 8:                   # K_ELSE
                 pc = a
             elif kind == 9:                   # K_BR
+                self.fuel_used = fuel = self.fuel_used + 1
+                if fuel > max_fuel:
+                    raise FuelExhausted(
+                        "fuel exhausted: wasm branch budget exceeded")
                 pc = do_branch(a, ctrl, stack)
             elif kind == 10:                  # K_BR_IF
                 if stack.pop():
+                    self.fuel_used = fuel = self.fuel_used + 1
+                    if fuel > max_fuel:
+                        raise FuelExhausted(
+                            "fuel exhausted: wasm branch budget exceeded")
                     pc = do_branch(a, ctrl, stack)
             elif kind == 11:                  # K_BR_TABLE
                 targets, default = a
                 index = stack.pop()
                 depth = targets[index] if index < len(targets) else default
+                self.fuel_used = fuel = self.fuel_used + 1
+                if fuel > max_fuel:
+                    raise FuelExhausted(
+                        "fuel exhausted: wasm branch budget exceeded")
                 pc = do_branch(depth, ctrl, stack)
             elif kind == 12:                  # K_RETURN
                 break

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 
-from ..errors import TrapError
+from ..errors import FuelExhausted, TrapError
 from .interp import _LOAD_FMT, _M32, _M64, _STORE_FMT, WasmInstance
 from .interp import _match_control
 from .module import PAGE_SIZE
@@ -24,6 +24,13 @@ from .module import PAGE_SIZE
 
 class BaselineWasmInstance(WasmInstance):
     """A :class:`WasmInstance` executing via the original opcode chain."""
+
+    def _burn_fuel(self) -> None:
+        """Same taken-branch fuel watchdog as the table interpreter."""
+        self.fuel_used += 1
+        if self.fuel_used > self.max_fuel:
+            raise FuelExhausted(
+                "fuel exhausted: wasm branch budget exceeded")
 
     def _exec_body(self, func, ftype, locals_):
         body = func.body
@@ -84,11 +91,13 @@ class BaselineWasmInstance(WasmInstance):
                 if op == "br_if":
                     if not stack.pop():
                         continue
+                self._burn_fuel()
                 pc = self._do_branch(instr.args[0], ctrl, stack)
             elif op == "br_table":
                 targets, default = instr.args
                 index = stack.pop()
                 depth = targets[index] if index < len(targets) else default
+                self._burn_fuel()
                 pc = self._do_branch(depth, ctrl, stack)
             elif op == "return":
                 break

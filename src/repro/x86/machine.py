@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import math
 import struct
+from time import monotonic as _monotonic
 
-from ..errors import TrapError
+from ..errors import CellTimeout, FuelExhausted, TrapError
 from .icache import ICache
 from .isa import Imm, Mem, Reg
 from .perf import PerfCounters
@@ -92,9 +93,14 @@ def _operand_ref(opnd, size):
 class X86Machine:
     """Executes one compiled program."""
 
+    #: How often (in retired instructions) the wall-clock deadline is
+    #: polled; a power of two so the checkpoint arithmetic stays cheap.
+    DEADLINE_STRIDE = 1 << 20
+
     def __init__(self, program: X86Program, initial_memory: bytes = None,
                  host=None, icache: ICache = None,
-                 max_instructions: int = 2_000_000_000, profile=None):
+                 max_instructions: int = 2_000_000_000, profile=None,
+                 deadline: float = None):
         self.program = program
         self.memory = bytearray(program.machine_memory_size)
         if initial_memory is None:
@@ -111,6 +117,8 @@ class X86Machine:
         self.perf = PerfCounters()
         self.icache = icache or ICache()
         self.max_instructions = max_instructions
+        #: Absolute ``time.monotonic()`` watchdog; None disables it.
+        self.deadline = deadline
         self._entry_map = program.entry_map()
         self._abi = getattr(program, "abi", None)
         self._decode_cache = {}
@@ -434,6 +442,12 @@ class X86Machine:
         icache = self.icache
         access_line = icache._access_line
         budget = self.max_instructions
+        deadline = self.deadline
+        # With no deadline the checkpoint IS the budget: one compare per
+        # instruction, exactly as before.  With one, execution pauses
+        # every DEADLINE_STRIDE instructions to poll the clock.
+        checkpoint = budget if deadline is None \
+            else min(budget, self.DEADLINE_STRIDE)
 
         call_stack = []  # (function, decoded code, return index)
         dcode = self._decode_func(func)
@@ -510,8 +524,16 @@ class X86Machine:
                 i += 1
                 n_instr += 1
                 c_instr += 1
-                if n_instr > budget:
-                    raise TrapError("instruction budget exceeded")
+                if n_instr > checkpoint:
+                    if n_instr > budget:
+                        raise FuelExhausted(
+                            "fuel exhausted: instruction budget exceeded")
+                    if _monotonic() > deadline:
+                        raise CellTimeout(
+                            f"wall-clock deadline exceeded after "
+                            f"{n_instr} instructions")
+                    checkpoint = min(budget,
+                                     n_instr + self.DEADLINE_STRIDE)
 
                 # I-cache fetch (fast path: same line).
                 if single:
@@ -1005,9 +1027,11 @@ class X86Machine:
                 else:
                     raise TrapError(f"unknown opcode {pay}")
         except TrapError as exc:
+            # Append context in place: the subclass (FuelExhausted,
+            # SyscallError, ...) and its taxonomy attributes survive.
             name = getattr(func, "name", "?")
-            raise TrapError(f"{exc} [in {name} at #{i - 1}: {ins!r}]") \
-                from None
+            exc.args = (f"{exc} [in {name} at #{i - 1}: {ins!r}]",)
+            raise
         finally:
             if profile is not None:
                 # Fold whatever accrued since the last call boundary

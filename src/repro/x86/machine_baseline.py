@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 
-from ..errors import TrapError
+from ..errors import FuelExhausted, TrapError
 from .isa import Imm, Mem, Reg
 from .machine import X86Machine, _M32, _M64, _signed
 from .registers import RAX, RCX, RDX, RSP, XMM0
@@ -49,7 +49,8 @@ class X86MachineBaseline(X86Machine):
                 n_instr += 1
                 c_instr += 1
                 if n_instr > budget:
-                    raise TrapError("instruction budget exceeded")
+                    raise FuelExhausted(
+                        "fuel exhausted: instruction budget exceeded")
 
                 # I-cache fetch (fast path: same line).
                 addr = ins.addr
@@ -406,9 +407,10 @@ class X86MachineBaseline(X86Machine):
                 else:
                     raise TrapError(f"unknown opcode {op}")
         except TrapError as exc:
+            # In-place context, preserving the subclass (see machine.py).
             name = getattr(func, "name", "?")
-            raise TrapError(f"{exc} [in {name} at #{i - 1}: {ins!r}]") \
-                from None
+            exc.args = (f"{exc} [in {name} at #{i - 1}: {ins!r}]",)
+            raise
         finally:
             perf.instructions += c_instr
             perf.loads += c_loads

@@ -1,0 +1,369 @@
+"""The resilience subsystem: fault injection, retries, watchdogs."""
+
+import time
+
+import pytest
+
+from repro.benchsuite import matmul_spec
+from repro.errors import (
+    CacheCorruptionError, CellTimeout, FuelExhausted, ReproError,
+    SyscallError, TrapError, WorkerCrashError, classify,
+)
+from repro.resilience import (
+    FAULT_POINTS, FaultInjector, FaultPlan, RetryPolicy, interrupted_cell,
+    is_failure, measure_cell,
+)
+from repro.resilience import faults
+
+NO_SLEEP = RetryPolicy(retries=2, sleep=lambda s: None)
+
+LOOP = """
+int main(void) {
+    int i = 0;
+    int s = 0;
+    while (i < 500000) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s & 255;
+}
+"""
+
+
+class TestPlanGrammar:
+    def test_parse_mix(self):
+        plan = FaultPlan.parse("trap:0.05, syscall:0.1", seed=7)
+        assert plan.rates == {"trap": 0.05, "syscall": 0.1}
+        assert plan.seed == 7
+
+    def test_every_point_is_accepted(self):
+        spec = ",".join(f"{p}:0.5" for p in FAULT_POINTS)
+        plan = FaultPlan.parse(spec)
+        assert set(plan.rates) == set(FAULT_POINTS)
+
+    @pytest.mark.parametrize("spec", [
+        "", "trap", "trap:", "trap:x", "warp:0.5", "trap:1.5", "trap:-0.1",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_spec_string_round_trips(self):
+        plan = FaultPlan({"trap": 0.2, "cache": 1.0}, seed=3)
+        again = FaultPlan.parse(plan.spec_string(), seed=3)
+        assert again.rates == plan.rates
+
+
+class TestInjectorDeterminism:
+    def test_same_scope_same_draws(self):
+        plan = FaultPlan({"trap": 0.5}, seed=42)
+        a = [FaultInjector(plan, "m:native:a0").should("trap")
+             for _ in range(1)]
+        draws = [FaultInjector(plan, "m:native:a0")._stream("trap").random()
+                 for _ in range(3)]
+        assert draws[0] == draws[1] == draws[2]
+        assert a  # draw happened without error
+
+    def test_streams_independent_per_point_and_scope(self):
+        plan = FaultPlan({"trap": 0.5, "fuel": 0.5}, seed=1)
+        inj = FaultInjector(plan, "m:native:a0")
+        other = FaultInjector(plan, "m:chrome:a0")
+        assert inj._stream("trap").random() != inj._stream("fuel").random()
+        assert (FaultInjector(plan, "m:native:a0")._stream("trap").random()
+                != other._stream("trap").random())
+
+    def test_zero_rate_never_fires(self):
+        inj = FaultInjector(FaultPlan({"trap": 0.0}), "s")
+        assert not any(inj.should("trap") for _ in range(100))
+
+    def test_unit_rate_always_fires(self):
+        inj = FaultInjector(FaultPlan({"trap": 1.0}), "s")
+        with pytest.raises(TrapError, match="injected"):
+            inj.check("trap")
+
+    def test_fired_exceptions_are_marked_injected(self):
+        inj = FaultInjector(FaultPlan({"syscall": 1.0}), "s")
+        with pytest.raises(SyscallError) as exc:
+            inj.check("syscall")
+        assert exc.value.injected
+        assert exc.value.transient
+
+    def test_mangle_changes_or_truncates(self):
+        inj = FaultInjector(FaultPlan({"cache": 1.0}), "s")
+        data = bytes(range(64))
+        mangled = inj.mangle("cache", data)
+        assert mangled != data
+        assert len(mangled) <= len(data)
+
+    def test_module_hooks_noop_without_injector(self):
+        faults.clear()
+        faults.check("trap")  # must not raise
+        assert faults.mangle("cache", b"abc") == b"abc"
+
+    def test_scope_restores_previous_injector(self):
+        plan = FaultPlan({"trap": 1.0})
+        with faults.scope(plan, "outer"):
+            outer = faults.current()
+            with faults.scope(plan, "inner"):
+                assert faults.current().scope == "inner"
+            assert faults.current() is outer
+        assert faults.current() is None
+
+
+class TestTaxonomy:
+    def test_trap_is_guest_permanent(self):
+        info = classify(TrapError("boom"))
+        assert (info.status, info.origin, info.transient) == \
+            ("ERROR", "guest", False)
+
+    def test_fuel_and_timeout_are_timeouts(self):
+        assert classify(FuelExhausted("f")).status == "TIMEOUT"
+        assert classify(CellTimeout("t")).status == "TIMEOUT"
+
+    def test_syscall_transient_errnos(self):
+        assert classify(SyscallError("EIO")).transient
+        assert not classify(SyscallError("EBADF")).transient
+
+    def test_raw_exception_classified_as_harness_error(self):
+        info = classify(RuntimeError("surprise"))
+        assert info.status == "ERROR"
+        assert info.origin == "harness"
+        assert "surprise" in info.message
+
+    def test_worker_and_cache_errors_are_transient(self):
+        assert classify(WorkerCrashError("died")).transient
+        assert classify(CacheCorruptionError("bits")).transient
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_capped(self):
+        policy = RetryPolicy(retries=5, base_delay=0.5, max_delay=2.0)
+        assert [policy.delay(a) for a in range(4)] == [0.5, 1.0, 2.0, 2.0]
+
+    def test_max_attempts(self):
+        assert RetryPolicy(retries=0).max_attempts == 1
+        assert RetryPolicy(retries=3).max_attempts == 4
+
+
+class TestMeasureCell:
+    def test_clean_cell_unchanged_by_plan(self):
+        spec = matmul_spec()
+        clean, failure, _, attempts = measure_cell(
+            spec, "native", runs=2, cache=False, policy=NO_SLEEP)
+        assert failure is None and attempts == 1
+        injected, failure, _, _ = measure_cell(
+            spec, "native", runs=2, cache=False,
+            plan=FaultPlan({"trap": 0.0}, seed=5), policy=NO_SLEEP)
+        assert failure is None
+        assert injected.times == clean.times
+        assert injected.run.stdout == clean.run.stdout
+
+    def test_injected_trap_fails_without_retry(self):
+        _, failure, _, attempts = measure_cell(
+            matmul_spec(), "native", runs=1, cache=False,
+            plan=FaultPlan({"trap": 1.0}, seed=1), policy=NO_SLEEP)
+        assert is_failure(failure)
+        assert failure.status == "ERROR"
+        assert failure.phase == "execute"
+        assert failure.injected
+        assert attempts == 1  # traps are permanent: no retry
+
+    def test_injected_fuel_reports_timeout(self):
+        _, failure, _, _ = measure_cell(
+            matmul_spec(), "native", runs=1, cache=False,
+            plan=FaultPlan({"fuel": 1.0}, seed=1), policy=NO_SLEEP)
+        assert failure.status == "TIMEOUT"
+
+    def test_transient_syscall_retries_then_fails(self):
+        _, failure, _, attempts = measure_cell(
+            matmul_spec(), "native", runs=1, cache=False,
+            plan=FaultPlan({"syscall": 1.0}, seed=2), policy=NO_SLEEP)
+        assert failure.error_type == "SyscallError"
+        assert failure.transient
+        assert attempts == NO_SLEEP.max_attempts
+
+    def test_transient_syscall_can_recover(self):
+        # seed picked so attempt 0 fires and a later attempt does not
+        plan = FaultPlan({"syscall": 0.3}, seed=11)
+        result, failure, _, attempts = measure_cell(
+            matmul_spec(), "chrome", runs=1, cache=False, plan=plan,
+            policy=NO_SLEEP)
+        assert failure is None
+        assert attempts > 1
+
+    def test_repro_command_replays_the_failure(self):
+        plan = FaultPlan.parse("trap:1.0", seed=9)
+        _, failure, _, _ = measure_cell(
+            matmul_spec(), "native", runs=1, cache=False, plan=plan,
+            policy=NO_SLEEP)
+        cmd = failure.repro_command("test")
+        assert "--inject 'trap:1.0'" in cmd
+        assert "--inject-seed 9" in cmd
+        assert failure.benchmark in cmd
+
+    def test_as_dict_is_json_shaped(self):
+        _, failure, _, _ = measure_cell(
+            matmul_spec(), "native", runs=1, cache=False,
+            plan=FaultPlan({"trap": 1.0}), policy=NO_SLEEP)
+        d = failure.as_dict("test")
+        for key in ("benchmark", "target", "status", "phase", "origin",
+                    "transient", "injected", "error", "message",
+                    "attempts", "repro"):
+            assert key in d
+
+    def test_interrupted_cell_marker(self):
+        cell = interrupted_cell("m", "native")
+        assert is_failure(cell)
+        assert cell.phase == "interrupted"
+        assert cell.attempts == 0
+
+
+class TestWatchdogs:
+    def test_x86_budget_is_fuel_exhaustion(self):
+        from conftest import run_native
+        with pytest.raises(FuelExhausted, match="budget"):
+            run_native(LOOP, max_instructions=10_000)
+
+    def test_x86_deadline_raises_cell_timeout(self):
+        from repro.codegen import compile_native
+        from repro.x86 import X86Machine
+        program, module = compile_native(LOOP, "t")
+        machine = X86Machine(program, max_instructions=2_000_000_000,
+                             deadline=time.monotonic() - 1.0)
+        with pytest.raises(CellTimeout):
+            machine.call("main")
+
+    def test_x86_no_deadline_runs_to_completion(self):
+        from conftest import run_native
+        rc, _, _ = run_native(LOOP, max_instructions=2_000_000_000)
+        assert rc == (sum(range(500000)) & 255)
+
+    def test_wasm_interp_fuel(self):
+        from conftest import GuestHost
+        from repro.codegen.emscripten import compile_emscripten
+        from repro.wasm import WasmInstance
+        wasm, ir = compile_emscripten(LOOP, "t")
+        instance = WasmInstance(wasm, host=GuestHost(ir.heap_base),
+                                max_fuel=1_000)
+        with pytest.raises(FuelExhausted, match="branch budget"):
+            instance.invoke("main")
+
+    def test_ir_interp_fuel(self):
+        from conftest import GuestHost
+        from repro.ir import IRInterpreter
+        from repro.mcc import compile_source
+        module = compile_source(LOOP, "t")
+        interp = IRInterpreter(module, GuestHost(module.heap_base),
+                               max_fuel=1_000)
+        with pytest.raises(FuelExhausted, match="block budget"):
+            interp.run("main")
+
+    def test_fuel_exhausted_is_a_trap(self):
+        # so pre-existing TrapError handling (and tests) keep working
+        assert issubclass(FuelExhausted, TrapError)
+
+
+class TestCacheChecksums:
+    def _cache(self, tmp_path):
+        from repro.harness.compilecache import CompileCache
+        return CompileCache(directory=str(tmp_path), use_disk=True)
+
+    def _entry_path(self, cache, key):
+        return cache._path(key)
+
+    def test_bit_flip_detected_and_evicted(self, tmp_path):
+        import os
+        cache = self._cache(tmp_path)
+        key = cache.key("k")
+        cache.put(key, {"artifact": list(range(100))})
+        cache._memory.clear()
+        path = self._entry_path(cache, key)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x40
+        open(path, "wb").write(bytes(blob))
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+        assert not os.path.exists(path)
+
+    def test_truncation_detected(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = cache.key("k2")
+        cache.put(key, b"payload" * 50)
+        cache._memory.clear()
+        path = self._entry_path(cache, key)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:len(blob) // 3])
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+
+    def test_clean_entry_survives_round_trip(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = cache.key("k3")
+        cache.put(key, ("value", 42))
+        cache._memory.clear()
+        assert cache.get(key) == ("value", 42)
+        assert cache.stats.corruptions == 0
+
+    def test_cache_fault_point_forces_recompile(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = cache.key("k4")
+        cache.put(key, {"big": bytes(1000)})
+        cache._memory.clear()
+        with faults.scope(FaultPlan({"cache": 1.0}, seed=0), "cell"):
+            assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+
+    def test_legacy_unframed_entry_treated_as_corrupt(self, tmp_path):
+        import pickle
+        cache = self._cache(tmp_path)
+        key = cache.key("k5")
+        path = self._entry_path(cache, key)
+        import os
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump("old-format", fh)
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+
+
+class TestTolerantSweep:
+    def test_interrupt_yields_partial_results(self):
+        from repro.harness.parallel import run_suite
+
+        boom = RetryPolicy(retries=2, sleep=_raise_interrupt)
+        results, _ = run_suite(
+            [matmul_spec()], ["native", "chrome", "firefox"], runs=1,
+            jobs=1, cache=False, tolerant=True,
+            plan=FaultPlan({"syscall": 1.0}, seed=2), policy=boom)
+        cells = list(results["matmul-24x26x28"].values())
+        assert all(is_failure(c) for c in cells)
+        assert any(c.phase == "interrupted" for c in cells)
+
+    def test_validation_mismatch_becomes_failure(self):
+        from repro.harness.runner import _validate_tolerant
+
+        class FakeRun:
+            def __init__(self, out):
+                self.stdout = out
+
+        class FakeResult:
+            def __init__(self, out):
+                self.run = FakeRun(out)
+
+        results = {"native": FakeResult(b"a"), "chrome": FakeResult(b"b")}
+        _validate_tolerant("m", results)
+        assert not is_failure(results["native"])
+        assert is_failure(results["chrome"])
+        assert results["chrome"].phase == "validate"
+
+
+def _raise_interrupt(_seconds):
+    raise KeyboardInterrupt
+
+
+class TestErrorsNeverRaw:
+    def test_all_resilience_errors_are_repro_errors(self):
+        for exc in (TrapError("t"), FuelExhausted("f"), CellTimeout("c"),
+                    SyscallError("EIO"), CacheCorruptionError("b"),
+                    WorkerCrashError("w")):
+            assert isinstance(exc, ReproError)
