@@ -1,0 +1,57 @@
+"""Perf-smoke gate: fail CI when the fast paths stop being fast.
+
+Runs the tier and warm-pool scenarios from :mod:`bench.run_bench` and
+enforces floors well below the measured speedups, so noise on a shared
+CI runner does not flake the gate but a real regression (fusion slower
+than table dispatch, warm pool slower than a cold pool) fails it.
+Bit-identity is asserted inside each scenario — a warm-pool or fused
+run that diverges from serial raises before the floors are checked.
+
+Usage::
+
+    PYTHONPATH=src python bench/perf_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from run_bench import (                                   # noqa: E402
+    bench_parallel_warm, bench_wasm_fused, bench_x86_fused,
+)
+
+#: (scenario, floor): measured speedups are ~1.5x / ~1.5x / ~1.7x, so a
+#: floor of 1.05x trips only when the optimization has actually
+#: regressed past the baseline, not on timer jitter.
+GATES = (
+    ("wasm_fused", bench_wasm_fused, 1.05),
+    ("x86_fused", bench_x86_fused, 1.05),
+    ("parallel_warm", bench_parallel_warm, 1.05),
+)
+
+
+def main() -> int:
+    failed = []
+    for name, scenario, floor in GATES:
+        print(f"[perf-smoke] {name} ...", flush=True)
+        result = scenario()
+        speedup = result["speedup"]
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(f"[perf-smoke]   {speedup:.2f}x (floor {floor:.2f}x) "
+              f"{verdict}")
+        if speedup < floor:
+            failed.append((name, speedup, floor))
+    if failed:
+        for name, speedup, floor in failed:
+            print(f"[perf-smoke] {name}: {speedup:.2f}x is below the "
+                  f"{floor:.2f}x floor", file=sys.stderr)
+        return 1
+    print("[perf-smoke] all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,16 @@ baseline and writes ``BENCH_repro.json`` at the repo root:
   interpreter vs. the original chain-dispatch one;
 * ``x86_machine``     — the decoded x86 executor vs. the original
   if/elif chain, same program, counters asserted identical;
-* ``parallel_suite``  — a 4-benchmark suite sweep, ``jobs=4`` vs.
-  serial, results asserted bit-identical.
+* ``wasm_fused``      — the wasm interpreter at ``--tier fuse``
+  (superinstructions + quickened dispatch) vs. ``--tier off`` (plain
+  table dispatch), outputs asserted identical;
+* ``x86_fused``       — the x86 executor at ``--tier fuse`` vs.
+  ``--tier off`` on a ref-size workload, counters asserted identical;
+* ``parallel_suite``  — a 4-benchmark suite sweep, ``--jobs 4`` vs.
+  serial, results asserted bit-identical (degrades honestly to serial
+  on a single-CPU box);
+* ``parallel_warm``   — the persistent warm-worker pool vs. a pool
+  rebuilt for every sweep, results asserted bit-identical to serial.
 
 Usage::
 
@@ -22,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
 import tempfile
 import time
@@ -32,7 +41,9 @@ from repro.benchsuite import polybench_benchmark          # noqa: E402
 from repro.codegen import compile_native                  # noqa: E402
 from repro.codegen.emscripten import compile_emscripten   # noqa: E402
 from repro.harness.compilecache import CompileCache       # noqa: E402
-from repro.harness.parallel import run_suite              # noqa: E402
+from repro.harness.parallel import (                      # noqa: E402
+    run_suite, shutdown_warm_pool,
+)
 from repro.harness.runner import compile_benchmark        # noqa: E402
 from repro.ir import CollectingHost                       # noqa: E402
 from repro.wasm.interp import WasmInstance                # noqa: E402
@@ -102,18 +113,51 @@ def bench_wasm_interp():
 
     def run(cls):
         host = _Host(ir.heap_base)
-        value = cls(wasm, host=host).invoke("main")
+        value = cls(wasm, host=host, tier="off").invoke("main")
         return value, bytes(host.output)
 
-    base_seconds, base_out = _best_of(lambda: run(BaselineWasmInstance))
-    fast_seconds, fast_out = _best_of(lambda: run(WasmInstance))
+    def run_baseline():
+        host = _Host(ir.heap_base)
+        value = BaselineWasmInstance(wasm, host=host).invoke("main")
+        return value, bytes(host.output)
+
+    base_seconds, base_out = _best_of(run_baseline, repeats=5)
+    fast_seconds, fast_out = _best_of(lambda: run(WasmInstance),
+                                      repeats=5)
     assert base_out == fast_out, "interpreters disagree"
     return {
         "description": "single-pass 2mm on the wasm interpreter, "
-                       "chain dispatch vs pre-decoded table dispatch",
+                       "chain dispatch vs pre-decoded table dispatch "
+                       "(fusion off; see wasm_fused)",
         "baseline_seconds": base_seconds,
         "optimized_seconds": fast_seconds,
         "speedup": base_seconds / fast_seconds,
+    }
+
+
+def bench_wasm_fused():
+    # Ref-size: ~40ms per pass at --tier off, enough to keep wall-clock
+    # jitter out of the ratio (the "test" size finishes in single-digit
+    # milliseconds and swings +/-20%).
+    spec = polybench_benchmark("2mm", "ref")
+    wasm, ir = compile_emscripten(spec.source, spec.name)
+
+    def run(tier):
+        host = _Host(ir.heap_base)
+        value = WasmInstance(wasm, host=host, tier=tier).invoke("main")
+        return value, bytes(host.output)
+
+    table_seconds, table_out = _best_of(lambda: run("off"), repeats=5)
+    fused_seconds, fused_out = _best_of(lambda: run("fuse"), repeats=5)
+    assert table_out == fused_out, "fused interpreter diverged"
+    return {
+        "description": "single-pass ref-size 2mm on the wasm "
+                       "interpreter, table dispatch (--tier off) vs "
+                       "superinstruction fusion + quickening "
+                       "(--tier fuse); outputs asserted identical",
+        "baseline_seconds": table_seconds,
+        "optimized_seconds": fused_seconds,
+        "speedup": table_seconds / fused_seconds,
     }
 
 
@@ -121,21 +165,55 @@ def bench_x86_machine():
     spec = polybench_benchmark("gemm", "test")
     program, module = compile_native(spec.source, spec.name)
 
-    def run(cls):
-        machine = cls(program, host=_Host(module.heap_base))
+    def run_baseline():
+        machine = X86MachineBaseline(program, host=_Host(module.heap_base))
         machine.call("main")
         return machine.perf.as_dict()
 
-    base_seconds, base_perf = _best_of(lambda: run(X86MachineBaseline))
-    fast_seconds, fast_perf = _best_of(lambda: run(X86Machine))
+    def run_fast():
+        machine = X86Machine(program, host=_Host(module.heap_base),
+                             tier="off")
+        machine.call("main")
+        return machine.perf.as_dict()
+
+    base_seconds, base_perf = _best_of(run_baseline, repeats=5)
+    fast_seconds, fast_perf = _best_of(run_fast, repeats=5)
     assert base_perf == fast_perf, "perf counters diverge"
     return {
         "description": "native gemm on the simulated x86 machine, "
-                       "chain dispatch vs pre-decoded dispatch",
+                       "chain dispatch vs pre-decoded dispatch "
+                       "(fusion off; see x86_fused)",
         "baseline_seconds": base_seconds,
         "optimized_seconds": fast_seconds,
         "speedup": base_seconds / fast_seconds,
         "instructions": fast_perf["instructions"],
+    }
+
+
+def bench_x86_fused():
+    # Ref-size gemm: ~10x the instructions of the "test" size, enough
+    # for promotion cost to amortize and wall-clock noise to shrink.
+    spec = polybench_benchmark("gemm", "ref")
+    program, module = compile_native(spec.source, spec.name)
+
+    def run(tier):
+        machine = X86Machine(program, host=_Host(module.heap_base),
+                             tier=tier)
+        machine.call("main")
+        return machine.perf.as_dict()
+
+    table_seconds, table_perf = _best_of(lambda: run("off"), repeats=5)
+    fused_seconds, fused_perf = _best_of(lambda: run("fuse"), repeats=5)
+    assert table_perf == fused_perf, "fused executor diverged"
+    return {
+        "description": "native ref-size gemm on the x86 executor, "
+                       "table dispatch (--tier off) vs superinstruction "
+                       "fusion + quickening (--tier fuse); perf counters "
+                       "asserted identical",
+        "baseline_seconds": table_seconds,
+        "optimized_seconds": fused_seconds,
+        "speedup": table_seconds / fused_seconds,
+        "instructions": fused_perf["instructions"],
     }
 
 
@@ -144,6 +222,9 @@ def bench_parallel_suite():
     names = ["2mm", "3mm", "gemm", "covariance"]
     targets = ["native", "chrome", "firefox"]
 
+    from repro.harness.parallel import normalize_jobs
+    effective = normalize_jobs(4, quiet=True)
+
     def sweep(jobs):
         suite = [polybench_benchmark(name, "test") for name in names]
         return run_suite(suite, targets, runs=3, jobs=jobs, cache=False)
@@ -151,18 +232,79 @@ def bench_parallel_suite():
     serial_seconds, (serial, _) = _best_of(lambda: sweep(1), repeats=1)
     parallel_seconds, (parallel, _) = _best_of(lambda: sweep(4),
                                                repeats=1)
+    shutdown_warm_pool()
     for name in names:
         for target in targets:
             assert serial[name][target].times == \
                 parallel[name][target].times, "parallel diverged"
     return {
         "description": "4-benchmark x 3-target suite sweep, serial vs "
-                       "jobs=4; results asserted bit-identical. "
-                       "Wall-clock speedup needs multiple cores.",
+                       "--jobs 4; results asserted bit-identical. "
+                       "On a single-CPU box --jobs degrades to serial "
+                       "(see parallel_warm for the forced-pool number).",
         "baseline_seconds": serial_seconds,
         "optimized_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds,
         "jobs": 4,
+        "effective_jobs": effective,
+        "cpus": os.cpu_count(),
+    }
+
+
+def bench_parallel_warm():
+    """Persistent warm pool vs a pool rebuilt per sweep (the old
+    ``ProcessPoolExecutor`` behavior).  Forced on via REPRO_FORCE_JOBS
+    so the pool runs even on a single-CPU box, with a shared compile
+    cache so the comparison isolates pool lifetime from compile work.
+    Results are asserted bit-identical against a serial sweep."""
+    names = ["2mm", "3mm", "gemm", "covariance"]
+    targets = ["native", "chrome", "firefox"]
+    jobs = min(4, max(2, os.cpu_count() or 1))
+
+    prev_force = os.environ.get("REPRO_FORCE_JOBS")
+    prev_cache = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_FORCE_JOBS"] = "1"
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    os.environ["REPRO_CACHE_DIR"] = tmp
+
+    def sweep(n):
+        suite = [polybench_benchmark(name, "test") for name in names]
+        return run_suite(suite, targets, runs=3, jobs=n)
+
+    def cold_sweep():
+        shutdown_warm_pool()
+        return sweep(jobs)
+
+    try:
+        _, (serial, _) = _best_of(lambda: sweep(1), repeats=1)  # + cache fill
+        cold_seconds, (cold, _) = _best_of(cold_sweep, repeats=3)
+        shutdown_warm_pool()
+        sweep(jobs)  # fork + warm the pool once
+        warm_seconds, (warm, _) = _best_of(lambda: sweep(jobs), repeats=3)
+    finally:
+        shutdown_warm_pool()
+        for var, prev in (("REPRO_FORCE_JOBS", prev_force),
+                          ("REPRO_CACHE_DIR", prev_cache)):
+            if prev is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = prev
+        shutil.rmtree(tmp, ignore_errors=True)
+    for name in names:
+        for target in targets:
+            assert serial[name][target].times == \
+                warm[name][target].times == \
+                cold[name][target].times, "warm pool diverged"
+    return {
+        "description": "4-benchmark x 3-target suite sweep on the "
+                       "persistent warm-worker pool vs a pool rebuilt "
+                       "per sweep; results asserted bit-identical to "
+                       "serial. Measures what repeated sweeps "
+                       "(compare/report/bench loops) save.",
+        "baseline_seconds": cold_seconds,
+        "optimized_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "jobs": jobs,
         "cpus": os.cpu_count(),
     }
 
@@ -171,7 +313,10 @@ SCENARIOS = {
     "compile_cache": bench_compile_cache,
     "wasm_interp": bench_wasm_interp,
     "x86_machine": bench_x86_machine,
+    "wasm_fused": bench_wasm_fused,
+    "x86_fused": bench_x86_fused,
     "parallel_suite": bench_parallel_suite,
+    "parallel_warm": bench_parallel_warm,
 }
 
 

@@ -60,18 +60,22 @@ class RunResult:
 def execute_program(program: X86Program, runtime, name: str,
                     entry: str = "main",
                     max_instructions: int = 2_000_000_000,
-                    profile=None, timeout: float = None) -> RunResult:
+                    profile=None, timeout: float = None,
+                    tier=None) -> RunResult:
     """Run a compiled program against a process runtime.
 
     ``timeout`` (wall-clock seconds) arms the machine's deadline
     watchdog: a run that exceeds it raises
     :class:`~repro.errors.CellTimeout` instead of hanging the sweep.
+    ``tier`` overrides the process-wide execution tier for this run
+    (``None`` follows the ``--tier`` / ``REPRO_TIER`` setting, not any
+    tier stamped into a cached program's compile_stats).
     """
     from time import monotonic
     deadline = None if timeout is None else monotonic() + timeout
     machine = X86Machine(program, host=runtime,
                          max_instructions=max_instructions,
-                         profile=profile, deadline=deadline)
+                         profile=profile, deadline=deadline, tier=tier)
     with span("execute", program=name, entry=entry):
         rax, _ = machine.call(entry)
     return RunResult(

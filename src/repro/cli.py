@@ -354,11 +354,18 @@ def cmd_report(args) -> int:
         ret = standalone[artifact]()
     print(ret[-1])
     if args.json:
+        from .tier import get_tier
+        counters = get_registry().as_dict()["counters"]
         payload = {
             "artifact": artifact,
             "data": _jsonify(list(ret[:-1])),
             "text": ret[-1],
             "metrics": get_registry().as_dict(),
+            "tier": {
+                "tier": get_tier(),
+                "promotions": counters.get("tier.promotions", 0),
+                "fused_ops": counters.get("tier.fused_ops", 0),
+            },
             "failures": [_jsonify(f.as_dict(args.size)) for f in failures],
             "partial": bool(failures),
         }
@@ -451,6 +458,16 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _add_tier_arg(p) -> None:
+    p.add_argument("--tier", choices=("off", "quicken", "fuse"),
+                   default=None,
+                   help="interpreter execution tier: plain table "
+                        "dispatch (off), per-op specialization "
+                        "(quicken), or quickening plus "
+                        "superinstruction fusion (fuse, the default); "
+                        "results are bit-identical at every tier")
+
+
 def _add_resilience_args(p) -> None:
     """The fault-injection / fault-tolerance knobs (bench + report)."""
     p.add_argument("--inject", metavar="SPEC",
@@ -486,11 +503,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", action="append",
                    help="stage a file into the kernel filesystem")
     p.add_argument("--stats", action="store_true")
+    _add_tier_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="run a program on every pipeline")
     p.add_argument("program")
     p.add_argument("--file", action="append")
+    _add_tier_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("disasm", help="dump generated x86")
@@ -516,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="collect and print harness metrics")
     _add_resilience_args(p)
+    _add_tier_arg(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -532,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH",
                    help="also write the artifact data + metrics as JSON")
     _add_resilience_args(p)
+    _add_tier_arg(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -544,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stage a file into the kernel filesystem")
     p.add_argument("-o", "--output", default="trace.json",
                    help="output path (load via chrome://tracing)")
+    _add_tier_arg(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -560,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the attribution as JSON")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk compile cache")
+    _add_tier_arg(p)
     p.set_defaults(func=cmd_profile)
 
     return parser
@@ -567,6 +590,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    tier = getattr(args, "tier", None)
+    if tier is not None:
+        from .tier import set_tier
+        set_tier(tier)
     try:
         return args.func(args)
     except KeyboardInterrupt:

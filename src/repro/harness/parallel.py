@@ -3,8 +3,8 @@
 A full Table 1 / Fig. 3 sweep measures every benchmark on every target —
 dozens of independent (benchmark, target) cells that the serial drivers
 grind through one at a time.  This module fans those cells out over a
-``concurrent.futures.ProcessPoolExecutor`` while keeping every
-measurement *bit-identical* to a serial run:
+persistent warm-worker pool (see :class:`_WarmPool`) while keeping
+every measurement *bit-identical* to a serial run:
 
 * the simulated machine is deterministic, and the synthesized
   measurement noise is seeded per (benchmark, target) with the existing
@@ -26,12 +26,14 @@ compiled once per toolchain version across the whole pool.
 
 from __future__ import annotations
 
+import atexit
 import os
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 
 from ..errors import CellTimeout, WorkerCrashError
 from ..obs import get_registry
+from ..tier import get_tier
 from . import compilecache
 from .runner import NOISE, compile_benchmark, run_compiled
 
@@ -45,10 +47,23 @@ def default_jobs() -> int:
     return max(1, min(os.cpu_count() or 1, MAX_JOBS))
 
 
-def normalize_jobs(jobs) -> int:
-    if jobs is None:
-        return default_jobs()
-    return max(1, int(jobs))
+def normalize_jobs(jobs, quiet: bool = False) -> int:
+    """Resolve a ``--jobs`` request to an effective worker count.
+
+    On a single-CPU box extra workers only add fork/pickle overhead
+    (the sweep measured 0.69x), so a multi-job request degrades to
+    serial with a one-line notice.  Set ``REPRO_FORCE_JOBS=1`` to keep
+    the requested width anyway (tests, or a miscounted container).
+    """
+    requested = default_jobs() if jobs is None else max(1, int(jobs))
+    if requested > 1 and (os.cpu_count() or 1) <= 1 \
+            and not os.environ.get("REPRO_FORCE_JOBS"):
+        if not quiet and jobs is not None:
+            print(f"repro: 1 CPU available; running serially instead of "
+                  f"--jobs {requested} (REPRO_FORCE_JOBS=1 overrides)",
+                  file=sys.stderr)
+        return 1
+    return requested
 
 
 # -- spec references ---------------------------------------------------------------
@@ -106,6 +121,162 @@ def _run_cell(ref, target, runs, noise, max_instructions, use_cache):
     timing = {"pid": os.getpid(), "start": start,
               "seconds": time.time() - start}
     return result, dict(compiled.compile_seconds), timing
+
+
+# -- the warm-worker pool ----------------------------------------------------------
+#
+# ``ProcessPoolExecutor`` paid the full interpreter spin-up — import,
+# registry construction, decode-cache warm-up — once *per pool*, but the
+# pool itself was rebuilt for every ``run_suite`` call, so a bench loop
+# that sweeps repeatedly (compare, bench --repeat, the perf-smoke gate)
+# kept re-paying it.  The warm pool forks its workers once, keeps them
+# alive across sweeps, and streams cells over the same pipe protocol the
+# tolerant scheduler uses.  Workers inherit the parent's imported
+# modules and on-disk compile cache at fork time, so the first cell in a
+# fresh worker is already warm.  Crash isolation is *not* a goal here —
+# that is what ``--tolerant`` / ``--inject`` and their process-per-cell
+# scheduler are for — so a dying warm worker aborts the sweep.
+
+def _warm_worker_main(conn):
+    """Loop of one persistent warm worker: recv job, run, send result.
+
+    Each job carries ``use_cache`` and the parent's tier name because
+    both are process-global state a *persistent* worker would otherwise
+    carry over from whatever the previous sweep set.
+    """
+    from ..tier import set_tier
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None:
+            break
+        job_id, (ref, target, runs, noise, max_instructions,
+                 use_cache, tier) = msg
+        start = time.time()
+        try:
+            compilecache.set_enabled(use_cache)
+            set_tier(tier)
+            spec = resolve_ref(ref)
+            compiled = compile_benchmark(spec, (target,))
+            result = run_compiled(compiled, target, runs=runs, noise=noise,
+                                  max_instructions=max_instructions)
+            timing = {"pid": os.getpid(), "start": start,
+                      "seconds": time.time() - start}
+            conn.send((job_id, "ok",
+                       (result, dict(compiled.compile_seconds)), timing))
+        except KeyboardInterrupt:
+            os._exit(130)
+        except BaseException as exc:
+            try:
+                conn.send((job_id, "err", exc, None))
+            except Exception:
+                os._exit(1)
+
+
+class _WarmPool:
+    """A persistent fork-server pool of measurement workers."""
+
+    def __init__(self, width: int):
+        import multiprocessing as mp
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context()
+        self.width = width
+        self.workers = []
+        for _ in range(width):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=_warm_worker_main,
+                               args=(child_conn,), daemon=True)
+            proc.start()
+            child_conn.close()
+            self.workers.append({"proc": proc, "conn": parent_conn})
+
+    def alive(self) -> bool:
+        return bool(self.workers) and \
+            all(w["proc"].is_alive() for w in self.workers)
+
+    def run_jobs(self, jobs_list):
+        """Stream jobs through the pool; yield results as they complete.
+
+        ``jobs_list`` is a list of dicts with a picklable ``payload``;
+        yields ``(job, value, timing, submitted)`` in completion order.
+        A cell exception is re-raised in the parent (non-tolerant
+        semantics); a worker death raises :class:`WorkerCrashError`.
+        The caller is responsible for discarding the pool on any raise —
+        in-flight cells on other workers are not drained.
+        """
+        from multiprocessing.connection import wait as _wait
+
+        pending = list(enumerate(jobs_list))
+        inflight = {}  # conn -> (job, submit_time)
+        idle = [w["conn"] for w in self.workers]
+        while pending or inflight:
+            while pending and idle:
+                conn = idle.pop()
+                job_id, job = pending.pop(0)
+                conn.send((job_id, job["payload"]))
+                inflight[conn] = (job, time.time())
+            for conn in _wait(list(inflight)):
+                job, submitted = inflight.pop(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    raise WorkerCrashError(
+                        f"warm pool worker died while measuring "
+                        f"{job['name']}:{job['target']}") from None
+                _, kind, value, timing = msg
+                if kind == "err":
+                    raise value
+                idle.append(conn)
+                yield job, value, timing, submitted
+
+    def shutdown(self):
+        for w in self.workers:
+            try:
+                w["conn"].send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for w in self.workers:
+            try:
+                w["conn"].close()
+            except OSError:
+                pass
+        for w in self.workers:
+            w["proc"].join(timeout=1.0)
+            if w["proc"].is_alive():
+                w["proc"].terminate()
+                w["proc"].join(timeout=1.0)
+        self.workers = []
+
+
+_POOL = None
+
+
+def _get_warm_pool(width: int) -> _WarmPool:
+    """The process-wide warm pool, rebuilt only when the width changes
+    (or a worker died)."""
+    global _POOL
+    if _POOL is not None and _POOL.width == width and _POOL.alive():
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+    _POOL = _WarmPool(width)
+    return _POOL
+
+
+def shutdown_warm_pool():
+    """Tear down the warm pool (atexit, tests, and bench teardown)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_warm_pool)
 
 
 # -- the fault-tolerant worker -----------------------------------------------------
@@ -393,26 +564,21 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
         serial_specs = [s for s in benchmarks if refs[s.name] is None]
         if pool_specs:
             metrics = get_registry()
-            pending = {}  # future -> (name, target, submit_time)
+            tier_name = get_tier()
             remaining = {s.name: len(targets) for s in pool_specs}
             busy_by_pid = {}
+            jobs_list = [{
+                "name": spec.name, "target": target,
+                "payload": (refs[spec.name], target, runs, noise,
+                            max_instructions, use_cache, tier_name),
+            } for spec in pool_specs for target in targets]
             pool_start = time.time()
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for spec in pool_specs:
-                    for target in targets:
-                        future = pool.submit(
-                            _run_cell, refs[spec.name], target, runs,
-                            noise, max_instructions, use_cache)
-                        pending[future] = (spec.name, target, time.time())
-                for future, (name, target, submitted) in pending.items():
-                    try:
-                        result, seconds, timing = future.result()
-                    except KeyboardInterrupt:
-                        # Ctrl-C: drop queued cells, let workers die with
-                        # the process group, surface partial results via
-                        # the CLI's interrupt handler.
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        raise
+            pool = _get_warm_pool(jobs)
+            try:
+                for job, value, timing, submitted in \
+                        pool.run_jobs(jobs_list):
+                    result, seconds = value
+                    name, target = job["name"], job["target"]
                     cell_results[(name, target)] = result
                     compile_seconds[name].update(seconds)
                     if metrics.enabled:
@@ -427,10 +593,16 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
                     remaining[name] -= 1
                     if not remaining[name] and progress is not None:
                         progress(name)
+            except BaseException:
+                # Cell error, worker crash, or Ctrl-C: the pool may
+                # still have cells in flight, so discard it (forking a
+                # fresh one is cheap) and propagate.
+                shutdown_warm_pool()
+                raise
             if metrics.enabled:
                 pool_wall = max(time.time() - pool_start, 1e-9)
                 metrics.gauge("runner.jobs").set(jobs)
-                metrics.counter("runner.cells").inc(len(pending))
+                metrics.counter("runner.cells").inc(len(jobs_list))
                 for i, pid in enumerate(sorted(busy_by_pid)):
                     metrics.gauge(f"runner.worker.{i}.utilization").set(
                         busy_by_pid[pid] / pool_wall)

@@ -50,6 +50,15 @@ class Engine:
         program.compile_stats["pipeline"] = self.name
         return program
 
+    @staticmethod
+    def execution_tier() -> str:
+        """The execution tier new machines will run this engine's
+        output at (see :mod:`repro.tier`).  Resolved at machine
+        construction, not baked into the program: a cached program
+        re-run under a different ``--tier`` uses the new tier."""
+        from ..tier import get_tier
+        return get_tier()
+
     def compile_module(self, module: WasmModule) -> X86Program:
         """Compile an in-memory wasm module (already validated)."""
         start = time.perf_counter()
@@ -72,6 +81,7 @@ class Engine:
         program.compile_stats.setdefault(
             "compile_seconds", time.perf_counter() - start)
         program.compile_stats["pipeline"] = self.name
+        program.compile_stats["tier"] = self.execution_tier()
         return program
 
     def __repr__(self):

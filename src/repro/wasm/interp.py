@@ -26,6 +26,7 @@ import struct
 
 from ..errors import FuelExhausted, LinkError, ReproError, TrapError
 from ..ir import intops
+from ..tier import HOT_CALLS, note_promotion, tier_level
 from .module import PAGE_SIZE, WasmModule
 from .validate import validate_module
 
@@ -379,6 +380,286 @@ NUMERIC_TABLE.update(_int_ops("i64", 64))
 NUMERIC_TABLE.update(_float_ops("f32"))
 NUMERIC_TABLE.update(_float_ops("f64"))
 
+#: Numeric opcodes that can raise a Python arithmetic error (the K_NUM
+#: guard exists for these); everything else is quickened to K_RAW in the
+#: ``quicken`` tier.
+_IMPURE_NUM = {f"{p}.{s}" for p in ("i32", "i64")
+               for s in ("div_s", "div_u", "rem_s", "rem_u",
+                         "trunc_f32_s", "trunc_f32_u",
+                         "trunc_f64_s", "trunc_f64_u")}
+
+
+# ---------------------------------------------------------------------------
+# Operand-form pure binary ops for superinstruction fusion: ``fn(a, b)``
+# with ``a`` the deeper stack operand.  Only ops that can never trap (no
+# div/rem/trunc), so fused handlers need no arithmetic-trap guard —
+# semantics match the stack-form NUMERIC_TABLE handlers exactly.
+# ---------------------------------------------------------------------------
+
+def _pure2_int(prefix: str, bits: int) -> dict:
+    mask = (1 << bits) - 1
+    signed = intops.signed
+    t = {
+        "add": lambda a, b: (a + b) & mask,
+        "sub": lambda a, b: (a - b) & mask,
+        "mul": lambda a, b: (a * b) & mask,
+        "and": lambda a, b: a & b,
+        "or": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "shl": lambda a, b: intops.shl(a, b, bits),
+        "shr_s": lambda a, b: intops.shr_s(a, b, bits),
+        "shr_u": lambda a, b: intops.shr_u(a, b, bits),
+        "rotl": lambda a, b: intops.rotl(a, b, bits),
+        "rotr": lambda a, b: intops.rotr(a, b, bits),
+        "eq": lambda a, b: 1 if a == b else 0,
+        "ne": lambda a, b: 1 if a != b else 0,
+        "lt_u": lambda a, b: 1 if a < b else 0,
+        "gt_u": lambda a, b: 1 if a > b else 0,
+        "le_u": lambda a, b: 1 if a <= b else 0,
+        "ge_u": lambda a, b: 1 if a >= b else 0,
+        "lt_s": lambda a, b: 1 if signed(a, bits) < signed(b, bits) else 0,
+        "gt_s": lambda a, b: 1 if signed(a, bits) > signed(b, bits) else 0,
+        "le_s": lambda a, b: 1 if signed(a, bits) <= signed(b, bits) else 0,
+        "ge_s": lambda a, b: 1 if signed(a, bits) >= signed(b, bits) else 0,
+    }
+    return {f"{prefix}.{name}": fn for name, fn in t.items()}
+
+
+def _pure2_float(prefix: str) -> dict:
+    f32 = prefix == "f32"
+
+    def narrow(x: float) -> float:
+        if f32:
+            return struct.unpack("<f", struct.pack("<f", x))[0]
+        return x
+
+    def div(a, b):
+        # wasm float division never traps: +-inf / nan at zero.
+        if b == 0.0:
+            return (float("inf") if a > 0
+                    else float("-inf") if a < 0 else float("nan"))
+        return narrow(a / b)
+
+    t = {
+        "add": lambda a, b: narrow(a + b),
+        "sub": lambda a, b: narrow(a - b),
+        "mul": lambda a, b: narrow(a * b),
+        "div": div,
+        "min": lambda a, b: min(a, b),
+        "max": lambda a, b: max(a, b),
+        "copysign": lambda a, b: math.copysign(a, b),
+        "eq": lambda a, b: 1 if a == b else 0,
+        "ne": lambda a, b: 1 if a != b else 0,
+        "lt": lambda a, b: 1 if a < b else 0,
+        "gt": lambda a, b: 1 if a > b else 0,
+        "le": lambda a, b: 1 if a <= b else 0,
+        "ge": lambda a, b: 1 if a >= b else 0,
+    }
+    return {f"{prefix}.{name}": fn for name, fn in t.items()}
+
+
+_PURE2 = {}
+_PURE2.update(_pure2_int("i32", 32))
+_PURE2.update(_pure2_int("i64", 64))
+_PURE2.update(_pure2_float("f32"))
+_PURE2.update(_pure2_float("f64"))
+
+_CONST_OPS = ("i32.const", "i64.const", "f32.const", "f64.const")
+
+
+def _const_value(instr):
+    """Immediate value with the same normalization as the decoder."""
+    if instr.op == "i32.const":
+        return instr.args[0] & _M32
+    if instr.op == "i64.const":
+        return instr.args[0] & _M64
+    return float(instr.args[0])
+
+
+# Superinstruction handler factories.  Each returns ``h(stack, locals_)``
+# whose net stack/locals effect is exactly that of executing the fused
+# constituent sequence one entry at a time.
+
+def _f_ggbs(ia, ib, fn, dst):       # get a; get b; binop; set d
+    def h(stack, locals_):
+        locals_[dst] = fn(locals_[ia], locals_[ib])
+    return h
+
+
+def _f_ggb(ia, ib, fn):             # get a; get b; binop
+    def h(stack, locals_):
+        stack.append(fn(locals_[ia], locals_[ib]))
+    return h
+
+
+def _f_gcbs(ia, k, fn, dst):        # get a; const k; binop; set d
+    def h(stack, locals_):
+        locals_[dst] = fn(locals_[ia], k)
+    return h
+
+
+def _f_gcb(ia, k, fn):              # get a; const k; binop
+    def h(stack, locals_):
+        stack.append(fn(locals_[ia], k))
+    return h
+
+
+def _f_gb(ia, fn):                  # get a; binop  (TOS op= local)
+    def h(stack, locals_):
+        stack[-1] = fn(stack[-1], locals_[ia])
+    return h
+
+
+def _f_gbs(ia, fn, dst):            # get a; binop; set d
+    def h(stack, locals_):
+        locals_[dst] = fn(stack.pop(), locals_[ia])
+    return h
+
+
+def _f_cgb(k, ib, fn):              # const k; get b; binop
+    def h(stack, locals_):
+        stack.append(fn(k, locals_[ib]))
+    return h
+
+
+def _f_cgbs(k, ib, fn, dst):        # const k; get b; binop; set d
+    def h(stack, locals_):
+        locals_[dst] = fn(k, locals_[ib])
+    return h
+
+
+def _f_gls(loadv, dst):             # get a; load; set d
+    def h(stack, locals_):
+        locals_[dst] = loadv(locals_)
+    return h
+
+
+def _f_glb(loadv, fn):              # get a; load; binop
+    def h(stack, locals_):
+        stack[-1] = fn(stack[-1], loadv(locals_))
+    return h
+
+
+def _f_glbs(loadv, fn, dst):        # get a; load; binop; set d
+    def h(stack, locals_):
+        locals_[dst] = fn(stack.pop(), loadv(locals_))
+    return h
+
+
+def _f_cbs(k, fn, dst):             # const k; binop; set d
+    def h(stack, locals_):
+        locals_[dst] = fn(stack.pop(), k)
+    return h
+
+
+def _f_cb(k, fn):                   # const k; binop
+    def h(stack, locals_):
+        stack[-1] = fn(stack[-1], k)
+    return h
+
+
+def _f_bs(fn, dst):                 # binop; set d
+    def h(stack, locals_):
+        b = stack.pop()
+        locals_[dst] = fn(stack.pop(), b)
+    return h
+
+
+def _f_move(src, dst):              # get a; set d
+    def h(stack, locals_):
+        locals_[dst] = locals_[src]
+    return h
+
+
+def _f_cset(k, dst):                # const k; set d
+    def h(stack, locals_):
+        locals_[dst] = k
+    return h
+
+
+# Fused branch tests: ``t(stack, locals_)`` pops the same operands as the
+# constituent sequence and returns the branch condition.
+
+def _t_binop(fn):                   # cmp/binop; br_if
+    def t(stack, locals_):
+        b = stack.pop()
+        return fn(stack.pop(), b)
+    return t
+
+
+def _t_ggb(ia, ib, fn):             # get a; get b; cmp; br_if
+    def t(stack, locals_):
+        return fn(locals_[ia], locals_[ib])
+    return t
+
+
+def _t_gcb(ia, k, fn):              # get a; const k; cmp; br_if
+    def t(stack, locals_):
+        return fn(locals_[ia], k)
+    return t
+
+
+def _t_gb(ia, fn):                  # get a; cmp; br_if
+    def t(stack, locals_):
+        return fn(stack.pop(), locals_[ia])
+    return t
+
+
+def _t_cgb(k, ib, fn):              # const k; get b; cmp; br_if
+    def t(stack, locals_):
+        return fn(k, locals_[ib])
+    return t
+
+
+# Value producers for fused stores: ``v(stack, locals_)`` computes the
+# stored value with the same net stack effect as the constituent prefix.
+
+def _v_ggb(ia, ib, fn):
+    def v(stack, locals_):
+        return fn(locals_[ia], locals_[ib])
+    return v
+
+
+def _v_gcb(ia, k, fn):
+    def v(stack, locals_):
+        return fn(locals_[ia], k)
+    return v
+
+
+def _v_binop(fn):
+    def v(stack, locals_):
+        b = stack.pop()
+        return fn(stack.pop(), b)
+    return v
+
+
+def _v_gb(ia, fn):
+    def v(stack, locals_):
+        return fn(stack.pop(), locals_[ia])
+    return v
+
+
+def _v_cgb(k, ib, fn):
+    def v(stack, locals_):
+        return fn(k, locals_[ib])
+    return v
+
+
+def _v_const(k):
+    def v(stack, locals_):
+        return k
+    return v
+
+
+def _t_eqz(stack, locals_):         # eqz; br_if
+    return stack.pop() == 0
+
+
+def _t_get(src):                    # get a; br_if
+    def t(stack, locals_):
+        return locals_[src]
+    return t
+
 
 def _op_drop(stack):
     stack.pop()
@@ -470,6 +751,14 @@ K_CALL = 13          # payload: (func index, nargs, result type or None)
 K_CALL_INDIRECT = 14  # payload: (expected func type, type index)
 K_FALLBACK = 15      # payload: opcode string -> self._numeric
 
+# Superinstruction kinds are negative so the hot loop filters them with a
+# single ``kind < 0`` test before the ordinary chain.  A fused entry
+# replaces only the FIRST slot of its pattern; the consumed interior
+# slots keep their original entries, so a branch landing mid-pattern
+# executes the originals and no branch-target remapping is ever needed.
+K_FUSED = -1         # payload: (handler(stack, locals), skip, ops tuple)
+K_FUSED_BRIF = -2    # payload: (test(stack, locals), skip, ops, depth)
+
 
 class WasmInstance:
     """An instantiated module: memory, table, globals, and execution."""
@@ -482,7 +771,7 @@ class WasmInstance:
 
     def __init__(self, module: WasmModule, host=None, validate: bool = True,
                  max_call_depth: int = 2000, profile=None,
-                 max_fuel: int = None):
+                 max_fuel: int = None, tier=None):
         if validate:
             validate_module(module)
         self.module = module
@@ -492,8 +781,12 @@ class WasmInstance:
         #: counts are bucketed per function, per wasm opcode, and per
         #: structured block.
         self.profile = profile
+        #: Execution tier (0=off, 1=quicken, 2=fuse); ``None`` follows
+        #: the process-wide setting from :mod:`repro.tier`.
+        self._tier = tier_level(tier)
         self._ops_cache = {}
         self._name_cache = {}
+        self._loop_cache = {}
         initial, maximum = module.memory_pages
         self.memory = bytearray(initial * PAGE_SIZE)
         self.max_pages = maximum
@@ -677,6 +970,319 @@ class WasmInstance:
                 return end
         raise TrapError("else without matching if")
 
+    # -- tiering: quickening + superinstruction fusion -------------------------------
+
+    def _promote_code(self, func, code, tier):
+        """Re-decode a hot function at the given tier level.
+
+        ``quicken`` drops the arithmetic-trap guard from trap-free
+        numeric ops; ``fuse`` additionally collapses hot adjacent
+        patterns into single handlers.  Slot count is preserved: a fused
+        entry replaces only the first slot of its pattern and records how
+        many interior slots to skip.
+        """
+        body = func.body
+        n = len(code)
+        out = list(code)
+        for i, (kind, payload) in enumerate(code):
+            if kind == K_NUM and body[i].op not in _IMPURE_NUM:
+                out[i] = (K_RAW, payload)
+        fused = 0
+        if tier >= 2:
+            ops = [instr.op for instr in body]
+            i = 0
+            while i < n:
+                match = self._fuse_at(body, ops, i, n)
+                if match is not None:
+                    out[i], length = match
+                    fused += 1
+                    i += length
+                else:
+                    i += 1
+        note_promotion(fused)
+        return out
+
+    def _fuse_at(self, body, ops, i, n):
+        """Try to fuse the pattern starting at ``i``; longest match wins.
+
+        Trap-capable constituents (loads/stores) only ever appear in the
+        LAST position, so pre-charging every constituent's profile count
+        before execution matches the unfused charge-then-execute order
+        even when the pattern traps.
+        """
+        op = ops[i]
+        pure2 = _PURE2
+        if op == "local.get":
+            ia = body[i].args[0]
+            if i + 1 >= n:
+                return None
+            op1 = ops[i + 1]
+            if op1 == "local.get" and i + 2 < n:
+                fn = pure2.get(ops[i + 2])
+                if fn is not None:
+                    ib = body[i + 1].args[0]
+                    op3 = ops[i + 3] if i + 3 < n else None
+                    if op3 == "local.set":
+                        dst = body[i + 3].args[0]
+                        return self._entry(
+                            _f_ggbs(ia, ib, fn, dst), ops, i, 4)
+                    if op3 == "br_if":
+                        return self._brif_entry(
+                            _t_ggb(ia, ib, fn), ops, i, 4,
+                            body[i + 3].args[0])
+                    if op3 is not None and self._is_store(op3):
+                        return self._entry(
+                            self._fused_store(body[i + 3],
+                                              _v_ggb(ia, ib, fn)),
+                            ops, i, 4)
+                    return self._entry(_f_ggb(ia, ib, fn), ops, i, 3)
+            elif op1 in _CONST_OPS and i + 2 < n:
+                fn = pure2.get(ops[i + 2])
+                if fn is not None:
+                    k = _const_value(body[i + 1])
+                    op3 = ops[i + 3] if i + 3 < n else None
+                    if op3 == "local.set":
+                        dst = body[i + 3].args[0]
+                        return self._entry(
+                            _f_gcbs(ia, k, fn, dst), ops, i, 4)
+                    if op3 == "br_if":
+                        return self._brif_entry(
+                            _t_gcb(ia, k, fn), ops, i, 4,
+                            body[i + 3].args[0])
+                    if op3 is not None and self._is_store(op3):
+                        return self._entry(
+                            self._fused_store(body[i + 3],
+                                              _v_gcb(ia, k, fn)),
+                            ops, i, 4)
+                    return self._entry(_f_gcb(ia, k, fn), ops, i, 3)
+            if op1 in _LOAD_FMT or op1 in ("f32.load", "f64.load"):
+                # Patterns with the load in an interior slot are only
+                # used with profiling off: pre-charging a later
+                # constituent would diverge from charge-then-execute
+                # order if the load trapped.  Outputs and fuel are exact
+                # either way.
+                if self.profile is None and i + 2 < n:
+                    op2 = ops[i + 2]
+                    loadv = None
+                    if op2 == "local.set":
+                        loadv = self._fused_load_value(ia, body[i + 1])
+                        return self._entry(
+                            _f_gls(loadv, body[i + 2].args[0]), ops, i, 3)
+                    fn = pure2.get(op2)
+                    if fn is not None:
+                        loadv = self._fused_load_value(ia, body[i + 1])
+                        if i + 3 < n and ops[i + 3] == "local.set":
+                            return self._entry(
+                                _f_glbs(loadv, fn, body[i + 3].args[0]),
+                                ops, i, 4)
+                        return self._entry(_f_glb(loadv, fn), ops, i, 3)
+                return self._entry(
+                    self._fused_get_load(ia, body[i + 1]), ops, i, 2)
+            if op1 in _STORE_FMT or op1 in ("f32.store", "f64.store"):
+                return self._entry(
+                    self._fused_get_store(ia, body[i + 1]), ops, i, 2)
+            if op1 == "local.set":
+                return self._entry(
+                    _f_move(ia, body[i + 1].args[0]), ops, i, 2)
+            if op1 == "br_if":
+                return self._brif_entry(
+                    _t_get(ia), ops, i, 2, body[i + 1].args[0])
+            fn = pure2.get(op1)
+            if fn is not None:
+                op2 = ops[i + 2] if i + 2 < n else None
+                if op2 == "local.set":
+                    return self._entry(
+                        _f_gbs(ia, fn, body[i + 2].args[0]), ops, i, 3)
+                if op2 == "br_if":
+                    return self._brif_entry(
+                        _t_gb(ia, fn), ops, i, 3, body[i + 2].args[0])
+                if op2 is not None and self._is_store(op2):
+                    return self._entry(
+                        self._fused_store(body[i + 2], _v_gb(ia, fn)),
+                        ops, i, 3)
+                return self._entry(_f_gb(ia, fn), ops, i, 2)
+            return None
+        if op in _CONST_OPS:
+            if i + 1 >= n:
+                return None
+            k = _const_value(body[i])
+            op1 = ops[i + 1]
+            if op1 == "local.get" and i + 2 < n:
+                fn = pure2.get(ops[i + 2])
+                if fn is not None:
+                    ib = body[i + 1].args[0]
+                    op3 = ops[i + 3] if i + 3 < n else None
+                    if op3 == "local.set":
+                        return self._entry(
+                            _f_cgbs(k, ib, fn, body[i + 3].args[0]),
+                            ops, i, 4)
+                    if op3 == "br_if":
+                        return self._brif_entry(
+                            _t_cgb(k, ib, fn), ops, i, 4,
+                            body[i + 3].args[0])
+                    if op3 is not None and self._is_store(op3):
+                        return self._entry(
+                            self._fused_store(body[i + 3],
+                                              _v_cgb(k, ib, fn)),
+                            ops, i, 4)
+                    return self._entry(_f_cgb(k, ib, fn), ops, i, 3)
+            fn = pure2.get(op1)
+            if fn is not None:
+                if i + 2 < n and ops[i + 2] == "local.set":
+                    dst = body[i + 2].args[0]
+                    return self._entry(_f_cbs(k, fn, dst), ops, i, 3)
+                return self._entry(_f_cb(k, fn), ops, i, 2)
+            if op1 == "local.set":
+                return self._entry(
+                    _f_cset(k, body[i + 1].args[0]), ops, i, 2)
+            if self._is_store(op1):
+                return self._entry(
+                    self._fused_store(body[i + 1], _v_const(k)), ops, i, 2)
+            return None
+        if i + 1 < n:
+            op1 = ops[i + 1]
+            fn = pure2.get(op)
+            if fn is not None:
+                if op1 == "local.set":
+                    return self._entry(
+                        _f_bs(fn, body[i + 1].args[0]), ops, i, 2)
+                if op1 == "br_if":
+                    return self._brif_entry(
+                        _t_binop(fn), ops, i, 2, body[i + 1].args[0])
+                if self._is_store(op1):
+                    return self._entry(
+                        self._fused_store(body[i + 1], _v_binop(fn)),
+                        ops, i, 2)
+            elif op in ("i32.eqz", "i64.eqz") and op1 == "br_if":
+                return self._brif_entry(
+                    _t_eqz, ops, i, 2, body[i + 1].args[0])
+        return None
+
+    @staticmethod
+    def _is_store(op):
+        return op in _STORE_FMT or op in ("f32.store", "f64.store")
+
+    @staticmethod
+    def _entry(handler, ops, i, length):
+        return ((K_FUSED, (handler, length - 1,
+                           tuple(ops[i:i + length]))), length)
+
+    @staticmethod
+    def _brif_entry(test, ops, i, length, depth):
+        return ((K_FUSED_BRIF, (test, length - 1,
+                                tuple(ops[i:i + length]), depth)), length)
+
+    def _fused_get_load(self, src, instr):
+        """Handler for ``local.get; load`` with the address pre-bound."""
+        memory = self.memory
+        unpack_from = struct.unpack_from
+        op = instr.op
+        offset = instr.args[1]
+        if op in ("f32.load", "f64.load"):
+            fmt = "<d" if op == "f64.load" else "<f"
+            width = 8 if op == "f64.load" else 4
+
+            def fload(stack, locals_):
+                addr = locals_[src] + offset
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                stack.append(unpack_from(fmt, memory, addr)[0])
+            return fload
+        fmt, width, _signed, bits = _LOAD_FMT[op]
+        mask = (1 << bits) - 1
+
+        def load(stack, locals_):
+            addr = locals_[src] + offset
+            if addr < 0 or addr + width > len(memory):
+                raise TrapError("out-of-bounds memory access")
+            stack.append(unpack_from(fmt, memory, addr)[0] & mask)
+        return load
+
+    def _fused_load_value(self, src, instr):
+        """Value producer ``loadv(locals_)`` for ``local.get; load``."""
+        memory = self.memory
+        unpack_from = struct.unpack_from
+        op = instr.op
+        offset = instr.args[1]
+        if op in ("f32.load", "f64.load"):
+            fmt = "<d" if op == "f64.load" else "<f"
+            width = 8 if op == "f64.load" else 4
+
+            def floadv(locals_):
+                addr = locals_[src] + offset
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                return unpack_from(fmt, memory, addr)[0]
+            return floadv
+        fmt, width, _signed, bits = _LOAD_FMT[op]
+        mask = (1 << bits) - 1
+
+        def loadv(locals_):
+            addr = locals_[src] + offset
+            if addr < 0 or addr + width > len(memory):
+                raise TrapError("out-of-bounds memory access")
+            return unpack_from(fmt, memory, addr)[0] & mask
+        return loadv
+
+    def _fused_get_store(self, src, instr):
+        """Handler for ``local.get; store`` with the value pre-bound."""
+        memory = self.memory
+        pack_into = struct.pack_into
+        op = instr.op
+        offset = instr.args[1]
+        if op in ("f32.store", "f64.store"):
+            fmt = "<d" if op == "f64.store" else "<f"
+            width = 8 if op == "f64.store" else 4
+
+            def fstore(stack, locals_):
+                addr = stack.pop() + offset
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                pack_into(fmt, memory, addr, locals_[src])
+            return fstore
+        fmt, width, bits = _STORE_FMT[op]
+        mask = (1 << bits) - 1
+
+        def store(stack, locals_):
+            addr = stack.pop() + offset
+            if addr < 0 or addr + width > len(memory):
+                raise TrapError("out-of-bounds memory access")
+            pack_into(fmt, memory, addr, locals_[src] & mask)
+        return store
+
+    def _fused_store(self, instr, value_fn):
+        """Handler for ``<value producer>; store``.
+
+        ``value_fn(stack, locals_)`` computes the stored value with the
+        same net stack effect as the fused prefix; the address comes off
+        the stack exactly as in the unfused sequence.
+        """
+        memory = self.memory
+        pack_into = struct.pack_into
+        op = instr.op
+        offset = instr.args[1]
+        if op in ("f32.store", "f64.store"):
+            fmt = "<d" if op == "f64.store" else "<f"
+            width = 8 if op == "f64.store" else 4
+
+            def fstore(stack, locals_):
+                value = value_fn(stack, locals_)
+                addr = stack.pop() + offset
+                if addr < 0 or addr + width > len(memory):
+                    raise TrapError("out-of-bounds memory access")
+                pack_into(fmt, memory, addr, value)
+            return fstore
+        fmt, width, bits = _STORE_FMT[op]
+        mask = (1 << bits) - 1
+
+        def store(stack, locals_):
+            value = value_fn(stack, locals_)
+            addr = stack.pop() + offset
+            if addr < 0 or addr + width > len(memory):
+                raise TrapError("out-of-bounds memory access")
+            pack_into(fmt, memory, addr, value & mask)
+        return store
+
     # -- execution ------------------------------------------------------------------
 
     def _call_function(self, func_index: int, args):
@@ -724,12 +1330,31 @@ class WasmInstance:
             self._name_cache[key] = cached
         return cached
 
+    def _has_loop(self, func) -> bool:
+        key = id(func)
+        cached = self._loop_cache.get(key)
+        if cached is None:
+            cached = any(instr.op == "loop" for instr in func.body)
+            self._loop_cache[key] = cached
+        return cached
+
     def _exec_body(self, func, ftype, locals_):
         key = id(func)
-        code = self._decode_cache.get(key)
-        if code is None:
-            code = self._decode_body(func.body)
-            self._decode_cache[key] = code
+        # Decode-cache record: [code, promoted level, entry count].
+        rec = self._decode_cache.get(key)
+        if rec is None:
+            rec = [self._decode_body(func.body), 0, 0]
+            self._decode_cache[key] = rec
+        tier = self._tier
+        if tier > rec[1]:
+            # Hotness: promote after HOT_CALLS entries, or immediately
+            # when the body contains a loop (main called once still gets
+            # its kernel fused); cold code keeps the plain-decode entries.
+            rec[2] += 1
+            if rec[2] >= HOT_CALLS or self._has_loop(func):
+                rec[0] = self._promote_code(func, rec[0], tier)
+                rec[1] = tier
+        code = rec[0]
 
         # Profiling (prof=None, the default, leaves the loop untouched
         # but for one local test per step).
@@ -753,18 +1378,42 @@ class WasmInstance:
         while pc < n:
             kind, a = code[pc]
             if prof is not None:
-                pf[fname] = pf.get(fname, 0) + 1
-                op = ops[pc]
-                po[op] = po.get(op, 0) + 1
-                if kind == 6:                 # block/loop entry
-                    start = a[1]
-                    pb[start] = pb.get(start, 0) + 1
-                elif kind == 7:               # if entry
-                    start = a[0]
-                    pb[start] = pb.get(start, 0) + 1
+                if kind >= 0:
+                    pf[fname] = pf.get(fname, 0) + 1
+                    op = ops[pc]
+                    po[op] = po.get(op, 0) + 1
+                    if kind == 6:             # block/loop entry
+                        start = a[1]
+                        pb[start] = pb.get(start, 0) + 1
+                    elif kind == 7:           # if entry
+                        start = a[0]
+                        pb[start] = pb.get(start, 0) + 1
+                else:
+                    # Fused handler: charge every constituent opcode so
+                    # attribution is identical to unfused dispatch
+                    # (constituents are never block/loop/if, so block
+                    # buckets need no update here).
+                    cops = a[2]
+                    pf[fname] = pf.get(fname, 0) + len(cops)
+                    for op in cops:
+                        po[op] = po.get(op, 0) + 1
             pc += 1
 
-            if kind == 0:                     # K_RAW
+            if kind < 0:                      # superinstructions
+                if kind == -1:                # K_FUSED
+                    a[0](stack, locals_)
+                    pc += a[1]
+                else:                         # K_FUSED_BRIF
+                    if a[0](stack, locals_):
+                        self.fuel_used = fuel = self.fuel_used + 1
+                        if fuel > max_fuel:
+                            raise FuelExhausted(
+                                "fuel exhausted: wasm branch budget "
+                                "exceeded")
+                        pc = do_branch(a[3], ctrl, stack)
+                    else:
+                        pc += a[1]
+            elif kind == 0:                   # K_RAW
                 a(stack)
             elif kind == 1:                   # K_NUM
                 try:

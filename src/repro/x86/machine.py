@@ -15,6 +15,7 @@ import struct
 from time import monotonic as _monotonic
 
 from ..errors import CellTimeout, FuelExhausted, TrapError
+from ..tier import HOT_CALLS, note_promotion, tier_level
 from .icache import ICache
 from .isa import Imm, Mem, Reg
 from .perf import PerfCounters
@@ -73,6 +74,35 @@ K_TRAP = 34
 K_NOP = 35
 K_UNKNOWN = 36
 
+# Superinstruction kind (fuse tier): negative so the hot loop filters it
+# with one ``kind < 0`` compare.  A fused entry replaces only the FIRST
+# slot of its pair; the second slot keeps its original entry, so a
+# branch targeting it executes the original instruction and no target
+# remapping is needed (pairs whose second slot is a basic-block leader
+# are simply not fused).  The fused handler executes constituent 1,
+# replicates the loop header's bookkeeping (retired count, fuel
+# checkpoint, i-cache fetch, profile charge) for the consumed slot, then
+# executes constituent 2 — so counters, profiles, and trap/fuel points
+# are bit-identical to unfused dispatch.
+#
+# payload: (c1, pay1, c2, pay2, book2) where c1/c2 select a micro-op
+# from the fusable set below (pay1/pay2 are the original decode
+# payloads) and book2 = (first, last, single, instr) of the consumed
+# second slot.  Any fusable micro-op combines with any other; jcc is
+# second-position only (a taken branch must end the pair).
+K_F_PAIR = -1
+# Micro-op codes, ordered roughly by dynamic frequency in the
+# PolyBench kernels:
+#   0 sse (reg operand)   1 movsd load    2 alu (reg/imm operands)
+#   3 cmp                 4 movsd store   5 jcc
+#   6 mov r32,r32         7 mov r64,r64   8 mov r,imm
+#   9 test               10 mov load     11 mov store (reg)
+#  12 mov store (imm)
+# The movsd payloads are additionally quickened: the effective-address
+# fields are pre-extracted so the fused body skips the _ea/read_mem
+# call overhead (bounds checks and trap messages are replicated
+# verbatim).
+
 _ALU_IDX = {"add": 0, "sub": 1, "and": 2, "or": 3, "xor": 4, "imul": 5}
 _SHIFT_IDX = {"shl": 0, "shr": 1, "sar": 2}
 _SSE_IDX = {"addsd": 0, "subsd": 1, "mulsd": 2, "divsd": 3,
@@ -100,7 +130,7 @@ class X86Machine:
     def __init__(self, program: X86Program, initial_memory: bytes = None,
                  host=None, icache: ICache = None,
                  max_instructions: int = 2_000_000_000, profile=None,
-                 deadline: float = None):
+                 deadline: float = None, tier=None):
         self.program = program
         self.memory = bytearray(program.machine_memory_size)
         if initial_memory is None:
@@ -129,6 +159,12 @@ class X86Machine:
         #: per mnemonic) with totals that match ``perf`` exactly.
         self.profile = profile
         self._leaders_cache = {}
+        #: Execution tier (0=off, 1=quicken, 2=fuse); ``None`` follows
+        #: the process-wide setting from :mod:`repro.tier`.  The decode
+        #: pass already quickens (pre-extracted operands), so tiers 0
+        #: and 1 are identical here; tier 2 adds superinstructions.
+        self._tier = tier_level(tier)
+        self._backjump_cache = {}
 
     # -- guest memory interface (Host-compatible) --------------------------------
 
@@ -254,9 +290,116 @@ class X86Machine:
         key = id(func)
         rec = self._decode_cache.get(key)
         if rec is None:
-            rec = self._build_decode(func)
+            # [decoded code, promoted tier level, entry count]
+            rec = [self._build_decode(func), 0, 0]
             self._decode_cache[key] = rec
-        return rec
+        if self._tier >= 2 and rec[1] < 2:
+            rec[2] += 1
+            if rec[2] >= HOT_CALLS or self._has_backjump(rec[0]):
+                fused, sites = self._fuse_decode(rec[0])
+                rec[0] = fused
+                rec[1] = 2
+                note_promotion(sites)
+        return rec[0]
+
+    def _has_backjump(self, dcode) -> bool:
+        """True if the decoded function contains a backward jump (a
+        loop): such functions are promoted on first entry instead of
+        waiting out HOT_CALLS."""
+        key = id(dcode)
+        cached = self._backjump_cache.get(key)
+        if cached is None:
+            # The tuple pins dcode so its id stays valid as a key.
+            cached = (dcode, any(
+                (e[0] == K_JMP and e[1] <= idx) or
+                (e[0] == K_JCC and e[1][1] <= idx)
+                for idx, e in enumerate(dcode)))
+            self._backjump_cache[key] = cached
+        return cached[1]
+
+    def _fuse_decode(self, decoded):
+        """Superinstruction pass (fuse tier): collapse hot adjacent
+        pairs into single fused entries.
+
+        Only the FIRST slot of a pair is replaced; the consumed second
+        slot keeps its original entry, so branches into the middle of a
+        pair still execute the original instruction and no target
+        remapping is needed.  Pairs whose second slot is a basic-block
+        leader are left unfused so block-level profile attribution
+        stays exact.  Returns (fused code, number of fused sites)."""
+        n = len(decoded)
+        leaders = set()
+        for idx, entry in enumerate(decoded):
+            kind = entry[0]
+            if kind == K_JCC:
+                leaders.add(entry[1][1])
+                leaders.add(idx + 1)
+            elif kind == K_JMP:
+                leaders.add(entry[1])
+                leaders.add(idx + 1)
+            elif kind in (K_CALL, K_CALLR, K_HOSTCALL):
+                leaders.add(idx + 1)
+        out = list(decoded)
+        sites = 0
+        i = 0
+        while i < n - 1:
+            if (i + 1) in leaders:
+                i += 1
+                continue
+            e1 = decoded[i]
+            m1 = self._fuse_code(e1, first=True)
+            if m1 is None:
+                i += 1
+                continue
+            e2 = decoded[i + 1]
+            m2 = self._fuse_code(e2, first=False)
+            if m2 is None:
+                i += 1
+                continue
+            out[i] = (K_F_PAIR,
+                      (m1[0], m1[1], m2[0], m2[1],
+                       (e2[2], e2[3], e2[4], e2[5])),
+                      e1[2], e1[3], e1[4], e1[5])
+            sites += 1
+            i += 2
+        return out, sites
+
+    @staticmethod
+    def _fuse_code(entry, first):
+        """(micro-op code, payload) of a decoded entry if it is fusable
+        in the given pair position, else None."""
+        kind = entry[0]
+        pay = entry[1]
+        if kind == K_SSE:
+            return None if pay[2] else (0, pay)   # reg operand only
+        if kind == K_MOVSD_LOAD:
+            mem = pay[1]
+            return (1, (pay[0], mem.base, mem.index, mem.scale, mem.disp))
+        if kind == K_ALU:
+            # reg destination, reg/imm source only
+            return None if (pay[3] or pay[4] == 2) else (2, pay)
+        if kind == K_CMP:
+            return (3, pay)
+        if kind == K_MOVSD_STORE:
+            mem = pay[0]
+            return (4, (pay[1], mem.base, mem.index, mem.scale, mem.disp))
+        if kind == K_JCC:
+            return None if first else (5, pay)    # taken ends the pair
+        if kind == K_MOV_RR32:
+            return (6, pay)
+        if kind == K_MOV_RR:
+            return (7, pay)
+        if kind == K_MOV_RI:
+            return (8, pay)
+        if kind == K_TEST:
+            return (9, pay)
+        if kind == K_MOV_LOAD:
+            return (10, pay)
+        if kind == K_MOV_STORE_R:
+            return (11, pay)
+        if kind == K_MOV_STORE_I:
+            return (12, pay)
+        return None
 
     def _build_decode(self, func):
         """Decode one function into (kind, payload, first, last, single,
@@ -416,8 +559,8 @@ class X86Machine:
         only): branch targets plus the instruction after every branch or
         call."""
         key = id(dcode)
-        leaders = self._leaders_cache.get(key)
-        if leaders is None:
+        cached = self._leaders_cache.get(key)
+        if cached is None:
             leaders = {0}
             for idx, entry in enumerate(dcode):
                 kind = entry[0]
@@ -429,8 +572,11 @@ class X86Machine:
                     leaders.add(idx + 1)
                 elif kind in (K_CALL, K_CALLR, K_HOSTCALL):
                     leaders.add(idx + 1)
-            self._leaders_cache[key] = leaders
-        return leaders
+            # The tuple pins dcode so its id stays valid as a key even
+            # after tier promotion replaces the cached decode list.
+            cached = (dcode, leaders)
+            self._leaders_cache[key] = cached
+        return cached[1]
 
     def _execute(self, func) -> None:
         regs = self.regs
@@ -438,6 +584,8 @@ class X86Machine:
         memory = self.memory
         memlen = len(memory)
         from_bytes = int.from_bytes
+        unpack_from = struct.unpack_from
+        pack_into = struct.pack_into
         perf = self.perf
         icache = self.icache
         access_line = icache._access_line
@@ -561,7 +709,439 @@ class X86Machine:
                         cur_blocks[cur_block] = \
                             cur_blocks.get(cur_block, 0) + 1
 
-                if kind == 0:                         # K_MOV_RR
+                if kind < 0:                          # K_F_PAIR
+                    # Fused superinstruction: execute constituent 1,
+                    # replicate the loop header's bookkeeping for the
+                    # consumed second slot, execute constituent 2 —
+                    # counters, fuel, i-cache, and profile charges land
+                    # exactly as under plain dispatch.
+                    c1, q1, c2, q2, book2 = pay
+                    if c1 == 0:                       # sse (reg)
+                        c_fpu += 1
+                        sse = q1[0]
+                        a = q1[1]
+                        y = xmm[q1[3]]
+                        x = xmm[a]
+                        if sse == 0:
+                            xmm[a] = x + y
+                        elif sse == 1:
+                            xmm[a] = x - y
+                        elif sse == 2:
+                            xmm[a] = x * y
+                        elif sse == 3:
+                            c_fdivs += 1
+                            if y == 0.0:
+                                xmm[a] = (float("inf") if x > 0 else
+                                          float("-inf") if x < 0
+                                          else float("nan"))
+                            else:
+                                xmm[a] = x / y
+                        elif sse == 4:
+                            xmm[a] = min(x, y)
+                        else:
+                            xmm[a] = max(x, y)
+                    elif c1 == 1:                     # movsd load
+                        c_loads += 1
+                        dst, base, index, scale, disp = q1
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + 8 > memlen:
+                            raise TrapError(
+                                f"out-of-bounds read at {addr:#x}")
+                        xmm[dst] = unpack_from("<d", memory, addr)[0]
+                    elif c1 == 2:                     # alu (reg/imm)
+                        alu, aa, bb, _am, b_kind, size, bits, \
+                            mask, shift, sbit = q1
+                        x = regs[aa]
+                        if size == 4:
+                            x &= _M32
+                        if b_kind == 0:
+                            y = regs[bb]
+                            if size == 4:
+                                y &= _M32
+                        else:
+                            y = bb
+                        if alu == 0:                  # add
+                            full = x + y
+                            result = full & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.cf = 1 if full > mask else 0
+                            self.of = (~(x ^ y) & (x ^ result)) \
+                                >> shift & 1
+                        elif alu == 1:                # sub
+                            result = (x - y) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.cf = 1 if x < y else 0
+                            self.of = ((x ^ y) & (x ^ result)) \
+                                >> shift & 1
+                        elif alu == 5:                # imul
+                            c_muls += 1
+                            sx = x - (sbit << 1) if x & sbit else x
+                            sy = y - (sbit << 1) if y & sbit else y
+                            result = (sx * sy) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.of = self.cf = 0
+                        else:                         # and/or/xor
+                            if alu == 2:
+                                result = x & y
+                            elif alu == 3:
+                                result = x | y
+                            else:
+                                result = x ^ y
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.of = self.cf = 0
+                        regs[aa] = result if size == 4 else result & _M64
+                    elif c1 == 3 or c1 == 9:          # cmp / test
+                        ak, av, bk, bv, nl, size, mask, shift = q1
+                        c_loads += nl
+                        if ak == 0:
+                            x = regs[av]
+                            if size == 4:
+                                x &= _M32
+                        elif ak == 1:
+                            x = av
+                        else:
+                            x = self._load_int(self._ea(av),
+                                               av.size) & mask
+                        if bk == 0:
+                            y = regs[bv]
+                            if size == 4:
+                                y &= _M32
+                        elif bk == 1:
+                            y = bv
+                        else:
+                            y = self._load_int(self._ea(bv),
+                                               bv.size) & mask
+                        if c1 == 3:                   # cmp
+                            result = (x - y) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.cf = 1 if x < y else 0
+                            self.of = ((x ^ y) & (x ^ result)) \
+                                >> shift & 1
+                        else:                         # test
+                            result = (x & y) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.of = self.cf = 0
+                    elif c1 == 4:                     # movsd store
+                        c_stores += 1
+                        src, base, index, scale, disp = q1
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + 8 > memlen:
+                            raise TrapError(
+                                f"out-of-bounds write at {addr:#x}")
+                        pack_into("<d", memory, addr, xmm[src])
+                    elif c1 == 6:                     # mov r32,r32
+                        regs[q1[0]] = regs[q1[1]] & _M32
+                    elif c1 == 7:                     # mov r64,r64
+                        regs[q1[0]] = regs[q1[1]]
+                    elif c1 == 8:                     # mov r,imm
+                        regs[q1[0]] = q1[1]
+                    elif c1 == 10:                    # mov load
+                        c_loads += 1
+                        dst, base, index, scale, disp, msize, wmask = q1
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + msize > memlen:
+                            raise TrapError(
+                                f"out-of-bounds load at {addr:#x}")
+                        regs[dst] = from_bytes(memory[addr:addr + msize],
+                                               "little") & wmask
+                    elif c1 == 11:                    # mov store (reg)
+                        c_stores += 1
+                        base, index, scale, disp, msize, smask, src = q1
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + msize > memlen:
+                            raise TrapError(
+                                f"out-of-bounds store at {addr:#x}")
+                        memory[addr:addr + msize] = \
+                            (regs[src] & smask).to_bytes(msize, "little")
+                    else:                             # mov store (imm)
+                        c_stores += 1
+                        base, index, scale, disp, msize, vbytes = q1
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + msize > memlen:
+                            raise TrapError(
+                                f"out-of-bounds store at {addr:#x}")
+                        memory[addr:addr + msize] = vbytes
+
+                    # --- consumed slot's bookkeeping (header replica) ---
+                    f2, l2, s2, ins = book2
+                    i += 1
+                    n_instr += 1
+                    c_instr += 1
+                    if n_instr > checkpoint:
+                        if n_instr > budget:
+                            raise FuelExhausted(
+                                "fuel exhausted: instruction budget "
+                                "exceeded")
+                        if _monotonic() > deadline:
+                            raise CellTimeout(
+                                f"wall-clock deadline exceeded after "
+                                f"{n_instr} instructions")
+                        checkpoint = min(budget,
+                                         n_instr + self.DEADLINE_STRIDE)
+                    if s2:
+                        if f2 != last_line:
+                            access_line(f2)
+                            last_line = f2
+                    else:
+                        line = f2
+                        while True:
+                            if line != last_line:
+                                access_line(line)
+                            if line >= l2:
+                                break
+                            line += 1
+                        last_line = l2
+                    if prof_detail:
+                        if prof_ops:
+                            op = ins.op
+                            cur_ops[op] = cur_ops.get(op, 0) + 1
+                        if prof_blocks:
+                            # The consumed slot is never a leader (such
+                            # pairs are not fused), so cur_block stays.
+                            cur_blocks[cur_block] = \
+                                cur_blocks.get(cur_block, 0) + 1
+
+                    if c2 == 0:                       # sse (reg)
+                        c_fpu += 1
+                        sse = q2[0]
+                        a = q2[1]
+                        y = xmm[q2[3]]
+                        x = xmm[a]
+                        if sse == 0:
+                            xmm[a] = x + y
+                        elif sse == 1:
+                            xmm[a] = x - y
+                        elif sse == 2:
+                            xmm[a] = x * y
+                        elif sse == 3:
+                            c_fdivs += 1
+                            if y == 0.0:
+                                xmm[a] = (float("inf") if x > 0 else
+                                          float("-inf") if x < 0
+                                          else float("nan"))
+                            else:
+                                xmm[a] = x / y
+                        elif sse == 4:
+                            xmm[a] = min(x, y)
+                        else:
+                            xmm[a] = max(x, y)
+                    elif c2 == 5:                     # jcc
+                        c_branches += 1
+                        c_cond += 1
+                        c = q2[0]
+                        if c == 0:
+                            taken = self.zf == 1
+                        elif c == 1:
+                            taken = self.zf == 0
+                        elif c == 2:
+                            taken = self.sf != self.of
+                        elif c == 3:
+                            taken = self.zf == 1 or self.sf != self.of
+                        elif c == 4:
+                            taken = self.zf == 0 and self.sf == self.of
+                        elif c == 5:
+                            taken = self.sf == self.of
+                        elif c == 6:
+                            taken = self.cf == 1
+                        elif c == 7:
+                            taken = self.cf == 1 or self.zf == 1
+                        elif c == 8:
+                            taken = self.cf == 0 and self.zf == 0
+                        elif c == 9:
+                            taken = self.cf == 0
+                        elif c == 10:
+                            taken = self.sf == 1
+                        elif c == 11:
+                            taken = self.sf == 0
+                        else:
+                            taken = self._cond(c)
+                        if taken:
+                            i = q2[1]
+                            last_line = -1
+                    elif c2 == 1:                     # movsd load
+                        c_loads += 1
+                        dst, base, index, scale, disp = q2
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + 8 > memlen:
+                            raise TrapError(
+                                f"out-of-bounds read at {addr:#x}")
+                        xmm[dst] = unpack_from("<d", memory, addr)[0]
+                    elif c2 == 2:                     # alu (reg/imm)
+                        alu, aa, bb, _am, b_kind, size, bits, \
+                            mask, shift, sbit = q2
+                        x = regs[aa]
+                        if size == 4:
+                            x &= _M32
+                        if b_kind == 0:
+                            y = regs[bb]
+                            if size == 4:
+                                y &= _M32
+                        else:
+                            y = bb
+                        if alu == 0:                  # add
+                            full = x + y
+                            result = full & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.cf = 1 if full > mask else 0
+                            self.of = (~(x ^ y) & (x ^ result)) \
+                                >> shift & 1
+                        elif alu == 1:                # sub
+                            result = (x - y) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.cf = 1 if x < y else 0
+                            self.of = ((x ^ y) & (x ^ result)) \
+                                >> shift & 1
+                        elif alu == 5:                # imul
+                            c_muls += 1
+                            sx = x - (sbit << 1) if x & sbit else x
+                            sy = y - (sbit << 1) if y & sbit else y
+                            result = (sx * sy) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.of = self.cf = 0
+                        else:                         # and/or/xor
+                            if alu == 2:
+                                result = x & y
+                            elif alu == 3:
+                                result = x | y
+                            else:
+                                result = x ^ y
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.of = self.cf = 0
+                        regs[aa] = result if size == 4 else result & _M64
+                    elif c2 == 3 or c2 == 9:          # cmp / test
+                        ak, av, bk, bv, nl, size, mask, shift = q2
+                        c_loads += nl
+                        if ak == 0:
+                            x = regs[av]
+                            if size == 4:
+                                x &= _M32
+                        elif ak == 1:
+                            x = av
+                        else:
+                            x = self._load_int(self._ea(av),
+                                               av.size) & mask
+                        if bk == 0:
+                            y = regs[bv]
+                            if size == 4:
+                                y &= _M32
+                        elif bk == 1:
+                            y = bv
+                        else:
+                            y = self._load_int(self._ea(bv),
+                                               bv.size) & mask
+                        if c2 == 3:                   # cmp
+                            result = (x - y) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.cf = 1 if x < y else 0
+                            self.of = ((x ^ y) & (x ^ result)) \
+                                >> shift & 1
+                        else:                         # test
+                            result = (x & y) & mask
+                            self.zf = 1 if result == 0 else 0
+                            self.sf = (result >> shift) & 1
+                            self.of = self.cf = 0
+                    elif c2 == 4:                     # movsd store
+                        c_stores += 1
+                        src, base, index, scale, disp = q2
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + 8 > memlen:
+                            raise TrapError(
+                                f"out-of-bounds write at {addr:#x}")
+                        pack_into("<d", memory, addr, xmm[src])
+                    elif c2 == 6:                     # mov r32,r32
+                        regs[q2[0]] = regs[q2[1]] & _M32
+                    elif c2 == 7:                     # mov r64,r64
+                        regs[q2[0]] = regs[q2[1]]
+                    elif c2 == 8:                     # mov r,imm
+                        regs[q2[0]] = q2[1]
+                    elif c2 == 10:                    # mov load
+                        c_loads += 1
+                        dst, base, index, scale, disp, msize, wmask = q2
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + msize > memlen:
+                            raise TrapError(
+                                f"out-of-bounds load at {addr:#x}")
+                        regs[dst] = from_bytes(memory[addr:addr + msize],
+                                               "little") & wmask
+                    elif c2 == 11:                    # mov store (reg)
+                        c_stores += 1
+                        base, index, scale, disp, msize, smask, src = q2
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + msize > memlen:
+                            raise TrapError(
+                                f"out-of-bounds store at {addr:#x}")
+                        memory[addr:addr + msize] = \
+                            (regs[src] & smask).to_bytes(msize, "little")
+                    else:                             # mov store (imm)
+                        c_stores += 1
+                        base, index, scale, disp, msize, vbytes = q2
+                        addr = disp
+                        if base is not None:
+                            addr += regs[base]
+                        if index is not None:
+                            addr += regs[index] * scale
+                        addr &= _M64
+                        if addr + msize > memlen:
+                            raise TrapError(
+                                f"out-of-bounds store at {addr:#x}")
+                        memory[addr:addr + msize] = vbytes
+                elif kind == 0:                       # K_MOV_RR
                     regs[pay[0]] = regs[pay[1]]
                 elif kind == 1:                       # K_MOV_RR32
                     regs[pay[0]] = regs[pay[1]] & _M32

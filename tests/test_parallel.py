@@ -5,19 +5,28 @@ import pytest
 from repro.benchsuite import matmul_spec, polybench_benchmark
 from repro.harness.parallel import (
     MAX_JOBS, default_jobs, normalize_jobs, resolve_ref, run_suite,
-    spec_ref,
+    shutdown_warm_pool, spec_ref,
 )
+from repro.harness import parallel as parallel_mod
 from repro.harness.spec import BenchmarkSpec
 
 SUBSET = ["trisolv", "bicg", "mvt", "gesummv"]
 TARGETS = ["native", "chrome", "firefox"]
 
 
+@pytest.fixture
+def force_jobs(monkeypatch):
+    """Exercise the real worker pool even on a single-CPU box."""
+    monkeypatch.setenv("REPRO_FORCE_JOBS", "1")
+    yield
+    shutdown_warm_pool()
+
+
 def _suite():
     return [polybench_benchmark(name, "test") for name in SUBSET]
 
 
-def test_parallel_matches_serial_bit_for_bit():
+def test_parallel_matches_serial_bit_for_bit(force_jobs):
     serial, _ = run_suite(_suite(), TARGETS, runs=3, jobs=1, cache=False)
     parallel, _ = run_suite(_suite(), TARGETS, runs=3, jobs=4,
                             cache=False)
@@ -33,11 +42,41 @@ def test_parallel_matches_serial_bit_for_bit():
             assert p.run.stdout == s.run.stdout
 
 
-def test_parallel_compile_seconds_reported():
+def test_parallel_compile_seconds_reported(force_jobs):
     _, compile_seconds = run_suite(_suite()[:2], ["native"], runs=1,
                                    jobs=2, cache=False)
     for name in SUBSET[:2]:
         assert compile_seconds[name]["native"] > 0
+
+
+def test_warm_pool_reused_across_sweeps(force_jobs):
+    """A second sweep at the same width reuses the live workers."""
+    run_suite(_suite()[:2], ["native"], runs=1, jobs=2, cache=False)
+    pool = parallel_mod._POOL
+    assert pool is not None and pool.alive() and pool.width == 2
+    pids = [w["proc"].pid for w in pool.workers]
+    run_suite(_suite()[2:], ["native"], runs=1, jobs=2, cache=False)
+    assert parallel_mod._POOL is pool
+    assert [w["proc"].pid for w in pool.workers] == pids
+
+
+def test_warm_pool_rebuilt_on_width_change(force_jobs):
+    run_suite(_suite()[:2], ["native"], runs=1, jobs=2, cache=False)
+    first = parallel_mod._POOL
+    run_suite(_suite()[:2], ["native"], runs=1, jobs=3, cache=False)
+    assert parallel_mod._POOL is not first
+    assert parallel_mod._POOL.width == 3
+
+
+def test_warm_pool_cell_error_propagates(force_jobs):
+    bad = polybench_benchmark("trisolv", "test")
+    with pytest.raises(Exception):
+        run_suite([bad], ["no-such-target", "native"], runs=1, jobs=2,
+                  cache=False)
+    # the broken sweep discarded the pool; the next one must still work
+    results, _ = run_suite(_suite()[:2], ["native"], runs=1, jobs=2,
+                           cache=False)
+    assert set(results) == set(SUBSET[:2])
 
 
 def test_spec_ref_round_trip():
@@ -61,7 +100,7 @@ def test_spec_ref_unreferencable():
     assert spec_ref(adhoc) is None
 
 
-def test_adhoc_specs_run_serially_in_suite():
+def test_adhoc_specs_run_serially_in_suite(force_jobs):
     adhoc = BenchmarkSpec(
         "adhoc", "none",
         "int main(void){ print_i32(7); return 0; }")
@@ -70,9 +109,29 @@ def test_adhoc_specs_run_serially_in_suite():
     assert results["adhoc"]["native"].run.stdout == b"7\n"
 
 
-def test_normalize_jobs():
+def test_normalize_jobs_multi_cpu(monkeypatch):
+    monkeypatch.delenv("REPRO_FORCE_JOBS", raising=False)
+    monkeypatch.setattr("os.cpu_count", lambda: 8)
     assert normalize_jobs(1) == 1
     assert normalize_jobs(0) == 1
     assert normalize_jobs(6) == 6
     assert 1 <= normalize_jobs(None) <= MAX_JOBS
     assert normalize_jobs(None) == default_jobs()
+
+
+def test_normalize_jobs_degrades_on_one_cpu(monkeypatch, capsys):
+    """--jobs N on a 1-CPU box runs serially (with a notice) rather
+    than paying fork/pickle overhead for no parallelism."""
+    monkeypatch.delenv("REPRO_FORCE_JOBS", raising=False)
+    monkeypatch.setattr("os.cpu_count", lambda: 1)
+    assert normalize_jobs(4, quiet=True) == 1
+    assert normalize_jobs(None) == 1       # auto-select: no notice
+    assert capsys.readouterr().err == ""
+    assert normalize_jobs(4) == 1
+    assert "running serially" in capsys.readouterr().err
+
+
+def test_normalize_jobs_force_override(monkeypatch):
+    monkeypatch.setattr("os.cpu_count", lambda: 1)
+    monkeypatch.setenv("REPRO_FORCE_JOBS", "1")
+    assert normalize_jobs(4) == 4
