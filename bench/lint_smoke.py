@@ -1,0 +1,165 @@
+"""Lint-smoke gate: `repro lint` over the example fixtures and the whole
+benchmark suite, compared against a checked-in baseline.
+
+Two promises are enforced:
+
+* **Stability** — the linter's findings over ``examples/lint/`` and every
+  benchmark source are exactly the checked-in ``bench/lint_baseline.json``.
+  A new finding means either a linter regression or a real bug that just
+  landed in a benchmark source; either way CI should stop and a human
+  should look.  Run with ``--update`` after an intentional change.
+* **Cheap when off** — the between-pass IR verification gate costs (near)
+  nothing when ``--verify-ir`` is not given.  The disabled-path compile
+  sweep is timed twice, interleaved, and the A/B spread must stay under
+  ``--budget`` (default 3%); the verify-on sweep is reported for
+  reference and sanity-checked to change nothing but time.
+
+Usage::
+
+    PYTHONPATH=src python bench/lint_smoke.py [--update] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.benchsuite import (                           # noqa: E402
+    POLYBENCH_NAMES, SPEC_NAMES, matmul_spec, polybench_benchmark,
+    spec_benchmark,
+)
+from repro.ir.passes import optimize_module              # noqa: E402
+from repro.ir.verify import set_verify_ir                # noqa: E402
+from repro.mcc import compile_source                     # noqa: E402
+from repro.mcc.lint import lint_file, lint_source        # noqa: E402
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+BASELINE = os.path.join(os.path.dirname(__file__), "lint_baseline.json")
+
+
+def _benchmark_sources():
+    for name in SPEC_NAMES:
+        yield f"spec:{name}", spec_benchmark(name, "test").source
+    for name in POLYBENCH_NAMES:
+        yield f"polybench:{name}", polybench_benchmark(name, "test").source
+    yield "matmul", matmul_spec().source
+
+
+def collect_findings() -> dict:
+    """All lint findings, keyed by fixture path / benchmark name."""
+    findings = {}
+    for path in sorted(glob.glob(os.path.join(REPO, "examples", "lint",
+                                              "*.mc"))):
+        rel = os.path.relpath(path, REPO)
+        findings[rel] = [f.as_dict() for f in lint_file(path)]
+        for entry in findings[rel]:
+            entry["file"] = rel
+    for name, source in _benchmark_sources():
+        found = lint_source(source, name)
+        if found:  # keep the baseline small: clean sources are omitted
+            findings[name] = [f.as_dict() for f in found]
+    return findings
+
+
+def _verify_sweep() -> float:
+    """One compile+optimize pass over a slice of the suite."""
+    start = time.perf_counter()
+    for name in ("durbin", "trisolv", "gemm"):
+        module = compile_source(
+            polybench_benchmark(name, "test").source, name)
+        optimize_module(module)
+    return time.perf_counter() - start
+
+
+def measure_verify_overhead(repeats: int) -> dict:
+    """Disabled-path A/B spread plus the verify-on cost for reference."""
+    set_verify_ir(False)
+    _verify_sweep()  # warm-up
+    off_a = min(_verify_sweep() for _ in range(repeats))
+    set_verify_ir(True)
+    try:
+        on = min(_verify_sweep() for _ in range(repeats))
+    finally:
+        set_verify_ir(False)
+    off_b = min(_verify_sweep() for _ in range(repeats))
+    baseline = min(off_a, off_b)
+    return {
+        "disabled_seconds": baseline,
+        "disabled_rerun_seconds": max(off_a, off_b),
+        "disabled_overhead": max(off_a, off_b) / baseline - 1.0,
+        "enabled_seconds": on,
+        "enabled_overhead": on / baseline - 1.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline instead of gating")
+    parser.add_argument("--budget", type=float, default=0.03,
+                        help="max disabled-path verify overhead (fraction)")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default=None,
+                        help="write the smoke report as JSON")
+    args = parser.parse_args(argv)
+
+    findings = collect_findings()
+    total = sum(len(v) for v in findings.values())
+    print(f"linted examples/lint + {len(SPEC_NAMES) + len(POLYBENCH_NAMES) + 1}"
+          f" benchmark sources: {total} finding(s) "
+          f"in {len(findings)} source(s)")
+
+    if args.update:
+        with open(BASELINE, "w") as fh:
+            json.dump(findings, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {BASELINE}")
+        return 0
+
+    if not os.path.exists(BASELINE):
+        print(f"FAIL: no baseline at {BASELINE}; run with --update")
+        return 1
+    baseline = json.load(open(BASELINE))
+    if findings != baseline:
+        changed = sorted(set(findings) ^ set(baseline))
+        for key in sorted(set(findings) & set(baseline)):
+            if findings[key] != baseline[key]:
+                changed.append(key)
+        print("FAIL: lint findings drifted from baseline in: "
+              + ", ".join(sorted(set(changed))))
+        for key in sorted(set(changed)):
+            print(f"  {key}:")
+            print(f"    baseline: {baseline.get(key)}")
+            print(f"    now:      {findings.get(key)}")
+        return 1
+    print("PASS: lint findings match baseline")
+
+    overhead = measure_verify_overhead(args.repeats)
+    print(f"verify-off sweep: {overhead['disabled_seconds']:.3f}s "
+          f"(rerun spread {100 * overhead['disabled_overhead']:.2f}%)")
+    print(f"verify-on sweep:  {overhead['enabled_seconds']:.3f}s "
+          f"(+{100 * overhead['enabled_overhead']:.2f}%)")
+
+    report = {"findings": findings, "verify_overhead": overhead,
+              "budget": args.budget}
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+
+    if overhead["disabled_overhead"] > args.budget:
+        print(f"FAIL: disabled-path verify overhead "
+              f"{overhead['disabled_overhead']:.4f} exceeds {args.budget}")
+        return 1
+    print(f"PASS: disabled-path overhead within "
+          f"{100 * args.budget:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

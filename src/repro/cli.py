@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``):
     repro compare prog.c                    # all pipelines side by side
     repro disasm prog.c --target native     # x86 listing
     repro wat prog.c                        # WebAssembly text format
+    repro lint prog.c --json                # static analysis findings
     repro bench 453.povray --size test      # one suite benchmark
     repro report fig3b --size test          # regenerate a paper artifact
     repro trace matmul --target chrome      # Chrome trace-event JSON
@@ -366,6 +367,12 @@ def cmd_report(args) -> int:
                 "promotions": counters.get("tier.promotions", 0),
                 "fused_ops": counters.get("tier.fused_ops", 0),
             },
+            "analysis": {
+                "verifier_runs": counters.get("analysis.verifier_runs", 0),
+                "lints_emitted": counters.get("analysis.lints_emitted", 0),
+                "regalloc_checks":
+                    counters.get("analysis.regalloc_checks", 0),
+            },
             "failures": [_jsonify(f.as_dict(args.size)) for f in failures],
             "partial": bool(failures),
         }
@@ -458,6 +465,26 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .mcc.lint import format_findings, lint_file
+
+    findings = []
+    for path in args.files:
+        findings.extend(lint_file(path))
+    if args.json:
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        print(format_findings(findings))
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def _add_verify_arg(p) -> None:
+    p.add_argument("--verify-ir", action="store_true",
+                   help="verify IR invariants between every optimization "
+                        "pass and check register allocations (pass-blame "
+                        "diagnostics on failure)")
+
+
 def _add_tier_arg(p) -> None:
     p.add_argument("--tier", choices=("off", "quicken", "fuse"),
                    default=None,
@@ -504,12 +531,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stage a file into the kernel filesystem")
     p.add_argument("--stats", action="store_true")
     _add_tier_arg(p)
+    _add_verify_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="run a program on every pipeline")
     p.add_argument("program")
     p.add_argument("--file", action="append")
     _add_tier_arg(p)
+    _add_verify_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("disasm", help="dump generated x86")
@@ -521,6 +550,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("wat", help="dump the WebAssembly text format")
     p.add_argument("program")
     p.set_defaults(func=cmd_wat)
+
+    p = sub.add_parser("lint", help="static analysis for mcc source "
+                                    "(uninitialized use, dead stores, "
+                                    "unreachable code, ...)")
+    p.add_argument("files", nargs="+", metavar="FILE.mc")
+    p.add_argument("--json", action="store_true",
+                   help="print findings as JSON on stdout")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("bench", help="run one suite benchmark")
     p.add_argument("benchmark")
@@ -536,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect and print harness metrics")
     _add_resilience_args(p)
     _add_tier_arg(p)
+    _add_verify_arg(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="regenerate a paper table/figure")
@@ -553,6 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the artifact data + metrics as JSON")
     _add_resilience_args(p)
     _add_tier_arg(p)
+    _add_verify_arg(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -594,6 +633,9 @@ def main(argv=None) -> int:
     if tier is not None:
         from .tier import set_tier
         set_tier(tier)
+    if getattr(args, "verify_ir", False):
+        from .ir.verify import set_verify_ir
+        set_verify_ir(True)
     try:
         return args.func(args)
     except KeyboardInterrupt:

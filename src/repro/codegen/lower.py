@@ -20,7 +20,9 @@ from ..ir.loops import natural_loops
 from ..ir.module import Module
 from ..ir.types import Type
 from ..ir.values import Const, VReg
+from ..ir.verify import verify_ir_enabled
 from ..obs import span
+from ..regalloc.check import check_assignment
 from ..regalloc.graph_coloring import graph_coloring
 from ..regalloc.linear_scan import linear_scan
 from ..regalloc.liveness import LivenessInfo
@@ -148,6 +150,8 @@ class FunctionLowering:
             else:
                 self.assignment = linear_scan(
                     self.info, cfg.gprs, cfg.xmms, cfg.callee_saved)
+            if verify_ir_enabled():
+                check_assignment(func, self.assignment, cfg.allocator)
         self.order = [b.label for b in func.block_order()]
 
         self.pushed = sorted(self.assignment.used_callee_saved)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 
 from ..ir.module import Module
-from ..ir.passes import optimize_module
+from ..ir.passes import optimize_module, verify_after_pass
 from ..mcc import compile_source
 from ..obs import span
 from ..x86.program import X86Program
@@ -32,6 +32,8 @@ def compile_ir_native(module: Module, config: TargetConfig = None,
     if config.fold_mem_ops:
         with span("codegen.memfold", module=module.name):
             fold_module(module)
+            for func in module.functions.values():
+                verify_after_pass("memfold", func, module)
     program = lower_module(module, config)
     program.compile_stats["compile_seconds"] = time.perf_counter() - start
     program.compile_stats["pipeline"] = "native"

@@ -1,0 +1,137 @@
+"""The worklist solver.
+
+An :class:`Analysis` describes a lattice (via ``boundary``/``top``/
+``join``) and a per-block transfer function; :func:`solve` iterates
+transfer functions to a fixed point in reverse-postorder (forward) or
+postorder (backward), which converges in a handful of sweeps for the
+reducible CFGs mcc produces.
+
+Facts must be immutable from the solver's point of view: ``transfer``
+returns a *new* fact, and facts are compared with ``==`` to detect the
+fixed point.  Blocks unreachable from the entry (forward) or from any
+exit (backward) keep their optimistic ``top`` fact — callers that walk
+the results should treat those blocks as "anything holds here" rather
+than report facts about code that cannot execute.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..ir.function import BasicBlock, Function
+
+
+class Analysis:
+    """Base class for dataflow analyses.
+
+    Subclasses set :attr:`direction` and implement the four lattice
+    hooks.  ``prepare`` runs once per function before solving, for
+    analyses that precompute per-block summaries (gen/kill sets).
+    """
+
+    #: ``"forward"`` propagates entry -> exit, ``"backward"`` the reverse.
+    direction = "forward"
+
+    def prepare(self, func: Function) -> None:
+        """Hook: precompute per-function state (gen/kill sets)."""
+
+    def boundary(self, func: Function):
+        """The fact at the CFG boundary (entry in a forward analysis,
+        every exit block in a backward one)."""
+        raise NotImplementedError
+
+    def top(self, func: Function):
+        """The optimistic initial fact for every non-boundary block."""
+        raise NotImplementedError
+
+    def join(self, facts: list):
+        """Combine predecessor (or successor) out-facts.  ``facts`` is
+        never empty."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact):
+        """The block transfer function: fact at block input -> fact at
+        block output (input is the entry side for forward analyses, the
+        exit side for backward ones)."""
+        raise NotImplementedError
+
+
+class DataflowResult:
+    """Solved facts: ``in_facts``/``out_facts`` keyed by block label.
+
+    For a forward analysis ``in_facts`` is the fact at block entry; for
+    a backward analysis it is the fact at block *exit* boundary closest
+    to the block's successors — i.e. ``in_facts[b]`` is always the input
+    of the transfer function and ``out_facts[b]`` its output.
+    """
+
+    __slots__ = ("analysis", "in_facts", "out_facts")
+
+    def __init__(self, analysis, in_facts, out_facts):
+        self.analysis = analysis
+        self.in_facts = in_facts
+        self.out_facts = out_facts
+
+    def __repr__(self):
+        return (f"<dataflow {type(self.analysis).__name__} "
+                f"over {len(self.in_facts)} blocks>")
+
+
+def solve(func: Function, analysis: Analysis) -> DataflowResult:
+    """Run ``analysis`` over ``func`` to a fixed point."""
+    analysis.prepare(func)
+    forward = analysis.direction == "forward"
+    blocks = func.block_order()
+    labels = [b.label for b in blocks]
+    preds = func.predecessors()
+    succs = {b.label: [s for s in b.successors() if s in func.blocks]
+             for b in blocks}
+
+    # Edges the join reads from, per block.
+    sources = preds if forward else succs
+    # The solve order: RPO for forward, reverse-RPO for backward.
+    order = labels if forward else list(reversed(labels))
+
+    boundary_fact = analysis.boundary(func)
+    top_fact = analysis.top(func)
+
+    if forward:
+        is_boundary = {label: label == func.entry for label in labels}
+    else:
+        is_boundary = {label: not succs[label] for label in labels}
+
+    in_facts = {}
+    out_facts = {}
+    for label in labels:
+        in_facts[label] = boundary_fact if is_boundary[label] else top_fact
+        out_facts[label] = analysis.transfer(func.blocks[label],
+                                             in_facts[label])
+
+    work = deque(order)
+    queued = set(order)
+    # A successor map for requeueing: who consumes my out-fact.
+    consumers = {label: [] for label in labels}
+    for label in labels:
+        for src in sources[label]:
+            if src in consumers:
+                consumers[src].append(label)
+
+    while work:
+        label = work.popleft()
+        queued.discard(label)
+        incoming = [out_facts[src] for src in sources[label]]
+        if incoming:
+            fact = analysis.join(incoming)
+            if is_boundary[label]:
+                fact = analysis.join([fact, boundary_fact])
+        else:
+            fact = boundary_fact if is_boundary[label] else top_fact
+        in_facts[label] = fact
+        new_out = analysis.transfer(func.blocks[label], fact)
+        if new_out != out_facts[label]:
+            out_facts[label] = new_out
+            for consumer in consumers[label]:
+                if consumer not in queued:
+                    queued.add(consumer)
+                    work.append(consumer)
+    return DataflowResult(analysis, in_facts, out_facts)

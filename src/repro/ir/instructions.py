@@ -58,9 +58,18 @@ def _vregs(operands):
 
 
 class Instr:
-    """Base class for all IR instructions."""
+    """Base class for all IR instructions.
 
-    __slots__ = ()
+    Every instruction can carry two optional annotations, set by the mcc
+    frontend and read by ``repro lint``: ``loc`` is the 1-based source
+    line the instruction was generated from, and ``synthetic`` marks
+    compiler-inserted code (the zero-initialization of declared locals)
+    that the lint's uninitialized-use analysis treats as "no real
+    definition".  Both default to unset; read them with
+    ``getattr(instr, "loc", None)``.
+    """
+
+    __slots__ = ("loc", "synthetic")
 
     def uses(self):
         """Virtual registers read by this instruction."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ...obs import span
 from ..module import Module
+from ..verify import VerifyError, verify_function, verify_ir_enabled
 from .collapse import collapse_defs
 from .constfold import fold_constants
 from .copyprop import propagate_copies
@@ -27,19 +28,48 @@ __all__ = [
     "fold_constants", "propagate_copies", "eliminate_dead_code",
     "collapse_defs", "hoist_invariants", "localize_temps",
     "inline_calls", "rotate_loops", "simplify_cfg", "unroll_loops",
-    "optimize_module",
+    "optimize_module", "PassBlameError", "verify_after_pass",
 ]
 
 
-def _cleanup(func) -> None:
+class PassBlameError(VerifyError):
+    """A verification failure attributed to the pass that introduced it."""
+
+    def __init__(self, pass_name: str, cause: VerifyError):
+        where = cause.function or "?"
+        if cause.block:
+            where += f"/{cause.block}"
+        detail = cause.detail or "IR invariants"
+        super().__init__(
+            f"pass `{pass_name}` broke {detail} in `{where}`: {cause}",
+            function=cause.function, block=cause.block, detail=detail)
+        self.pass_name = pass_name
+
+
+def verify_after_pass(pass_name: str, func, module=None) -> None:
+    """Verify ``func`` if ``--verify-ir`` is on, blaming ``pass_name``
+    for any failure.  One boolean check when verification is off."""
+    if not verify_ir_enabled():
+        return
+    try:
+        verify_function(func, module)
+    except PassBlameError:
+        raise
+    except VerifyError as exc:
+        raise PassBlameError(pass_name, exc) from exc
+
+
+def _cleanup(func, module=None) -> None:
     changed = True
     while changed:
         changed = False
-        changed |= fold_constants(func)
-        changed |= propagate_copies(func)
-        changed |= collapse_defs(func)
-        changed |= eliminate_dead_code(func)
-        changed |= simplify_cfg(func)
+        for name, run in (("constfold", fold_constants),
+                          ("copyprop", propagate_copies),
+                          ("collapse", collapse_defs),
+                          ("dce", eliminate_dead_code),
+                          ("simplifycfg", simplify_cfg)):
+            changed |= run(func)
+            verify_after_pass(name, func, module)
 
 
 def optimize_module(module: Module, level: int = 2,
@@ -58,29 +88,40 @@ def optimize_module(module: Module, level: int = 2,
     """
     if level <= 0:
         return module
+    if verify_ir_enabled():
+        # Verify the pipeline *input* unblamed, so a frontend bug is
+        # reported as such and never pinned on the first pass.
+        for func in module.functions.values():
+            verify_function(func, module)
     with span("opt.cleanup", module=module.name):
         for func in module.functions.values():
-            _cleanup(func)
+            _cleanup(func, module)
     if level >= 2:
         with span("opt.inline", module=module.name):
             inline_calls(module, threshold=inline_threshold)
             for func in module.functions.values():
-                _cleanup(func)
+                verify_after_pass("inline", func, module)
+                _cleanup(func, module)
         if licm:
             with span("opt.licm", module=module.name):
                 for func in module.functions.values():
                     hoist_invariants(func)
-                    _cleanup(func)
+                    verify_after_pass("licm", func, module)
+                    _cleanup(func, module)
         if rotate:
             with span("opt.rotate", module=module.name):
                 for func in module.functions.values():
                     rotate_loops(func)
-                    _cleanup(func)
+                    verify_after_pass("rotate", func, module)
+                    _cleanup(func, module)
     if unroll:
         with span("opt.unroll", module=module.name):
             for func in module.functions.values():
                 if unroll_loops(func, factor=unroll_factor,
                                 max_instrs=unroll_max_instrs):
+                    verify_after_pass("unroll", func, module)
                     localize_temps(func)
+                    verify_after_pass("localize", func, module)
                 simplify_cfg(func)
+                verify_after_pass("simplifycfg", func, module)
     return module

@@ -2,11 +2,21 @@
 
 The verifier catches frontend and pass bugs early: unterminated blocks,
 branches to missing labels, type-inconsistent operands, calls with wrong
-arity, and uses of registers that are never defined anywhere (a weaker check
-than full def-before-use, since the IR is not strict SSA).
+arity, and strict def-before-use — every use of a register must be
+definitely assigned on *all* paths from the entry (computed with the
+``repro.dataflow`` definite-assignment analysis).  Unreachable blocks
+are held to the weaker "defined somewhere" standard, since facts about
+code that cannot execute are vacuous.
+
+Between-pass verification is gated: ``verify_ir_enabled()`` reflects the
+``REPRO_VERIFY_IR`` environment variable (so forked bench workers
+inherit it) combined with :func:`set_verify_ir`.  Tests and CI switch it
+on; the bench path pays one boolean check per pass when it is off.
 """
 
 from __future__ import annotations
+
+import os
 
 from .instructions import (
     BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Load, Move, Return,
@@ -20,7 +30,33 @@ from .values import Const, VReg
 
 
 class VerifyError(Exception):
-    """Raised when an IR module is malformed."""
+    """Raised when an IR module is malformed.
+
+    Carries enough structure for pass-blame reporting: ``function`` and
+    ``block`` locate the failure, ``detail`` is a short phrase naming the
+    broken invariant (e.g. ``"def-before-use of %t3"``).
+    """
+
+    def __init__(self, message, function=None, block=None, detail=None):
+        super().__init__(message)
+        self.function = function
+        self.block = block
+        self.detail = detail
+
+
+_ENABLED = os.environ.get("REPRO_VERIFY_IR", "") not in ("", "0")
+
+
+def set_verify_ir(enabled: bool) -> None:
+    """Toggle between-pass IR verification for this process and (via the
+    environment) any workers it forks."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+    os.environ["REPRO_VERIFY_IR"] = "1" if enabled else "0"
+
+
+def verify_ir_enabled() -> bool:
+    return _ENABLED
 
 
 def _operand_ty(op):
@@ -31,12 +67,18 @@ def _operand_ty(op):
 
 def verify_function(func: Function, module: Module = None) -> None:
     if func.entry is None or func.entry not in func.blocks:
-        raise VerifyError(f"{func.name}: missing entry block")
+        raise VerifyError(f"{func.name}: missing entry block",
+                          function=func.name)
     if len(func.params) != len(func.ftype.params):
-        raise VerifyError(f"{func.name}: param count mismatch")
+        raise VerifyError(f"{func.name}: param count mismatch",
+                          function=func.name)
     for reg, ty in zip(func.params, func.ftype.params):
         if reg.ty != ty:
-            raise VerifyError(f"{func.name}: param {reg} type != {ty}")
+            raise VerifyError(f"{func.name}: param {reg} type != {ty}",
+                              function=func.name)
+
+    from ..obs import get_registry
+    get_registry().counter("analysis.verifier_runs").inc()
 
     defined = {p.id for p in func.params}
     for block in func.blocks.values():
@@ -46,19 +88,57 @@ def verify_function(func: Function, module: Module = None) -> None:
 
     for label, block in func.blocks.items():
         if block.term is None:
-            raise VerifyError(f"{func.name}/{label}: block not terminated")
+            raise VerifyError(f"{func.name}/{label}: block not terminated",
+                              function=func.name, block=label)
         for succ in block.successors():
             if succ not in func.blocks:
-                raise VerifyError(f"{func.name}/{label}: branch to missing {succ}")
+                raise VerifyError(
+                    f"{func.name}/{label}: branch to missing {succ}",
+                    function=func.name, block=label)
         for instr in block.all_instrs():
-            _verify_instr(func, label, instr, defined, module)
+            try:
+                _verify_instr(func, label, instr, defined, module)
+            except VerifyError as exc:
+                if exc.function is None:
+                    exc.function = func.name
+                    exc.block = label
+                raise
+
+    _verify_def_before_use(func)
+
+
+def _verify_def_before_use(func: Function) -> None:
+    """Strict def-before-use over reachable blocks: every use must be
+    definitely assigned on all paths from the entry."""
+    # Imported lazily: repro.dataflow imports repro.ir submodules, and
+    # repro.ir's package init imports this module, so a module-level
+    # import here would blow up whichever package is imported first.
+    from ..dataflow import definite_assignment
+
+    entry_facts = definite_assignment(func)
+    reachable = func.reachable_blocks()
+    for label in reachable:
+        block = func.blocks[label]
+        assigned = set(entry_facts[label])
+        for instr in block.all_instrs():
+            for reg in instr.uses():
+                if reg.id not in assigned:
+                    raise VerifyError(
+                        f"{func.name}/{label}: {instr!r}: use of {reg} "
+                        f"without a definition on every path from entry",
+                        function=func.name, block=label,
+                        detail=f"def-before-use of {reg}")
+            for reg in instr.defs():
+                assigned.add(reg.id)
 
 
 def _verify_instr(func, label, instr, defined, module):
     where = f"{func.name}/{label}: {instr!r}"
     for reg in instr.uses():
         if reg.id not in defined:
-            raise VerifyError(f"{where}: use of undefined {reg}")
+            raise VerifyError(f"{where}: use of undefined {reg}",
+                              function=func.name, block=label,
+                              detail=f"def-before-use of {reg}")
 
     if isinstance(instr, Move):
         if _operand_ty(instr.src) != instr.dst.ty:

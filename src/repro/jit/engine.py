@@ -17,8 +17,9 @@ import time
 from ..codegen.lower import lower_module
 from ..codegen.target import CHROME, FIREFOX, TargetConfig
 from ..ir.passes import (
-    eliminate_dead_code, propagate_copies, simplify_cfg,
+    eliminate_dead_code, propagate_copies, simplify_cfg, verify_after_pass,
 )
+from ..ir.verify import verify_ir_enabled, verify_module
 from ..obs import span
 from ..wasm.binary import decode_module, encode_module
 from ..wasm.module import WasmModule
@@ -62,8 +63,17 @@ class Engine:
     def compile_module(self, module: WasmModule) -> X86Program:
         """Compile an in-memory wasm module (already validated)."""
         start = time.perf_counter()
+        if verify_ir_enabled():
+            from ..wasm.lint import lint_module as lint_wasm
+            # Non-fatal: post-validation lint of the incoming wasm
+            # (counts surface through the analysis.* metrics).
+            lint_wasm(module)
         with span("jit.translate", engine=self.name, module=module.name):
             ir = wasm_to_ir(module)
+        if verify_ir_enabled():
+            # Translation output is verified unblamed: a failure here is
+            # the translator's (or the wasm producer's), not a pass's.
+            verify_module(ir)
         if self.local_cleanup:
             from .leafold import fold_leas
             with span("jit.cleanup", engine=self.name):
@@ -74,9 +84,13 @@ class Engine:
                     # quality — wasm code retains extra moves between
                     # operations.
                     propagate_copies(func)
+                    verify_after_pass("copyprop", func, ir)
                     eliminate_dead_code(func)
+                    verify_after_pass("dce", func, ir)
                     fold_leas(func)
+                    verify_after_pass("leafold", func, ir)
                     simplify_cfg(func)
+                    verify_after_pass("simplifycfg", func, ir)
         program = lower_module(ir, self.config, name=self.name)
         program.compile_stats.setdefault(
             "compile_seconds", time.perf_counter() - start)

@@ -215,7 +215,20 @@ class _FunctionTranslator:
                 self.emit(Move(result, self.pop()))
             self._terminate(Jump(exit_block.label))
         self._enter(exit_block)
+        if result is not None and not self._ever_defined(result):
+            # Every path traps before producing a value (e.g. a body that
+            # is just `unreachable`); the exit block only exists as a
+            # structural artifact.  Return a typed zero so the IR never
+            # reads a register with no definition.
+            zero = Const(0, result.ty) if result.ty.is_int \
+                else Const(0.0, result.ty)
+            result = zero
         self._terminate(Return(result))
+
+    def _ever_defined(self, reg) -> bool:
+        return any(reg in instr.defs()
+                   for block in self.func.blocks.values()
+                   for instr in block.all_instrs())
 
     # -- control flow ------------------------------------------------------------------
 

@@ -172,10 +172,13 @@ class FuncGen:
         self.loop_stack: list[_LoopContext] = []
         self.fp: VReg | None = None           # frame pointer vreg
         self.saved_sp: VReg | None = None
+        self._line = 0                        # current source line for loc
 
     # -- emission helpers -----------------------------------------------------
 
     def emit(self, instr) -> None:
+        if self._line and getattr(instr, "loc", None) is None:
+            instr.loc = self._line
         self.cur.append(instr)
 
     def new_block(self, hint="bb"):
@@ -233,6 +236,25 @@ class FuncGen:
             else:
                 self.locals[id(symbol)] = preg
 
+        # Zero-initialize every register-allocated local up front, the
+        # same way the wasm backend zeroes its locals.  The moves are
+        # marked synthetic so `repro lint` can still see through them to
+        # report uses with no real initialization; dead ones fall to DCE.
+        reg_syms = []
+        seen = set()
+
+        def visit_decl(stmt):
+            if isinstance(stmt, ast.VarDecl):
+                symbol = stmt.symbol
+                if symbol is not None and not symbol.address_taken \
+                        and id(symbol) not in seen:
+                    seen.add(id(symbol))
+                    reg_syms.append(symbol)
+
+        _walk_statements(self.decl.body, None, visit_decl)
+        for symbol in reg_syms:
+            self._bind_local(symbol)
+
         self.gen_block(self.decl.body)
 
         if not self.cur.terminated:
@@ -243,8 +265,28 @@ class FuncGen:
                 zero = Const(0, self.func.ftype.result) \
                     if self.func.ftype.result.is_int \
                     else Const(0.0, Type.F64)
-                self.cur.terminate(Return(zero))
+                ret = Return(zero)
+                ret.synthetic = True
+                self.cur.terminate(ret)
+                # Lint reads this to flag value-returning functions that
+                # can fall off the end.
+                self.func.synthetic_return_block = self.cur.label
         return self.func
+
+    def _bind_local(self, symbol) -> VReg:
+        """The vreg for a register-allocated local, creating it (with a
+        synthetic zero-initialization in the entry block) on first use."""
+        reg = self.locals.get(id(symbol))
+        if reg is not None:
+            return reg
+        reg = self.vreg(_machine_ty(symbol.ctype), symbol.name)
+        self.locals[id(symbol)] = reg
+        zero = Const(0.0, Type.F64) if reg.ty is Type.F64 \
+            else Const(0, reg.ty)
+        init = Move(reg, zero)
+        init.synthetic = True
+        self.func.blocks[self.func.entry].instrs.append(init)
+        return reg
 
     def _collect_frame_symbols(self, block, out) -> None:
         def visit_stmt(stmt):
@@ -264,6 +306,9 @@ class FuncGen:
             self.gen_stmt(stmt)
 
     def gen_stmt(self, stmt) -> None:
+        line = getattr(stmt, "line", 0)
+        if line:
+            self._line = line
         method = getattr(self, "_gen_" + type(stmt).__name__)
         method(stmt)
 
@@ -292,10 +337,7 @@ class FuncGen:
                 size, _ = _mem_width(symbol.ctype)
                 self.emit(Store(self.fp, offset, value, size))
         else:
-            reg = self.locals.get(id(symbol))
-            if reg is None:
-                reg = self.vreg(_machine_ty(symbol.ctype), symbol.name)
-                self.locals[id(symbol)] = reg
+            reg = self._bind_local(symbol)
             if stmt.init is not None:
                 value = self.gen_expr(stmt.init)
                 self.emit(Move(reg, self._as_operand(value, reg.ty)))
@@ -448,7 +490,10 @@ class FuncGen:
             value = self.gen_expr(stmt.value)
             value = self._as_operand(value, self.func.ftype.result)
         self._emit_epilogue()
-        self.cur.terminate(Return(value))
+        term = Return(value)
+        if self._line:
+            term.loc = self._line
+        self.cur.terminate(term)
         self.cur = self.new_block("dead")
 
     def _emit_epilogue(self) -> None:
@@ -477,7 +522,10 @@ class FuncGen:
             return
         value = self.gen_expr(expr)
         cond = self._truthiness(value, expr)
-        self.cur.terminate(CondBr(cond, true_label, false_label))
+        term = CondBr(cond, true_label, false_label)
+        if self._line:
+            term.loc = self._line
+        self.cur.terminate(term)
 
     def _truthiness(self, value, expr):
         """Reduce ``value`` to an i32 condition operand."""
@@ -495,6 +543,9 @@ class FuncGen:
     # -- expressions --------------------------------------------------------------
 
     def gen_expr(self, expr):
+        line = getattr(expr, "line", 0)
+        if line:
+            self._line = line
         method = getattr(self, "_gen_expr_" + type(expr).__name__)
         return method(expr)
 
@@ -793,11 +844,8 @@ class FuncGen:
                 if id(symbol) in self.slots:
                     return LValue("mem", symbol.ctype, base=self.fp,
                                   offset=self.slots[id(symbol)])
-                reg = self.locals.get(id(symbol))
-                if reg is None:
-                    reg = self.vreg(_machine_ty(symbol.ctype), symbol.name)
-                    self.locals[id(symbol)] = reg
-                return LValue("reg", symbol.ctype, reg=reg)
+                return LValue("reg", symbol.ctype,
+                              reg=self._bind_local(symbol))
             raise CompileError(f"{expr.name} is not assignable", expr.line)
         if isinstance(expr, ast.Unary) and expr.op == "*":
             base = self.gen_expr(expr.operand)

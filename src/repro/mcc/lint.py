@@ -1,0 +1,341 @@
+"""``repro lint``: source-level static analysis for mcc programs.
+
+Compiles a file to (unoptimized) IR and maps dataflow facts back through
+the source locations the frontend stamps on every instruction:
+
+* **uninitialized-use** — reaching definitions: a read reached by the
+  synthetic zero-initialization the frontend plants for every declared
+  local (error when no real assignment can reach, warning when some
+  paths assign and some do not);
+* **dead-store** — liveness: an assignment whose value can never be
+  read;
+* **constant-branch** — constness: a branch condition with one possible
+  value (note severity: ``while (1)`` is idiomatic);
+* **unreachable-code** — statements after a statement that always
+  exits (checked on the AST, since IR generation silently drops them);
+* **constant-oob** — a constant index into an array of known length
+  that is out of bounds;
+* **missing-return** — a value-returning function whose end is
+  reachable (the frontend marks the synthetic fallback return).
+
+Findings carry the *user* file line: the runtime library is prepended
+before parsing, so stamped lines are shifted back by its length.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompileError
+from ..ir.instructions import CondBr
+from ..ir.values import Const, VReg
+from . import astnodes as ast
+from .irgen import _expr_children, generate
+from .parser import parse
+from .runtime import STDLIB_SOURCE
+from .typer import typecheck
+from .types_c import ArrayType
+
+#: Lines the prepended runtime library occupies in the parsed text.
+STDLIB_LINES = (STDLIB_SOURCE + "\n").count("\n")
+
+#: Severity sort rank (most severe first).
+SEVERITIES = {"error": 0, "warning": 1, "note": 2}
+
+
+class LintFinding:
+    """One diagnostic: location, severity, check id, message."""
+
+    __slots__ = ("file", "line", "severity", "check", "message")
+
+    def __init__(self, file, line, severity, check, message):
+        self.file = file
+        self.line = line
+        self.severity = severity
+        self.check = check
+        self.message = message
+
+    def as_dict(self) -> dict:
+        return {"file": self.file, "line": self.line,
+                "severity": self.severity, "check": self.check,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintFinding":
+        return cls(data["file"], data["line"], data["severity"],
+                   data["check"], data["message"])
+
+    def format(self) -> str:
+        return (f"{self.file}:{self.line}: {self.severity}: "
+                f"{self.message} [{self.check}]")
+
+    def __repr__(self):
+        return f"<lint {self.format()}>"
+
+
+def lint_file(path: str) -> list:
+    with open(path) as fh:
+        return lint_source(fh.read(), filename=path)
+
+
+def lint_source(source: str, filename: str = "<source>") -> list:
+    """Lint mcc source text; returns sorted :class:`LintFinding`s."""
+    from ..obs import get_registry
+    linter = _Linter(filename)
+    findings = linter.run(source)
+    findings.sort(key=lambda f: (f.line, SEVERITIES[f.severity], f.check,
+                                 f.message))
+    get_registry().counter("analysis.lints_emitted").inc(len(findings))
+    return findings
+
+
+def format_findings(findings, summary: bool = True) -> str:
+    lines = [f.format() for f in findings]
+    if summary:
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = sum(1 for f in findings if f.severity == "warning")
+        lines.append(f"{len(findings)} finding(s): {errors} error(s), "
+                     f"{warnings} warning(s)")
+    return "\n".join(lines)
+
+
+class _Linter:
+    def __init__(self, filename: str):
+        self.filename = filename
+        self.findings: list[LintFinding] = []
+        self._seen = set()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def report(self, line, severity, check, message) -> None:
+        line = self._user_line(line)
+        if line is None:
+            return
+        key = (line, check, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            LintFinding(self.filename, line, severity, check, message))
+
+    @staticmethod
+    def _user_line(line):
+        """Map a combined-text line back to the user file (None for
+        unstamped instructions or runtime-library code)."""
+        if line is None or line <= STDLIB_LINES:
+            return None
+        return line - STDLIB_LINES
+
+    def run(self, source: str) -> list:
+        text = STDLIB_SOURCE + "\n" + source
+        try:
+            program = parse(text)
+            typecheck(program)
+        except CompileError as exc:
+            line = self._user_line(getattr(exc, "line", None)) or 0
+            self.findings.append(LintFinding(
+                self.filename, line, "error", "compile", str(exc)))
+            return self.findings
+
+        user_funcs = [d for d in program.decls
+                      if isinstance(d, ast.FuncDef) and d.body is not None
+                      and d.line > STDLIB_LINES]
+        for decl in user_funcs:
+            self._check_unreachable(decl.body)
+            self._check_const_index(decl)
+
+        try:
+            module = generate(program, self.filename)
+        except CompileError as exc:
+            line = self._user_line(getattr(exc, "line", None)) or 0
+            self.findings.append(LintFinding(
+                self.filename, line, "error", "compile", str(exc)))
+            return self.findings
+        for decl in user_funcs:
+            func = module.functions.get(decl.name)
+            if func is not None:
+                self._check_function_ir(func, decl)
+        return self.findings
+
+    # -- AST checks --------------------------------------------------------
+
+    def _check_unreachable(self, stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_stmt_list(stmt.stmts)
+        elif isinstance(stmt, ast.If):
+            self._check_unreachable(stmt.then)
+            if stmt.otherwise is not None:
+                self._check_unreachable(stmt.otherwise)
+        elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            self._check_unreachable(stmt.body)
+        elif isinstance(stmt, ast.Switch):
+            for _, body in stmt.cases:
+                self._check_stmt_list(body)
+            if stmt.default is not None:
+                self._check_stmt_list(stmt.default)
+
+    def _check_stmt_list(self, stmts) -> None:
+        exited = False
+        for stmt in stmts:
+            if exited:
+                self.report(stmt.line, "warning", "unreachable-code",
+                            "statement is unreachable")
+                break
+            self._check_unreachable(stmt)
+            if _always_exits(stmt):
+                exited = True
+
+    def _check_const_index(self, decl: ast.FuncDef) -> None:
+        def visit(expr):
+            for child in _expr_children(expr):
+                visit(child)
+            if not isinstance(expr, ast.Index):
+                return
+            base_ty = getattr(expr.base, "ctype", None)
+            if not isinstance(base_ty, ArrayType):
+                return
+            index = _const_int(expr.index)
+            if index is None:
+                return
+            if index < 0 or index >= base_ty.length:
+                self.report(
+                    expr.line or expr.index.line, "error", "constant-oob",
+                    f"index {index} is out of bounds for array of "
+                    f"length {base_ty.length}")
+
+        _walk_exprs(decl.body, visit)
+
+    # -- IR checks ---------------------------------------------------------
+
+    def _check_function_ir(self, func, decl: ast.FuncDef) -> None:
+        from ..dataflow import (
+            VARYING, constness, liveness, reaching_definitions,
+        )
+        from ..dataflow.analyses import ConstnessAnalysis
+
+        user_names = _user_var_names(decl)
+        reachable = func.reachable_blocks()
+
+        # Missing return: the frontend's synthetic fallback return is
+        # only a bug if control can actually reach it.
+        fallback = getattr(func, "synthetic_return_block", None)
+        if fallback is not None and fallback in reachable:
+            self.report(decl.line, "error", "missing-return",
+                        f"control reaches end of non-void function "
+                        f"'{func.name}'")
+
+        # Site -> instruction map for reaching definitions.
+        instr_at = {}
+        for label, block in func.blocks.items():
+            for index, instr in enumerate(block.all_instrs()):
+                instr_at[(label, index)] = instr
+
+        def is_synthetic(site):
+            _, label, index = site
+            if label is None:
+                return False  # parameter
+            return getattr(instr_at[(label, index)], "synthetic", False)
+
+        reaching = reaching_definitions(func)
+        live_in, live_out = liveness(func)
+        const_in = constness(func)
+
+        for label in reachable:
+            block = func.blocks[label]
+            instrs = list(block.all_instrs())
+
+            # Uninitialized use: forward walk with per-vreg reaching sites.
+            sites_of = {}
+            for site in reaching[label]:
+                sites_of.setdefault(site[0], set()).add(site)
+            for index, instr in enumerate(instrs):
+                loc = getattr(instr, "loc", None)
+                for reg in instr.uses():
+                    if not reg.name or reg.name not in user_names:
+                        continue
+                    sites = sites_of.get(reg.id, set())
+                    synthetic = [s for s in sites if is_synthetic(s)]
+                    if not synthetic:
+                        continue
+                    if len(synthetic) == len(sites):
+                        self.report(loc, "error", "uninitialized-use",
+                                    f"variable '{reg.name}' is used "
+                                    f"uninitialized")
+                    else:
+                        self.report(loc, "warning", "uninitialized-use",
+                                    f"variable '{reg.name}' may be used "
+                                    f"uninitialized")
+                for reg in instr.defs():
+                    sites_of[reg.id] = {(reg.id, label, index)}
+
+            # Dead store: backward walk with exact liveness.
+            live = set(live_out[label])
+            for instr in reversed(instrs):
+                loc = getattr(instr, "loc", None)
+                for reg in instr.defs():
+                    if reg.name in user_names and loc is not None \
+                            and not getattr(instr, "synthetic", False) \
+                            and reg.id not in live:
+                        self.report(loc, "warning", "dead-store",
+                                    f"value assigned to '{reg.name}' is "
+                                    f"never used")
+                    live.discard(reg.id)
+                for reg in instr.uses():
+                    live.add(reg.id)
+
+            # Constant branch: forward constness walk to the terminator.
+            term = block.term
+            if isinstance(term, CondBr):
+                loc = getattr(term, "loc", None)
+                value = None
+                if isinstance(term.cond, Const):
+                    value = term.cond.value
+                elif isinstance(term.cond, VReg):
+                    values = dict(const_in[label])
+                    for instr in instrs[:-1]:
+                        ConstnessAnalysis._step(instr, values)
+                    known = values.get(term.cond.id)
+                    if known is not None and known != VARYING:
+                        value = known[0]
+                if value is not None:
+                    outcome = "true" if value else "false"
+                    self.report(loc, "note", "constant-branch",
+                                f"branch condition is always {outcome}")
+
+
+def _always_exits(stmt) -> bool:
+    """Conservatively: does this statement always leave the enclosing
+    statement list (return/break/continue on every path)?"""
+    if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_always_exits(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        return (stmt.otherwise is not None and _always_exits(stmt.then)
+                and _always_exits(stmt.otherwise))
+    return False
+
+
+def _const_int(expr):
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_int(expr.operand)
+        return -inner if inner is not None else None
+    return None
+
+
+def _user_var_names(decl: ast.FuncDef):
+    names = set(decl.param_names)
+
+    def visit(stmt):
+        if isinstance(stmt, ast.VarDecl):
+            names.add(stmt.name)
+
+    from .irgen import _walk_statements
+    _walk_statements(decl.body, None, visit)
+    return names
+
+
+def _walk_exprs(body, visit) -> None:
+    """Visit every expression in a statement tree."""
+    from .irgen import _walk_statements
+    _walk_statements(body, visit, None)

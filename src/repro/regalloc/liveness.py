@@ -13,37 +13,16 @@ from ..ir.loops import loop_depths, natural_loops
 
 
 def block_liveness(func: Function, order=None):
-    """Classic backward dataflow; returns (live_in, live_out) keyed by
-    block label, holding sets of vreg ids."""
-    blocks = order or func.block_order()
-    use_sets = {}
-    def_sets = {}
-    for block in blocks:
-        uses, defs = set(), set()
-        for instr in block.all_instrs():
-            for reg in instr.uses():
-                if reg.id not in defs:
-                    uses.add(reg.id)
-            for reg in instr.defs():
-                defs.add(reg.id)
-        use_sets[block.label] = uses
-        def_sets[block.label] = defs
+    """Per-block liveness; returns (live_in, live_out) keyed by block
+    label, holding sets of vreg ids.
 
-    live_in = {b.label: set() for b in blocks}
-    live_out = {b.label: set() for b in blocks}
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(blocks):
-            out = set()
-            for succ in block.successors():
-                out |= live_in.get(succ, set())
-            new_in = use_sets[block.label] | (out - def_sets[block.label])
-            if out != live_out[block.label] or new_in != live_in[block.label]:
-                live_out[block.label] = out
-                live_in[block.label] = new_in
-                changed = True
-    return live_in, live_out
+    Thin wrapper over :func:`repro.dataflow.liveness` — the one liveness
+    implementation in the repo.  ``order`` is accepted for backward
+    compatibility but ignored: iteration order only affects how fast the
+    solver converges, never the fixed point it converges to.
+    """
+    from ..dataflow import liveness
+    return liveness(func)
 
 
 class Interval:

@@ -1,0 +1,77 @@
+"""Post-validation lint for WebAssembly modules.
+
+Validation proves a module is *safe*; this pass flags code that is safe
+but suspicious — the kinds of artifacts a buggy producer leaves behind:
+
+* dead code after ``unreachable`` (instructions before the enclosing
+  ``end``/``else`` can never execute);
+* declared locals that are written (or never touched) but never read
+  via ``local.get`` — wasted local slots the register allocator still
+  has to carry.
+
+Findings are plain dicts (``func``/``check``/``message``) so they
+serialize directly; nothing here raises.
+"""
+
+from __future__ import annotations
+
+from .module import WasmModule
+
+
+def lint_module(module: WasmModule) -> list:
+    """Lint every defined function; returns the list of findings."""
+    from ..obs import get_registry
+    findings = []
+    for wfunc in module.functions:
+        ftype = module.types[wfunc.type_index]
+        findings.extend(_lint_function(wfunc, len(ftype.params)))
+    get_registry().counter("analysis.lints_emitted").inc(len(findings))
+    return findings
+
+
+def _lint_function(wfunc, num_params: int) -> list:
+    findings = []
+    name = wfunc.name or "func"
+
+    def report(check, message):
+        findings.append({"func": name, "check": check, "message": message})
+
+    # Dead code after `unreachable`: everything up to the `end`/`else`
+    # that closes the current structured frame is unreachable.
+    body = wfunc.body
+    i, n = 0, len(body)
+    while i < n:
+        if body[i].op != "unreachable":
+            i += 1
+            continue
+        j, depth, dead = i + 1, 0, 0
+        while j < n:
+            op = body[j].op
+            if op in ("block", "loop", "if"):
+                depth += 1
+            elif op == "end":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif op == "else" and depth == 0:
+                break
+            dead += 1
+            j += 1
+        if dead:
+            report("dead-code",
+                   f"{name}: {dead} unreachable instruction(s) after "
+                   f"`unreachable` at body offset {i}")
+        i = j
+
+    # Never-read locals (declared locals only; parameters are part of
+    # the signature and not this lint's business).
+    read = set()
+    for instr in body:
+        if instr.op == "local.get":
+            read.add(instr.args[0])
+    for offset, valtype in enumerate(wfunc.locals):
+        index = num_params + offset
+        if index not in read:
+            report("never-read-local",
+                   f"{name}: local {index} ({valtype}) is never read")
+    return findings

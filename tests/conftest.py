@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# IR verification between optimization passes is on by default in the
+# test suite (export REPRO_VERIFY_IR=0 to opt out, e.g. when timing).
+if os.environ.get("REPRO_VERIFY_IR", "") == "":
+    from repro.ir.verify import set_verify_ir
+    set_verify_ir(True)
 
 from repro.codegen import compile_native
 from repro.codegen.emscripten import compile_emscripten

@@ -1,0 +1,143 @@
+"""``repro lint`` tests: seeded-bug fixtures, JSON round-trip, exit
+codes, and the analysis counters."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.mcc.lint import (LintFinding, format_findings, lint_file,
+                            lint_source)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "examples", "lint")
+
+#: fixture -> exact (line, severity, check) triples, in output order.
+EXPECTED = {
+    "uninit.mc": [
+        (3, "error", "uninitialized-use"),
+        (11, "warning", "uninitialized-use"),
+    ],
+    "dead_store.mc": [
+        (2, "warning", "dead-store"),
+        (8, "warning", "dead-store"),
+        (9, "warning", "dead-store"),
+    ],
+    "unreachable.mc": [
+        (3, "warning", "unreachable-code"),
+        (13, "warning", "unreachable-code"),
+    ],
+    "const_oob.mc": [
+        (4, "error", "constant-oob"),
+        (9, "error", "constant-oob"),
+    ],
+    "missing_return.mc": [
+        (1, "error", "missing-return"),
+    ],
+    "const_branch.mc": [
+        (3, "note", "constant-branch"),
+        (10, "note", "constant-branch"),
+    ],
+    "clean.mc": [],
+}
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_fixture_findings(name):
+    findings = lint_file(_fixture(name))
+    got = [(f.line, f.severity, f.check) for f in findings]
+    assert got == EXPECTED[name]
+
+
+def test_messages_name_the_variable():
+    findings = lint_file(_fixture("uninit.mc"))
+    assert "variable 'x' is used uninitialized" in findings[0].message
+    assert "variable 'y' may be used uninitialized" in findings[1].message
+
+
+def test_const_oob_reports_index_and_length():
+    findings = lint_file(_fixture("const_oob.mc"))
+    assert findings[0].message == \
+        "index 8 is out of bounds for array of length 8"
+    assert findings[1].message == \
+        "index -1 is out of bounds for array of length 4"
+
+
+def test_format_includes_file_line_severity_check():
+    finding = lint_file(_fixture("missing_return.mc"))[0]
+    text = finding.format()
+    assert text.startswith(f"{_fixture('missing_return.mc')}:1: error: ")
+    assert text.endswith("[missing-return]")
+
+
+def test_json_round_trip():
+    for name in sorted(EXPECTED):
+        for finding in lint_file(_fixture(name)):
+            data = json.loads(json.dumps(finding.as_dict()))
+            back = LintFinding.from_dict(data)
+            assert back.as_dict() == finding.as_dict()
+            assert back.format() == finding.format()
+
+
+def test_compile_error_becomes_finding():
+    findings = lint_source("int main(void) { return }", "bad.mc")
+    assert len(findings) == 1
+    assert findings[0].severity == "error"
+    assert findings[0].check == "compile"
+
+
+def test_findings_sorted_by_line():
+    for name in sorted(EXPECTED):
+        lines = [f.line for f in lint_file(_fixture(name))]
+        assert lines == sorted(lines)
+
+
+def test_format_findings_summary_line():
+    text = format_findings(lint_file(_fixture("uninit.mc")))
+    assert text.splitlines()[-1] == "2 finding(s): 1 error(s), 1 warning(s)"
+
+
+# -- CLI surface -----------------------------------------------------------
+
+def test_cli_exit_one_on_errors(capsys):
+    assert main(["lint", _fixture("uninit.mc")]) == 1
+    out = capsys.readouterr().out
+    assert "uninit.mc:3: error:" in out
+
+
+def test_cli_exit_zero_on_warnings_only(capsys):
+    assert main(["lint", _fixture("dead_store.mc")]) == 0
+    assert main(["lint", _fixture("clean.mc")]) == 0
+
+
+def test_cli_json_output_round_trips(capsys):
+    assert main(["lint", "--json", _fixture("const_oob.mc")]) == 1
+    data = json.loads(capsys.readouterr().out)
+    got = [(f["line"], f["severity"], f["check"]) for f in data]
+    assert got == EXPECTED["const_oob.mc"]
+    for entry in data:
+        assert LintFinding.from_dict(entry).as_dict() == entry
+
+
+def test_cli_multiple_files(capsys):
+    assert main(["lint", _fixture("clean.mc"),
+                 _fixture("missing_return.mc")]) == 1
+    out = capsys.readouterr().out
+    assert "missing_return.mc:1:" in out
+
+
+# -- counters --------------------------------------------------------------
+
+def test_lint_increments_analysis_counter():
+    from repro.obs import metrics
+    registry = metrics.enable()
+    try:
+        lint_file(_fixture("uninit.mc"))
+        counters = registry.as_dict()["counters"]
+        assert counters.get("analysis.lints_emitted", 0) >= 2
+    finally:
+        metrics.disable()

@@ -1,0 +1,142 @@
+"""Pass-blaming IR verification: a deliberately broken pass is named in
+the diagnostic, the gate is cheap when off, and the strict def-before-use
+check catches what the weak one cannot."""
+
+import pytest
+
+from repro.ir import (CondBr, Const, FuncType, Function, Jump, Module,
+                      Move, Return, Type, VerifyError, verify_function)
+from repro.ir.passes import PassBlameError, optimize_module, verify_after_pass
+from repro.ir.verify import set_verify_ir, verify_ir_enabled
+from repro.mcc import compile_source
+
+
+def _partially_assigned():
+    """%t is defined on only one path to its use — the weak
+    "defined-anywhere" check passes, the strict one must not."""
+    func = Function("main", FuncType([Type.I32], [Type.I32]))
+    func.params.append(func.new_vreg(Type.I32, "p"))
+    entry = func.new_block("entry")
+    left = func.new_block("left")
+    right = func.new_block("right")
+    join = func.new_block("join")
+    t = func.new_vreg(Type.I32, "t")
+    entry.terminate(CondBr(func.params[0], left.label, right.label))
+    left.append(Move(t, Const(1, Type.I32)))
+    left.terminate(Jump(join.label))
+    right.terminate(Jump(join.label))
+    join.terminate(Return(t))
+    return func, t
+
+
+def test_strict_verifier_rejects_partial_assignment():
+    func, t = _partially_assigned()
+    with pytest.raises(VerifyError, match="definition on every path") as excinfo:
+        verify_function(func)
+    assert excinfo.value.detail == "def-before-use of %t:i32"
+
+
+def test_broken_pass_is_blamed_with_function_and_block():
+    func, t = _partially_assigned()
+    with pytest.raises(PassBlameError) as excinfo:
+        verify_after_pass("licm", func)
+    message = str(excinfo.value)
+    assert message.startswith(
+        "pass `licm` broke def-before-use of %t:i32 in `main/join3`")
+    assert excinfo.value.pass_name == "licm"
+    assert excinfo.value.function == "main"
+    assert excinfo.value.block == "join3"
+
+
+def test_blame_names_the_breaking_pass_not_a_later_one():
+    # A PassBlameError must pass through verify_after_pass untouched —
+    # re-verifying under another pass name must not re-blame.
+    func, _ = _partially_assigned()
+    with pytest.raises(PassBlameError, match=r"pass `dce`"):
+        try:
+            verify_after_pass("dce", func)
+        except PassBlameError:
+            raise
+        except VerifyError:  # pragma: no cover - wrong path
+            pytest.fail("expected blame")
+
+
+def test_verify_after_pass_noop_when_disabled():
+    assert verify_ir_enabled()  # conftest turns it on
+    set_verify_ir(False)
+    try:
+        func, _ = _partially_assigned()
+        verify_after_pass("licm", func)  # must not raise
+    finally:
+        set_verify_ir(True)
+
+
+def test_valid_ir_passes_strict_verification():
+    source = """
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main(void) { return fib(10); }
+    """
+    module = compile_source(source, "ok")
+    for func in module.functions.values():
+        verify_function(func, module)
+    optimize_module(module)  # verify_after_pass fires between passes
+    for func in module.functions.values():
+        verify_function(func, module)
+
+
+def test_optimize_module_blames_a_sabotaged_pass(monkeypatch):
+    """End-to-end: sabotage a real pipeline pass so it deletes a
+    definition, and check optimize_module surfaces a PassBlameError
+    naming that pass."""
+    from repro.ir import passes as passes_mod
+
+    real_licm = passes_mod.hoist_invariants
+
+    def sabotaged(func, *args, **kwargs):
+        result = real_licm(func, *args, **kwargs)
+        for block in func.blocks.values():
+            for index, instr in enumerate(block.instrs):
+                if isinstance(instr, Move) and instr.defs():
+                    reg = instr.dst
+                    used_later = any(
+                        reg.id in {u.id for u in other.uses()}
+                        for other_block in func.blocks.values()
+                        for other in other_block.all_instrs()
+                        if other is not instr)
+                    if used_later:
+                        del block.instrs[index]
+                        return result
+        return result
+
+    monkeypatch.setattr(passes_mod, "hoist_invariants", sabotaged)
+
+    source = """
+    int main(void) {
+        int acc = 0;
+        int i = 0;
+        while (i < 10) {
+            acc = acc + i;
+            i = i + 1;
+        }
+        return acc;
+    }
+    """
+    module = compile_source(source, "sabotage")
+    with pytest.raises(PassBlameError) as excinfo:
+        optimize_module(module)
+    assert excinfo.value.pass_name == "licm"
+    assert "pass `licm` broke" in str(excinfo.value)
+
+
+def test_input_ir_failures_are_not_blamed_on_a_pass():
+    """optimize_module verifies its input before running anything; a bad
+    input must raise a plain VerifyError, not a PassBlameError."""
+    func, _ = _partially_assigned()
+    module = Module("bad")
+    module.functions[func.name] = func
+    with pytest.raises(VerifyError) as excinfo:
+        optimize_module(module)
+    assert not isinstance(excinfo.value, PassBlameError)

@@ -1,0 +1,111 @@
+"""wasm post-validation lint: dead code after ``unreachable`` and
+never-read locals."""
+
+from repro.wasm.lint import lint_module
+from repro.wasm.module import WasmFuncType, WasmFunction, WasmModule
+from repro.wasm.opcodes import WasmInstr
+
+
+def _module(body, locals_=(), params=(), results=("i32",), name="f"):
+    module = WasmModule("test")
+    module.types.append(WasmFuncType(params, results))
+    module.functions.append(
+        WasmFunction(0, locals_=locals_, body=list(body), name=name))
+    return module
+
+
+def test_clean_function_has_no_findings():
+    module = _module([
+        WasmInstr("i32.const", 1),
+        WasmInstr("i32.const", 2),
+        WasmInstr("i32.add"),
+    ])
+    assert lint_module(module) == []
+
+
+def test_dead_code_after_unreachable():
+    module = _module([
+        WasmInstr("unreachable"),
+        WasmInstr("i32.const", 1),
+        WasmInstr("i32.const", 2),
+        WasmInstr("i32.add"),
+    ])
+    findings = lint_module(module)
+    assert len(findings) == 1
+    assert findings[0]["check"] == "dead-code"
+    assert "3 unreachable instruction(s)" in findings[0]["message"]
+
+
+def test_trailing_unreachable_is_not_flagged():
+    # The emscripten emitter ends relooped bodies with a bare
+    # `unreachable`; nothing follows it, so nothing is dead.
+    module = _module([
+        WasmInstr("i32.const", 1),
+        WasmInstr("return"),
+        WasmInstr("unreachable"),
+    ])
+    assert lint_module(module) == []
+
+
+def test_dead_code_scan_stops_at_enclosing_end():
+    # Code after the block that contains the `unreachable` is live
+    # (reachable by branching over the block) and must not be counted.
+    module = _module([
+        WasmInstr("block", None),
+        WasmInstr("unreachable"),
+        WasmInstr("i32.const", 9),
+        WasmInstr("drop"),
+        WasmInstr("end"),
+        WasmInstr("i32.const", 1),
+    ])
+    findings = lint_module(module)
+    assert len(findings) == 1
+    assert "2 unreachable instruction(s)" in findings[0]["message"]
+
+
+def test_nested_blocks_inside_dead_region_counted_once():
+    module = _module([
+        WasmInstr("unreachable"),
+        WasmInstr("block", None),
+        WasmInstr("i32.const", 1),
+        WasmInstr("drop"),
+        WasmInstr("end"),
+    ])
+    findings = lint_module(module)
+    assert len(findings) == 1
+    assert findings[0]["check"] == "dead-code"
+
+
+def test_never_read_local():
+    module = _module([
+        WasmInstr("i32.const", 7),
+        WasmInstr("local.set", 1),
+        WasmInstr("local.get", 0),
+    ], locals_=("i32",), params=("i32",))
+    findings = lint_module(module)
+    assert len(findings) == 1
+    assert findings[0]["check"] == "never-read-local"
+    assert "local 1 (i32) is never read" in findings[0]["message"]
+
+
+def test_parameters_are_not_flagged():
+    # Param 0 is never read, but parameters are part of the signature.
+    module = _module([
+        WasmInstr("i32.const", 1),
+    ], params=("i32",))
+    assert lint_module(module) == []
+
+
+def test_compiled_suite_modules_are_clean():
+    """The emscripten pipeline should not produce lint findings on the
+    lint example fixtures (they are source-level bugs, not emitter
+    bugs)."""
+    import os
+    from repro.codegen.emscripten import compile_emscripten
+    fixtures = os.path.join(os.path.dirname(__file__), "..",
+                            "examples", "lint")
+    for name in ("clean.mc", "dead_store.mc", "const_branch.mc"):
+        source = open(os.path.join(fixtures, name)).read()
+        wasm, _ = compile_emscripten(source, name)
+        for finding in lint_module(wasm):
+            assert finding["check"] != "dead-code", (name, finding)
