@@ -20,16 +20,23 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from run_bench import (                                   # noqa: E402
-    bench_parallel_warm, bench_wasm_fused, bench_x86_fused,
+    bench_parallel_warm, bench_sharded_sweep, bench_wasm_fused,
+    bench_x86_fused,
 )
 
 #: (scenario, floor): measured speedups are ~1.5x / ~1.5x / ~1.7x, so a
 #: floor of 1.05x trips only when the optimization has actually
-#: regressed past the baseline, not on timer jitter.
+#: regressed past the baseline, not on timer jitter.  The sharded
+#: engine cannot beat the single pool on a 1-CPU CI box, so its gate
+#: bounds the coordination *overhead* instead (measured ~0.87x of the
+#: single-pool time on 1 CPU; the 0.75x floor trips only when the
+#: coordinator itself regresses); steal activity and bit-identity are
+#: asserted inside the scenario.
 GATES = (
     ("wasm_fused", bench_wasm_fused, 1.05),
     ("x86_fused", bench_x86_fused, 1.05),
     ("parallel_warm", bench_parallel_warm, 1.05),
+    ("sharded_sweep", lambda: bench_sharded_sweep(force=True), 0.75),
 )
 
 

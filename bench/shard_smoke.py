@@ -1,0 +1,129 @@
+"""Shard smoke: the sharded sweep engine must be bit-identical to serial.
+
+Runs a small benchmark matrix three ways — serially, on the single
+warm pool (``--jobs 2``), and on the work-stealing sharded engine
+(``--shards 2 --jobs 2``) — and asserts that
+
+* every cell's measurements (times, counters, stdout) are
+  bit-identical across all three schedules;
+* suite order is preserved in the merged results;
+* the engine actually sharded (``shard.count`` == 2 in the metrics
+  registry) rather than silently falling back to the single pool;
+* a second sharded sweep reuses the warm shard pools (same worker
+  pids), so repeated sweeps do not re-pay the fork cost.
+
+``REPRO_FORCE_JOBS=1`` is set so the real pools run even on a 1-CPU
+CI runner.  Writes a JSON summary and exits non-zero on any
+violation, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python bench/shard_smoke.py [--output shard.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+os.environ.setdefault("REPRO_FORCE_JOBS", "1")
+
+from repro.benchsuite import matmul_spec, polybench_benchmark  # noqa: E402
+from repro.harness import shard as shard_mod              # noqa: E402
+from repro.harness.parallel import (                      # noqa: E402
+    run_suite, shutdown_warm_pool,
+)
+from repro.obs import metrics as obs_metrics              # noqa: E402
+
+BENCHMARKS = ["trisolv", "bicg", "mvt", "gesummv"]
+TARGETS = ["native", "chrome", "firefox"]
+
+
+def _suite():
+    # The heavy matmul cell lands in shard 0's slice: skew for steals.
+    return [matmul_spec(40, 40, 40)] + \
+        [polybench_benchmark(name, "test") for name in BENCHMARKS]
+
+
+def sweep(jobs, shards):
+    results, _ = run_suite(_suite(), TARGETS, runs=3, jobs=jobs,
+                           shards=shards, cache=False)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args(argv)
+
+    names = [spec.name for spec in _suite()]
+    print("[shard-smoke] serial sweep ...", flush=True)
+    serial = sweep(1, 1)
+    print("[shard-smoke] single-pool sweep (--jobs 2) ...", flush=True)
+    single = sweep(2, 1)
+    print("[shard-smoke] sharded sweep (--jobs 2 --shards 2) ...",
+          flush=True)
+    registry = obs_metrics.enable()
+    sharded = sweep(2, 2)
+
+    assert list(serial) == list(single) == list(sharded) == names, \
+        "suite order not preserved"
+    for name in names:
+        for target in TARGETS:
+            s = serial[name][target]
+            for schedule, results in (("single", single),
+                                      ("sharded", sharded)):
+                cell = results[name][target]
+                assert cell.times == s.times, \
+                    f"{schedule} diverged: {name}@{target} times"
+                assert cell.perf.as_dict() == s.perf.as_dict(), \
+                    f"{schedule} diverged: {name}@{target} counters"
+                assert cell.run.stdout == s.run.stdout, \
+                    f"{schedule} diverged: {name}@{target} stdout"
+
+    gauges = {name: gauge.value
+              for name, gauge in registry.gauges.items()}
+    counters = {name: counter.value
+                for name, counter in registry.counters.items()
+                if name.startswith("shard.")}
+    assert gauges.get("shard.count") == 2, \
+        f"engine did not shard: {gauges}"
+
+    pools = shard_mod._SHARDS["pools"]
+    pids = [w["proc"].pid for pool in pools for w in pool.workers]
+    rewarmed = sweep(2, 2)
+    assert shard_mod._SHARDS["pools"] is pools and \
+        [w["proc"].pid for pool in pools
+         for w in pool.workers] == pids, "shard pools not reused"
+    for name in names:
+        for target in TARGETS:
+            assert rewarmed[name][target].times == \
+                serial[name][target].times, "warm re-sweep diverged"
+    shutdown_warm_pool()
+
+    summary = {
+        "benchmarks": names,
+        "targets": TARGETS,
+        "cells": len(names) * len(TARGETS),
+        "bit_identical": True,
+        "pools_reused": True,
+        "shard_counters": counters,
+        "shard_gauges": {k: v for k, v in gauges.items()
+                         if k.startswith("shard.")},
+        "cpus": os.cpu_count(),
+    }
+    print(json.dumps(summary, indent=2))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"[shard-smoke] wrote {args.output}")
+    print("[shard-smoke] sharded sweep bit-identical to serial")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,12 +48,13 @@ class SuiteData:
     def __init__(self, benchmarks, targets, runs: int = 5,
                  max_instructions: int = 2_000_000_000, jobs: int = 1,
                  tolerant: bool = False, plan=None, retries: int = None,
-                 timeout: float = None):
+                 timeout: float = None, shards: int = None):
         self.benchmarks = list(benchmarks)
         self.targets = list(targets)
         self.runs = runs
         self.max_instructions = max_instructions
         self.jobs = jobs
+        self.shards = shards
         self.tolerant = tolerant or plan is not None
         self.plan = plan
         self.retries = retries
@@ -70,7 +71,7 @@ class SuiteData:
             self.results, compile_seconds = run_suite(
                 self.benchmarks, self.targets, runs=self.runs,
                 max_instructions=self.max_instructions, jobs=jobs,
-                progress=progress)
+                progress=progress, shards=self.shards)
             for spec in self.benchmarks:
                 compiled = CompiledBenchmark(spec)
                 compiled.compile_seconds = compile_seconds[spec.name]
@@ -102,7 +103,7 @@ class SuiteData:
             self.benchmarks, self.targets, runs=self.runs,
             max_instructions=self.max_instructions, jobs=jobs,
             progress=progress, tolerant=True, plan=self.plan,
-            policy=policy, timeout=self.timeout)
+            policy=policy, timeout=self.timeout, shards=self.shards)
         for spec in self.benchmarks:
             compiled = CompiledBenchmark(spec)
             compiled.compile_seconds = compile_seconds[spec.name]
@@ -132,22 +133,23 @@ class SuiteData:
 def spec_data(size: str = "ref", include_asmjs: bool = False,
               runs: int = 5, benchmarks=None, progress=None,
               jobs: int = 1, tolerant: bool = False, plan=None,
-              retries: int = None, timeout: float = None) -> SuiteData:
+              retries: int = None, timeout: float = None,
+              shards: int = None) -> SuiteData:
     targets = list(TARGETS) + (list(ASMJS_TARGETS) if include_asmjs else [])
     specs = benchmarks or all_spec_benchmarks(size)
     return SuiteData(specs, targets, runs, jobs=jobs, tolerant=tolerant,
-                     plan=plan, retries=retries,
-                     timeout=timeout).collect(progress)
+                     plan=plan, retries=retries, timeout=timeout,
+                     shards=shards).collect(progress)
 
 
 def polybench_data(size: str = "ref", runs: int = 5,
                    progress=None, jobs: int = 1, tolerant: bool = False,
                    plan=None, retries: int = None,
-                   timeout: float = None) -> SuiteData:
+                   timeout: float = None, shards: int = None) -> SuiteData:
     return SuiteData(all_polybench_benchmarks(size),
                      TARGETS, runs, jobs=jobs, tolerant=tolerant,
-                     plan=plan, retries=retries,
-                     timeout=timeout).collect(progress)
+                     plan=plan, retries=retries, timeout=timeout,
+                     shards=shards).collect(progress)
 
 
 # ---------------------------------------------------------------------------

@@ -263,7 +263,7 @@ def cmd_bench(args) -> int:
         results = run_benchmark(spec, targets=targets, runs=args.runs,
                                 jobs=args.jobs, tolerant=tolerant,
                                 plan=plan, policy=policy,
-                                timeout=args.timeout)
+                                timeout=args.timeout, shards=args.shards)
     except KeyboardInterrupt:
         print(f"\ninterrupted: {spec.name} sweep cancelled "
               "(use --tolerant to keep partial results)", file=sys.stderr)
@@ -329,13 +329,15 @@ def cmd_report(args) -> int:
     if artifact == "fig3a":
         data = polybench_data(args.size, runs=args.runs, jobs=args.jobs,
                               tolerant=tolerant, plan=plan,
-                              retries=args.retries, timeout=args.timeout)
+                              retries=args.retries, timeout=args.timeout,
+                              shards=args.shards)
     elif artifact in spec_figures:
         include_asmjs = artifact in ("fig5", "fig6")
         data = spec_data(args.size, include_asmjs=include_asmjs,
                          runs=args.runs, jobs=args.jobs,
                          tolerant=tolerant, plan=plan,
-                         retries=args.retries, timeout=args.timeout)
+                         retries=args.retries, timeout=args.timeout,
+                         shards=args.shards)
     elif artifact not in standalone:
         print(f"unknown artifact {artifact}; choose from: table1 table2 "
               "table3 table4 fig1 fig3a fig3b fig4 fig5 fig6 fig7 fig8 "
@@ -356,7 +358,9 @@ def cmd_report(args) -> int:
     print(ret[-1])
     if args.json:
         from .tier import get_tier
-        counters = get_registry().as_dict()["counters"]
+        registry_dict = get_registry().as_dict()
+        counters = registry_dict["counters"]
+        gauges = registry_dict.get("gauges", {})
         payload = {
             "artifact": artifact,
             "data": _jsonify(list(ret[:-1])),
@@ -372,6 +376,19 @@ def cmd_report(args) -> int:
                 "lints_emitted": counters.get("analysis.lints_emitted", 0),
                 "regalloc_checks":
                     counters.get("analysis.regalloc_checks", 0),
+            },
+            "shard": {
+                "shards": gauges.get("shard.count", 0),
+                "cells": counters.get("shard.cells", 0),
+                "steals": counters.get("shard.steals", 0),
+                "redispatches": counters.get("shard.redispatches", 0),
+                "redispatch_wins":
+                    counters.get("shard.redispatch_wins", 0),
+                "cancelled": counters.get("shard.cancelled", 0),
+                "requeues": counters.get("shard.requeues", 0),
+                "worker_respawns":
+                    counters.get("shard.worker_respawns", 0),
+                "merge_seconds": gauges.get("shard.merge_seconds", 0.0),
             },
             "failures": [_jsonify(f.as_dict(args.size)) for f in failures],
             "partial": bool(failures),
@@ -495,6 +512,15 @@ def _add_tier_arg(p) -> None:
                         "results are bit-identical at every tier")
 
 
+def _add_shards_arg(p) -> None:
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="partition the --jobs workers into N "
+                        "work-stealing warm pools with straggler "
+                        "re-dispatch (default: auto from the worker "
+                        "count; 1 = a single pool); results are "
+                        "bit-identical to serial at any shard count")
+
+
 def _add_resilience_args(p) -> None:
     """The fault-injection / fault-tolerance knobs (bench + report)."""
     p.add_argument("--inject", metavar="SPEC",
@@ -567,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes for (benchmark, target) cells "
                         "(default: cpu count, capped at 8; 1 = serial)")
+    _add_shards_arg(p)
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk compile cache")
     p.add_argument("--stats", action="store_true",
@@ -583,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes for suite sweeps "
                         "(default: cpu count, capped at 8; 1 = serial)")
+    _add_shards_arg(p)
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the on-disk compile cache")
     p.add_argument("--stats", action="store_true",

@@ -47,21 +47,30 @@ def default_jobs() -> int:
     return max(1, min(os.cpu_count() or 1, MAX_JOBS))
 
 
+#: Whether the single-CPU degrade notice was already printed.  Drivers
+#: re-enter ``run_suite`` (compare/report/bench loop over sweeps), and
+#: repeating the same notice per sweep is pure noise — say it once.
+_DEGRADE_NOTICED = False
+
+
 def normalize_jobs(jobs, quiet: bool = False) -> int:
     """Resolve a ``--jobs`` request to an effective worker count.
 
     On a single-CPU box extra workers only add fork/pickle overhead
     (the sweep measured 0.69x), so a multi-job request degrades to
-    serial with a one-line notice.  Set ``REPRO_FORCE_JOBS=1`` to keep
+    serial with a one-line notice — printed once per process, however
+    many sweeps re-enter this path.  Set ``REPRO_FORCE_JOBS=1`` to keep
     the requested width anyway (tests, or a miscounted container).
     """
+    global _DEGRADE_NOTICED
     requested = default_jobs() if jobs is None else max(1, int(jobs))
     if requested > 1 and (os.cpu_count() or 1) <= 1 \
             and not os.environ.get("REPRO_FORCE_JOBS"):
-        if not quiet and jobs is not None:
+        if not quiet and jobs is not None and not _DEGRADE_NOTICED:
             print(f"repro: 1 CPU available; running serially instead of "
                   f"--jobs {requested} (REPRO_FORCE_JOBS=1 overrides)",
                   file=sys.stderr)
+            _DEGRADE_NOTICED = True
         return 1
     return requested
 
@@ -185,18 +194,23 @@ class _WarmPool:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = mp.get_context()
+        self.ctx = ctx
         self.width = width
         self.workers = []
+        self.inflight = {}  # conn -> (job, submit_time)
         for _ in range(width):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(target=_warm_worker_main,
-                               args=(child_conn,), daemon=True)
-            proc.start()
-            child_conn.close()
-            self.workers.append({"proc": proc, "conn": parent_conn})
+            self._spawn()
+
+    def _spawn(self):
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(target=_warm_worker_main,
+                                args=(child_conn,), daemon=True)
+        proc.start()
+        child_conn.close()
+        self.workers.append({"proc": proc, "conn": parent_conn})
 
     def alive(self) -> bool:
-        return bool(self.workers) and \
+        return len(self.workers) == self.width and \
             all(w["proc"].is_alive() for w in self.workers)
 
     def run_jobs(self, jobs_list):
@@ -206,22 +220,23 @@ class _WarmPool:
         yields ``(job, value, timing, submitted)`` in completion order.
         A cell exception is re-raised in the parent (non-tolerant
         semantics); a worker death raises :class:`WorkerCrashError`.
-        The caller is responsible for discarding the pool on any raise —
-        in-flight cells on other workers are not drained.
+        On a raise, cells may still be in flight on other workers — the
+        caller should :meth:`recover` (cell errors: the workers are
+        healthy) or :meth:`shutdown` (crash / Ctrl-C).
         """
         from multiprocessing.connection import wait as _wait
 
         pending = list(enumerate(jobs_list))
-        inflight = {}  # conn -> (job, submit_time)
+        self.inflight.clear()
         idle = [w["conn"] for w in self.workers]
-        while pending or inflight:
+        while pending or self.inflight:
             while pending and idle:
                 conn = idle.pop()
                 job_id, job = pending.pop(0)
                 conn.send((job_id, job["payload"]))
-                inflight[conn] = (job, time.time())
-            for conn in _wait(list(inflight)):
-                job, submitted = inflight.pop(conn)
+                self.inflight[conn] = (job, time.time())
+            for conn in _wait(list(self.inflight)):
+                job, submitted = self.inflight.pop(conn)
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
@@ -233,6 +248,48 @@ class _WarmPool:
                     raise value
                 idle.append(conn)
                 yield job, value, timing, submitted
+
+    def recover(self, deadline: float = 10.0) -> None:
+        """Drain in-flight cells after a cell error, keeping the pool.
+
+        A cell *error* (bad target, guest exception) leaves every
+        worker healthy — discarding the whole pool would throw away
+        warm workers for no reason.  Results still in flight are
+        received and dropped; a worker that is dead, or that stays busy
+        past ``deadline`` seconds, is replaced by a fresh fork so the
+        pool keeps its width and stays reusable.
+        """
+        from multiprocessing.connection import wait as _wait
+
+        limit = time.time() + deadline
+        while self.inflight:
+            remaining = limit - time.time()
+            if remaining <= 0:
+                break
+            for conn in _wait(list(self.inflight), timeout=remaining):
+                self.inflight.pop(conn)
+                try:
+                    conn.recv()
+                except (EOFError, OSError):
+                    self._replace(conn)
+        for conn in list(self.inflight):
+            self.inflight.pop(conn)
+            self._replace(conn)
+
+    def _replace(self, conn) -> None:
+        """Retire the worker behind ``conn``; fork a replacement."""
+        for worker in list(self.workers):
+            if worker["conn"] is conn:
+                if worker["proc"].is_alive():
+                    worker["proc"].terminate()
+                worker["proc"].join(timeout=2.0)
+                try:
+                    worker["conn"].close()
+                except OSError:
+                    pass
+                self.workers.remove(worker)
+                self._spawn()
+                return
 
     def shutdown(self):
         for w in self.workers:
@@ -269,11 +326,15 @@ def _get_warm_pool(width: int) -> _WarmPool:
 
 
 def shutdown_warm_pool():
-    """Tear down the warm pool (atexit, tests, and bench teardown)."""
+    """Tear down the warm pool and any shard pools (atexit, tests,
+    and bench teardown)."""
     global _POOL
     if _POOL is not None:
         _POOL.shutdown()
         _POOL = None
+    shard_mod = sys.modules.get(__package__ + ".shard")
+    if shard_mod is not None:
+        shard_mod.shutdown_shard_pools()
 
 
 atexit.register(shutdown_warm_pool)
@@ -442,11 +503,14 @@ def _run_cells_isolated(jobs_list, jobs, plan, policy, timeout, record):
 # -- the fault-tolerant suite runner -----------------------------------------------
 
 def _run_tolerant_suite(benchmarks, targets, runs, noise, max_instructions,
-                        jobs, progress, cache, plan, policy, timeout):
+                        jobs, progress, cache, plan, policy, timeout,
+                        shards: int = 1):
     """The tolerant sweep: every cell completes or yields a CellFailure.
 
-    Referenceable specs run one-process-per-cell (crash isolation);
-    ad-hoc specs run in-process through the same
+    Referenceable specs run one-process-per-cell (crash isolation) or,
+    with ``shards`` > 1, through the work-stealing shard engine (crash
+    isolation per *dispatch*: a dying shard worker re-queues its cell
+    and is respawned); ad-hoc specs run in-process through the same
     :func:`repro.resilience.measure_cell` path.  Ctrl-C stops the sweep
     and marks every unfinished cell ``interrupted`` — partial results
     are always returned, never an escaped exception.
@@ -488,7 +552,30 @@ def _run_tolerant_suite(benchmarks, targets, runs, noise, max_instructions,
             bucket.append((spec, target))
 
     try:
-        if pool_cells:
+        if pool_cells and shards > 1:
+            from ..tier import get_tier as _get_tier
+            from .shard import run_sharded_jobs
+            tier_name = _get_tier()
+            jobs_list = [{
+                "ref": refs[spec.name], "name": spec.name, "target": target,
+                "runs": runs, "noise": noise,
+                "max_instructions": max_instructions,
+                "use_cache": use_cache, "plan": plan, "tier": tier_name,
+                "retries": policy.retries, "timeout": timeout,
+                "tolerant": True,
+            } for spec, target in pool_cells]
+
+            def shard_record(job, kind, value, _timing):
+                payload, seconds, attempts = value
+                if kind == "ok":
+                    record(job, payload, None, seconds, attempts)
+                else:
+                    record(job, None, payload, seconds, attempts)
+
+            run_sharded_jobs(jobs_list, shards, jobs, shard_record,
+                             tolerant=True, retries=policy.retries,
+                             plan=plan)
+        elif pool_cells:
             jobs_list = [{
                 "ref": refs[spec.name], "name": spec.name, "target": target,
                 "runs": runs, "noise": noise,
@@ -518,12 +605,8 @@ def _run_tolerant_suite(benchmarks, targets, runs, noise, max_instructions,
     if interrupted and metrics.enabled:
         metrics.counter("resilience.failures.INTERRUPTED").inc(interrupted)
 
-    results = {}
-    for spec in benchmarks:
-        results[spec.name] = {
-            target: cell_results[(spec.name, target)] for target in targets
-        }
-    return results, compile_seconds
+    return _merge_results(benchmarks, targets, cell_results), \
+        compile_seconds
 
 
 # -- the suite runner --------------------------------------------------------------
@@ -531,27 +614,35 @@ def _run_tolerant_suite(benchmarks, targets, runs, noise, max_instructions,
 def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
               max_instructions: int = 2_000_000_000, jobs=1,
               progress=None, cache=None, tolerant: bool = False,
-              plan=None, policy=None, timeout: float = None):
+              plan=None, policy=None, timeout: float = None,
+              shards=None):
     """Measure every (benchmark, target) cell of a suite.
 
     Returns ``(results, compile_seconds)`` where ``results`` maps
     benchmark name -> target -> BenchResult in suite order, and
     ``compile_seconds`` maps benchmark name -> {pipeline: seconds}.
     ``jobs`` > 1 distributes cells over that many worker processes;
-    ``jobs=None`` auto-selects :func:`default_jobs`.
+    ``jobs=None`` auto-selects :func:`default_jobs`.  ``shards`` > 1
+    partitions the workers into that many work-stealing warm pools
+    (see :mod:`repro.harness.shard`); ``shards=None`` auto-selects from
+    the worker count.  Results are bit-identical to serial for every
+    (jobs, shards) combination.
 
     ``tolerant`` (implied by a fault-injection ``plan``) switches to the
     crash-isolated scheduler: failed cells come back as
     :class:`~repro.resilience.CellFailure` values in ``results`` instead
     of raising, and the sweep always completes the full matrix.
     """
+    from .shard import normalize_shards
+
     benchmarks = list(benchmarks)
     targets = list(targets)
     jobs = normalize_jobs(jobs)
+    shards = normalize_shards(shards, jobs)
     if tolerant or plan is not None:
         return _run_tolerant_suite(
             benchmarks, targets, runs, noise, max_instructions, jobs,
-            progress, cache, plan, policy, timeout)
+            progress, cache, plan, policy, timeout, shards)
     use_cache = compilecache.resolve_cache(cache) is not None
 
     serial_specs = list(benchmarks)
@@ -562,7 +653,11 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
         refs = {spec.name: spec_ref(spec) for spec in benchmarks}
         pool_specs = [s for s in benchmarks if refs[s.name] is not None]
         serial_specs = [s for s in benchmarks if refs[s.name] is None]
-        if pool_specs:
+        if pool_specs and shards > 1:
+            _run_sharded_suite(pool_specs, targets, refs, runs, noise,
+                               max_instructions, use_cache, jobs, shards,
+                               progress, cell_results, compile_seconds)
+        elif pool_specs:
             metrics = get_registry()
             tier_name = get_tier()
             remaining = {s.name: len(targets) for s in pool_specs}
@@ -593,11 +688,16 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
                     remaining[name] -= 1
                     if not remaining[name] and progress is not None:
                         progress(name)
-            except BaseException:
-                # Cell error, worker crash, or Ctrl-C: the pool may
-                # still have cells in flight, so discard it (forking a
-                # fresh one is cheap) and propagate.
+            except (KeyboardInterrupt, WorkerCrashError):
+                # A worker actually died (or the user bailed): the
+                # pool's state is unknowable, discard it.
                 shutdown_warm_pool()
+                raise
+            except BaseException:
+                # A *cell* error: every worker is healthy.  Drain the
+                # in-flight cells and keep the warm pool for the next
+                # sweep instead of discarding live workers.
+                pool.recover()
                 raise
             if metrics.enabled:
                 pool_wall = max(time.time() - pool_start, 1e-9)
@@ -623,10 +723,51 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
         if progress is not None:
             progress(spec.name)
 
-    # Reassemble in suite order: stable no matter who finished first.
+    return _merge_results(benchmarks, targets, cell_results), \
+        compile_seconds
+
+
+def _run_sharded_suite(pool_specs, targets, refs, runs, noise,
+                       max_instructions, use_cache, jobs, shards,
+                       progress, cell_results, compile_seconds):
+    """The non-tolerant sharded fast path: fill ``cell_results`` via
+    the work-stealing coordinator."""
+    from .shard import run_sharded_jobs
+
+    tier_name = get_tier()
+    remaining = {s.name: len(targets) for s in pool_specs}
+    jobs_list = [{
+        "ref": refs[spec.name], "name": spec.name, "target": target,
+        "runs": runs, "noise": noise,
+        "max_instructions": max_instructions,
+        "use_cache": use_cache, "tier": tier_name,
+    } for spec in pool_specs for target in targets]
+
+    def record(job, _kind, value, _timing):
+        result, seconds, _attempts = value
+        name, target = job["name"], job["target"]
+        cell_results[(name, target)] = result
+        compile_seconds[name].update(seconds)
+        remaining[name] -= 1
+        if not remaining[name] and progress is not None:
+            progress(name)
+
+    run_sharded_jobs(jobs_list, shards, jobs, record)
+
+
+def _merge_results(benchmarks, targets, cell_results):
+    """Reassemble per-cell results in suite order: the merge is a pure
+    function of (suite order, cell values), so the output is identical
+    no matter which worker, shard, or speculative copy produced each
+    cell.  Merge time lands in the ``shard.merge_seconds`` gauge."""
+    metrics = get_registry()
+    merge_start = time.time()
     results = {}
     for spec in benchmarks:
         results[spec.name] = {
             target: cell_results[(spec.name, target)] for target in targets
         }
-    return results, compile_seconds
+    if metrics.enabled:
+        metrics.gauge("shard.merge_seconds").set(
+            time.time() - merge_start)
+    return results

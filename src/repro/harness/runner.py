@@ -237,13 +237,15 @@ def run_benchmark(spec: BenchmarkSpec, targets=None, runs: int = 5,
                   validate: bool = True, noise: float = NOISE,
                   max_instructions: int = 2_000_000_000, cache=None,
                   jobs: int = 1, tolerant: bool = False, plan=None,
-                  policy=None, timeout: float = None):
+                  policy=None, timeout: float = None, shards: int = None):
     """Compile + run ``spec`` on each target; returns {target: BenchResult}.
 
     With ``validate``, every target's stdout must byte-compare equal to
     the native baseline's (the harness's ``cmp`` step).  ``jobs`` > 1
     fans the targets out over worker processes (results are bit-identical
-    to the serial path; see :mod:`repro.harness.parallel`).
+    to the serial path; see :mod:`repro.harness.parallel`); ``shards``
+    > 1 splits the workers into that many work-stealing pools (see
+    :mod:`repro.harness.shard`).
 
     ``tolerant`` (implied by a fault-injection ``plan``) switches to the
     fault-tolerant path: failed cells come back as
@@ -259,7 +261,8 @@ def run_benchmark(spec: BenchmarkSpec, targets=None, runs: int = 5,
             from .parallel import run_suite
             by_name, _compiled = run_suite(
                 [spec], targets, runs=runs, noise=noise,
-                max_instructions=max_instructions, jobs=jobs, cache=cache)
+                max_instructions=max_instructions, jobs=jobs, cache=cache,
+                shards=shards)
             results = by_name[spec.name]
         else:
             compiled = compile_benchmark(spec, targets, cache=cache)
@@ -280,7 +283,8 @@ def run_benchmark(spec: BenchmarkSpec, targets=None, runs: int = 5,
     by_name, _seconds = run_suite(
         [spec], targets, runs=runs, noise=noise,
         max_instructions=max_instructions, jobs=jobs, cache=cache,
-        tolerant=True, plan=plan, policy=policy, timeout=timeout)
+        tolerant=True, plan=plan, policy=policy, timeout=timeout,
+        shards=shards)
     results = by_name[spec.name]
     if validate:
         _validate_tolerant(spec.name, results, plan)

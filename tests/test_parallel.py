@@ -73,7 +73,42 @@ def test_warm_pool_cell_error_propagates(force_jobs):
     with pytest.raises(Exception):
         run_suite([bad], ["no-such-target", "native"], runs=1, jobs=2,
                   cache=False)
-    # the broken sweep discarded the pool; the next one must still work
+    # a *cell* error leaves every worker healthy: the pool is recovered
+    # (in-flight cells drained), not discarded, so the next sweep
+    # reuses the very same warm workers
+    pool = parallel_mod._POOL
+    assert pool is not None and pool.alive()
+    pids = [w["proc"].pid for w in pool.workers]
+    results, _ = run_suite(_suite()[:2], ["native"], runs=1, jobs=2,
+                           cache=False)
+    assert set(results) == set(SUBSET[:2])
+    assert parallel_mod._POOL is pool
+    assert [w["proc"].pid for w in pool.workers] == pids
+
+
+def test_warm_pool_discarded_on_worker_death(force_jobs):
+    """A worker that actually dies mid-sweep poisons the pool: the
+    sweep raises WorkerCrashError and the pool is torn down (state
+    unknowable), unlike the healthy-workers cell-error path above."""
+    import threading
+    from repro.errors import WorkerCrashError
+    run_suite(_suite()[:2], ["native"], runs=1, jobs=2, cache=False)
+    pool = parallel_mod._POOL
+
+    def _kill_workers():
+        for worker in pool.workers:
+            worker["proc"].kill()
+
+    killer = threading.Timer(0.2, _kill_workers)
+    killer.start()
+    try:
+        with pytest.raises(WorkerCrashError):
+            run_suite(_suite(), ["native", "chrome", "firefox"], runs=1,
+                      jobs=2, cache=False)
+    finally:
+        killer.cancel()
+    assert parallel_mod._POOL is None
+    # and the next sweep builds a fresh pool and completes
     results, _ = run_suite(_suite()[:2], ["native"], runs=1, jobs=2,
                            cache=False)
     assert set(results) == set(SUBSET[:2])
@@ -124,11 +159,25 @@ def test_normalize_jobs_degrades_on_one_cpu(monkeypatch, capsys):
     than paying fork/pickle overhead for no parallelism."""
     monkeypatch.delenv("REPRO_FORCE_JOBS", raising=False)
     monkeypatch.setattr("os.cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel_mod, "_DEGRADE_NOTICED", False)
     assert normalize_jobs(4, quiet=True) == 1
     assert normalize_jobs(None) == 1       # auto-select: no notice
     assert capsys.readouterr().err == ""
     assert normalize_jobs(4) == 1
     assert "running serially" in capsys.readouterr().err
+
+
+def test_degrade_notice_printed_once_per_process(monkeypatch, capsys):
+    """Drivers re-enter normalize_jobs once per sweep; the degrade
+    notice must not repeat for every sweep of a compare/report run."""
+    monkeypatch.delenv("REPRO_FORCE_JOBS", raising=False)
+    monkeypatch.setattr("os.cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel_mod, "_DEGRADE_NOTICED", False)
+    assert normalize_jobs(4) == 1
+    assert "running serially" in capsys.readouterr().err
+    assert normalize_jobs(4) == 1          # second sweep: silent
+    assert normalize_jobs(8) == 1
+    assert capsys.readouterr().err == ""
 
 
 def test_normalize_jobs_force_override(monkeypatch):
