@@ -10,8 +10,13 @@ measurements.
 Method: run the same benchmark sweep twice per mode, take the best
 wall-clock of ``--repeats`` attempts for each mode, and compare
 
-* ``disabled``  — observability off (the measurement configuration);
-* ``enabled``   — tracing + metrics on (sanity reference, not gated).
+* ``disabled``  — observability off (the measurement configuration;
+  this includes the hwc model's disabled-path checks in the executor
+  hot loop, so the gate bounds their cost too);
+* ``enabled``   — tracing + metrics on (sanity reference, not gated);
+* ``hwc``       — the microarchitectural model attached (reference,
+  not gated; retired counters and output are asserted bit-identical
+  to the disabled sweep).
 
 The gate compares ``disabled`` against itself across interleaved halves
 (A/B of the same configuration) to bound timer noise, then against the
@@ -46,24 +51,27 @@ BENCHMARKS = ("durbin", "trisolv", "gemm")
 TARGETS = ("native", "chrome")
 
 
-def _sweep(compiled):
+def _sweep(compiled, hwc: bool = False):
     """One full sweep; returns (wall_seconds, results key)."""
+    from repro.obs.hwc import HwcModel
+
     start = time.perf_counter()
     fingerprint = []
     for name in BENCHMARKS:
         for target in TARGETS:
-            result = run_compiled(compiled[name], target, runs=2)
+            result = run_compiled(compiled[name], target, runs=2,
+                                  hwc=HwcModel() if hwc else None)
             fingerprint.append(
                 (name, target, result.run.perf.instructions,
                  result.run.exit_code, result.run.stdout))
     return time.perf_counter() - start, fingerprint
 
 
-def _best(compiled, repeats):
+def _best(compiled, repeats, hwc: bool = False):
     best = None
     fingerprint = None
     for _ in range(repeats):
-        seconds, fp = _sweep(compiled)
+        seconds, fp = _sweep(compiled, hwc=hwc)
         if best is None or seconds < best:
             best = seconds
         if fingerprint is None:
@@ -101,16 +109,22 @@ def main(argv=None) -> int:
         obs.disable_tracing()
         obs.disable_metrics()
 
+    hwc_seconds, fp_hwc = _best(compiled, args.repeats, hwc=True)
+
     disabled_b, _ = _best(compiled, args.repeats)
 
     if fp_enabled != fp_disabled:
         print("FAIL: enabling observability changed results")
+        return 1
+    if fp_hwc != fp_disabled:
+        print("FAIL: attaching the hwc model changed results")
         return 1
 
     baseline = min(disabled_a, disabled_b)
     slower = max(disabled_a, disabled_b)
     overhead = slower / baseline - 1.0
     enabled_overhead = enabled / baseline - 1.0
+    hwc_overhead = hwc_seconds / baseline - 1.0
 
     report = {
         "benchmarks": list(BENCHMARKS),
@@ -122,6 +136,8 @@ def main(argv=None) -> int:
         "disabled_overhead": overhead,
         "enabled_seconds": enabled,
         "enabled_overhead": enabled_overhead,
+        "hwc_seconds": hwc_seconds,
+        "hwc_overhead": hwc_overhead,
         "results_identical": True,
     }
     with open(args.output, "w") as fh:
@@ -131,6 +147,8 @@ def main(argv=None) -> int:
           f"(rerun {slower:.3f}s, spread {100 * overhead:.2f}%)")
     print(f"enabled sweep:  {enabled:.3f}s "
           f"(+{100 * enabled_overhead:.2f}% vs disabled)")
+    print(f"hwc sweep:      {hwc_seconds:.3f}s "
+          f"(+{100 * hwc_overhead:.2f}% vs disabled, reference only)")
     if overhead > args.budget:
         print(f"FAIL: disabled-observability overhead {overhead:.4f} "
               f"exceeds budget {args.budget}")

@@ -16,16 +16,21 @@ COUNTER_FIELDS = [
 ]
 
 
-def counter_value(perf, field):
+def counter_value(run, field):
+    """Read one Fig. 9 counter from a RunResult (cycles and i-cache
+    misses live on the run — they include the cache model — while the
+    retired counters live on ``run.perf``)."""
     if field is None:
-        return perf.cycles()
-    return getattr(perf, field)
+        return run.cycles
+    if field == "icache_misses":
+        return run.icache_misses
+    return getattr(run.perf, field)
 
 
 def relative_counter(results, benchmark: str, target: str, field) -> float:
     """Counter ratio target/native for one benchmark."""
-    base = counter_value(results[benchmark]["native"].perf, field)
-    value = counter_value(results[benchmark][target].perf, field)
+    base = counter_value(results[benchmark]["native"].run, field)
+    value = counter_value(results[benchmark][target].run, field)
     return value / base if base else 0.0
 
 

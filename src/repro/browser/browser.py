@@ -11,6 +11,8 @@ syscall costs, providing the baseline column of every table.
 
 from __future__ import annotations
 
+import os
+
 from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE, Engine
 from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
 from ..obs import span
@@ -24,7 +26,8 @@ class RunResult:
 
     def __init__(self, name: str, stdout: bytes, exit_code: int, perf,
                  overhead_cycles: float, syscalls: int,
-                 compile_seconds: float):
+                 compile_seconds: float, icache_accesses: int = 0,
+                 icache_misses: int = 0, hwc=None):
         self.name = name
         self.stdout = stdout
         self.exit_code = exit_code
@@ -32,10 +35,27 @@ class RunResult:
         self.overhead_cycles = overhead_cycles
         self.syscalls = syscalls
         self.compile_seconds = compile_seconds
+        self.icache_accesses = icache_accesses
+        self.icache_misses = icache_misses
+        #: Optional :class:`repro.obs.hwc.HwcReport`.
+        self.hwc = hwc
+
+    @property
+    def cycles(self) -> float:
+        """Estimated guest CPU cycles (retired model + i-cache term)."""
+        return self.perf.cycles(self.icache_misses)
+
+    def event(self, name: str):
+        """Read a counter by its paper (Table 3) event name."""
+        if name == "cpu-cycles":
+            return self.cycles
+        if name == "L1-icache-load-misses":
+            return self.icache_misses
+        return self.perf.event(name)
 
     @property
     def cpu_seconds(self) -> float:
-        return self.perf.seconds()
+        return self.perf.seconds(self.icache_misses)
 
     @property
     def overhead_seconds(self) -> float:
@@ -61,7 +81,7 @@ def execute_program(program: X86Program, runtime, name: str,
                     entry: str = "main",
                     max_instructions: int = 2_000_000_000,
                     profile=None, timeout: float = None,
-                    tier=None) -> RunResult:
+                    tier=None, hwc=None) -> RunResult:
     """Run a compiled program against a process runtime.
 
     ``timeout`` (wall-clock seconds) arms the machine's deadline
@@ -70,12 +90,21 @@ def execute_program(program: X86Program, runtime, name: str,
     ``tier`` overrides the process-wide execution tier for this run
     (``None`` follows the ``--tier`` / ``REPRO_TIER`` setting, not any
     tier stamped into a cached program's compile_stats).
+    ``hwc`` attaches a :class:`~repro.obs.hwc.HwcModel` (or, with
+    ``hwc=True`` / ``REPRO_HWC=1``, a default-configured one); the
+    run's :class:`~repro.obs.hwc.HwcReport` lands on ``RunResult.hwc``.
     """
     from time import monotonic
+    if hwc is None and os.environ.get("REPRO_HWC", "") not in ("", "0"):
+        hwc = True
+    if hwc is True:
+        from ..obs.hwc import HwcModel
+        hwc = HwcModel.from_env()
     deadline = None if timeout is None else monotonic() + timeout
     machine = X86Machine(program, host=runtime,
                          max_instructions=max_instructions,
-                         profile=profile, deadline=deadline, tier=tier)
+                         profile=profile, deadline=deadline, tier=tier,
+                         hwc=hwc)
     with span("execute", program=name, entry=entry):
         rax, _ = machine.call(entry)
     return RunResult(
@@ -86,6 +115,9 @@ def execute_program(program: X86Program, runtime, name: str,
         overhead_cycles=runtime.overhead_cycles,
         syscalls=runtime.syscall_count,
         compile_seconds=program.compile_stats.get("compile_seconds", 0.0),
+        icache_accesses=machine.icache.accesses,
+        icache_misses=machine.icache.misses,
+        hwc=hwc.report() if hwc is not None else None,
     )
 
 

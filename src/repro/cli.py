@@ -11,6 +11,8 @@ Usage (also via ``python -m repro``):
     repro report fig3b --size test          # regenerate a paper artifact
     repro trace matmul --target chrome      # Chrome trace-event JSON
     repro profile matmul --annotate         # simulated perf annotate
+    repro stat matmul --target chrome       # perf-stat-style hwc table
+    repro explain matmul                    # wasm-vs-native gap, explained
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ def _compile_target(source: str, target: str):
     return _ENGINES[target].compile_bytes(encode_module(wasm))
 
 
-def _execute(program, target: str, stage=None):
+def _execute(program, target: str, stage=None, hwc=None):
     from .obs import span
     with span("kernel.boot", target=target):
         kernel = Kernel()
@@ -57,7 +59,7 @@ def _execute(program, target: str, stage=None):
         runtime_cls = NativeRuntime if target == "native" \
             else BrowsixRuntime
         runtime = runtime_cls(kernel, process, program.heap_base)
-    return execute_program(program, runtime, f"cli@{target}")
+    return execute_program(program, runtime, f"cli@{target}", hwc=hwc)
 
 
 def _resolve_spec(name: str, size: str):
@@ -179,19 +181,30 @@ def _stage_files(paths):
 def cmd_run(args) -> int:
     source = open(args.program).read()
     program = _compile_target(source, args.target)
-    result = _execute(program, args.target, _stage_files(args.file))
+    result = _execute(program, args.target, _stage_files(args.file),
+                      hwc=True if args.hwc else None)
     sys.stdout.write(result.stdout.decode("utf-8", "replace"))
-    if args.stats:
+    if args.stats or args.hwc:
         perf = result.perf
         print(f"--- {args.target}: {perf.instructions} instrs, "
-              f"{perf.cycles():.0f} cycles "
+              f"{result.cycles:.0f} cycles "
               f"({result.total_seconds * 1e6:.1f} simulated us)",
               file=sys.stderr)
         # The full Table 3 event set, for every target (asm.js included).
         for event, raw, _summary in EVENT_TABLE:
-            value = perf.event(event)
+            value = result.event(event)
             text = f"{value:.0f}" if isinstance(value, float) else str(value)
             print(f"    {event:22s} ({raw}): {text}", file=sys.stderr)
+        # The microarchitectural rows ride along only under --hwc so the
+        # default --stats output stays byte-identical.
+        if result.hwc is not None:
+            from .obs.hwc import hwc_cycles
+            totals = result.hwc.totals
+            for name, value in totals.as_dict().items():
+                print(f"    hwc.{name:18s} (model): {value}",
+                      file=sys.stderr)
+            print(f"    hwc.cycles             (model): "
+                  f"{hwc_cycles(perf, totals):.0f}", file=sys.stderr)
     return result.exit_code
 
 
@@ -209,7 +222,7 @@ def cmd_compare(args) -> int:
             return 1
         perf = result.perf
         rows.append([target, perf.instructions, perf.loads, perf.stores,
-                     perf.icache_misses,
+                     result.icache_misses,
                      f"{result.total_seconds / baseline.total_seconds:.2f}x"])
     from .analysis import render_table
     print(render_table(
@@ -285,13 +298,36 @@ def cmd_bench(args) -> int:
                                       res.stderr_seconds),
                      _fmt_seconds(res.p50_seconds),
                      _fmt_seconds(res.p95_seconds), rel,
-                     res.perf.instructions, res.perf.icache_misses])
+                     res.perf.instructions, res.run.icache_misses])
     print(render_table(["target", "time", "p50", "p95", "rel",
                         "instrs", "L1I miss"],
                        rows, f"{spec.name} ({args.size})"))
     _print_failures(failures, args.size)
     _print_observability_summary()
     return _sweep_exit_code(failures, total_cells=len(results))
+
+
+def _hwc_block(data) -> dict:
+    """The ``hwc`` payload of ``repro report --json``: per-cell
+    microarchitectural totals for every run that carried the model."""
+    block = {"enabled": False, "benchmarks": {}}
+    if data is None:
+        return block
+    from .resilience import is_failure
+    for name, by_target in data.results.items():
+        entry = {}
+        for target, res in by_target.items():
+            if is_failure(res) or res.run.hwc is None:
+                continue
+            from .obs.hwc import hwc_cycles
+            entry[target] = {
+                "totals": res.run.hwc.totals.as_dict(),
+                "hwc_cycles": hwc_cycles(res.perf, res.run.hwc.totals),
+            }
+        if entry:
+            block["benchmarks"][name] = entry
+    block["enabled"] = bool(block["benchmarks"])
+    return block
 
 
 def cmd_report(args) -> int:
@@ -303,6 +339,10 @@ def cmd_report(args) -> int:
 
     if args.no_cache:
         compilecache.set_enabled(False)
+    if args.hwc:
+        # The env gate reaches forked sweep workers too, so every cell's
+        # run comes back with an HwcReport attached.
+        os.environ["REPRO_HWC"] = "1"
     if args.stats or args.json:
         enable_metrics()
     artifact = args.artifact
@@ -392,6 +432,7 @@ def cmd_report(args) -> int:
             },
             "failures": [_jsonify(f.as_dict(args.size)) for f in failures],
             "partial": bool(failures),
+            "hwc": _hwc_block(data),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
@@ -471,13 +512,103 @@ def cmd_profile(args) -> int:
             "target": args.target,
             "functions": rows,
             "events": {event: {"native":
-                               comparison.native_run.perf.event(event),
+                               comparison.native_run.event(event),
                                args.target:
-                               comparison.target_run.perf.event(event)}
+                               comparison.target_run.event(event)}
                        for event, _raw, _s in EVENT_TABLE},
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_stat(args) -> int:
+    """``repro stat``: the perf-stat view of one (benchmark, target)."""
+    from .harness import compilecache
+    from .harness.runner import compile_benchmark, run_compiled
+    from .obs.hwc import HwcModel, STAT_EVENTS, hwc_cycles
+    from .x86.perf import CLOCK_HZ
+
+    if args.no_cache:
+        compilecache.set_enabled(False)
+    spec = _resolve_spec(args.benchmark, args.size)
+    if spec is None:
+        return _unknown_benchmark(args.benchmark)
+    model = HwcModel.from_env(sample_every=args.sample)
+    compiled = compile_benchmark(spec, (args.target,))
+    result = run_compiled(compiled, args.target, runs=1, hwc=model)
+    run = result.run
+    totals = run.hwc.totals
+    cycles = hwc_cycles(run.perf, totals)
+    if args.json:
+        payload = {
+            "benchmark": spec.name,
+            "target": args.target,
+            "events": {label: read(run) for label, read in STAT_EVENTS},
+            "hwc_cycles": cycles,
+            "ipc": run.perf.instructions / cycles if cycles else 0.0,
+            "seconds": cycles / CLOCK_HZ,
+            "hwc": run.hwc.as_dict(),
+        }
+        print(json.dumps(_jsonify(payload), indent=2))
+        return run.exit_code
+    print(f" Performance counter stats for "
+          f"'{spec.name}@{args.target}' ({args.size}):\n")
+    notes = {
+        "branch-misses": lambda: _pct(totals.branch_misses,
+                                      run.perf.branches, "of all branches"),
+        "btb-misses": lambda: _pct(totals.btb_misses,
+                                   totals.indirect_branches,
+                                   "of indirect branches"),
+        "L1-icache-load-misses": lambda: _pct(run.icache_misses,
+                                              run.icache_accesses,
+                                              "of all icache accesses"),
+        "L1-dcache-load-misses": lambda: _pct(totals.dcache_misses,
+                                              totals.dcache_accesses,
+                                              "of all dcache accesses"),
+        "spill-loads": lambda: _pct(totals.spill_loads, run.perf.loads,
+                                    "of all loads"),
+        "spill-stores": lambda: _pct(totals.spill_stores, run.perf.stores,
+                                     "of all stores"),
+    }
+    for label, read in STAT_EVENTS:
+        note = notes.get(label)
+        note = f"   # {note()}" if note else ""
+        print(f"    {read(run):>15,}   {label}{note}")
+    ipc = run.perf.instructions / cycles if cycles else 0.0
+    print(f"    {cycles:>15,.0f}   cpu-cycles (hwc model)"
+          f"   # {ipc:.2f} insn per cycle")
+    if run.hwc.samples:
+        print(f"\n samples (every {model.sample_every} retired):")
+        ranked = sorted(run.hwc.samples.items(), key=lambda kv: -kv[1])
+        for name, count in ranked:
+            print(f"    {count:>15,}   {name}")
+    print(f"\n    {cycles / CLOCK_HZ:.6f} seconds time elapsed "
+          f"(simulated)")
+    return run.exit_code
+
+
+def _pct(part: int, whole: int, label: str) -> str:
+    return f"{100.0 * part / whole:.2f}% {label}" if whole else "-"
+
+
+def cmd_explain(args) -> int:
+    """``repro explain``: attribute the wasm-vs-native gap to event
+    classes and functions (the Figure 6-8 / Table 4 analog)."""
+    from .harness import compilecache
+    from .obs.hwc import explain_benchmark
+
+    if args.no_cache:
+        compilecache.set_enabled(False)
+    spec = _resolve_spec(args.benchmark, args.size)
+    if spec is None:
+        return _unknown_benchmark(args.benchmark)
+    explanation = explain_benchmark(spec, target=args.target)
+    print(explanation.render(limit=args.functions))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(_jsonify(explanation.as_dict()), fh, indent=2)
         print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
@@ -556,6 +687,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", action="append",
                    help="stage a file into the kernel filesystem")
     p.add_argument("--stats", action="store_true")
+    p.add_argument("--hwc", action="store_true",
+                   help="attach the microarchitectural event model and "
+                        "append its counters to the --stats table "
+                        "(implies --stats; default output unchanged)")
     _add_tier_arg(p)
     _add_verify_arg(p)
     p.set_defaults(func=cmd_run)
@@ -617,6 +752,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="collect and print harness metrics")
     p.add_argument("--json", metavar="PATH",
                    help="also write the artifact data + metrics as JSON")
+    p.add_argument("--hwc", action="store_true",
+                   help="attach the microarchitectural event model to "
+                        "every cell and include an hwc block in --json")
     _add_resilience_args(p)
     _add_tier_arg(p)
     _add_verify_arg(p)
@@ -634,6 +772,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (load via chrome://tracing)")
     _add_tier_arg(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stat",
+        help="perf-stat-style counter table for one benchmark "
+             "(retired + microarchitectural hwc events)")
+    p.add_argument("benchmark")
+    p.add_argument("--target", choices=TARGETS, default="chrome")
+    p.add_argument("--size", choices=("test", "ref"), default="test")
+    p.add_argument("--sample", type=int, default=None, metavar="N",
+                   help="event-based sampling: record one sample per N "
+                        "retired instructions (default: REPRO_HWC_SAMPLE "
+                        "or off)")
+    p.add_argument("--json", action="store_true",
+                   help="print the counters as JSON on stdout")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk compile cache")
+    _add_tier_arg(p)
+    p.set_defaults(func=cmd_stat)
+
+    p = sub.add_parser(
+        "explain",
+        help="decompose the wasm-vs-native gap per event class and per "
+             "function (Figs. 6-8 / Table 4 analog)")
+    p.add_argument("benchmark")
+    p.add_argument("--target",
+                   choices=[t for t in TARGETS if t != "native"],
+                   default="chrome")
+    p.add_argument("--size", choices=("test", "ref"), default="test")
+    p.add_argument("--functions", type=int, default=10, metavar="N",
+                   help="rows in the per-function table (default: 10)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the decomposition as JSON")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk compile cache")
+    _add_tier_arg(p)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(
         "profile",

@@ -257,7 +257,7 @@ class FunctionLowering:
 
     def _slot_mem(self, slot: int, size: int = 8) -> Mem:
         return Mem(base=RBP, disp=-(self.slot_base + 8 * (slot + 1)),
-                   size=size)
+                   size=size, spill=True)
 
     def _xscratch(self, idx: int) -> int:
         return self.cfg.scratch_xmms[idx]

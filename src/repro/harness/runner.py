@@ -196,7 +196,7 @@ def _compile_benchmark(spec, targets, engines, store, result):
 def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
                  noise: float = NOISE, seed: int = None,
                  max_instructions: int = 2_000_000_000, profile=None,
-                 timeout: float = None):
+                 timeout: float = None, hwc=None):
     """Execute one compiled target; returns a BenchResult.
 
     ``profile`` optionally attaches a
@@ -204,7 +204,9 @@ def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
     bucketing retired events per function (and optionally per opcode /
     basic block) without perturbing any counter or output.
     ``timeout`` (wall-clock seconds) arms the per-cell deadline
-    watchdog.
+    watchdog.  ``hwc`` attaches the microarchitectural event model
+    (``True`` for a fresh env-configured :class:`repro.obs.hwc.
+    HwcModel`); neither perturbs counters, timings, or output.
     """
     spec = compiled.spec
     program = compiled.programs[target]
@@ -220,7 +222,8 @@ def run_compiled(compiled: CompiledBenchmark, target: str, runs: int = 5,
         run_result = execute_program(program, runtime,
                                      f"{spec.name}@{target}",
                                      max_instructions=max_instructions,
-                                     profile=profile, timeout=timeout)
+                                     profile=profile, timeout=timeout,
+                                     hwc=hwc)
     base_time = run_result.total_seconds
     if seed is None:
         # Stable across processes (Python's hash() is randomized).

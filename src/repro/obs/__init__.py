@@ -11,7 +11,10 @@ path costs (near) nothing and never changes behaviour:
   (``repro profile``);
 * :mod:`~repro.obs.metrics` — counters/gauges/histograms wired into the
   kernel, compile cache, and parallel runner (``--stats``,
-  ``repro report --json``).
+  ``repro report --json``);
+* :mod:`~repro.obs.hwc` — a deterministic microarchitectural event
+  model (branch predictor, L1 i/d-cache, spill accounting, cycle
+  decomposition) behind ``repro stat`` and ``repro explain``.
 
 The invariant the test suite enforces: with observability disabled,
 every benchmark result, counter value, and program output is
@@ -24,6 +27,10 @@ from .metrics import (
 )
 from .metrics import disable as disable_metrics
 from .metrics import enable as enable_metrics
+from .hwc import (
+    BranchHwc, BranchPredictor, GapExplanation, HwcCounters, HwcModel,
+    HwcReport, class_cycles, explain_benchmark, hwc_cycles,
+)
 from .profile import (
     PROFILE_FIELDS, MachineProfile, ProfileComparison, WasmProfile,
     profile_benchmark,
@@ -40,4 +47,7 @@ __all__ = [
     "NULL_REGISTRY",
     "MachineProfile", "WasmProfile", "ProfileComparison",
     "profile_benchmark", "PROFILE_FIELDS",
+    "HwcModel", "HwcCounters", "HwcReport", "BranchHwc",
+    "BranchPredictor", "GapExplanation", "explain_benchmark",
+    "hwc_cycles", "class_cycles",
 ]

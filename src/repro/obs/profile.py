@@ -34,11 +34,27 @@ PROFILE_FIELDS = (
 )
 
 
+class FunctionBucket(PerfCounters):
+    """A per-function :class:`PerfCounters` plus the function's share of
+    i-cache misses (a cache-model event, not a retired counter, so it
+    lives outside the ``PerfCounters`` slots)."""
+
+    __slots__ = ("icache_misses",)
+
+    def __init__(self):
+        super().__init__()
+        self.icache_misses = 0
+
+    def merge(self, other) -> None:
+        super().merge(other)
+        self.icache_misses += getattr(other, "icache_misses", 0)
+
+
 class MachineProfile:
     """Per-function retired-event buckets for the x86 machine.
 
     Pass an instance as ``X86Machine(..., profile=...)``; after the run,
-    ``functions`` maps function name -> :class:`PerfCounters` whose sum
+    ``functions`` maps function name -> :class:`FunctionBucket` whose sum
     over all functions equals the machine's whole-program counters
     exactly.  ``opcodes`` / ``blocks`` additionally record instructions
     retired per x86 mnemonic and per basic block (identified by the
@@ -48,16 +64,16 @@ class MachineProfile:
     def __init__(self, opcodes: bool = False, blocks: bool = False):
         self.opcodes = opcodes
         self.blocks = blocks
-        self.functions: dict[str, PerfCounters] = {}
+        self.functions: dict[str, FunctionBucket] = {}
         #: function -> {mnemonic: instructions retired}
         self.opcode_instrs: dict[str, dict] = {}
         #: function -> {leader instruction index: instructions retired}
         self.block_instrs: dict[str, dict] = {}
 
-    def bucket(self, name: str) -> PerfCounters:
+    def bucket(self, name: str) -> FunctionBucket:
         counters = self.functions.get(name)
         if counters is None:
-            counters = self.functions[name] = PerfCounters()
+            counters = self.functions[name] = FunctionBucket()
         return counters
 
     def opcode_bucket(self, name: str) -> dict:
@@ -72,10 +88,9 @@ class MachineProfile:
             bucket = self.block_instrs[name] = {}
         return bucket
 
-    def totals(self) -> PerfCounters:
-        """Sum of all per-function buckets (icache_accesses excluded —
-        that counter is a global property of the i-cache model)."""
-        total = PerfCounters()
+    def totals(self) -> FunctionBucket:
+        """Sum of all per-function buckets."""
+        total = FunctionBucket()
         for counters in self.functions.values():
             total.merge(counters)
         return total
@@ -171,10 +186,12 @@ class ProfileComparison:
                 (self.native_profile, self.native_run, "native"),
                 (self.target_profile, self.target_run, self.target)):
             totals = profile.totals()
-            whole = run.perf
             for field, _ in PROFILE_FIELDS:
                 bucketed = getattr(totals, field)
-                counted = getattr(whole, field)
+                if field == "icache_misses":
+                    counted = run.icache_misses
+                else:
+                    counted = getattr(run.perf, field)
                 if bucketed != counted:
                     raise AssertionError(
                         f"{label}: per-function {field} sum {bucketed} "
@@ -217,8 +234,8 @@ class ProfileComparison:
         from ..analysis.tables import render_table
         rows = []
         for event, _raw, summary in EVENT_TABLE:
-            n = self.native_run.perf.event(event)
-            t = self.target_run.perf.event(event)
+            n = self.native_run.event(event)
+            t = self.target_run.event(event)
             rows.append([event, f"{n:.0f}" if isinstance(n, float) else n,
                         f"{t:.0f}" if isinstance(t, float) else t,
                         _ratio(t, n), summary])

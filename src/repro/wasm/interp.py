@@ -771,7 +771,7 @@ class WasmInstance:
 
     def __init__(self, module: WasmModule, host=None, validate: bool = True,
                  max_call_depth: int = 2000, profile=None,
-                 max_fuel: int = None, tier=None):
+                 max_fuel: int = None, tier=None, hwc=None):
         if validate:
             validate_module(module)
         self.module = module
@@ -781,6 +781,12 @@ class WasmInstance:
         #: counts are bucketed per function, per wasm opcode, and per
         #: structured block.
         self.profile = profile
+        #: Optional :class:`repro.obs.hwc.BranchHwc`: a branch-predictor
+        #: model fed every conditional (``if``/``br_if``, fused or not)
+        #: and indirect (``br_table``/``call_indirect``) branch.  Purely
+        #: observational — stack, locals, fuel, and results are
+        #: untouched.
+        self.hwc = hwc
         #: Execution tier (0=off, 1=quicken, 2=fuse); ``None`` follows
         #: the process-wide setting from :mod:`repro.tier`.
         self._tier = tier_level(tier)
@@ -1367,6 +1373,19 @@ class WasmInstance:
             po = prof.opcode_bucket(fname)
             pb = prof.block_bucket(fname)
 
+        # Branch-predictor model (hwc=None, the default, costs one local
+        # test per branch).  Sites are keyed by crc32(function name) and
+        # the *body* instruction index, so fused and unfused dispatch of
+        # the same br_if train the same PHT entry.
+        hwc = self.hwc
+        hwc_cond = hwc_ind = None
+        if hwc is not None:
+            from ..obs.hwc import hwc_site
+            if fname is None:
+                fname = self._func_name(func)
+            hwc_cond = hwc.cond
+            hwc_ind = hwc.indirect
+
         stack = []
         n = len(code)
         # Control stack entries: (op, start, end, else, height, arity)
@@ -1405,6 +1424,10 @@ class WasmInstance:
                     pc += a[1]
                 else:                         # K_FUSED_BRIF
                     if a[0](stack, locals_):
+                        if hwc_cond is not None:
+                            # The br_if constituent sits at the end of
+                            # the fused window: start (pc-1) + skip.
+                            hwc_cond(hwc_site(fname, pc - 1 + a[1]), True)
                         self.fuel_used = fuel = self.fuel_used + 1
                         if fuel > max_fuel:
                             raise FuelExhausted(
@@ -1412,6 +1435,9 @@ class WasmInstance:
                                 "exceeded")
                         pc = do_branch(a[3], ctrl, stack)
                     else:
+                        if hwc_cond is not None:
+                            hwc_cond(hwc_site(fname, pc - 1 + a[1]),
+                                     False)
                         pc += a[1]
             elif kind == 0:                   # K_RAW
                 a(stack)
@@ -1436,6 +1462,8 @@ class WasmInstance:
             elif kind == 7:                   # K_IF
                 start, end, else_idx, arity = a
                 cond = stack.pop()
+                if hwc_cond is not None:
+                    hwc_cond(hwc_site(fname, start), bool(cond))
                 ctrl.append(("if", start, end, else_idx,
                              len(stack), arity))
                 if not cond:
@@ -1449,7 +1477,10 @@ class WasmInstance:
                         "fuel exhausted: wasm branch budget exceeded")
                 pc = do_branch(a, ctrl, stack)
             elif kind == 10:                  # K_BR_IF
-                if stack.pop():
+                taken = stack.pop()
+                if hwc_cond is not None:
+                    hwc_cond(hwc_site(fname, pc - 1), bool(taken))
+                if taken:
                     self.fuel_used = fuel = self.fuel_used + 1
                     if fuel > max_fuel:
                         raise FuelExhausted(
@@ -1459,6 +1490,8 @@ class WasmInstance:
                 targets, default = a
                 index = stack.pop()
                 depth = targets[index] if index < len(targets) else default
+                if hwc_ind is not None:
+                    hwc_ind(hwc_site(fname, pc - 1), depth)
                 self.fuel_used = fuel = self.fuel_used + 1
                 if fuel > max_fuel:
                     raise FuelExhausted(
@@ -1489,6 +1522,8 @@ class WasmInstance:
                 if not 0 <= index < len(self.table):
                     raise TrapError("undefined table element")
                 target = self.table[index]
+                if hwc_ind is not None:
+                    hwc_ind(hwc_site(fname, pc - 1), target)
                 actual = self.module.func_type_of(target)
                 if expect != actual:
                     raise TrapError("indirect call type mismatch")

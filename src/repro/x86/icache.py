@@ -1,6 +1,11 @@
-"""L1 instruction-cache model.
+"""L1 cache models: a generic set-associative cache + the i-cache front end.
 
-A set-associative cache with 64-byte lines and LRU replacement, like the
+:class:`SetAssocCache` is the shared cache substrate of the hwc
+microarchitectural model (:mod:`repro.obs.hwc`): a set-associative cache
+with LRU replacement, used for both the L1 instruction cache below and
+the L1 data cache of the hwc model.
+
+:class:`ICache` specializes it for the instruction fetch stream, like the
 32 KB/8-way L1I of the Xeon E5-1650 v3 the paper measured on.  The
 *default capacity is scaled down* (768 B, 3-way) to match the scaled-down
 workloads: the proxy benchmarks are ~100x smaller than SPEC, so their hot
@@ -9,10 +14,10 @@ regions are tens of KB.  Scaling the cache preserves the phenomenon the
 paper measures — whether a pipeline's hot code fits — at the reproduced
 code sizes.  Pass ``size=32*1024, ways=8`` for the unscaled hardware.
 
-The executor feeds the model every instruction fetch; consecutive fetches
-from the same line are filtered out before they reach the (comparatively
-expensive) set lookup, which both matches hardware fetch behaviour and
-keeps simulation fast.
+The executor feeds the i-cache model every instruction fetch; consecutive
+fetches from the same line are filtered out before they reach the
+(comparatively expensive) set lookup, which both matches hardware fetch
+behaviour and keeps simulation fast.
 """
 
 from __future__ import annotations
@@ -22,9 +27,10 @@ DEFAULT_SIZE = 768
 DEFAULT_WAYS = 3
 
 
-class ICache:
-    def __init__(self, size: int = DEFAULT_SIZE, line_size: int = 64,
-                 ways: int = DEFAULT_WAYS):
+class SetAssocCache:
+    """A set-associative LRU cache; counts line accesses and misses."""
+
+    def __init__(self, size: int, line_size: int = 64, ways: int = 8):
         self.line_size = line_size
         self.ways = ways
         self.num_sets = size // (line_size * ways)
@@ -34,12 +40,56 @@ class ICache:
         self.sets = [[] for _ in range(self.num_sets)]
         self.accesses = 0
         self.misses = 0
-        self._last_line = -1
 
     def reset(self) -> None:
         self.sets = [[] for _ in range(self.num_sets)]
         self.accesses = 0
         self.misses = 0
+
+    def _access_line(self, line: int) -> int:
+        """Touch one line; returns 1 on a miss, 0 on a hit."""
+        self.accesses += 1
+        index = line & self._set_mask
+        ways = self.sets[index]
+        try:
+            pos = ways.index(line)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.ways:
+                ways.pop()
+            return 1
+        if pos:
+            del ways[pos]
+            ways.insert(0, line)
+        return 0
+
+    def access(self, addr: int, size: int = 8) -> int:
+        """Data-side access: touch every line the access covers.
+
+        Each covered line counts one access; returns the number of
+        missed lines (0, 1, or 2 for a line-spanning access).
+        """
+        first = addr >> self._line_shift
+        last = (addr + size - 1) >> self._line_shift
+        missed = self._access_line(first)
+        line = first
+        while line < last:
+            line += 1
+            missed += self._access_line(line)
+        return missed
+
+
+class ICache(SetAssocCache):
+    """The instruction-fetch specialization of :class:`SetAssocCache`."""
+
+    def __init__(self, size: int = DEFAULT_SIZE, line_size: int = 64,
+                 ways: int = DEFAULT_WAYS):
+        super().__init__(size, line_size, ways)
+        self._last_line = -1
+
+    def reset(self) -> None:
+        super().reset()
         self._last_line = -1
 
     def fetch(self, addr: int, size: int = 4) -> None:
@@ -56,22 +106,6 @@ class ICache:
                 break
             line += 1
         self._last_line = last
-
-    def _access_line(self, line: int) -> None:
-        self.accesses += 1
-        index = line & self._set_mask
-        ways = self.sets[index]
-        try:
-            pos = ways.index(line)
-        except ValueError:
-            self.misses += 1
-            ways.insert(0, line)
-            if len(ways) > self.ways:
-                ways.pop()
-            return
-        if pos:
-            del ways[pos]
-            ways.insert(0, line)
 
     def invalidate_stream(self) -> None:
         """Forget the last-line filter (after a branch)."""

@@ -46,15 +46,19 @@ class Imm:
 class Mem:
     """A memory operand: ``[base + index*scale + disp]``."""
 
-    __slots__ = ("base", "index", "scale", "disp", "size")
+    __slots__ = ("base", "index", "scale", "disp", "size", "spill")
 
     def __init__(self, base=None, index=None, scale: int = 1,
-                 disp: int = 0, size: int = 8):
+                 disp: int = 0, size: int = 8, spill: bool = False):
         self.base = base      # register number or None
         self.index = index    # register number or None
         self.scale = scale
         self.disp = disp
         self.size = size
+        #: True for register-allocator spill slots (tagged by the
+        #: lowering); lets the hwc model count spill traffic separately
+        #: from program memory accesses.
+        self.spill = spill
 
     def __repr__(self):
         parts = []

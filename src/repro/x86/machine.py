@@ -130,7 +130,7 @@ class X86Machine:
     def __init__(self, program: X86Program, initial_memory: bytes = None,
                  host=None, icache: ICache = None,
                  max_instructions: int = 2_000_000_000, profile=None,
-                 deadline: float = None, tier=None):
+                 deadline: float = None, tier=None, hwc=None):
         self.program = program
         self.memory = bytearray(program.machine_memory_size)
         if initial_memory is None:
@@ -165,6 +165,13 @@ class X86Machine:
         #: and 1 are identical here; tier 2 adds superinstructions.
         self._tier = tier_level(tier)
         self._backjump_cache = {}
+        #: Optional :class:`repro.obs.hwc.HwcModel`.  It observes each
+        #: retired instruction pre-dispatch (one hook call) and never
+        #: mutates machine or counter state, so execution results and
+        #: ``perf`` stay bit-identical with the model on or off.
+        self.hwc = hwc
+        if hwc is not None:
+            hwc.attach(self)
 
     # -- guest memory interface (Host-compatible) --------------------------------
 
@@ -589,6 +596,11 @@ class X86Machine:
         perf = self.perf
         icache = self.icache
         access_line = icache._access_line
+        hwc = self.hwc
+        hwc_retire = None
+        if hwc is not None:
+            hwc.enter(func.name)
+            hwc_retire = hwc.retire
         budget = self.max_instructions
         deadline = self.deadline
         # With no deadline the checkpoint IS the budget: one compare per
@@ -708,6 +720,9 @@ class X86Machine:
                             cur_block = j
                         cur_blocks[cur_block] = \
                             cur_blocks.get(cur_block, 0) + 1
+
+                if hwc_retire is not None:
+                    hwc_retire(ins, self)
 
                 if kind < 0:                          # K_F_PAIR
                     # Fused superinstruction: execute constituent 1,
@@ -931,6 +946,9 @@ class X86Machine:
                             # pairs are not fused), so cur_block stays.
                             cur_blocks[cur_block] = \
                                 cur_blocks.get(cur_block, 0) + 1
+
+                    if hwc_retire is not None:
+                        hwc_retire(ins, self)
 
                     if c2 == 0:                       # sse (reg)
                         c_fpu += 1
@@ -1638,8 +1656,8 @@ class X86Machine:
             perf.divs += c_divs
             perf.fdivs += c_fdivs
             perf.fpu_ops += c_fpu
-            perf.icache_accesses = icache.accesses
-            perf.icache_misses = icache.misses
+            if hwc is not None:
+                hwc.finish()
 
     def _do_hostcall(self, name: str) -> None:
         if self.host is None:

@@ -28,6 +28,11 @@ class X86MachineBaseline(X86Machine):
         perf = self.perf
         icache = self.icache
         budget = self.max_instructions
+        hwc = self.hwc
+        hwc_retire = None
+        if hwc is not None:
+            hwc.enter(func.name)
+            hwc_retire = hwc.retire
 
         call_stack = []  # (function, return index)
         code = func.instrs
@@ -65,6 +70,9 @@ class X86MachineBaseline(X86Machine):
                             break
                         line += 1
                     last_line = last
+
+                if hwc_retire is not None:
+                    hwc_retire(ins, self)
 
                 op = ins.op
                 size = ins.size
@@ -422,5 +430,5 @@ class X86MachineBaseline(X86Machine):
             perf.divs += c_divs
             perf.fdivs += c_fdivs
             perf.fpu_ops += c_fpu
-            perf.icache_accesses = icache.accesses
-            perf.icache_misses = icache.misses
+            if hwc is not None:
+                hwc.finish()

@@ -57,7 +57,7 @@ class PerfCounters:
 
     __slots__ = ("instructions", "loads", "stores", "branches",
                  "cond_branches", "calls", "muls", "divs", "fdivs",
-                 "fpu_ops", "icache_accesses", "icache_misses")
+                 "fpu_ops")
 
     def __init__(self):
         self.instructions = 0
@@ -70,11 +70,14 @@ class PerfCounters:
         self.divs = 0
         self.fdivs = 0
         self.fpu_ops = 0
-        self.icache_accesses = 0
-        self.icache_misses = 0
 
-    def cycles(self) -> float:
-        """Estimated core cycles for the counted instruction stream."""
+    def cycles(self, icache_misses: int = 0) -> float:
+        """Estimated core cycles for the counted instruction stream.
+
+        I-cache misses live in the cache model (the hwc layer owns all
+        cache state), so the front-end stall term is passed in; callers
+        holding a run/profile use their accessors instead.
+        """
         return (
             self.instructions * BASE_CPI
             + self.loads * LOAD_COST
@@ -85,37 +88,40 @@ class PerfCounters:
             + self.fdivs * FDIV_COST
             + self.fpu_ops * FPU_COST
             + self.calls * CALL_COST
-            + self.icache_misses * ICACHE_MISS_PENALTY
+            + icache_misses * ICACHE_MISS_PENALTY
         )
 
-    def seconds(self) -> float:
-        return self.cycles() / CLOCK_HZ
+    def seconds(self, icache_misses: int = 0) -> float:
+        return self.cycles(icache_misses) / CLOCK_HZ
 
     def merge(self, other: "PerfCounters") -> None:
         for field in PerfCounters.__slots__:
             setattr(self, field, getattr(self, field) + getattr(other, field))
 
-    def as_dict(self) -> dict:
+    def as_dict(self, icache_misses: int = None) -> dict:
         data = {field: getattr(self, field) for field in PerfCounters.__slots__}
-        data["cycles"] = self.cycles()
-        data["seconds"] = self.seconds()
+        if icache_misses is not None:
+            data["icache_misses"] = icache_misses
+            data["cycles"] = self.cycles(icache_misses)
+            data["seconds"] = self.seconds(icache_misses)
         return data
 
     def event(self, name: str):
-        """Read a counter by its paper (Table 3) event name."""
+        """Read a retired counter by its paper (Table 3) event name.
+
+        Cache-model events (cpu-cycles, L1-icache-load-misses) are not
+        retired counters; read those through ``RunResult.event``.
+        """
         mapping = {
             "all-loads-retired": self.loads,
             "all-stores-retired": self.stores,
             "branches-retired": self.branches,
             "conditional-branches": self.cond_branches,
             "instructions-retired": self.instructions,
-            "cpu-cycles": self.cycles(),
-            "L1-icache-load-misses": self.icache_misses,
         }
         return mapping[name]
 
     def __repr__(self):
         return (f"<perf instrs={self.instructions} loads={self.loads} "
                 f"stores={self.stores} branches={self.branches} "
-                f"icache_miss={self.icache_misses} "
-                f"cycles={self.cycles():.0f}>")
+                f"calls={self.calls}>")
