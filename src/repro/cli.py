@@ -13,6 +13,7 @@ Usage (also via ``python -m repro``):
     repro profile matmul --annotate         # simulated perf annotate
     repro stat matmul --target chrome       # perf-stat-style hwc table
     repro explain matmul                    # wasm-vs-native gap, explained
+    repro serve --port 8923                 # benchmark-as-a-service
 """
 
 from __future__ import annotations
@@ -335,7 +336,7 @@ def cmd_report(args) -> int:
                            fig8, fig9, fig10, polybench_data, spec_data,
                            table1, table2, table3, table4)
     from .harness import compilecache
-    from .obs import enable_metrics, get_registry
+    from .obs import enable_metrics, get_registry, metrics_enabled
 
     if args.no_cache:
         compilecache.set_enabled(False)
@@ -343,7 +344,9 @@ def cmd_report(args) -> int:
         # The env gate reaches forked sweep workers too, so every cell's
         # run comes back with an HwcReport attached.
         os.environ["REPRO_HWC"] = "1"
-    if args.stats or args.json:
+    if (args.stats or args.json) and not metrics_enabled():
+        # Keep an already-enabled registry: a serving process reporting
+        # in-process must not wipe its serve.* counters.
         enable_metrics()
     artifact = args.artifact
     plan = _parse_inject(args)
@@ -417,6 +420,7 @@ def cmd_report(args) -> int:
                 "regalloc_checks":
                     counters.get("analysis.regalloc_checks", 0),
             },
+            "serve": _serve_block(registry_dict),
             "shard": {
                 "shards": gauges.get("shard.count", 0),
                 "cells": counters.get("shard.cells", 0),
@@ -440,6 +444,83 @@ def cmd_report(args) -> int:
     _print_failures(failures, args.size)
     _print_observability_summary()
     return _sweep_exit_code(failures)
+
+
+def _serve_block(registry_dict: dict) -> dict:
+    """The ``serve`` payload of ``repro report --json``: admission,
+    shedding, breaker, eviction, and queue-wait counters from the
+    metrics registry (all zero outside a serving process)."""
+    counters = registry_dict.get("counters", {})
+    histograms = registry_dict.get("histograms", {})
+    queue_wait = histograms.get("serve.queue_wait_seconds", {})
+    return {
+        "submitted": counters.get("serve.submitted", 0),
+        "accepted": counters.get("serve.accepted", 0),
+        "done": counters.get("serve.done", 0),
+        "failed": counters.get("serve.failed", 0),
+        "sheds": counters.get("serve.shed", 0),
+        "rejections": {
+            "overloaded": counters.get("serve.rejected.overloaded", 0),
+            "rate_limited": counters.get("serve.rejected.rate_limited", 0),
+            "circuit_open": counters.get("serve.rejected.circuit_open", 0),
+            "draining": counters.get("serve.rejected.draining", 0),
+        },
+        "breaker_trips": counters.get("serve.breaker_trips", 0),
+        "evictions": counters.get("serve.evictions", 0),
+        "memo_hits": counters.get("serve.memo_hits", 0),
+        "worker_respawns": counters.get("serve.worker_respawns", 0),
+        "queue_wait": {
+            "p50": queue_wait.get("p50", 0.0),
+            "p95": queue_wait.get("p95", 0.0),
+            "p99": queue_wait.get("p99", 0.0),
+        },
+    }
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: the long-running benchmark service."""
+    import threading
+
+    from .obs import enable_metrics
+    from .serve import BenchService, ServeConfig, make_server
+    from .serve.drain import DrainController, run_until_drained
+
+    enable_metrics()
+    if args.no_cache:
+        from .harness import compilecache
+        compilecache.set_enabled(False)
+    plan = _parse_inject(args)
+    config = ServeConfig(
+        workers=args.workers, queue_depth=args.queue_depth,
+        max_wait=args.max_wait, max_age=args.max_age, rate=args.rate,
+        burst=args.burst, breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset, retries=args.retries,
+        timeout=args.timeout, runs=args.runs, grace=args.grace)
+    service = BenchService(config, plan=plan)
+    httpd = make_server(service, args.host, args.port,
+                        quiet=not args.verbose)
+    port = httpd.server_address[1]
+    print(f"repro serve listening on http://{args.host}:{port} "
+          f"({config.workers} workers, queue depth "
+          f"{config.queue_depth})", flush=True)
+    drainer = DrainController()
+    drainer.install()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        summary = run_until_drained(service, httpd, drainer)
+    finally:
+        drainer.restore()
+    thread.join(2.0)
+    print(f"repro serve: drained ({summary['reason']}); "
+          f"jobs {json.dumps(summary['jobs'], sort_keys=True)}; "
+          f"{summary['orphan_workers']} orphan workers", flush=True)
+    _print_observability_summary()
+    if summary["non_terminal"]:
+        print(f"repro serve: {len(summary['non_terminal'])} jobs left "
+              f"non-terminal: {summary['non_terminal']}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -737,6 +818,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tier_arg(p)
     _add_verify_arg(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the benchmark service (JSON-RPC over HTTP) with "
+             "admission control, rate limiting, circuit breakers, "
+             "result memoization, and graceful drain on SIGTERM/^C")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8923,
+                   help="listen port (0 = ephemeral; the chosen port "
+                        "is printed on startup)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="warm worker processes (default: "
+                        "REPRO_SERVE_WORKERS or cpu count, capped at 4)")
+    p.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                   help="pending-pool bound; beyond it submissions are "
+                        "shed or preempt lower-priority work (default: "
+                        "REPRO_SERVE_QUEUE_DEPTH or 64)")
+    p.add_argument("--max-wait", type=float, default=None, metavar="SEC",
+                   help="shed submissions once the estimated queue wait "
+                        "exceeds this (default: REPRO_SERVE_MAX_WAIT or "
+                        "30; 0 disables)")
+    p.add_argument("--max-age", type=float, default=None, metavar="SEC",
+                   help="evict queued low-priority (< 0) jobs older "
+                        "than this (default: REPRO_SERVE_MAX_AGE or 60)")
+    p.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="per-client token-bucket refill rate, jobs/sec "
+                        "(default: REPRO_SERVE_RATE or 50; 0 disables)")
+    p.add_argument("--burst", type=float, default=None, metavar="B",
+                   help="per-client token-bucket burst capacity "
+                        "(default: REPRO_SERVE_BURST or 20)")
+    p.add_argument("--breaker-threshold", type=int, default=None,
+                   metavar="N",
+                   help="consecutive permanent failures that trip a "
+                        "(benchmark, target, tier) circuit breaker "
+                        "(default: REPRO_SERVE_BREAKER_THRESHOLD or 3)")
+    p.add_argument("--breaker-reset", type=float, default=None,
+                   metavar="SEC",
+                   help="seconds an open breaker waits before letting "
+                        "one half-open probe through (default: "
+                        "REPRO_SERVE_BREAKER_RESET or 15)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="retries per job for transient failures and "
+                        "worker crashes (default: 2)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock deadline fed to the cell "
+                        "watchdogs (job deadline_s tightens it further)")
+    p.add_argument("--runs", type=int, default=3,
+                   help="default measurement runs per job (default: 3)")
+    p.add_argument("--grace", type=float, default=30.0, metavar="SEC",
+                   help="drain grace period for in-flight jobs on "
+                        "SIGTERM/^C (default: 30)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the on-disk compile cache")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.add_argument("--inject", metavar="SPEC",
+                   help="chaos mode: fault-injection mix 'point:rate,"
+                        "...' applied to every job (points: trap, fuel, "
+                        "syscall, cache, worker)")
+    p.add_argument("--inject-seed", type=int, default=0, metavar="N",
+                   help="seed for the deterministic fault injector "
+                        "(default: 0)")
+    _add_tier_arg(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("report", help="regenerate a paper table/figure")
     p.add_argument("artifact")

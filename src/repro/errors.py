@@ -20,7 +20,15 @@ from typing import NamedTuple
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    Every subclass must survive a pickle round-trip (worker results
+    cross process boundaries over pipes) with its taxonomy intact:
+    subclasses whose ``__init__`` signature differs from ``args``
+    override ``__reduce__`` to rebuild from their real constructor
+    arguments, and instance state (``injected`` flags set by the fault
+    injector) rides along as the reduce state dict.
+    """
 
     #: Whose fault is this: the simulated guest program or the harness.
     origin = "harness"
@@ -36,10 +44,15 @@ class CompileError(ReproError):
     origin = "guest"
 
     def __init__(self, message: str, line: int = None, col: int = None):
+        self.raw_message = message
         self.line = line
         self.col = col
         where = f" at {line}:{col}" if line is not None else ""
         super().__init__(f"{message}{where}")
+
+    def __reduce__(self):
+        return (type(self), (self.raw_message, self.line, self.col),
+                self.__dict__)
 
 
 class TrapError(ReproError):
@@ -88,6 +101,15 @@ class SyscallError(TrapError):
         self.errno_name = errno_name
         self.syscall = syscall
         super().__init__(f"syscall {syscall} failed: {errno_name}")
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) through ``__init__``, which would turn the message
+        # into the errno name — and a transient EIO into a permanent
+        # failure on the far side of a worker pipe.  Rebuild from the
+        # real constructor arguments instead.
+        return (type(self), (self.errno_name, self.syscall),
+                self.__dict__)
 
     @property
     def transient(self) -> bool:

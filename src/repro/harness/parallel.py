@@ -221,8 +221,8 @@ class _WarmPool:
         A cell exception is re-raised in the parent (non-tolerant
         semantics); a worker death raises :class:`WorkerCrashError`.
         On a raise, cells may still be in flight on other workers — the
-        caller should :meth:`recover` (cell errors: the workers are
-        healthy) or :meth:`shutdown` (crash / Ctrl-C).
+        caller should :meth:`recover` (cell errors or Ctrl-C: the
+        workers are healthy) or :meth:`shutdown` (crash).
         """
         from multiprocessing.connection import wait as _wait
 
@@ -688,10 +688,17 @@ def run_suite(benchmarks, targets, runs: int = 5, noise: float = NOISE,
                     remaining[name] -= 1
                     if not remaining[name] and progress is not None:
                         progress(name)
-            except (KeyboardInterrupt, WorkerCrashError):
-                # A worker actually died (or the user bailed): the
-                # pool's state is unknowable, discard it.
+            except WorkerCrashError:
+                # A worker actually died: the pool's state is
+                # unknowable, discard it.
                 shutdown_warm_pool()
+                raise
+            except KeyboardInterrupt:
+                # Ctrl-C routes through the drain path: in-flight
+                # cells finish (dead/unresponsive workers are
+                # replaced) and the warm pool survives for the next
+                # sweep instead of being torn down.
+                pool.recover()
                 raise
             except BaseException:
                 # A *cell* error: every worker is healthy.  Drain the

@@ -144,7 +144,9 @@ def _shard_worker_main(conn):
             spec = resolve_ref(p["ref"])
             if p.get("tolerant"):
                 from ..resilience import RetryPolicy, measure_cell
-                policy = RetryPolicy(retries=p["retries"])
+                policy = RetryPolicy(retries=p["retries"],
+                                     jitter=p.get("retry_jitter", 0.0),
+                                     seed=p.get("retry_seed", 0))
                 result, failure, seconds, attempts = measure_cell(
                     spec, p["target"], runs=p["runs"], noise=p["noise"],
                     max_instructions=p["max_instructions"], plan=plan,
@@ -540,7 +542,11 @@ class ShardScheduler:
                         continue
                     self._handle_message(conn, record, msg, record_cb)
         except KeyboardInterrupt:
-            shutdown_shard_pools()
+            # Ctrl-C routes through the drain path: in-flight cells
+            # finish (or their workers are replaced), and the warm
+            # pools survive for the partial-result report / next sweep
+            # instead of being torn down mid-stride.
+            self._drain()
             raise
         if self.metrics.enabled:
             wall = max(time.time() - start, 1e-9)
@@ -561,8 +567,8 @@ def run_sharded_jobs(jobs_list, shards: int, jobs: int, record,
     ``record(job, kind, value, timing)`` receives every completed cell
     exactly once (``kind``: ``ok`` or, in tolerant mode, ``fail``).
     Raises fast-mode cell errors and exhausted-retry
-    :class:`WorkerCrashError` after draining; Ctrl-C tears the pools
-    down and propagates.
+    :class:`WorkerCrashError` after draining; Ctrl-C drains in-flight
+    cells (pools stay warm) and propagates.
     """
     pools = get_shard_pools(shards, jobs)
     scheduler = ShardScheduler(pools, jobs_list, tolerant=tolerant,

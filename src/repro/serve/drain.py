@@ -1,0 +1,92 @@
+"""Graceful shutdown: SIGTERM / Ctrl-C -> drain, not teardown.
+
+For a long-running service, shutdown is the *normal* case: deploys,
+autoscaling, and Ctrl-C in a terminal all deliver a signal mid-load.
+The drain sequence turns that into a clean exit:
+
+1. stop admitting (``readyz`` flips to 503, submissions get a
+   structured ``draining`` rejection with ``retry_after``);
+2. finish in-flight jobs (bounded by the grace period);
+3. evict still-queued jobs as terminal ``drain`` records — partial
+   results are emitted, nothing is silently dropped;
+4. tear down every warm worker (zero orphan processes) and exit 0.
+
+The signal handler only sets an event — all actual work happens on the
+main thread, so the drain path is safe to run from any signal context.
+A second signal while draining escalates to an immediate (but still
+orphan-free) exit.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+#: Exit code for a drain forced by a second signal.
+FORCED_EXIT_CODE = 130
+
+
+class DrainController:
+    """Signal-triggered drain latch for the serve main loop."""
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reason = None
+        self.signals_seen = 0
+        self._previous = {}
+
+    def install(self, signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        for signum in signals:
+            self._previous[signum] = signal.signal(signum, self._handle)
+
+    def restore(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover - teardown
+                pass
+        self._previous.clear()
+
+    def _handle(self, signum, _frame) -> None:
+        self.signals_seen += 1
+        if self.reason is None:
+            self.reason = signal.Signals(signum).name
+        self.event.set()
+
+    def request(self, reason: str = "requested") -> None:
+        """Programmatic drain (tests, the ``drain`` RPC)."""
+        if self.reason is None:
+            self.reason = reason
+        self.event.set()
+
+    @property
+    def draining(self) -> bool:
+        return self.event.is_set()
+
+    @property
+    def forced(self) -> bool:
+        return self.signals_seen > 1
+
+    def wait(self, timeout: float = None) -> bool:
+        return self.event.wait(timeout)
+
+
+def run_until_drained(service, httpd, drainer: DrainController,
+                      poll: float = 0.5) -> dict:
+    """The serve main loop: wait for a drain trigger, then drain.
+
+    Returns the drain summary.  The HTTP server keeps answering during
+    the drain (status polls, ``wait`` calls for finishing jobs) and is
+    shut down once every job is terminal.
+    """
+    while not drainer.wait(poll):
+        pass
+    with service.store.lock:
+        service.admission.draining = True   # readyz flips immediately
+    grace = 0.0 if drainer.forced else None
+    summary = service.drain(grace=grace)
+    httpd.shutdown()
+    httpd.server_close()
+    summary["reason"] = drainer.reason
+    summary["forced"] = drainer.forced
+    return summary

@@ -1,0 +1,64 @@
+"""Per-client token-bucket rate limiting for the benchmark service.
+
+One bucket per client id: ``rate`` tokens per second refill up to
+``burst`` capacity, one token per submitted job.  A dry bucket rejects
+with the exact ``retry_after`` at which the next token lands, so a
+well-behaved client can sleep precisely instead of hammering.  The
+clock is injectable, making every limiter decision a pure function of
+(rate, burst, call times) — the unit tests drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class TokenBucket:
+    """A classic token bucket keyed by client id."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.clock = clock
+        self._buckets: dict[str, list] = {}   # client -> [tokens, last]
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0.0
+
+    def allow(self, client: str):
+        """Spend one token for ``client``.
+
+        Returns ``(True, 0.0)`` on success or ``(False, retry_after)``
+        when the bucket is dry.
+        """
+        if not self.enabled:
+            return True, 0.0
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = [self.burst, now]
+        tokens, last = bucket
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+            return True, 0.0
+        bucket[0] = tokens
+        bucket[1] = now
+        return False, (1.0 - tokens) / self.rate
+
+    def tokens(self, client: str) -> float:
+        """Current token balance (for ``stats``; no refill side effect
+        beyond the lazy catch-up every read performs)."""
+        if not self.enabled:
+            return float("inf")
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            return self.burst
+        tokens, last = bucket
+        return min(self.burst, tokens + (self.clock() - last) * self.rate)
+
+    def __repr__(self):
+        return (f"<token-bucket rate={self.rate}/s burst={self.burst} "
+                f"clients={len(self._buckets)}>")

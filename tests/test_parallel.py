@@ -114,6 +114,29 @@ def test_warm_pool_discarded_on_worker_death(force_jobs):
     assert set(results) == set(SUBSET[:2])
 
 
+def test_warm_pool_survives_ctrl_c(force_jobs):
+    """Ctrl-C mid-sweep routes through the drain path: in-flight cells
+    finish, the warm pool survives, and the next sweep reuses the very
+    same workers instead of re-paying the fork cost."""
+    run_suite(_suite()[:2], ["native"], runs=1, jobs=2, cache=False)
+    pool = parallel_mod._POOL
+    pids = [w["proc"].pid for w in pool.workers]
+
+    def interrupt(name):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_suite(_suite(), ["native"], runs=1, jobs=2, cache=False,
+                  progress=interrupt)
+    assert parallel_mod._POOL is pool and pool.alive()
+    assert [w["proc"].pid for w in pool.workers] == pids
+    # and the recovered pool is immediately usable
+    results, _ = run_suite(_suite()[:2], ["native"], runs=1, jobs=2,
+                           cache=False)
+    assert set(results) == set(SUBSET[:2])
+    assert [w["proc"].pid for w in pool.workers] == pids
+
+
 def test_spec_ref_round_trip():
     spec = polybench_benchmark("trisolv", "test")
     ref = spec_ref(spec)

@@ -152,6 +152,31 @@ def test_shard_pools_rebuilt_on_shape_change(force_jobs):
     assert [pool.width for pool in second] == [2, 2, 2]
 
 
+def test_shard_pools_survive_ctrl_c(force_jobs):
+    """Ctrl-C mid-sharded-sweep drains in-flight cells and keeps every
+    shard pool warm, instead of tearing the engine down."""
+    run_suite(_suite()[:2], ["native"], runs=1, jobs=4, shards=2,
+              cache=False)
+    pools = shard_mod._SHARDS["pools"]
+    pids = [w["proc"].pid for pool in pools for w in pool.workers]
+
+    def interrupt(name):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_suite(_suite(), ["native"], runs=1, jobs=4, shards=2,
+                  cache=False, progress=interrupt)
+    assert shard_mod._SHARDS["pools"] is pools
+    assert all(w["proc"].is_alive() for pool in pools
+               for w in pool.workers)
+    assert [w["proc"].pid for pool in pools
+            for w in pool.workers] == pids
+    # and the warm pools run the next sweep to completion
+    results, _ = run_suite(_suite()[:2], ["native"], runs=1, jobs=4,
+                           shards=2, cache=False)
+    assert set(results) == set(SUBSET[:2])
+
+
 def test_shard_cell_error_keeps_pools_warm(force_jobs):
     bad = polybench_benchmark("trisolv", "test")
     with pytest.raises(Exception):
