@@ -420,6 +420,7 @@ def cmd_report(args) -> int:
                 "regalloc_checks":
                     counters.get("analysis.regalloc_checks", 0),
             },
+            "opt": _opt_block(registry_dict),
             "serve": _serve_block(registry_dict),
             "shard": {
                 "shards": gauges.get("shard.count", 0),
@@ -444,6 +445,39 @@ def cmd_report(args) -> int:
     _print_failures(failures, args.size)
     _print_observability_summary()
     return _sweep_exit_code(failures)
+
+
+def _opt_block(registry_dict: dict) -> dict:
+    """The ``opt`` payload of ``repro report --json``: SSA mid-end
+    activity, analysis-cache effectiveness, and per-pass wall time and
+    instruction deletions (all zero when compiles were cache hits)."""
+    from .ir.passes import ssa_enabled
+    counters = registry_dict.get("counters", {})
+    histograms = registry_dict.get("histograms", {})
+    prefix = "opt.pass_seconds."
+    passes = {}
+    for name, hist in histograms.items():
+        if not name.startswith(prefix):
+            continue
+        pass_name = name[len(prefix):]
+        passes[pass_name] = {
+            "runs": hist.get("count", 0),
+            "seconds": hist.get("sum", 0.0),
+            "mean_seconds": hist.get("mean", 0.0),
+            "instrs_deleted": counters.get(f"opt.deleted.{pass_name}", 0),
+        }
+    return {
+        "ssa": ssa_enabled(),
+        "phis_placed": counters.get("opt.ssa.phis", 0),
+        "parallel_copies": counters.get("opt.ssa.copies", 0),
+        "instrs_deleted": counters.get("opt.instrs_deleted", 0),
+        "analysis_cache": {
+            "hits": counters.get("opt.analysis.hits", 0),
+            "misses": counters.get("opt.analysis.misses", 0),
+            "invalidations": counters.get("opt.analysis.invalidations", 0),
+        },
+        "passes": passes,
+    }
 
 
 def _serve_block(registry_dict: dict) -> dict:

@@ -68,7 +68,28 @@ def fold_memory_ops(func: Function) -> int:
             if n:
                 changed = True
                 rewrites += n
+        if _sweep_dead_scale_defs(func):
+            changed = True
     return rewrites
+
+
+def _sweep_dead_scale_defs(func: Function) -> int:
+    """Drop pure scale computations (``mul``/``shl`` by a constant)
+    whose every use was absorbed into an addressing mode."""
+    counts = _use_counts(func)
+    removed = 0
+    for block in func.blocks.values():
+        keep = []
+        for instr in block.instrs:
+            if (isinstance(instr, BinOp) and instr.op in ("mul", "shl")
+                    and isinstance(instr.rhs, Const)
+                    and counts.get(instr.dst.id, 0) == 0):
+                removed += 1
+                continue
+            keep.append(instr)
+        if removed:
+            block.instrs = keep
+    return removed
 
 
 def fold_module(module: Module) -> int:
@@ -216,17 +237,28 @@ def _try_fold_addr(global_defs, instrs, defs_at, counts, remove, mem, m,
         scale = 1
         index = part
         mul_idx = None
-        if pd is not None and pd not in remove and counts.get(part.id) == 1:
+        if pd is not None and pd not in remove:
             mul = instrs[pd]
-            if (isinstance(mul, BinOp) and mul.op == "mul"
-                    and isinstance(mul.rhs, Const)
-                    and mul.rhs.value in _SCALES
-                    and isinstance(mul.lhs, VReg)
-                    and pd < d):
+            # ``mul idx, {1,2,4,8}`` and its strength-reduced spelling
+            # ``shl idx, {0,1,2,3}`` both become a hardware scale.  A
+            # multi-use scale def (GVN commons the address computation
+            # across several accesses) still folds — the hardware scale
+            # recomputes it for free — but only a single-use def can be
+            # deleted here; a def whose every use folds away goes dead
+            # and is swept by the caller.
+            factor = None
+            if (isinstance(mul, BinOp) and isinstance(mul.rhs, Const)
+                    and isinstance(mul.lhs, VReg) and pd < d):
+                if mul.op == "mul" and mul.rhs.value in _SCALES:
+                    factor = int(mul.rhs.value)
+                elif mul.op == "shl" and mul.rhs.value in (0, 1, 2, 3):
+                    factor = 1 << int(mul.rhs.value)
+            if factor is not None:
                 if not _redef_between(instrs, pd + 1, m, mul.lhs):
-                    scale = int(mul.rhs.value)
+                    scale = factor
                     index = mul.lhs
-                    mul_idx = pd
+                    if counts.get(part.id) == 1:
+                        mul_idx = pd
         # Safety: base and index must not be redefined between d and m.
         if isinstance(base, VReg) and _redef_between(instrs, d + 1, m, base):
             continue

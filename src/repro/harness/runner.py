@@ -21,7 +21,7 @@ from ..asmjs import ASMJS_CHROME, ASMJS_FIREFOX
 from ..browser.browser import execute_program
 from ..codegen.emscripten import compile_ir_to_wasm
 from ..codegen.native import compile_ir_native
-from ..ir.passes import optimize_module
+from ..ir.passes import opt_pipeline_fingerprint, optimize_module
 from ..jit.engine import CHROME_ENGINE, FIREFOX_ENGINE
 from ..kernel import BrowsixRuntime, Kernel, NativeRuntime
 from ..mcc import compile_source
@@ -103,7 +103,11 @@ class CompiledBenchmark:
 
 
 def _engine_signature(engine):
-    """A stable content identity for an engine's code generation."""
+    """A stable content identity for an engine's code generation,
+    including the mid-end pipeline it runs (the SSA region on 2019
+    optimizing tiers), so toggling ``REPRO_SSA`` or reordering passes
+    never serves a stale cached program."""
+    from ..ir.passes import jit_pipeline_fingerprint
     config = engine.config
     abi = config.abi
     fields = tuple(sorted(
@@ -112,7 +116,9 @@ def _engine_signature(engine):
         if isinstance(value, (str, int, float, bool, type(None), list,
                               tuple))))
     return (engine.name, engine.year, engine.local_cleanup, fields,
-            tuple(abi.int_args), tuple(abi.float_args))
+            tuple(abi.int_args), tuple(abi.float_args),
+            jit_pipeline_fingerprint(getattr(engine, "optimizing_tier",
+                                             False)))
 
 
 def compile_benchmark(spec: BenchmarkSpec, targets=None,
@@ -142,7 +148,9 @@ def _compile_benchmark(spec, targets, engines, store, result):
         program = key = None
         if store is not None:
             key = store.key("native", spec.source, spec.name,
-                            spec.memory_size, ("opt", 2), ("unroll", True))
+                            spec.memory_size, ("opt", 2), ("unroll", True),
+                            ("pipeline", opt_pipeline_fingerprint(
+                                level=2, unroll=True)))
             program = store.get(key)
         if program is None:
             ir = compile_source(spec.source, spec.name,
@@ -160,7 +168,9 @@ def _compile_benchmark(spec, targets, engines, store, result):
         if store is not None:
             wasm_key = store.key("emscripten", spec.source, spec.name,
                                  spec.memory_size, ("opt", 2),
-                                 ("unroll", False))
+                                 ("unroll", False),
+                                 ("pipeline", opt_pipeline_fingerprint(
+                                     level=2, unroll=False)))
             cached = store.get(wasm_key)
         if cached is None:
             start = time.perf_counter()

@@ -62,6 +62,11 @@ class Function:
         self.frame_slots: dict[str, int] = {}  # symbol -> frame offset
         self._next_vreg = 0
         self._next_label = 0
+        #: True while the function is in SSA form (phis present, single
+        #: static assignment).  Set by ``repro.ir.ssa`` and checked by
+        #: the verifier, which applies SSA invariants instead of the
+        #: definite-assignment rule when it is on.
+        self.ssa = False
 
     # -- construction -----------------------------------------------------
 

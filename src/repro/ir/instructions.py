@@ -105,6 +105,45 @@ class Move(Instr):
         return f"{self.dst} = {self.src}"
 
 
+class Phi(Instr):
+    """``dst = phi [label1: v1, label2: v2, ...]`` — an SSA merge point.
+
+    ``incoming`` maps predecessor block labels to the operand (VReg or
+    Const) flowing in along that edge.  Phis exist only while a function
+    is in SSA form (``func.ssa`` is true): :func:`repro.ir.ssa.
+    construct_ssa` inserts them and :func:`repro.ir.ssa.destruct_ssa`
+    lowers them back to moves before register allocation.  All phis in a
+    block execute *in parallel* on edge entry, and must form a prefix of
+    ``block.instrs``.
+    """
+
+    __slots__ = ("dst", "incoming")
+
+    def __init__(self, dst: VReg, incoming: dict):
+        self.dst = dst
+        self.incoming = dict(incoming)
+
+    def uses(self):
+        return _vregs(self.incoming.values())
+
+    def defs(self):
+        return [self.dst]
+
+    def replace_uses(self, mapping):
+        self.incoming = {label: mapping.get(value, value)
+                         for label, value in self.incoming.items()}
+
+    def rename_label(self, old: str, new: str) -> None:
+        """Retarget the incoming edge ``old`` to ``new`` (edge splits)."""
+        if old in self.incoming:
+            self.incoming[new] = self.incoming.pop(old)
+
+    def __repr__(self):
+        args = ", ".join(f"{label}: {value}"
+                         for label, value in sorted(self.incoming.items()))
+        return f"{self.dst} = phi [{args}]"
+
+
 class BinOp(Instr):
     """``dst = lhs <op> rhs``."""
 

@@ -10,7 +10,7 @@ deleting it is legal for the programs we compile).
 from __future__ import annotations
 
 from ..function import Function
-from ..instructions import BinOp, GetGlobal, Lea, Load, Move, UnOp
+from ..instructions import BinOp, GetGlobal, Lea, Load, Move, Phi, UnOp
 
 _TRAPPING_OPS = frozenset({"div_s", "div_u", "rem_s", "rem_u"})
 _TRAPPING_UNOPS = frozenset({
@@ -19,7 +19,7 @@ _TRAPPING_UNOPS = frozenset({
 
 
 def _is_pure(instr) -> bool:
-    if isinstance(instr, (Move, GetGlobal, Load, Lea)):
+    if isinstance(instr, (Move, GetGlobal, Load, Lea, Phi)):
         return True
     if isinstance(instr, BinOp):
         return instr.op not in _TRAPPING_OPS

@@ -1,0 +1,122 @@
+"""Global value numbering over SSA form.
+
+Dominator-tree-scoped value numbering (Briggs): walk the dominator tree
+in preorder keeping a scoped table from expression keys to the register
+holding that value.  An expression already in the table was computed at
+a site that dominates the current one, so the recomputation is deleted
+and its uses are rewritten to the existing register.
+
+Only ``BinOp``, ``UnOp``, and ``Phi`` are numbered.  Loads and
+``global.get`` depend on memory and are excluded; calls have effects.
+Trapping operators (``div``/``rem``) *are* numbered: a redundant
+occurrence is dominated by the first, which already executed on the
+same operands, so the trap (or its absence) has already happened.
+
+Phi operands may be used from blocks outside the defining block's
+dominator subtree (the phi's own block is not necessarily dominated —
+only the incoming edge's predecessor is), so use rewriting is deferred
+to a single whole-function sweep after the walk.
+
+Requires SSA form; the pass is a no-op on non-SSA functions.
+"""
+
+from __future__ import annotations
+
+from ..function import Function
+from ..instructions import BinOp, Phi, UnOp, COMMUTATIVE_OPS
+from ..values import Const, VReg
+from ..passmanager import FunctionPass, CFG_ANALYSES
+
+
+def global_value_numbering(func: Function, dt=None) -> bool:
+    if not getattr(func, "ssa", False):
+        return False
+    if dt is None:
+        from ..ssa import domtree
+        dt = domtree(func)
+
+    repl: dict[VReg, VReg] = {}   # redundant dst -> dominating leader
+    dead: set[int] = set()        # id() of instructions to delete
+
+    def okey(operand):
+        operand = repl.get(operand, operand)
+        if isinstance(operand, VReg):
+            return ("r", operand.id)
+        return ("c", _bits(operand.value), operand.ty)
+
+    def expr_key(instr):
+        if isinstance(instr, BinOp):
+            lhs, rhs = okey(instr.lhs), okey(instr.rhs)
+            if instr.op in COMMUTATIVE_OPS and rhs < lhs:
+                lhs, rhs = rhs, lhs
+            return ("bin", instr.op, instr.dst.ty, lhs, rhs)
+        if isinstance(instr, UnOp):
+            src = instr.src if isinstance(instr.src, Const) else \
+                repl.get(instr.src, instr.src)
+            return ("un", instr.op, instr.dst.ty, src.ty, okey(instr.src))
+        if isinstance(instr, Phi):
+            return ("phi", tuple(sorted(
+                (label, okey(value))
+                for label, value in instr.incoming.items())))
+        return None
+
+    # Scoped table: one undo log per dominator-tree node.
+    table: dict = {}
+    _ABSENT = object()
+
+    def visit(label, undo):
+        for instr in func.blocks[label].instrs:
+            key = expr_key(instr)
+            if key is None:
+                continue
+            leader = table.get(key)
+            if leader is not None:
+                repl[instr.dst] = leader
+                dead.add(id(instr))
+            else:
+                undo.append((key, table.get(key, _ABSENT)))
+                table[key] = instr.dst
+
+    stack = [("enter", dt.root)]
+    while stack:
+        action, label = stack.pop()
+        if action == "exit":
+            undo = label
+            for key, prev in reversed(undo):
+                if prev is _ABSENT:
+                    del table[key]
+                else:
+                    table[key] = prev
+            continue
+        undo = []
+        visit(label, undo)
+        stack.append(("exit", undo))
+        for child in dt.children.get(label, []):
+            stack.append(("enter", child))
+
+    if not dead:
+        return False
+    for block in func.blocks.values():
+        block.instrs = [i for i in block.instrs if id(i) not in dead]
+        for instr in block.all_instrs():
+            instr.replace_uses(repl)
+    return True
+
+
+def _bits(value):
+    """A hashable key distinguishing 0.0 from -0.0 (and NaN payloads)."""
+    if isinstance(value, float):
+        import struct
+        return struct.pack("<d", value)
+    return value
+
+
+class GVNPass(FunctionPass):
+    name = "gvn"
+    # Deletes instructions and rewrites operands but never touches the
+    # block graph.
+    preserves = CFG_ANALYSES
+
+    def run(self, func, module, fam):
+        dt = fam.get(func, "domtree")
+        return global_value_numbering(func, dt)

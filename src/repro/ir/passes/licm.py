@@ -25,11 +25,17 @@ _TRAPPING_UN = frozenset({
 })
 
 
-def hoist_invariants(func: Function, rounds: int = 3) -> int:
-    """Run LICM until fixpoint (bounded); returns instructions hoisted."""
+def hoist_invariants(func: Function, rounds: int = 3, loops=None) -> int:
+    """Run LICM until fixpoint (bounded); returns instructions hoisted.
+
+    ``loops`` is an optional precomputed loop forest (from the pass
+    manager's analysis cache) used for the first round only — later
+    rounds see the preheaders the first round created and must
+    recompute.
+    """
     total = 0
-    for _ in range(rounds):
-        moved = _hoist_once(func)
+    for i in range(rounds):
+        moved = _hoist_once(func, loops if i == 0 else None)
         total += moved
         if not moved:
             break
@@ -58,9 +64,10 @@ def _hoistable(instr) -> bool:
     return False
 
 
-def _hoist_once(func: Function) -> int:
+def _hoist_once(func: Function, loops=None) -> int:
     moved = 0
-    loops = natural_loops(func)
+    if loops is None:
+        loops = natural_loops(func)
     for loop in loops:
         if not all(label in func.blocks for label in loop.body):
             continue

@@ -27,10 +27,14 @@ from ..loops import natural_loops
 from .inline import _clone_instr
 
 
-def rotate_loops(func: Function, max_header_instrs: int = 12) -> int:
-    """Rotate eligible loops; returns the number rotated."""
+def rotate_loops(func: Function, max_header_instrs: int = 12,
+                 loops=None) -> int:
+    """Rotate eligible loops; returns the number rotated.  ``loops`` is
+    an optional precomputed loop forest from the analysis cache."""
     rotated = 0
-    for loop in natural_loops(func):
+    if loops is None:
+        loops = natural_loops(func)
+    for loop in loops:
         header = func.blocks.get(loop.header)
         if header is None or not isinstance(header.term, CondBr):
             continue

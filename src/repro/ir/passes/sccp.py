@@ -1,0 +1,269 @@
+"""Sparse conditional constant propagation (Wegman-Zadeck) over SSA.
+
+Strictly stronger than iterating constant folding with CFG
+simplification: lattice values propagate *optimistically* through phis,
+and branch edges are only considered executable once something actually
+reaches them, so a constant that holds on every executable path
+survives a merge that the pessimistic folder would give up on.
+
+Two worklists drive the fixpoint: flow edges (CFG reachability) and SSA
+registers whose lattice value lowered.  Each register is TOP (no
+information yet), a single constant, or BOTTOM (overdefined); values
+only ever move down, so termination is immediate.
+
+The rewrite phase is phi-aware, which is what lets this pass run inside
+the SSA region where ``simplify_cfg`` cannot: constant conditions turn
+``CondBr`` into ``Jump``, never-executable blocks are deleted, and
+surviving phis drop incoming entries for edges that died (a phi left
+with one incoming edge becomes a move).
+
+Evaluation reuses the interpreter's :func:`eval_binop`/:func:`eval_unop`
+so folding agrees bit-for-bit with runtime semantics; an evaluation
+that traps leaves the instruction alone (it must still trap at run
+time) and marks the result overdefined.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+
+from ...errors import TrapError
+from ..function import Function
+from ..instructions import BinOp, CondBr, Jump, Move, Phi, UnOp
+from ..interp import eval_binop, eval_unop
+from ..values import Const, VReg
+from ..passmanager import FunctionPass
+
+_BOTTOM = object()
+
+
+def _norm(value, ty):
+    if ty.is_int:
+        bits = 32 if ty.size == 4 else 64
+        return int(value) & ((1 << bits) - 1)
+    return float(value)
+
+
+def _same(a, b):
+    if isinstance(a, float) or isinstance(b, float):
+        # bit compare: 0.0 and -0.0 are different constants (copysign),
+        # and NaN == NaN must hold here even though it fails under ==
+        return (isinstance(a, float) and isinstance(b, float)
+                and struct.pack("<d", a) == struct.pack("<d", b))
+    return a == b
+
+
+def sparse_conditional_constant_propagation(func: Function) -> bool:
+    if not getattr(func, "ssa", False):
+        return False
+
+    lattice: dict[int, object] = {p.id: _BOTTOM for p in func.params}
+    users: dict[int, list] = {}
+    for label, block in func.blocks.items():
+        for instr in block.all_instrs():
+            for reg in instr.uses():
+                users.setdefault(reg.id, []).append((label, instr))
+
+    exec_edges: set[tuple] = set()
+    visited: set[str] = set()
+    flow = deque([(None, func.entry)])
+    ssa_work = deque()
+
+    def value_of(operand):
+        if isinstance(operand, Const):
+            return _norm(operand.value, operand.ty)
+        return lattice.get(operand.id)   # None == TOP
+
+    def lower(dst, value):
+        """Move ``dst`` down the lattice; queue its users on change."""
+        old = lattice.get(dst.id)
+        if old is _BOTTOM:
+            return
+        if value is None:
+            return
+        if old is not None and value is not _BOTTOM and _same(old, value):
+            return
+        lattice[dst.id] = _BOTTOM if old is not None else value
+        ssa_work.append(dst.id)
+
+    def add_edge(src, dst):
+        if (src, dst) not in exec_edges:
+            flow.append((src, dst))
+
+    def evaluate(label, instr):
+        if isinstance(instr, Phi):
+            result = None
+            for pred, operand in instr.incoming.items():
+                if (pred, label) not in exec_edges:
+                    continue
+                value = value_of(operand)
+                if value is None:
+                    continue
+                if value is _BOTTOM or (result is not None
+                                        and not _same(result, value)):
+                    result = _BOTTOM
+                    break
+                result = value
+            lower(instr.dst, result)
+        elif isinstance(instr, Move):
+            lower(instr.dst, value_of(instr.src))
+        elif isinstance(instr, BinOp):
+            lhs, rhs = value_of(instr.lhs), value_of(instr.rhs)
+            if lhs is None or rhs is None:
+                return
+            if lhs is _BOTTOM or rhs is _BOTTOM:
+                lower(instr.dst, _BOTTOM)
+                return
+            ty = instr.lhs.ty if isinstance(instr.lhs, (VReg, Const)) \
+                else instr.dst.ty
+            try:
+                lower(instr.dst, _norm(eval_binop(instr.op, lhs, rhs, ty),
+                                       instr.dst.ty))
+            except TrapError:
+                lower(instr.dst, _BOTTOM)
+        elif isinstance(instr, UnOp):
+            src = value_of(instr.src)
+            if src is None:
+                return
+            if src is _BOTTOM:
+                lower(instr.dst, _BOTTOM)
+                return
+            try:
+                lower(instr.dst, _norm(eval_unop(instr.op, src,
+                                                 instr.src.ty),
+                                       instr.dst.ty))
+            except TrapError:
+                lower(instr.dst, _BOTTOM)
+        elif isinstance(instr, CondBr):
+            cond = value_of(instr.cond)
+            if cond is None:
+                return
+            if cond is _BOTTOM:
+                add_edge(label, instr.if_true)
+                add_edge(label, instr.if_false)
+            else:
+                add_edge(label, instr.if_true if cond != 0
+                         else instr.if_false)
+        elif isinstance(instr, Jump):
+            add_edge(label, instr.target)
+        else:
+            # Anything not modeled (loads, globals, calls, ``lea``, ...)
+            # is overdefined.  A register left TOP would silently keep
+            # its users — and through them branch conditions — unknown,
+            # and unknown branches feed no flow edges, so live blocks
+            # would be deleted as unreachable.
+            for reg in instr.defs():
+                lower(reg, _BOTTOM)
+
+    while flow or ssa_work:
+        if flow:
+            src, dst = flow.popleft()
+            if (src, dst) in exec_edges:
+                continue
+            exec_edges.add((src, dst))
+            block = func.blocks[dst]
+            if dst in visited:
+                for instr in block.instrs:
+                    if isinstance(instr, Phi):
+                        evaluate(dst, instr)
+                    else:
+                        break
+            else:
+                visited.add(dst)
+                for instr in block.all_instrs():
+                    evaluate(dst, instr)
+        else:
+            vid = ssa_work.popleft()
+            for label, instr in users.get(vid, []):
+                if label in visited:
+                    evaluate(label, instr)
+
+    return _rewrite(func, lattice, visited)
+
+
+def _rewrite(func, lattice, visited) -> bool:
+    changed = False
+
+    # Never-executed blocks go first, so the use-rewrite below only
+    # walks surviving code.
+    for label in list(func.blocks):
+        if label not in visited:
+            del func.blocks[label]
+            changed = True
+
+    # Registers proven constant: rewrite every use to the immediate and
+    # drop the (pure) definitions.
+    const_map = {}
+    for label, block in func.blocks.items():
+        keep = []
+        for instr in block.instrs:
+            dst = instr.dst if isinstance(
+                instr, (Phi, Move, BinOp, UnOp)) else None
+            value = lattice.get(dst.id) if dst is not None else None
+            if value is not None and value is not _BOTTOM:
+                const_map[dst] = Const(value, dst.ty)
+                changed = True
+                continue
+            keep.append(instr)
+        block.instrs = keep
+    if const_map:
+        for block in func.blocks.values():
+            for instr in block.all_instrs():
+                instr.replace_uses(const_map)
+
+    # Constant conditions: CondBr -> Jump.
+    for block in func.blocks.values():
+        term = block.term
+        if isinstance(term, CondBr) and isinstance(term.cond, Const):
+            block.term = Jump(term.if_true if term.cond.value != 0
+                              else term.if_false)
+            changed = True
+        elif isinstance(term, CondBr) and term.if_true == term.if_false:
+            block.term = Jump(term.if_true)
+            changed = True
+
+    # Phis must agree with the pruned predecessor sets.  A phi reduced
+    # to one incoming edge becomes a plain move; blocks either keep >=2
+    # predecessors (all phis survive) or have exactly one (all phis
+    # convert), so the moves never read each other's results.
+    preds = func.predecessors()
+    for label, block in func.blocks.items():
+        block_preds = set(preds.get(label, []))
+        rewritten = []
+        for instr in block.instrs:
+            if not isinstance(instr, Phi):
+                rewritten.append(instr)
+                continue
+            incoming = {p: v for p, v in instr.incoming.items()
+                        if p in block_preds}
+            if len(incoming) != len(instr.incoming):
+                changed = True
+            if len(incoming) == 1:
+                (value,) = incoming.values()
+                move = Move(instr.dst, value)
+                _copy_meta(instr, move)
+                rewritten.append(move)
+                changed = True
+            else:
+                instr.incoming = incoming
+                rewritten.append(instr)
+        block.instrs = rewritten
+    return changed
+
+
+def _copy_meta(src, dst):
+    for attr in ("loc", "synthetic"):
+        try:
+            setattr(dst, attr, getattr(src, attr))
+        except AttributeError:
+            pass
+
+
+class SCCPPass(FunctionPass):
+    name = "sccp"
+    # May rewrite terminators and delete blocks: preserves nothing.
+    preserves = frozenset()
+
+    def run(self, func, module, fam):
+        return sparse_conditional_constant_propagation(func)

@@ -1,0 +1,76 @@
+"""Strength reduction: power-of-two multiply/divide/modulo to bit ops.
+
+Every rewrite is one instruction for one instruction, so instruction
+counts never increase:
+
+- ``mul x, 2^k``   -> ``shl x, k``        (both wrap mod 2^bits)
+- ``div_u x, 2^k`` -> ``shr_u x, k``
+- ``rem_u x, 2^k`` -> ``and x, 2^k - 1``
+
+Signed division and remainder are deliberately left alone: ``div_s``
+truncates toward zero while an arithmetic shift rounds toward negative
+infinity, and fixing that up costs extra instructions.  The unsigned
+rewrites also remove a potential trap (the divisor is a non-zero
+constant), which lets later DCE treat the result as pure.
+
+Runs on SSA and non-SSA functions alike.
+"""
+
+from __future__ import annotations
+
+from ..function import Function
+from ..instructions import BinOp
+from ..values import Const
+from ..passmanager import FunctionPass, CFG_ANALYSES
+
+
+def _pow2_exponent(operand, bits):
+    """log2 of a constant power of two in (1, 2^bits), else None."""
+    if not isinstance(operand, Const) or not operand.ty.is_int:
+        return None
+    value = operand.value
+    if value <= 1 or value >= (1 << bits) or value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+def reduce_strength(func: Function) -> bool:
+    changed = False
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if not isinstance(instr, BinOp) or not instr.dst.ty.is_int:
+                continue
+            bits = 32 if instr.dst.ty.size == 4 else 64
+            if instr.op == "mul":
+                k = _pow2_exponent(instr.rhs, bits)
+                if k is None:
+                    k = _pow2_exponent(instr.lhs, bits)
+                    if k is not None:
+                        instr.lhs = instr.rhs
+                if k is not None:
+                    instr.op = "shl"
+                    instr.rhs = Const(k, instr.dst.ty)
+                    changed = True
+            elif instr.op == "div_u":
+                k = _pow2_exponent(instr.rhs, bits)
+                if k is not None:
+                    instr.op = "shr_u"
+                    instr.rhs = Const(k, instr.dst.ty)
+                    changed = True
+            elif instr.op == "rem_u":
+                k = _pow2_exponent(instr.rhs, bits)
+                if k is not None:
+                    instr.op = "and"
+                    instr.rhs = Const((1 << k) - 1, instr.dst.ty)
+                    changed = True
+    return changed
+
+
+class StrengthReducePass(FunctionPass):
+    name = "strength"
+    # In-place operand rewrites only; the CFG and def/use sets of
+    # registers are untouched (constants are not registers).
+    preserves = CFG_ANALYSES | frozenset({"liveness", "defassign"})
+
+    def run(self, func, module, fam):
+        return reduce_strength(func)

@@ -19,9 +19,9 @@ from __future__ import annotations
 import os
 
 from .instructions import (
-    BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Load, Move, Return,
-    SetGlobal, Store, Trap, UnOp, CMP_OPS, FLOAT_ARITH_OPS, INT_ARITH_OPS,
-    UNARY_OPS,
+    BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Load, Move, Phi,
+    Return, SetGlobal, Store, Trap, UnOp, CMP_OPS, FLOAT_ARITH_OPS,
+    INT_ARITH_OPS, UNARY_OPS,
 )
 from .function import Function
 from .module import Module
@@ -104,7 +104,85 @@ def verify_function(func: Function, module: Module = None) -> None:
                     exc.block = label
                 raise
 
-    _verify_def_before_use(func)
+    if getattr(func, "ssa", False):
+        _verify_ssa(func)
+    else:
+        _verify_def_before_use(func)
+
+
+def _verify_ssa(func: Function) -> None:
+    """SSA-form invariants: exactly one static assignment per register,
+    phi incoming edges matching the CFG predecessors, phis forming a
+    block prefix, and every use dominated by its definition (a phi's
+    operand is "used" at the exit of the matching predecessor).
+    Unreachable blocks are exempt from the dominance rule, as in the
+    non-SSA verifier."""
+    from .ssa import domtree
+
+    sites = {p.id: (None, -1) for p in func.params}
+    for label, block in func.blocks.items():
+        for index, instr in enumerate(block.all_instrs()):
+            for reg in instr.defs():
+                if reg.id in sites:
+                    raise VerifyError(
+                        f"{func.name}/{label}: {instr!r}: second "
+                        f"assignment to {reg} in SSA form",
+                        function=func.name, block=label,
+                        detail=f"single assignment of {reg}")
+                sites[reg.id] = (label, index)
+
+    preds = func.predecessors()
+    dt = domtree(func)
+    reachable = func.reachable_blocks()
+
+    def check_use(reg, use_label, use_index, where):
+        site = sites.get(reg.id)
+        if site is None:
+            raise VerifyError(
+                f"{where}: use of never-defined {reg}",
+                function=func.name, block=use_label,
+                detail=f"def-before-use of {reg}")
+        def_label, def_index = site
+        if def_label is None:       # parameter: dominates everything
+            return
+        ok = (dt.dominates(def_label, use_label)
+              and (def_label != use_label or def_index < use_index))
+        if not ok:
+            raise VerifyError(
+                f"{where}: use of {reg} not dominated by its "
+                f"definition in {def_label}",
+                function=func.name, block=use_label,
+                detail=f"def-before-use of {reg}")
+
+    for label in reachable:
+        block = func.blocks[label]
+        in_prefix = True
+        block_preds = set(preds.get(label, []))
+        for index, instr in enumerate(block.all_instrs()):
+            if isinstance(instr, Phi):
+                if not in_prefix:
+                    raise VerifyError(
+                        f"{func.name}/{label}: {instr!r}: phi after "
+                        f"non-phi instruction",
+                        function=func.name, block=label,
+                        detail="phi placement")
+                if set(instr.incoming) != block_preds:
+                    raise VerifyError(
+                        f"{func.name}/{label}: {instr!r}: phi edges "
+                        f"{sorted(instr.incoming)} != predecessors "
+                        f"{sorted(block_preds)}",
+                        function=func.name, block=label,
+                        detail="phi/predecessor agreement")
+                for pred_label, value in instr.incoming.items():
+                    if isinstance(value, VReg) and pred_label in reachable:
+                        check_use(value, pred_label,
+                                  len(func.blocks[pred_label].all_instrs()),
+                                  f"{func.name}/{label}: {instr!r} "
+                                  f"[from {pred_label}]")
+                continue
+            in_prefix = False
+            for reg in instr.uses():
+                check_use(reg, label, index, f"{func.name}/{label}: {instr!r}")
 
 
 def _verify_def_before_use(func: Function) -> None:
@@ -140,7 +218,20 @@ def _verify_instr(func, label, instr, defined, module):
                               function=func.name, block=label,
                               detail=f"def-before-use of {reg}")
 
-    if isinstance(instr, Move):
+    if isinstance(instr, Phi):
+        if not getattr(func, "ssa", False):
+            raise VerifyError(f"{where}: phi outside SSA form",
+                              function=func.name, block=label,
+                              detail="phi outside SSA form")
+        if not instr.incoming:
+            raise VerifyError(f"{where}: phi with no incoming edges")
+        for pred_label, value in instr.incoming.items():
+            if pred_label not in func.blocks:
+                raise VerifyError(
+                    f"{where}: phi edge from missing block {pred_label}")
+            if _operand_ty(value) != instr.dst.ty:
+                raise VerifyError(f"{where}: phi operand type mismatch")
+    elif isinstance(instr, Move):
         if _operand_ty(instr.src) != instr.dst.ty:
             raise VerifyError(f"{where}: move type mismatch")
     elif isinstance(instr, BinOp):

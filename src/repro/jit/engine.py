@@ -17,7 +17,8 @@ import time
 from ..codegen.lower import lower_module
 from ..codegen.target import CHROME, FIREFOX, TargetConfig
 from ..ir.passes import (
-    eliminate_dead_code, propagate_copies, simplify_cfg, verify_after_pass,
+    eliminate_dead_code, propagate_copies, run_ssa_midend, simplify_cfg,
+    ssa_enabled, verify_after_pass,
 )
 from ..ir.verify import verify_ir_enabled, verify_module
 from ..obs import span
@@ -37,6 +38,10 @@ class Engine:
         self.config = config
         self.local_cleanup = local_cleanup
         self.year = year
+        #: 2019-era engines run the SSA mid-end (GVN/SCCP/strength) the
+        #: way TurboFan and Ion optimize hot code; earlier vintages do
+        #: not, preserving Figure 1's historical progression.
+        self.optimizing_tier = year >= 2019
 
     def compile_bytes(self, data: bytes) -> X86Program:
         """Compile binary wasm bytes to a simulated x86 program."""
@@ -89,6 +94,22 @@ class Engine:
                     verify_after_pass("dce", func, ir)
                     fold_leas(func)
                     verify_after_pass("leafold", func, ir)
+                    simplify_cfg(func)
+                    verify_after_pass("simplifycfg", func, ir)
+        if self.optimizing_tier and ssa_enabled():
+            # The 2019 optimizing tiers (TurboFan, Ion) run GVN and
+            # constant propagation over SSA; the 2017/2018 vintages in
+            # Figure 1 predate that quality level and keep the plain
+            # per-block cleanup above.
+            from ..ir.passmanager import FunctionAnalysisManager
+            with span("jit.ssa", engine=self.name):
+                fam = FunctionAnalysisManager()
+                for func in ir.functions.values():
+                    run_ssa_midend(func, ir, fam)
+                    propagate_copies(func)
+                    verify_after_pass("copyprop", func, ir)
+                    eliminate_dead_code(func)
+                    verify_after_pass("dce", func, ir)
                     simplify_cfg(func)
                     verify_after_pass("simplifycfg", func, ir)
         program = lower_module(ir, self.config, name=self.name)

@@ -8,7 +8,9 @@ rewrites::
     s = mul idx, {1,2,4,8} ; ... ; a = add base, s
     ==> a = lea [base + idx*scale]
 
-within a block when ``s`` has no other use.
+within a block when ``s`` has no other use.  The strength-reduced
+spelling ``shl idx, {0,1,2,3}`` folds the same way, so the lea fold
+keeps working behind the SSA mid-end.
 """
 
 from __future__ import annotations
@@ -19,6 +21,18 @@ from ..ir.module import Module
 from ..ir.values import Const, VReg
 
 _SCALES = {1, 2, 4, 8}
+
+
+def _scale_of(instr) -> int | None:
+    """Hardware scale produced by ``instr``, or None."""
+    if not (isinstance(instr, BinOp) and isinstance(instr.rhs, Const)
+            and isinstance(instr.lhs, VReg) and not instr.dst.ty.is_float):
+        return None
+    if instr.op == "mul" and instr.rhs.value in _SCALES:
+        return int(instr.rhs.value)
+    if instr.op == "shl" and instr.rhs.value in (0, 1, 2, 3):
+        return 1 << int(instr.rhs.value)
+    return None
 
 
 def _use_counts(func: Function):
@@ -38,14 +52,9 @@ def fold_leas(func: Function) -> int:
         out = []
         muls = {}
         for instr in block.instrs:
-            if isinstance(instr, BinOp) and instr.op == "mul" \
-                    and isinstance(instr.rhs, Const) \
-                    and instr.rhs.value in _SCALES \
-                    and isinstance(instr.lhs, VReg) \
-                    and not instr.dst.ty.is_float \
-                    and counts.get(instr.dst.id, 0) == 1:
-                muls[instr.dst.id] = (instr, instr.lhs,
-                                      int(instr.rhs.value), len(out))
+            scale = _scale_of(instr)
+            if scale is not None and counts.get(instr.dst.id, 0) == 1:
+                muls[instr.dst.id] = (instr, instr.lhs, scale, len(out))
                 out.append(instr)
                 continue
             if isinstance(instr, BinOp) and instr.op == "add":

@@ -1,0 +1,198 @@
+"""The caching pass manager: analysis cache hits/misses, selective
+invalidation driven by ``preserves`` sets, pipeline fingerprints, and
+the FixedPoint driver."""
+
+import pytest
+
+from repro import obs
+from repro.benchsuite import matmul_source
+from repro.ir.passmanager import (
+    ANALYSES, CFG_ANALYSES, FixedPoint, FunctionAnalysisManager,
+    FunctionPass, PassManager, SimplePass, pipeline_fingerprint,
+)
+from repro.ir.passes import (
+    jit_pipeline_fingerprint, opt_pipeline_fingerprint,
+)
+from repro.mcc import compile_source
+
+
+@pytest.fixture(autouse=True)
+def _metrics():
+    yield
+    obs.disable_metrics()
+
+
+def _func():
+    module = compile_source(matmul_source(4, 4, 4), "matmul")
+    return module.functions["matmul"], module
+
+
+# -- the analysis cache ------------------------------------------------------------
+
+def test_analysis_cache_hits_and_misses():
+    func, _ = _func()
+    registry = obs.enable_metrics()
+    fam = FunctionAnalysisManager()
+    first = fam.get(func, "domtree")
+    second = fam.get(func, "domtree")
+    assert second is first, "a hit returns the cached object"
+    counters = registry.as_dict()["counters"]
+    assert counters.get("opt.analysis.misses") == 1
+    assert counters.get("opt.analysis.hits") == 1
+
+
+def test_analysis_cache_disabled_always_recomputes():
+    func, _ = _func()
+    registry = obs.enable_metrics()
+    fam = FunctionAnalysisManager(enabled=False)
+    first = fam.get(func, "loops")
+    second = fam.get(func, "loops")
+    assert second is not first
+    counters = registry.as_dict()["counters"]
+    assert counters.get("opt.analysis.misses") == 2
+    assert not counters.get("opt.analysis.hits")
+
+
+def test_invalidation_respects_preserved_set():
+    func, _ = _func()
+    fam = FunctionAnalysisManager()
+    for name in ("domtree", "loops", "liveness"):
+        fam.get(func, name)
+    dropped = fam.invalidate(func, preserved=CFG_ANALYSES)
+    assert dropped == 1          # liveness only
+    registry = obs.enable_metrics()
+    fam.get(func, "domtree")     # still cached
+    fam.get(func, "liveness")    # recomputed
+    counters = registry.as_dict()["counters"]
+    assert counters.get("opt.analysis.hits") == 1
+    assert counters.get("opt.analysis.misses") == 1
+
+
+def test_all_registered_analyses_compute():
+    func, _ = _func()
+    fam = FunctionAnalysisManager()
+    for name in ANALYSES:
+        assert fam.get(func, name) is not None
+
+
+# -- pass running and invalidation -------------------------------------------------
+
+class _CountingPass(FunctionPass):
+    """Reports a change exactly ``changes`` times, then settles."""
+
+    def __init__(self, name, preserves=frozenset(), changes=1):
+        self.name = name
+        self.preserves = frozenset(preserves)
+        self._left = changes
+        self.runs = 0
+
+    def run(self, func, module, fam):
+        self.runs += 1
+        if self._left > 0:
+            self._left -= 1
+            return True
+        return False
+
+
+def test_changing_pass_invalidates_unpreserved_analyses():
+    func, module = _func()
+    fam = FunctionAnalysisManager()
+    fam.get(func, "domtree")
+    fam.get(func, "liveness")
+    pm = PassManager([_CountingPass("churn", preserves=CFG_ANALYSES)],
+                     fam=fam)
+    registry = obs.enable_metrics()
+    assert pm.run_function(func, module)
+    fam.get(func, "domtree")     # preserved -> hit
+    fam.get(func, "liveness")    # dropped -> miss
+    counters = registry.as_dict()["counters"]
+    assert counters.get("opt.analysis.hits") == 1
+    assert counters.get("opt.analysis.misses") == 1
+    assert counters.get("opt.analysis.invalidations") == 1
+
+
+def test_no_change_preserves_everything():
+    func, module = _func()
+    fam = FunctionAnalysisManager()
+    fam.get(func, "liveness")
+    pm = PassManager([_CountingPass("noop", changes=0)], fam=fam)
+    registry = obs.enable_metrics()
+    assert not pm.run_function(func, module)
+    fam.get(func, "liveness")
+    counters = registry.as_dict()["counters"]
+    assert counters.get("opt.analysis.hits") == 1
+    assert not counters.get("opt.analysis.invalidations")
+
+
+def test_pass_timing_lands_in_metrics():
+    func, module = _func()
+    registry = obs.enable_metrics()
+    pm = PassManager([_CountingPass("tick", changes=0)])
+    pm.run_function(func, module)
+    hist = registry.as_dict()["histograms"]["opt.pass_seconds.tick"]
+    assert hist["count"] == 1
+
+
+def test_fixed_point_runs_until_quiescent():
+    func, module = _func()
+    inner = _CountingPass("settle", preserves=CFG_ANALYSES, changes=3)
+    fp = FixedPoint([inner], max_rounds=8)
+    assert fp.run(func, module, FunctionAnalysisManager())
+    # 3 changing rounds + 1 quiet round to detect the fixpoint.
+    assert inner.runs == 4
+
+
+def test_fixed_point_respects_round_bound():
+    func, module = _func()
+    inner = _CountingPass("restless", changes=99)
+    fp = FixedPoint([inner], max_rounds=3)
+    fp.run(func, module, FunctionAnalysisManager())
+    assert inner.runs == 3
+
+
+# -- pipeline fingerprints ---------------------------------------------------------
+
+def _mk(name, version=1):
+    return SimplePass(name, lambda f: False, version=version)
+
+
+def test_fingerprint_is_stable():
+    passes = [_mk("a"), _mk("b")]
+    assert pipeline_fingerprint(passes) == pipeline_fingerprint(passes)
+
+
+def test_fingerprint_sees_order_name_version_and_config():
+    base = pipeline_fingerprint([_mk("a"), _mk("b")])
+    assert pipeline_fingerprint([_mk("b"), _mk("a")]) != base
+    assert pipeline_fingerprint([_mk("a"), _mk("c")]) != base
+    assert pipeline_fingerprint([_mk("a"), _mk("b", version=2)]) != base
+    assert pipeline_fingerprint([_mk("a"), _mk("b")], ("flag", 1)) != base
+
+
+def test_fingerprint_folds_fixpoint_structure():
+    flat = pipeline_fingerprint([_mk("a"), _mk("b")])
+    nested = pipeline_fingerprint([FixedPoint([_mk("a"), _mk("b")])])
+    assert flat != nested
+
+
+def test_opt_fingerprint_distinguishes_ssa_toggle():
+    on = opt_pipeline_fingerprint(ssa=True)
+    off = opt_pipeline_fingerprint(ssa=False)
+    assert on != off
+    assert opt_pipeline_fingerprint(ssa=True) == on
+
+
+def test_opt_fingerprint_distinguishes_unroll_config():
+    assert opt_pipeline_fingerprint(unroll=True) \
+        != opt_pipeline_fingerprint(unroll=False)
+    assert opt_pipeline_fingerprint(unroll=True, unroll_factor=8) \
+        != opt_pipeline_fingerprint(unroll=True, unroll_factor=4)
+
+
+def test_jit_fingerprint_tracks_optimizing_tier():
+    baseline = jit_pipeline_fingerprint(False, ssa=True)
+    optimizing = jit_pipeline_fingerprint(True, ssa=True)
+    assert baseline != optimizing
+    # A non-optimizing tier never runs the SSA region, so the SSA
+    # toggle must not perturb its key.
+    assert jit_pipeline_fingerprint(False, ssa=False) == baseline

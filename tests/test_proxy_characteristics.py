@@ -82,8 +82,10 @@ def test_lbm_is_memory_bound():
     spec = spec_benchmark("470.lbm", "test")
     compiled = compile_benchmark(spec, ("native",))
     perf = run_compiled(compiled, "native", runs=1).run.perf
-    # Loads+stores form a large share of the instruction stream.
-    assert (perf.loads + perf.stores) * 5 > perf.instructions
+    # Loads+stores form a large share of the instruction stream.  The
+    # bar is 1/6: the SSA mid-end eliminated the spill reloads that
+    # used to pad the load count, so only the lattice traffic remains.
+    assert (perf.loads + perf.stores) * 6 > perf.instructions
 
 
 def test_bzip2_is_byte_oriented():
