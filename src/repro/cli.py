@@ -27,7 +27,9 @@ from .asmjs import ASMJS_CHROME, ASMJS_FIREFOX
 from .browser.browser import execute_program
 from .codegen import compile_native
 from .codegen.emscripten import compile_emscripten
-from .jit import CHROME_ENGINE, FIREFOX_ENGINE
+from .jit import (
+    CHROME_ENGINE, CHROME_TIERED, FIREFOX_ENGINE, FIREFOX_TIERED,
+)
 from .kernel import BrowsixRuntime, Kernel, NativeRuntime
 from .wasm import encode_module, format_module
 from .x86.perf import EVENT_TABLE
@@ -35,11 +37,14 @@ from .x86.perf import EVENT_TABLE
 _ENGINES = {
     "chrome": CHROME_ENGINE,
     "firefox": FIREFOX_ENGINE,
+    "chrome-tiered": CHROME_TIERED,
+    "firefox-tiered": FIREFOX_TIERED,
     "asmjs-chrome": ASMJS_CHROME,
     "asmjs-firefox": ASMJS_FIREFOX,
 }
 
-TARGETS = ("native", "chrome", "firefox", "asmjs-chrome", "asmjs-firefox")
+TARGETS = ("native", "chrome", "firefox", "chrome-tiered",
+           "firefox-tiered", "asmjs-chrome", "asmjs-firefox")
 
 
 def _compile_target(source: str, target: str):
@@ -476,7 +481,35 @@ def _opt_block(registry_dict: dict) -> dict:
             "misses": counters.get("opt.analysis.misses", 0),
             "invalidations": counters.get("opt.analysis.invalidations", 0),
         },
+        "ranges": _ranges_block(counters),
         "passes": passes,
+    }
+
+
+def _ranges_block(counters: dict) -> dict:
+    """Interval-analysis activity and safety-check elision counts (the
+    §6.4 knob): solver work from the `ranges` pass and how many
+    stack/indirect-call checks the eliding targets dropped."""
+    from .ir.passes import ranges_enabled
+    from .ir.verify import check_ranges_enabled
+    return {
+        "enabled": ranges_enabled(),
+        "check_ranges": check_ranges_enabled(),
+        "analysis_runs": counters.get("opt.ranges.analysis_runs", 0),
+        "solver_iterations":
+            counters.get("opt.ranges.solver_iterations", 0),
+        "comparisons_folded": counters.get("opt.ranges.folded", 0),
+        "branches_decided":
+            counters.get("opt.ranges.branches_decided", 0),
+        "annotated_defs": counters.get("opt.ranges.annotated_defs", 0),
+        "stack_checks": {
+            "total": counters.get("codegen.checks.stack_total", 0),
+            "elided": counters.get("codegen.checks.stack_elided", 0),
+        },
+        "indirect_checks": {
+            "total": counters.get("codegen.checks.indirect_total", 0),
+            "elided": counters.get("codegen.checks.indirect_elided", 0),
+        },
     }
 
 
@@ -746,6 +779,12 @@ def _add_verify_arg(p) -> None:
                    help="verify IR invariants between every optimization "
                         "pass and check register allocations (pass-blame "
                         "diagnostics on failure)")
+    p.add_argument("--check-ranges", action="store_true",
+                   help="runtime soundness oracle for the interval "
+                        "analysis: assert every observed def value lies "
+                        "inside its statically proved interval (x86 "
+                        "machine and wasm interpreter); failures blame "
+                        "the ranges pass")
 
 
 def _add_tier_arg(p) -> None:
@@ -1017,6 +1056,9 @@ def main(argv=None) -> int:
     if getattr(args, "verify_ir", False):
         from .ir.verify import set_verify_ir
         set_verify_ir(True)
+    if getattr(args, "check_ranges", False):
+        from .ir.verify import set_check_ranges
+        set_check_ranges(True)
     try:
         return args.func(args)
     except KeyboardInterrupt:

@@ -87,9 +87,15 @@ class EmscriptenBackend:
             ]
 
         # Function bodies.
-        for func in defined:
-            out.functions.append(
-                _FunctionEmitter(self, func, global_indices).run())
+        from ..ir.verify import check_ranges_enabled
+        oracle = check_ranges_enabled()
+        for offset, func in enumerate(defined):
+            emitter = _FunctionEmitter(self, func, global_indices)
+            out.functions.append(emitter.run())
+            if oracle:
+                facts = emitter.range_locals()
+                if facts:
+                    out.ranges[offset] = facts
         if stub_needed:
             void = out.type_index(WasmFuncType((), ()))
             out.functions.append(
@@ -153,6 +159,41 @@ class _FunctionEmitter:
             kids.sort(key=lambda l: self.rpo[l])
 
     # -- locals -----------------------------------------------------------------
+
+    def range_locals(self) -> dict:
+        """``--check-ranges`` facts per wasm local: {local index: (bits,
+        lo, hi, maybe)}.
+
+        A local gets a fact only when *every* assignment of it carries a
+        proved interval — the recorded tuple is the join over all def
+        sites, so it holds for each individual ``local.set``.  Call
+        after :meth:`run` (the local map must be complete).
+        """
+        from ..dataflow.interval import analyze_function
+        info = analyze_function(self.func, self.backend.ir)
+        joined = {}
+        tainted = set()
+        reachable = self.func.reachable_blocks()
+        for label in self.order:
+            if label not in reachable:
+                continue
+            for instr in self.func.blocks[label].instrs:
+                dst = getattr(instr, "dst", None)
+                if not isinstance(dst, VReg) or not dst.ty.is_int:
+                    continue
+                local = self.local_indices.get(dst.id)
+                if local is None:
+                    continue  # def was never emitted (dead)
+                fact = info.facts.get(instr)
+                if fact is None or fact.is_top:
+                    tainted.add(local)
+                elif local in joined:
+                    joined[local] = joined[local].join(fact)
+                else:
+                    joined[local] = fact
+        return {local: (fact.bits, fact.lo, fact.hi, fact.maybe)
+                for local, fact in joined.items()
+                if local not in tainted}
 
     def local_of(self, vreg: VReg) -> int:
         index = self.local_indices.get(vreg.id)

@@ -20,13 +20,13 @@ from ..ir.loops import natural_loops
 from ..ir.module import Module
 from ..ir.types import Type
 from ..ir.values import Const, VReg
-from ..ir.verify import verify_ir_enabled
-from ..obs import span
+from ..ir.verify import check_ranges_enabled, verify_ir_enabled
+from ..obs import get_registry, span
 from ..regalloc.check import check_assignment
 from ..regalloc.graph_coloring import graph_coloring
 from ..regalloc.linear_scan import linear_scan
 from ..regalloc.liveness import LivenessInfo
-from ..x86.isa import Imm, Instr, Label, Mem, Reg
+from ..x86.isa import BRANCH_OPS, Imm, Instr, Label, Mem, Reg
 from ..x86.program import X86Program
 from ..x86.registers import RAX, RBP, RCX, RDX, RSP, XMM0
 from .target import TargetConfig
@@ -64,6 +64,19 @@ class ModuleLowering:
         self.table_addr_base = 0
         self.table_sig_base = 0
         self.table_len = 0
+        #: §6.4 range-driven check elision: only eliding targets
+        #: (tiered engines) under the optimizing tier, revertable with
+        #: ``REPRO_RANGES=0``.  The oracle flag makes the lowering
+        #: attach ``--check-ranges`` assertions to committed defs.
+        from ..ir.passes.ranges import ranges_enabled
+        from ..tier import get_tier
+        self.elide = (getattr(config, "elide_checks", False)
+                      and ranges_enabled() and get_tier() == "fuse")
+        self.oracle = check_ranges_enabled()
+        self.check_stats = {
+            "stack_total": 0, "stack_elided": 0,
+            "indirect_total": 0, "indirect_elided": 0,
+        }
 
     def compile(self) -> X86Program:
         program = self.program
@@ -77,12 +90,153 @@ class ModuleLowering:
 
         with span("codegen.lower", target=self.config.name,
                   module=self.module.name):
-            for func in self.module.functions.values():
-                FunctionLowering(self, func).run()
+            # Two-phase lowering: ``prepare`` runs regalloc for every
+            # function first, so the stack-elision planner can see
+            # every frame size and call site before any code is
+            # emitted; ``emit_body`` then lowers under the plan.
+            lowerings = [FunctionLowering(self, func)
+                         for func in self.module.functions.values()]
+            for fl in lowerings:
+                fl.prepare()
+            self._plan_stack_elision(lowerings)
+            for fl in lowerings:
+                fl.emit_body()
+        if self.config.stack_check or self.config.indirect_check:
+            program.compile_stats["checks"] = dict(self.check_stats)
+            registry = get_registry()
+            for key, value in self.check_stats.items():
+                if value:
+                    registry.counter(f"codegen.checks.{key}").inc(value)
         program.layout()
         program.initial_image = bytes(self.module.initial_memory())
         program.heap_base = self.module.heap_base
         return program
+
+    # -- §6.4: stack-check elision planning -----------------------------------
+    #
+    # The stack check guards a 4096-byte redzone below ``__stack_limit``
+    # (the limit sits that far above the end of guest linear memory).  A
+    # function's check may be dropped when every call chain rooted at it
+    # provably writes less than the redzone before reaching either a
+    # leaf or the next *checked* function's own check — then any true
+    # overflow is still caught by a check downstream (or cannot happen
+    # at all), just like the paper's §6.4 "spend more time on hot code"
+    # engines.  Recursion (an SCC in the unchecked call graph) has
+    # unbounded depth and always keeps its checks.
+
+    _STACK_BUDGET = 4096 - 64
+
+    def _stack_arg_bytes(self, args) -> int:
+        abi = self.config.abi
+        int_idx = float_idx = stack = 0
+        for arg in args:
+            if arg.ty.is_float:
+                if float_idx < len(abi.float_args):
+                    float_idx += 1
+                else:
+                    stack += 8
+            else:
+                if int_idx < len(abi.int_args):
+                    int_idx += 1
+                else:
+                    stack += 8
+        return stack
+
+    def _call_sites(self, func):
+        """(kind, callees, stack_arg_bytes) per call site: ``kind`` is
+        'extern' (hostcall — runs in the host, no machine-stack
+        descent) or 'call'; ``callees`` the possible machine callees."""
+        sites = []
+        externs = self.module.externs
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    kind = "extern" if instr.callee in externs else "call"
+                    sites.append((kind, (instr.callee,),
+                                  self._stack_arg_bytes(instr.args)))
+                elif isinstance(instr, CallIndirect):
+                    names = self._possible_targets(instr)
+                    sites.append(("call", names,
+                                  self._stack_arg_bytes(instr.args)))
+        return sites
+
+    def _possible_targets(self, instr: CallIndirect):
+        """Table entries a ``call_indirect`` can reach, narrowed by the
+        proved index interval when there is one."""
+        entries = list(self.module.table)
+        fact = getattr(instr, "target_fact", None)
+        if fact is not None and 0 <= fact.lo and fact.hi < len(entries):
+            entries = entries[fact.lo:fact.hi + 1]
+        return tuple(n for n in entries if n)
+
+    def _plan_stack_elision(self, lowerings) -> None:
+        if not (self.config.stack_check and self.elide):
+            return
+        budget = self._STACK_BUDGET
+        by_name = {fl.func.name: fl for fl in lowerings}
+        sites = {name: self._call_sites(fl.func)
+                 for name, fl in by_name.items()}
+        # Frame bytes a function may write below its entry RSP: the rbp
+        # push, callee-saved pushes, and the spill area.
+        depth = {name: 8 + 8 * len(fl.pushed) + fl._frame_bytes()
+                 for name, fl in by_name.items()}
+        # What a *checked* callee writes before its own check runs.
+        prewrite = {name: 8 + 8 * len(fl.pushed)
+                    for name, fl in by_name.items()}
+        checked: set = set()
+        INF = float("inf")
+
+        def reach(name, state):
+            """Max bytes written below ``name``'s entry while no check
+            runs, assuming ``name`` itself is unchecked."""
+            cached = state.get(name)
+            if cached is not None:
+                return cached
+            state[name] = INF        # recursion -> unbounded
+            worst = 0
+            for kind, callees, arg_bytes in sites[name]:
+                if kind == "extern":
+                    worst = max(worst, arg_bytes)
+                    continue
+                for callee in callees:
+                    fl = by_name.get(callee)
+                    if fl is None:
+                        worst = INF
+                        continue
+                    down = prewrite[callee] if callee in checked \
+                        else reach(callee, state)
+                    worst = max(worst, arg_bytes + 8 + down)
+            result = depth[name] + worst
+            state[name] = result
+            return result
+
+        while True:
+            state: dict = {}
+            demoted = {name for name in by_name
+                       if name not in checked
+                       and reach(name, state) > budget}
+            if not demoted:
+                break
+            checked |= demoted
+        # Checked callers must not launder over-budget unchecked chains
+        # below their verified point either.
+        while True:
+            state = {}
+            demoted = set()
+            for name in checked:
+                for kind, callees, arg_bytes in sites[name]:
+                    if kind == "extern":
+                        continue
+                    for callee in callees:
+                        if callee in checked or callee not in by_name:
+                            continue
+                        if arg_bytes + 8 + reach(callee, state) > budget:
+                            demoted.add(callee)
+            if not demoted:
+                break
+            checked |= demoted
+        for name, fl in by_name.items():
+            fl.elide_stack = name not in checked
 
     def _build_tables(self) -> None:
         entries = []
@@ -123,11 +277,15 @@ class FunctionLowering:
         self.pushed = []
         self._needs_ind_trap = False
         self._needs_stack_trap = False
+        #: Set by the module-level planner when every call chain below
+        #: this function provably fits the stack redzone.
+        self.elide_stack = False
 
     # -- emission shorthands ------------------------------------------------------
 
     def emit(self, op, a=None, b=None, cond=None, size=8, comment=""):
-        self.out.emit(Instr(op, a, b, cond=cond, size=size, comment=comment))
+        return self.out.emit(
+            Instr(op, a, b, cond=cond, size=size, comment=comment))
 
     def label(self, name: str):
         self.out.label(name)
@@ -135,6 +293,14 @@ class FunctionLowering:
     # -- driver -------------------------------------------------------------------
 
     def run(self) -> None:
+        self.prepare()
+        self.emit_body()
+
+    def prepare(self) -> None:
+        """Phase 1: shape the CFG and allocate registers.  After this the
+        frame layout (``pushed``, spill slots) is known, which is what
+        the module's stack-elision planner needs before any body is
+        emitted."""
         func = self.func
         cfg = self.cfg
         if cfg.loop_entry_jumps:
@@ -156,6 +322,10 @@ class FunctionLowering:
 
         self.pushed = sorted(self.assignment.used_callee_saved)
         self.slot_base = 8 * len(self.pushed)
+
+    def emit_body(self) -> None:
+        """Phase 2: emit prologue, blocks, epilogue, and trap stubs."""
+        func = self.func
         self._prologue()
 
         order = self.order
@@ -189,11 +359,16 @@ class FunctionLowering:
         if frame:
             self.emit("sub", Reg(RSP), Imm(frame))
         if self.cfg.stack_check:
-            limit = self.ml.program.instance_globals["__stack_limit"]
-            self.emit("cmp", Reg(RSP), Mem(disp=limit, size=8),
-                      comment="stack overflow check")
-            self.emit("jcc", Label(".stack_trap"), cond="be")
-            self._needs_stack_trap = True
+            self.ml.check_stats["stack_total"] += 1
+            if self.elide_stack:
+                self.ml.check_stats["stack_elided"] += 1
+            else:
+                limit = self.ml.program.instance_globals["__stack_limit"]
+                cmp = self.emit("cmp", Reg(RSP), Mem(disp=limit, size=8),
+                                comment="stack overflow check")
+                jcc = self.emit("jcc", Label(".stack_trap"), cond="be")
+                cmp.check = jcc.check = "stack"
+                self._needs_stack_trap = True
 
         # Bind incoming arguments.
         abi = self.cfg.abi
@@ -405,8 +580,12 @@ class FunctionLowering:
             fused = instrs[-1]
             instrs = instrs[:-1]
 
+        oracle = self.ml.oracle
         for instr in instrs:
+            mark = len(self.out.raw)
             self._lower_instr(instr)
+            if oracle:
+                self._attach_assert(instr, mark)
 
         if isinstance(term, Jump):
             forced = block.label.startswith("jentry_")
@@ -441,6 +620,30 @@ class FunctionLowering:
             self.emit("trap", term.message)
         else:  # pragma: no cover
             raise CompileError(f"bad terminator {term!r}")
+
+    def _attach_assert(self, instr, mark: int) -> None:
+        """Pin the ``--check-ranges`` oracle fact onto the last x86
+        instruction lowered for ``instr``, for the machine to assert the
+        committed register value right after it retires.  Skipped when
+        nothing was emitted (the value did not move) or the tail is a
+        label/branch — an assertion there would fire on unrelated
+        control-flow paths."""
+        fact = getattr(instr, "range_fact", None)
+        if fact is None:
+            return
+        defs = instr.defs()
+        if not defs or defs[0].ty.is_float:
+            return
+        loc = self._loc(defs[0])
+        if loc[0] != "reg":
+            return
+        raw = self.out.raw
+        if len(raw) <= mark:
+            return
+        last = raw[-1]
+        if last.op == "label" or last.op in BRANCH_OPS:
+            return
+        last.assert_range = (loc[1], fact)
 
     def _emit_compare(self, binop: BinOp) -> str:
         """Emit cmp/ucomisd for a comparison; returns the condition code."""
@@ -976,20 +1179,63 @@ class FunctionLowering:
 
         ml = self.ml
         if self.cfg.indirect_check:
-            self.emit("cmp", Reg(scratch0, 4), Imm(ml.table_len), size=4,
-                      comment="table bounds check")
-            self.emit("jcc", Label(".ind_trap"), cond="ae")
-            sig_id = ml.sig_id_of(instr.ftype)
-            self.emit("cmp",
-                      Mem(index=scratch0, scale=4, disp=ml.table_sig_base,
-                          size=4),
-                      Imm(sig_id), size=4, comment="signature check")
-            self.emit("jcc", Label(".ind_trap"), cond="ne")
-            self._needs_ind_trap = True
+            elide_bounds, elide_sig = self._indirect_elision(instr)
+            ml.check_stats["indirect_total"] += 2
+            ml.check_stats["indirect_elided"] += elide_bounds + elide_sig
+            if not elide_bounds:
+                cmp = self.emit("cmp", Reg(scratch0, 4),
+                                Imm(ml.table_len), size=4,
+                                comment="table bounds check")
+                jcc = self.emit("jcc", Label(".ind_trap"), cond="ae")
+                cmp.check = jcc.check = "indirect"
+                self._needs_ind_trap = True
+            if not elide_sig:
+                sig_id = ml.sig_id_of(instr.ftype)
+                cmp = self.emit(
+                    "cmp",
+                    Mem(index=scratch0, scale=4, disp=ml.table_sig_base,
+                        size=4),
+                    Imm(sig_id), size=4, comment="signature check")
+                jcc = self.emit("jcc", Label(".ind_trap"), cond="ne")
+                cmp.check = jcc.check = "indirect"
+                self._needs_ind_trap = True
         self.emit("callr",
                   Mem(index=scratch0, scale=8, disp=ml.table_addr_base,
                       size=8))
         self._finish_call(instr, pushed)
+
+    def _indirect_elision(self, instr: CallIndirect):
+        """(elide_bounds, elide_sig) for one ``call_indirect`` site.
+
+        The bounds check goes when the proved index interval is inside
+        ``[0, table_len)``.  The signature check goes when every table
+        entry the index can still reach *after* whatever bounds check
+        remains (the hardware one, or the proved interval) is a live
+        function of the site's signature — then the check can never
+        fail.  Nothing is elided outside an eliding target.
+        """
+        ml = self.ml
+        if not ml.elide:
+            return False, False
+        table = ml.module.table
+        n = ml.table_len
+        fact = getattr(instr, "target_fact", None)
+        elide_bounds = (fact is not None
+                        and 0 <= fact.lo and fact.hi < n)
+        if fact is not None:
+            lo, hi = max(fact.lo, 0), min(fact.hi, n - 1)
+        else:
+            lo, hi = 0, n - 1
+        if lo > hi:
+            # The index can never pass the bounds check: the signature
+            # check is unreachable.
+            return elide_bounds, True
+        sig_id = ml.sig_id_of(instr.ftype)
+        elide_sig = all(
+            bool(name)
+            and ml.sig_ids.get(ml.module.functions[name].ftype) == sig_id
+            for name in table[lo:hi + 1])
+        return elide_bounds, elide_sig
 
 
 class _PhysReg:

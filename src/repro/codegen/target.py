@@ -50,6 +50,7 @@ class TargetConfig:
     def __init__(self, name, allocator, gprs, callee_saved, xmms,
                  heap_base=None, fold_mem_ops=False, fold_addressing=False,
                  stack_check=False, indirect_check=False,
+                 elide_checks=False,
                  loop_entry_jumps=False, fuse_cmp_branch=True,
                  heap_mask=False, coerce_call_results=False,
                  code_alignment=1,
@@ -65,6 +66,10 @@ class TargetConfig:
         self.fold_addressing = fold_addressing
         self.stack_check = stack_check
         self.indirect_check = indirect_check
+        #: Let range analysis drop safety checks it proves redundant
+        #: (paper §6.4).  Off for the 2019 baseline engines — only the
+        #: tiered engines explore the more-optimization-time axis.
+        self.elide_checks = elide_checks
         self.loop_entry_jumps = loop_entry_jumps
         self.fuse_cmp_branch = fuse_cmp_branch
         self.heap_mask = heap_mask            # asm.js heap-access masking

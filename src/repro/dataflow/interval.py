@@ -1,0 +1,897 @@
+"""Interval abstract interpretation over the IR (value-range analysis).
+
+The domain is a signed interval ``[lo, hi]`` per integer register plus a
+known-bits "maybe" mask: the set of bits that may be 1 in the value's
+unsigned bit pattern.  The two views discipline each other — a mask
+``x & 0xff`` proves ``x in [0, 255]`` even when the interval alone is
+unbounded, and a non-negative interval proves the sign bit clear.
+
+The solver is a classic widening/narrowing abstract interpreter with
+branch-condition refinement on CFG *edges*: ``if (i <u n)`` narrows
+``i`` to ``[0, n.hi-1]`` on the taken edge, which is exactly the shape
+of a WebAssembly bounds check.  It runs on both SSA functions (phis are
+evaluated per incoming edge under that edge's refined environment) and
+on non-SSA functions (compare shapes are tracked per block and
+invalidated on redefinition), because the JIT pipelines annotate code
+after SSA destruction.
+
+Everything here speaks *signed* facts about *unsigned* bit patterns:
+runtime values in this toolchain are normalized unsigned patterns, so
+the runtime soundness oracle converts the observed pattern to signed
+before checking ``lo <= value <= hi`` (see :meth:`Ival.contains`).
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import (
+    CMP_OPS, BinOp, Call, CallIndirect, CondBr, GetGlobal, Jump, Lea,
+    Load, Move, Phi, UnOp,
+)
+from ..ir.types import Type
+from ..ir.values import Const, VReg
+
+#: Block visits before the entry state is widened to type bounds.
+WIDEN_AFTER = 3
+#: Descending (narrowing) sweeps after the ascending fixpoint.
+NARROW_PASSES = 2
+
+_SIGNED_CMPS = {"eq", "ne", "lt_s", "le_s", "gt_s", "ge_s"}
+_UNSIGNED_CMPS = {"lt_u", "le_u", "gt_u", "ge_u"}
+_NEGATE = {
+    "eq": "ne", "ne": "eq",
+    "lt_s": "ge_s", "ge_s": "lt_s", "le_s": "gt_s", "gt_s": "le_s",
+    "lt_u": "ge_u", "ge_u": "lt_u", "le_u": "gt_u", "gt_u": "le_u",
+}
+
+
+def _bounds(bits: int):
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+class Ival:
+    """A signed interval plus a maybe-bits mask over ``bits``-wide values.
+
+    Invariants: ``SMIN <= lo <= hi <= SMAX`` and every representable
+    value's unsigned pattern has 1-bits only inside ``maybe`` (so a
+    negative ``lo`` forces ``maybe`` to the full mask — two's-complement
+    negatives carry high 1-bits).
+    """
+
+    __slots__ = ("bits", "lo", "hi", "maybe")
+
+    def __init__(self, bits: int, lo: int, hi: int, maybe: int):
+        self.bits = bits
+        self.lo = lo
+        self.hi = hi
+        self.maybe = maybe
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top(bits: int) -> "Ival":
+        lo, hi = _bounds(bits)
+        return Ival(bits, lo, hi, (1 << bits) - 1)
+
+    @staticmethod
+    def const(value: int, bits: int) -> "Ival":
+        pattern = value & ((1 << bits) - 1)
+        signed = pattern - (1 << bits) if pattern >> (bits - 1) else pattern
+        return Ival(bits, signed, signed, pattern)
+
+    @staticmethod
+    def make(bits: int, lo: int, hi: int, maybe: int = None):
+        """Normalize ``[lo, hi]`` (clamped to type bounds) against
+        ``maybe``; returns ``None`` for an empty (unreachable) value."""
+        smin, smax = _bounds(bits)
+        mask = (1 << bits) - 1
+        if lo < smin or hi > smax:
+            lo, hi = max(lo, smin), min(hi, smax)
+            # A clamped bound came from wraparound reasoning upstream;
+            # callers that can wrap must go to top themselves.
+        if lo > hi:
+            return None
+        derived = mask if lo < 0 else (1 << hi.bit_length()) - 1
+        maybe = derived if maybe is None else (maybe & derived)
+        if not maybe >> (bits - 1):
+            # Sign bit impossible: the value is its own pattern.
+            lo = max(lo, 0)
+            hi = min(hi, maybe)
+            if lo > hi:
+                return None
+        return Ival(bits, lo, hi, maybe)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        smin, smax = _bounds(self.bits)
+        return self.lo == smin and self.hi == smax
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, pattern: int) -> bool:
+        """Does the runtime bit pattern ``pattern`` satisfy this fact?"""
+        if pattern & ~self.maybe:
+            return False
+        signed = pattern - (1 << self.bits) \
+            if pattern >> (self.bits - 1) else pattern
+        return self.lo <= signed <= self.hi
+
+    def covers(self, other: "Ival") -> bool:
+        return (self.lo <= other.lo and other.hi <= self.hi
+                and not (other.maybe & ~self.maybe))
+
+    def excludes_zero(self) -> bool:
+        return self.lo > 0 or self.hi < 0
+
+    def urange(self):
+        """The unsigned-pattern range ``(ulo, uhi)`` of this interval."""
+        if self.lo >= 0:
+            return self.lo, min(self.hi, self.maybe)
+        if self.hi < 0:
+            size = 1 << self.bits
+            return self.lo + size, self.hi + size
+        return 0, self.maybe
+
+    # -- lattice operations ------------------------------------------------
+
+    def join(self, other: "Ival") -> "Ival":
+        return Ival.make(self.bits, min(self.lo, other.lo),
+                         max(self.hi, other.hi), self.maybe | other.maybe)
+
+    def meet(self, other: "Ival"):
+        return Ival.make(self.bits, max(self.lo, other.lo),
+                         min(self.hi, other.hi), self.maybe & other.maybe)
+
+    def widen(self, new: "Ival") -> "Ival":
+        """Classic interval widening: a bound that moved jumps straight
+        to the type bound; a maybe mask that grew jumps to full."""
+        smin, smax = _bounds(self.bits)
+        lo = self.lo if new.lo >= self.lo else smin
+        hi = self.hi if new.hi <= self.hi else smax
+        maybe = self.maybe if not (new.maybe & ~self.maybe) \
+            else (1 << self.bits) - 1
+        return Ival.make(self.bits, lo, hi, maybe)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Ival) and self.bits == other.bits
+                and self.lo == other.lo and self.hi == other.hi
+                and self.maybe == other.maybe)
+
+    def __hash__(self):
+        return hash((self.bits, self.lo, self.hi, self.maybe))
+
+    def __repr__(self):
+        if self.is_const:
+            return f"i{self.bits}[{self.lo}]"
+        return f"i{self.bits}[{self.lo},{self.hi}]&{self.maybe:#x}"
+
+
+# ---------------------------------------------------------------------------
+# Transfer functions
+# ---------------------------------------------------------------------------
+
+def transfer_binop(op: str, a: Ival, b: Ival, bits: int):
+    """Abstract evaluation of an integer ``BinOp``; ``bits`` is the
+    operand width (comparison results are 32-bit 0/1)."""
+    if op in CMP_OPS:
+        decided = compare(op, a, b)
+        if decided is not None:
+            return Ival.const(decided, 32)
+        return Ival.make(32, 0, 1)
+    top = Ival.top(bits)
+    if op == "add":
+        res = Ival.make(bits, a.lo + b.lo, a.hi + b.hi)
+        lo, hi = _bounds(bits)
+        if a.lo + b.lo < lo or a.hi + b.hi > hi:
+            return top            # may wrap
+        return res or top
+    if op == "sub":
+        lo, hi = _bounds(bits)
+        if a.lo - b.hi < lo or a.hi - b.lo > hi:
+            return top
+        return Ival.make(bits, a.lo - b.hi, a.hi - b.lo) or top
+    if op == "mul":
+        products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+        lo, hi = _bounds(bits)
+        if min(products) < lo or max(products) > hi:
+            return top
+        return Ival.make(bits, min(products), max(products)) or top
+    if op == "and":
+        maybe = a.maybe & b.maybe
+        return Ival.make(bits, _bounds(bits)[0], _bounds(bits)[1], maybe) \
+            or top
+    if op == "or":
+        maybe = a.maybe | b.maybe
+        if a.lo >= 0 and b.lo >= 0:
+            return Ival.make(bits, max(a.lo, b.lo), maybe, maybe) or top
+        return Ival.make(bits, _bounds(bits)[0], _bounds(bits)[1], maybe) \
+            or top
+    if op == "xor":
+        maybe = a.maybe | b.maybe
+        return Ival.make(bits, _bounds(bits)[0], _bounds(bits)[1], maybe) \
+            or top
+    if op == "shl":
+        if b.is_const:
+            s = b.lo & (bits - 1)
+            maybe = (a.maybe << s) & ((1 << bits) - 1)
+            if a.lo >= 0 and (a.hi << s) <= _bounds(bits)[1]:
+                return Ival.make(bits, a.lo << s, a.hi << s, maybe) or top
+            return Ival.make(bits, _bounds(bits)[0], _bounds(bits)[1],
+                             maybe) or top
+        return top
+    if op == "shr_u":
+        if b.is_const:
+            s = b.lo & (bits - 1)
+            if s == 0:
+                return a
+            # s >= 1 clears the sign bit: result is a non-negative
+            # pattern bounded by the shifted maybe mask.
+            return Ival.make(bits, 0, a.maybe >> s, a.maybe >> s) or top
+        if a.lo >= 0:
+            return Ival.make(bits, 0, a.hi) or top
+        return top
+    if op == "shr_s":
+        if b.is_const:
+            s = b.lo & (bits - 1)
+            return Ival.make(bits, a.lo >> s, a.hi >> s) or top
+        # Arithmetic shift keeps the sign and shrinks the magnitude.
+        return Ival.make(bits, min(a.lo, 0), max(a.hi, 0)) or top
+    if op == "div_u":
+        ulo_a, uhi_a = a.urange()
+        ulo_b, uhi_b = b.urange()
+        if ulo_b >= 1 and uhi_a <= _bounds(bits)[1]:
+            return Ival.make(bits, ulo_a // uhi_b, uhi_a // ulo_b) or top
+        if uhi_a <= _bounds(bits)[1]:
+            # Divisor 0 traps at runtime; any other divisor shrinks.
+            return Ival.make(bits, 0, uhi_a) or top
+        return top
+    if op == "rem_u":
+        ulo_b, uhi_b = b.urange()
+        hi = _bounds(bits)[1]
+        bound = hi
+        if uhi_b >= 1 and uhi_b - 1 <= hi:
+            bound = min(bound, uhi_b - 1)    # result < divisor
+        ulo_a, uhi_a = a.urange()
+        if uhi_a <= hi:
+            bound = min(bound, uhi_a)        # result <= dividend
+        if bound < hi or a.lo >= 0 or uhi_b - 1 <= hi:
+            return Ival.make(bits, 0, bound) or top
+        return top
+    if op == "div_s":
+        if b.lo >= 1:
+            # Truncating division is monotone in each argument over a
+            # positive divisor range: endpoints suffice.
+            quots = [_tdiv(a.lo, b.lo), _tdiv(a.lo, b.hi),
+                     _tdiv(a.hi, b.lo), _tdiv(a.hi, b.hi)]
+            return Ival.make(bits, min(quots), max(quots)) or top
+        if a.lo > _bounds(bits)[0]:
+            magnitude = max(abs(a.lo), abs(a.hi))
+            return Ival.make(bits, -magnitude, magnitude) or top
+        return top                # INT_MIN / -1 would overflow
+    if op == "rem_s":
+        # Sign follows the dividend, magnitude < |divisor| and <= |dividend|.
+        lo, hi = min(a.lo, 0), max(a.hi, 0)
+        if b.lo > _bounds(bits)[0]:
+            mb = max(abs(b.lo), abs(b.hi))
+            if mb >= 1:
+                lo, hi = max(lo, -(mb - 1)), min(hi, mb - 1)
+        return Ival.make(bits, lo, hi) or top
+    return top                    # rotl/rotr and anything unmodeled
+
+
+def _tdiv(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def transfer_unop(op: str, a: Ival, src_bits: int, dst_bits: int):
+    top = Ival.top(dst_bits)
+    if op == "eqz":
+        if a.excludes_zero():
+            return Ival.const(0, 32)
+        if a.is_const and a.lo == 0:
+            return Ival.const(1, 32)
+        return Ival.make(32, 0, 1)
+    if op in ("clz", "ctz", "popcnt"):
+        return Ival.make(dst_bits, 0, src_bits) or top
+    if op == "i64_extend_i32_s":
+        return Ival.make(64, a.lo, a.hi, None) or top
+    if op == "i64_extend_i32_u":
+        ulo, uhi = a.urange()
+        return Ival.make(64, ulo, uhi) or top
+    if op == "i32_wrap_i64":
+        if -(1 << 31) <= a.lo and a.hi < (1 << 31):
+            return Ival.make(32, a.lo, a.hi) or top
+        maybe = a.maybe & 0xFFFFFFFF
+        return Ival.make(32, -(1 << 31), (1 << 31) - 1, maybe) or top
+    return top                    # float conversions and truncations
+
+
+def load_result(size: int, signed: bool, dst_bits: int) -> Ival:
+    """The interval a ``size``-byte load produces in a ``dst_bits`` reg."""
+    if size * 8 >= dst_bits:
+        return Ival.top(dst_bits)
+    if signed:
+        return Ival.make(dst_bits, -(1 << (size * 8 - 1)),
+                         (1 << (size * 8 - 1)) - 1)
+    return Ival.make(dst_bits, 0, (1 << (size * 8)) - 1)
+
+
+def compare(op: str, a: Ival, b: Ival):
+    """Decide an integer comparison from intervals: 0, 1, or ``None``."""
+    if op in _SIGNED_CMPS:
+        alo, ahi, blo, bhi = a.lo, a.hi, b.lo, b.hi
+    elif op in _UNSIGNED_CMPS:
+        (alo, ahi), (blo, bhi) = a.urange(), b.urange()
+        op = op[:-2] + "_s"       # ranges are now directly comparable
+    else:
+        return None
+    if op == "eq":
+        if alo == ahi == blo == bhi:
+            return 1
+        if ahi < blo or bhi < alo:
+            return 0
+        return None
+    if op == "ne":
+        inverted = compare("eq", a, b)
+        return None if inverted is None else 1 - inverted
+    if op == "lt_s":
+        return 1 if ahi < blo else (0 if alo >= bhi else None)
+    if op == "le_s":
+        return 1 if ahi <= blo else (0 if alo > bhi else None)
+    if op == "gt_s":
+        return 1 if alo > bhi else (0 if ahi <= blo else None)
+    if op == "ge_s":
+        return 1 if alo >= bhi else (0 if ahi < blo else None)
+    return None
+
+
+def refine(op: str, a: Ival, b: Ival):
+    """Refine ``(a, b)`` under the assumption that ``a <op> b`` holds.
+
+    Returns the refined pair, or ``None`` when the assumption is
+    infeasible (the edge is dead).  Unsigned refinements only apply when
+    the sign conditions make them sound — the important case is the
+    bounds-check shape ``i <u n`` with ``n`` provably non-negative,
+    which pins ``i`` to ``[0, n.hi - 1]``.
+    """
+    smin, smax = _bounds(a.bits)
+    if op == "eq":
+        m = a.meet(b)
+        return None if m is None else (m, m)
+    if op == "ne":
+        a2, b2 = a, b
+        if b.is_const:
+            a2 = _drop_endpoint(a, b.lo)
+        if a.is_const:
+            b2 = _drop_endpoint(b, a.lo)
+        return None if a2 is None or b2 is None else (a2, b2)
+    if op == "lt_s":
+        a2 = a.meet(Ival.make(a.bits, smin, b.hi - 1) or _empty())
+        b2 = b.meet(Ival.make(b.bits, a.lo + 1, smax) or _empty())
+        return None if a2 is None or b2 is None else (a2, b2)
+    if op == "le_s":
+        a2 = a.meet(Ival.make(a.bits, smin, b.hi) or _empty())
+        b2 = b.meet(Ival.make(b.bits, a.lo, smax) or _empty())
+        return None if a2 is None or b2 is None else (a2, b2)
+    if op == "gt_s":
+        swapped = refine("lt_s", b, a)
+        return None if swapped is None else (swapped[1], swapped[0])
+    if op == "ge_s":
+        swapped = refine("le_s", b, a)
+        return None if swapped is None else (swapped[1], swapped[0])
+    if op == "lt_u":
+        a2, b2 = a, b
+        if b.lo >= 0:
+            # u(a) < u(b) <= b.hi <= SMAX forces a's sign bit clear.
+            a2 = a.meet(Ival.make(a.bits, 0, b.hi - 1) or _empty())
+        if a.lo >= 0 and b.lo >= 0:
+            b2 = b.meet(Ival.make(b.bits, a.lo + 1, smax) or _empty())
+        return None if a2 is None or b2 is None else (a2, b2)
+    if op == "le_u":
+        a2, b2 = a, b
+        if b.lo >= 0:
+            a2 = a.meet(Ival.make(a.bits, 0, b.hi) or _empty())
+        if a.lo >= 0 and b.lo >= 0:
+            b2 = b.meet(Ival.make(b.bits, a.lo, smax) or _empty())
+        return None if a2 is None or b2 is None else (a2, b2)
+    if op == "gt_u":
+        swapped = refine("lt_u", b, a)
+        return None if swapped is None else (swapped[1], swapped[0])
+    if op == "ge_u":
+        swapped = refine("le_u", b, a)
+        return None if swapped is None else (swapped[1], swapped[0])
+    return a, b                   # float comparisons: no refinement
+
+
+class _Empty:
+    """A never-satisfiable meet operand (`meet` with it yields None)."""
+
+    def __init__(self, bits=32):
+        self.bits = bits
+        self.lo, self.hi, self.maybe = 1, 0, 0
+
+
+def _empty():
+    return _Empty()
+
+
+def _drop_endpoint(iv: Ival, value: int):
+    """Shrink ``iv`` by excluding the known-unequal constant ``value``."""
+    if iv.lo == iv.hi == value:
+        return None
+    lo = iv.lo + 1 if iv.lo == value else iv.lo
+    hi = iv.hi - 1 if iv.hi == value else iv.hi
+    return Ival.make(iv.bits, lo, hi, iv.maybe) or iv
+
+
+# ---------------------------------------------------------------------------
+# The solver
+# ---------------------------------------------------------------------------
+
+class RangeInfo:
+    """Result of interval analysis over one function.
+
+    ``facts`` maps instruction objects (single integer def) to the
+    proved interval of that def; ``decided`` maps comparison BinOps to
+    their constant 0/1 result; ``redundant_and`` maps ``x & mask``
+    BinOps whose mask covers every maybe-bit of ``x`` to the operand the
+    result always equals; ``branch_decided`` maps block labels whose
+    ``CondBr`` condition is interval-decided to the taken arm;
+    ``call_targets`` maps ``CallIndirect`` instructions to the interval
+    of their table index.
+    """
+
+    __slots__ = ("facts", "decided", "redundant_and", "branch_decided",
+                 "call_targets", "iterations")
+
+    def __init__(self):
+        self.facts = {}
+        self.decided = {}
+        self.redundant_and = {}
+        self.branch_decided = {}
+        self.call_targets = {}
+        self.iterations = 0
+
+
+def _vbits(operand):
+    if isinstance(operand, (VReg, Const)) and operand.ty.is_int:
+        return 32 if operand.ty is Type.I32 else 64
+    return None
+
+
+class _Solver:
+    """Edge-aware worklist solver over one function's CFG."""
+
+    def __init__(self, func):
+        self.func = func
+        self.state = {}           # label -> env (dict vreg id -> Ival)
+        self.in_edges = {}        # label -> {pred_label | None: env}
+        self.visits = {}
+        self.failed = False
+        self.iterations = 0
+        # The iteration budget is a belt-and-braces backstop; widening
+        # alone guarantees termination.  Blowing it yields *no* facts
+        # rather than unsound ones.
+        self.budget = 64 * max(len(func.blocks), 1) + 256
+        self.shapes = {}          # SSA only: vreg id -> defining instr
+        if getattr(func, "ssa", False):
+            for block in func.blocks.values():
+                for instr in block.instrs:
+                    if isinstance(instr, BinOp) and instr.op in CMP_OPS:
+                        self.shapes[instr.dst.id] = instr
+                    elif isinstance(instr, UnOp) and instr.op == "eqz":
+                        self.shapes[instr.dst.id] = instr
+        # Widening points: targets of DFS back edges.  Every cycle
+        # contains one, which is all termination needs; widening
+        # anywhere else would throw away the edge-refined bounds that
+        # make bounds-check elision work (the loop body would forget
+        # ``i <= n`` and the increment would wrap the interval to top).
+        self.widen_at = set()
+        if func.entry in func.blocks:
+            on_stack, seen = set(), set()
+            stack = [(func.entry, iter(func.blocks[func.entry]
+                                       .successors()))]
+            on_stack.add(func.entry)
+            seen.add(func.entry)
+            while stack:
+                label, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in func.blocks:
+                        continue
+                    if succ in on_stack:
+                        self.widen_at.add(succ)
+                    elif succ not in seen:
+                        seen.add(succ)
+                        on_stack.add(succ)
+                        stack.append(
+                            (succ, iter(func.blocks[succ].successors())))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    on_stack.discard(label)
+
+    # -- environments ------------------------------------------------------
+
+    def _eval(self, operand, env):
+        bits = _vbits(operand)
+        if bits is None:
+            return None
+        if isinstance(operand, Const):
+            return Ival.const(operand.value, bits)
+        return env.get(operand.id) or Ival.top(bits)
+
+    def _joined_entry(self, label):
+        """Join the feasible in-edge envs; evaluate phis per edge."""
+        edges = self.in_edges.get(label)
+        if not edges:
+            return None
+        envs = [env for env in edges.values() if env is not None]
+        if not envs:
+            return None
+        joined = {}
+        for key in envs[0]:
+            iv = envs[0][key]
+            for env in envs[1:]:
+                other = env.get(key)
+                if other is None:
+                    iv = None
+                    break
+                iv = iv.join(other)
+            if iv is not None and not iv.is_top:
+                joined[key] = iv
+        block = self.func.blocks[label]
+        phi_values = {}
+        for instr in block.instrs:
+            if not isinstance(instr, Phi):
+                break
+            bits = _vbits(instr.dst)
+            if bits is None:
+                continue
+            result = None
+            for pred, env in edges.items():
+                if env is None:
+                    continue
+                operand = instr.incoming.get(pred)
+                iv = self._eval(operand, env) if operand is not None \
+                    else Ival.top(bits)
+                result = iv if result is None else result.join(iv)
+            phi_values[instr.dst.id] = result or Ival.top(bits)
+        for key, iv in phi_values.items():
+            if iv.is_top:
+                joined.pop(key, None)
+            else:
+                joined[key] = iv
+        return joined
+
+    def _transfer_block(self, label, env):
+        """Walk the block, updating ``env`` in place; returns the list
+        of ``(succ, edge_env_or_None)`` produced by the terminator and
+        the block-local compare shapes (non-SSA refinement)."""
+        block = self.func.blocks[label]
+        local_shapes = {}
+        # Block-local copy chains (dst -> src for ``dst = src`` moves
+        # with neither side redefined since): lets edge refinement flow
+        # *backward* through the copy into the underlying local, so
+        # ``v = k; if (v < n)`` also bounds ``k`` on the taken edge.
+        copy_of = {}
+
+        def invalidate(reg_id):
+            local_shapes.pop(reg_id, None)
+            for key in [k for k, instr in local_shapes.items()
+                        if any(u.id == reg_id for u in instr.uses())]:
+                local_shapes.pop(key, None)
+            copy_of.pop(reg_id, None)
+            for key in [k for k, src in copy_of.items() if src == reg_id]:
+                copy_of.pop(key, None)
+
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                continue          # handled at entry join
+            iv = self._transfer_instr(instr, env)
+            defs = instr.defs()
+            if defs:
+                dst = defs[0]
+                if not getattr(self.func, "ssa", False):
+                    invalidate(dst.id)
+                if iv is not None and not iv.is_top:
+                    env[dst.id] = iv
+                else:
+                    env.pop(dst.id, None)
+                # A compare that redefines one of its own operands
+                # (non-SSA) is not a usable shape: by the branch the
+                # compared value is gone.
+                if isinstance(instr, BinOp) and instr.op in CMP_OPS \
+                        and dst not in instr.uses():
+                    local_shapes[dst.id] = instr
+                elif isinstance(instr, UnOp) and instr.op == "eqz" \
+                        and dst not in instr.uses():
+                    local_shapes[dst.id] = instr
+                elif isinstance(instr, Move) \
+                        and isinstance(instr.src, VReg) \
+                        and instr.src.id != dst.id \
+                        and _vbits(instr.src) is not None:
+                    copy_of[dst.id] = instr.src.id
+        return self._edge_envs(block, env, local_shapes, copy_of)
+
+    def _transfer_instr(self, instr, env):
+        """The interval of ``instr``'s single def, or None (untracked)."""
+        if isinstance(instr, Move):
+            return self._eval(instr.src, env)
+        if isinstance(instr, BinOp):
+            bits = _vbits(instr.lhs) or _vbits(instr.rhs)
+            if bits is None:
+                if instr.op in CMP_OPS:        # float comparison
+                    return Ival.make(32, 0, 1)
+                return None
+            a = self._eval(instr.lhs, env)
+            b = self._eval(instr.rhs, env)
+            if a is None or b is None:
+                return None
+            return transfer_binop(instr.op, a, b, bits)
+        if isinstance(instr, UnOp):
+            src_bits = _vbits(instr.src)
+            dst_bits = _vbits(instr.dst)
+            if dst_bits is None:
+                return None
+            if src_bits is None:
+                return Ival.top(dst_bits)
+            a = self._eval(instr.src, env)
+            return transfer_unop(instr.op, a, src_bits, dst_bits)
+        if isinstance(instr, Load):
+            bits = _vbits(instr.dst)
+            if bits is None:
+                return None
+            return load_result(instr.size, instr.signed, bits)
+        if isinstance(instr, (GetGlobal, Lea, Call, CallIndirect)):
+            bits = _vbits(getattr(instr, "dst", None))
+            return Ival.top(bits) if bits is not None else None
+        return None
+
+    def _edge_envs(self, block, env, local_shapes, copy_of=None):
+        term = block.term
+        if isinstance(term, Jump):
+            return [(term.target, env)]
+        if not isinstance(term, CondBr):
+            return []
+        out = []
+        for taken, succ in ((True, term.if_true), (False, term.if_false)):
+            out.append((succ, self._refine_edge(term.cond, taken, env,
+                                                local_shapes, copy_of)))
+        return out
+
+    @staticmethod
+    def _refine_reg(edge, copy_of, reg_id, refined):
+        """Record an edge refinement, following the block's live copy
+        chain backward: if ``reg_id`` was copied from a local that has
+        not been redefined since, the two hold the same value on this
+        edge, so the local is bounded too."""
+        seen = set()
+        while reg_id is not None and reg_id not in seen:
+            seen.add(reg_id)
+            have = edge.get(reg_id)
+            edge[reg_id] = have.meet(refined) or have if have is not None \
+                else refined
+            reg_id = (copy_of or {}).get(reg_id)
+
+    def _refine_edge(self, cond, taken, env, local_shapes, copy_of=None):
+        edge = dict(env)
+        if isinstance(cond, Const):
+            feasible = (cond.value != 0) == taken
+            return edge if feasible else None
+        if not isinstance(cond, VReg):
+            return edge
+        iv = self._eval(cond, edge)
+        if iv is not None:
+            if taken and iv.is_const and iv.lo == 0:
+                return None
+            if not taken and iv.excludes_zero():
+                return None
+            refined = _drop_endpoint(iv, 0) if taken \
+                else iv.meet(Ival.const(0, iv.bits))
+            if refined is None:
+                return None
+            self._refine_reg(edge, copy_of, cond.id, refined)
+        shape = local_shapes.get(cond.id) or self.shapes.get(cond.id)
+        if shape is None:
+            return edge
+        if isinstance(shape, UnOp):  # eqz x: taken means x == 0
+            src = shape.src
+            if isinstance(src, VReg):
+                siv = self._eval(src, edge)
+                if siv is not None:
+                    refined = siv.meet(Ival.const(0, siv.bits)) if taken \
+                        else _drop_endpoint(siv, 0)
+                    if refined is None:
+                        return None
+                    self._refine_reg(edge, copy_of, src.id, refined)
+            return edge
+        op = shape.op if taken else _NEGATE.get(shape.op)
+        if op is None:
+            return edge
+        a = self._eval(shape.lhs, edge)
+        b = self._eval(shape.rhs, edge)
+        if a is None or b is None:
+            return edge
+        pair = refine(op, a, b)
+        if pair is None:
+            return None
+        a2, b2 = pair
+        if isinstance(shape.lhs, VReg):
+            self._refine_reg(edge, copy_of, shape.lhs.id, a2)
+        if isinstance(shape.rhs, VReg):
+            self._refine_reg(edge, copy_of, shape.rhs.id, b2)
+        return edge
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def solve(self):
+        func = self.func
+        if func.entry is None:
+            return
+        self.in_edges.setdefault(func.entry, {})[None] = {}
+        work = [func.entry]
+        while work:
+            self.iterations += 1
+            if self.iterations > self.budget:
+                self.failed = True
+                return
+            label = work.pop(0)
+            joined = self._joined_entry(label)
+            if joined is None:
+                continue
+            old = self.state.get(label)
+            visits = self.visits.get(label, 0) + 1
+            self.visits[label] = visits
+            if old is not None:
+                # Ascending phase: always include the old state so the
+                # chain is monotone; widen at cycle headers once past
+                # the visit budget.
+                widening = label in self.widen_at and visits > WIDEN_AFTER
+                merged = {}
+                for key, iv in old.items():
+                    other = joined.get(key)
+                    if other is None:
+                        continue
+                    grown = iv.join(other)
+                    if widening:
+                        grown = iv.widen(grown)
+                    if grown is not None and not grown.is_top:
+                        merged[key] = grown
+                joined = merged
+                if joined == old:
+                    continue
+            self.state[label] = joined
+            for succ, edge_env in self._transfer_block(label, dict(joined)):
+                if succ not in self.func.blocks:
+                    continue
+                edges = self.in_edges.setdefault(succ, {})
+                if edge_env is None:
+                    # Never downgrade a previously feasible edge; a
+                    # fresh infeasible edge stays unexplored.
+                    if label not in edges:
+                        edges[label] = None
+                    continue
+                if edges.get(label) != edge_env:
+                    edges[label] = edge_env
+                    if succ not in work:
+                        work.append(succ)
+        self._narrow()
+
+    def _narrow(self):
+        order = [b.label for b in self.func.block_order()]
+        for _ in range(NARROW_PASSES):
+            for label in order:
+                if label not in self.state and label != self.func.entry:
+                    if not self.in_edges.get(label):
+                        continue
+                joined = self._joined_entry(label)
+                if joined is None:
+                    continue
+                old = self.state.get(label)
+                if old is not None:
+                    narrowed = {}
+                    for key, iv in joined.items():
+                        prior = old.get(key)
+                        # A key the ascent dropped was top there; the
+                        # recompute's value meets top, i.e. stands.
+                        met = iv if prior is None else (prior.meet(iv)
+                                                        or prior)
+                        if not met.is_top:
+                            narrowed[key] = met
+                    for key, iv in old.items():
+                        narrowed.setdefault(key, iv)
+                    joined = narrowed
+                self.state[label] = joined
+                for succ, edge_env in self._transfer_block(label,
+                                                           dict(joined)):
+                    if succ not in self.func.blocks:
+                        continue
+                    edges = self.in_edges.setdefault(succ, {})
+                    if edge_env is not None or label not in edges:
+                        edges[label] = edge_env
+
+    def finish(self) -> RangeInfo:
+        info = RangeInfo()
+        info.iterations = self.iterations
+        if self.failed:
+            return info
+        for block in self.func.block_order():
+            label = block.label
+            if label != self.func.entry and not any(
+                    env is not None
+                    for env in self.in_edges.get(label, {}).values()):
+                continue
+            env = self._joined_entry(label)
+            if env is None:
+                env = {} if label == self.func.entry else None
+            if env is None:
+                continue
+            for instr in block.instrs:
+                if isinstance(instr, Phi):
+                    bits = _vbits(instr.dst)
+                    if bits is not None:
+                        iv = env.get(instr.dst.id) or Ival.top(bits)
+                        info.facts[instr] = iv
+                    continue
+                iv = self._transfer_instr(instr, env)
+                if isinstance(instr, BinOp) and instr.op in CMP_OPS:
+                    bits = _vbits(instr.lhs) or _vbits(instr.rhs)
+                    if bits is not None:
+                        a = self._eval(instr.lhs, env)
+                        b = self._eval(instr.rhs, env)
+                        verdict = compare(instr.op, a, b)
+                        if verdict is not None:
+                            info.decided[instr] = verdict
+                if isinstance(instr, BinOp) and instr.op == "and":
+                    self._check_redundant_and(instr, env, info)
+                if isinstance(instr, CallIndirect) and \
+                        isinstance(instr.target, (VReg, Const)):
+                    tiv = self._eval(instr.target, env)
+                    if tiv is not None:
+                        info.call_targets[instr] = tiv
+                defs = instr.defs()
+                if defs:
+                    dst = defs[0]
+                    if iv is not None and not iv.is_top:
+                        env[dst.id] = iv
+                        info.facts[instr] = iv
+                    else:
+                        env.pop(dst.id, None)
+            term = block.term
+            if isinstance(term, CondBr):
+                civ = self._eval(term.cond, env)
+                if civ is not None:
+                    if civ.excludes_zero():
+                        info.branch_decided[label] = True
+                    elif civ.is_const and civ.lo == 0:
+                        info.branch_decided[label] = False
+        return info
+
+    def _check_redundant_and(self, instr, env, info):
+        for mask_op, value_op in ((instr.rhs, instr.lhs),
+                                  (instr.lhs, instr.rhs)):
+            if not isinstance(mask_op, Const):
+                continue
+            bits = _vbits(value_op)
+            if bits is None:
+                continue
+            pattern = mask_op.value & ((1 << bits) - 1)
+            viv = self._eval(value_op, env)
+            if viv is not None and not (viv.maybe & ~pattern):
+                info.redundant_and[instr] = value_op
+                return
+
+
+def analyze_function(func, module=None) -> RangeInfo:
+    """Run interval analysis over ``func``; ``module`` is unused but
+    keeps the analysis signature uniform with the other dataflow entry
+    points."""
+    solver = _Solver(func)
+    solver.solve()
+    return solver.finish()

@@ -45,6 +45,15 @@ _ENGINES = {
 }
 
 
+def _tiered_engines():
+    # Opt-in targets (never part of the default 2019 sweep): the
+    # tiered engines are the only ones permitted to elide safety
+    # checks from interval facts.
+    from ..jit.engine import CHROME_TIERED, FIREFOX_TIERED
+    return {"chrome-tiered": CHROME_TIERED,
+            "firefox-tiered": FIREFOX_TIERED}
+
+
 class BenchResult:
     """Measurements for one benchmark on one target."""
 
@@ -134,6 +143,8 @@ def compile_benchmark(spec: BenchmarkSpec, targets=None,
     """
     engines = dict(_ENGINES, **(engines or {}))
     targets = list(targets or TARGETS)
+    if any(t.endswith("-tiered") for t in targets):
+        engines = dict(_tiered_engines(), **engines)
     result = CompiledBenchmark(spec)
     store = compilecache.resolve_cache(cache)
     with span("harness.compile", benchmark=spec.name,

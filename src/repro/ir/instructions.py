@@ -67,9 +67,15 @@ class Instr:
     that the lint's uninitialized-use analysis treats as "no real
     definition".  Both default to unset; read them with
     ``getattr(instr, "loc", None)``.
+
+    ``range_fact`` (also unset by default) is the interval the ``ranges``
+    analysis proved for this instruction's integer definition, attached
+    by :func:`repro.ir.passes.ranges.annotate_ranges` on the final
+    pre-lowering IR and consumed by the backends for safety-check
+    elision and the ``--check-ranges`` runtime oracle.
     """
 
-    __slots__ = ("loc", "synthetic")
+    __slots__ = ("loc", "synthetic", "range_fact")
 
     def uses(self):
         """Virtual registers read by this instruction."""
@@ -365,9 +371,14 @@ class CallIndirect(Instr):
 
     ``ftype`` is the static signature the call site expects; WebAssembly
     checks it against the table entry at runtime.
+
+    ``target_fact`` (unset by default) is the proved interval of
+    ``target``, attached by ``annotate_ranges`` so the lowering can
+    elide the table-bounds check when the interval is contained in
+    ``[0, table_len)``.
     """
 
-    __slots__ = ("dst", "target", "ftype", "args")
+    __slots__ = ("dst", "target", "ftype", "args", "target_fact")
 
     def __init__(self, dst, target, ftype: FuncType, args):
         self.dst = dst

@@ -29,7 +29,9 @@ from ..passmanager import (
     CFG_ANALYSES, FixedPoint, FunctionAnalysisManager, FunctionPass,
     PassManager, SimplePass, _run_pass, pipeline_fingerprint,
 )
-from ..verify import VerifyError, verify_function, verify_ir_enabled
+from ..verify import (
+    VerifyError, check_ranges_enabled, verify_function, verify_ir_enabled,
+)
 from .collapse import collapse_defs
 from .constfold import fold_constants
 from .copyprop import propagate_copies
@@ -38,6 +40,10 @@ from .gvn import GVNPass, global_value_numbering
 from .inline import inline_calls
 from .licm import hoist_invariants
 from .localize import localize_temps
+from .ranges import (
+    RANGES_VERSION, RangeSimplifyPass, annotate_ranges, ranges_enabled,
+    set_ranges,
+)
 from .rotate import rotate_loops
 from .sccp import SCCPPass, sparse_conditional_constant_propagation
 from .simplifycfg import simplify_cfg
@@ -53,6 +59,7 @@ __all__ = [
     "optimize_module", "opt_pipeline_fingerprint",
     "jit_pipeline_fingerprint",
     "PassBlameError", "verify_after_pass",
+    "RangeSimplifyPass", "annotate_ranges", "ranges_enabled", "set_ranges",
 ]
 
 
@@ -151,18 +158,33 @@ _SSA_OPT = FixedPoint([GVNPass(), SCCPPass(), StrengthReducePass(), _DCE],
                       max_rounds=4, name="ssa-opt")
 _SSA_PIPELINE = (SSAConstructPass(), _SSA_OPT, SSADestructPass())
 
+#: The SSA-region optimizer for range-eliding engines: adds the interval
+#: simplification pass between SCCP (which exposes constants it can
+#: compare against) and DCE (which sweeps the folded comparisons).
+_SSA_OPT_RANGES = FixedPoint(
+    [GVNPass(), SCCPPass(), RangeSimplifyPass(), StrengthReducePass(),
+     _DCE], max_rounds=4, name="ssa-opt")
+_SSA_PIPELINE_RANGES = (SSAConstructPass(), _SSA_OPT_RANGES,
+                        SSADestructPass())
+
 _LICM = LICMPass()
 _ROTATE = RotatePass()
 
 
 def run_ssa_midend(func, module=None,
-                   fam: FunctionAnalysisManager = None) -> bool:
+                   fam: FunctionAnalysisManager = None,
+                   ranges: bool = False) -> bool:
     """Take ``func`` through the SSA region: construct, optimize to a
-    fixpoint (GVN, SCCP, strength reduction, DCE), destruct."""
+    fixpoint (GVN, SCCP, strength reduction, DCE), destruct.  With
+    ``ranges`` the fixpoint additionally folds interval-decided
+    comparisons and branches (eliding JIT tiers only — the shared
+    ``optimize_module`` pipeline stays range-free so the 2019 baselines
+    are untouched)."""
     if fam is None:
         fam = FunctionAnalysisManager()
+    pipeline = _SSA_PIPELINE_RANGES if ranges else _SSA_PIPELINE
     changed = False
-    for p in _SSA_PIPELINE:
+    for p in pipeline:
         changed |= bool(_run_pass(p, func, module, fam))
     return changed
 
@@ -200,17 +222,30 @@ def opt_pipeline_fingerprint(level: int = 2, inline_threshold: int = 20,
         _pipeline_passes(level, licm, rotate, use_ssa),
         ("level", level), ("inline", inline_threshold),
         ("unroll", unroll, unroll_factor, unroll_max_instrs),
-        ("ssa", use_ssa))
+        ("ssa", use_ssa),
+        # Artifacts depend on the range configuration even though the
+        # shared pipeline never folds ranges: the ``--check-ranges``
+        # oracle annotates (and the wasm encoder embeds) range facts.
+        ("ranges", ranges_enabled(), RANGES_VERSION,
+         check_ranges_enabled()))
 
 
 def jit_pipeline_fingerprint(optimizing_tier: bool, ssa: bool = None) -> str:
     """Fingerprint of the mid-end a JIT engine runs (the SSA region for
     2019 optimizing tiers, nothing extra for older vintages).  Folded
-    into JIT compile-cache keys alongside the engine signature."""
+    into JIT compile-cache keys alongside the engine signature.
+
+    The range configuration is part of the identity: toggling
+    ``REPRO_RANGES``/``--check-ranges`` or changing the execution tier
+    changes what an eliding engine emits (checks elided, oracle
+    assertions attached), so it must never serve stale code."""
+    from ...tier import get_tier
     use_ssa = (ssa_enabled() if ssa is None else bool(ssa)) \
         and optimizing_tier
     return pipeline_fingerprint(
-        list(_SSA_PIPELINE) if use_ssa else [], ("jit-ssa", use_ssa))
+        list(_SSA_PIPELINE) if use_ssa else [], ("jit-ssa", use_ssa),
+        ("jit-ranges", ranges_enabled(), RANGES_VERSION,
+         check_ranges_enabled(), get_tier()))
 
 
 def optimize_module(module: Module, level: int = 2,

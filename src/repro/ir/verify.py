@@ -44,6 +44,24 @@ class VerifyError(Exception):
         self.detail = detail
 
 
+class RangeOracleError(VerifyError, AssertionError):
+    """A runtime value escaped the interval the ``ranges`` analysis
+    proved for its definition.
+
+    Raised by the runtime soundness oracle (``--check-ranges``) in the
+    x86 machine, the wasm interpreter, and the IR interpreter.  Like
+    :class:`~repro.ir.passes.PassBlameError` this names the culprit —
+    range facts have exactly one producer, so ``blamed`` is always the
+    ``ranges`` pass.
+    """
+
+    blamed = "ranges"
+
+    def __init__(self, message, function=None, block=None, detail=None):
+        super().__init__(f"[pass: ranges] {message}", function=function,
+                         block=block, detail=detail)
+
+
 _ENABLED = os.environ.get("REPRO_VERIFY_IR", "") not in ("", "0")
 
 
@@ -57,6 +75,21 @@ def set_verify_ir(enabled: bool) -> None:
 
 def verify_ir_enabled() -> bool:
     return _ENABLED
+
+
+_CHECK_RANGES = os.environ.get("REPRO_CHECK_RANGES", "") not in ("", "0")
+
+
+def set_check_ranges(enabled: bool) -> None:
+    """Toggle the runtime range-soundness oracle for this process and
+    (via the environment) any workers it forks."""
+    global _CHECK_RANGES
+    _CHECK_RANGES = bool(enabled)
+    os.environ["REPRO_CHECK_RANGES"] = "1" if enabled else "0"
+
+
+def check_ranges_enabled() -> bool:
+    return _CHECK_RANGES
 
 
 def _operand_ty(op):

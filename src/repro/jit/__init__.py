@@ -1,14 +1,16 @@
 """Browser WebAssembly JIT engines (Chrome/V8 and Firefox/SpiderMonkey)."""
 
 from .engine import (
-    CHROME_2017, CHROME_2018, CHROME_ENGINE, ENGINES_BY_YEAR, Engine,
-    FIREFOX_2017, FIREFOX_2018, FIREFOX_ENGINE, roundtrip,
+    CHROME_2017, CHROME_2018, CHROME_ENGINE, CHROME_TIERED,
+    ENGINES_BY_YEAR, Engine,
+    FIREFOX_2017, FIREFOX_2018, FIREFOX_ENGINE, FIREFOX_TIERED, roundtrip,
 )
 from .translate import wasm_to_ir
 
 __all__ = [
     "Engine", "wasm_to_ir", "roundtrip",
     "CHROME_ENGINE", "FIREFOX_ENGINE",
+    "CHROME_TIERED", "FIREFOX_TIERED",
     "CHROME_2017", "CHROME_2018", "FIREFOX_2017", "FIREFOX_2018",
     "ENGINES_BY_YEAR",
 ]

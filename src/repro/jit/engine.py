@@ -17,10 +17,10 @@ import time
 from ..codegen.lower import lower_module
 from ..codegen.target import CHROME, FIREFOX, TargetConfig
 from ..ir.passes import (
-    eliminate_dead_code, propagate_copies, run_ssa_midend, simplify_cfg,
-    ssa_enabled, verify_after_pass,
+    annotate_ranges, eliminate_dead_code, propagate_copies, ranges_enabled,
+    run_ssa_midend, simplify_cfg, ssa_enabled, verify_after_pass,
 )
-from ..ir.verify import verify_ir_enabled, verify_module
+from ..ir.verify import check_ranges_enabled, verify_ir_enabled, verify_module
 from ..obs import span
 from ..wasm.binary import decode_module, encode_module
 from ..wasm.module import WasmModule
@@ -55,6 +55,18 @@ class Engine:
             time.perf_counter() - start
         program.compile_stats["pipeline"] = self.name
         return program
+
+    def uses_ranges(self) -> bool:
+        """Whether this compile runs the range pipeline: the engine must
+        opt in (``elide_checks`` — tiered engines only), the SSA mid-end
+        must be on (the simplification pass is phi-aware and the facts
+        come out of the SSA region), the execution tier must be the
+        optimizing ``fuse`` tier, and ``REPRO_RANGES`` must not revert
+        it."""
+        return (getattr(self.config, "elide_checks", False)
+                and self.optimizing_tier and ssa_enabled()
+                and ranges_enabled()
+                and self.execution_tier() == "fuse")
 
     @staticmethod
     def execution_tier() -> str:
@@ -96,6 +108,7 @@ class Engine:
                     verify_after_pass("leafold", func, ir)
                     simplify_cfg(func)
                     verify_after_pass("simplifycfg", func, ir)
+        use_ranges = self.uses_ranges()
         if self.optimizing_tier and ssa_enabled():
             # The 2019 optimizing tiers (TurboFan, Ion) run GVN and
             # constant propagation over SSA; the 2017/2018 vintages in
@@ -105,14 +118,25 @@ class Engine:
             with span("jit.ssa", engine=self.name):
                 fam = FunctionAnalysisManager()
                 for func in ir.functions.values():
-                    run_ssa_midend(func, ir, fam)
+                    run_ssa_midend(func, ir, fam, ranges=use_ranges)
                     propagate_copies(func)
                     verify_after_pass("copyprop", func, ir)
                     eliminate_dead_code(func)
                     verify_after_pass("dce", func, ir)
                     simplify_cfg(func)
                     verify_after_pass("simplifycfg", func, ir)
+        if use_ranges or check_ranges_enabled():
+            # Re-solve on the final IR so the facts key the exact
+            # instruction objects the lowering sees; the lowering uses
+            # them to elide checks (eliding engines) and to attach the
+            # --check-ranges oracle assertions.
+            with span("jit.ranges", engine=self.name):
+                program_stats = annotate_ranges(ir)
+        else:
+            program_stats = None
         program = lower_module(ir, self.config, name=self.name)
+        if program_stats is not None:
+            program.compile_stats["ranges"] = program_stats
         program.compile_stats.setdefault(
             "compile_seconds", time.perf_counter() - start)
         program.compile_stats["pipeline"] = self.name
@@ -175,19 +199,21 @@ ENGINES_BY_YEAR = {
 # if the engine spent more time on hot code ("solutions adopted by other
 # JITs, such as further optimizing hot code, are likely applicable").
 # CHROME_TIERED applies exactly those two fixes — a graph-coloring
-# allocator and no loop-entry jumps — while keeping everything the paper
-# calls inherent: the reserved registers, the heap-base register, the
-# stack and indirect-call checks, and the wasm linkage without
-# callee-saved registers.  The remaining gap against native is the cost
-# of WebAssembly's design constraints alone.
+# allocator and no loop-entry jumps — plus range-driven safety-check
+# elision (``elide_checks``, §6.2/§6.4: indirect-call checks whose index
+# interval is proven in-bounds and stack checks for statically bounded
+# call-graph depth) — while keeping everything the paper calls inherent:
+# the reserved registers, the heap-base register, and the wasm linkage
+# without callee-saved registers.  The remaining gap against native is
+# the cost of WebAssembly's design constraints alone.
 
 CHROME_TIERED = Engine(
     "chrome-tiered",
     CHROME.clone("chrome-tiered", allocator="graph",
-                 loop_entry_jumps=False),
+                 loop_entry_jumps=False, elide_checks=True),
     year=2019)
 
 FIREFOX_TIERED = Engine(
     "firefox-tiered",
-    FIREFOX.clone("firefox-tiered", allocator="graph"),
+    FIREFOX.clone("firefox-tiered", allocator="graph", elide_checks=True),
     year=2019)

@@ -13,8 +13,13 @@ the source locations the frontend stamps on every instruction:
   value (note severity: ``while (1)`` is idiomatic);
 * **unreachable-code** — statements after a statement that always
   exits (checked on the AST, since IR generation silently drops them);
-* **constant-oob** — a constant index into an array of known length
-  that is out of bounds;
+* **range-oob** — an index into an array of known length whose interval
+  (abstract evaluation over the :mod:`repro.dataflow.interval` domain)
+  is provably out of bounds (error) or overlaps out-of-bounds values
+  while staying provably bounded (warning);
+* **shift-range** — a shift whose amount is provably outside
+  ``[0, width)`` (error) or may be (warning, when the amount interval
+  is known but not contained);
 * **missing-return** — a value-returning function whose end is
   reachable (the frontend marks the synthetic fallback return).
 
@@ -187,21 +192,49 @@ class _Linter:
         def visit(expr):
             for child in _expr_children(expr):
                 visit(child)
+            if isinstance(expr, ast.Binary) and expr.op in ("<<", ">>"):
+                self._check_shift(expr)
             if not isinstance(expr, ast.Index):
                 return
             base_ty = getattr(expr.base, "ctype", None)
             if not isinstance(base_ty, ArrayType):
                 return
-            index = _const_int(expr.index)
-            if index is None:
-                return
-            if index < 0 or index >= base_ty.length:
+            iv = _expr_interval(expr.index)
+            n = base_ty.length
+            line = expr.line or expr.index.line
+            if iv.hi < 0 or iv.lo >= n:
+                if iv.is_const:
+                    self.report(
+                        line, "error", "range-oob",
+                        f"index {iv.lo} is out of bounds for array of "
+                        f"length {n}")
+                else:
+                    self.report(
+                        line, "error", "range-oob",
+                        f"index range [{iv.lo}, {iv.hi}] is always out "
+                        f"of bounds for array of length {n}")
+            elif not iv.is_top and (iv.lo < 0 or iv.hi >= n):
                 self.report(
-                    expr.line or expr.index.line, "error", "constant-oob",
-                    f"index {index} is out of bounds for array of "
-                    f"length {base_ty.length}")
+                    line, "warning", "range-oob",
+                    f"index range [{iv.lo}, {iv.hi}] may be out of "
+                    f"bounds for array of length {n}")
 
         _walk_exprs(decl.body, visit)
+
+    def _check_shift(self, expr: ast.Binary) -> None:
+        width = 8 * getattr(getattr(expr.lhs, "ctype", None), "size", 0) \
+            or 32
+        amount = _expr_interval(expr.rhs)
+        if amount.hi < 0 or amount.lo >= width:
+            self.report(
+                expr.line, "error", "shift-range",
+                f"shift amount {amount.lo if amount.is_const else amount!r}"
+                f" is out of range for {width}-bit shift")
+        elif not amount.is_top and (amount.lo < 0 or amount.hi >= width):
+            self.report(
+                expr.line, "warning", "shift-range",
+                f"shift amount range [{amount.lo}, {amount.hi}] may be "
+                f"out of range for {width}-bit shift")
 
     # -- IR checks ---------------------------------------------------------
 
@@ -321,6 +354,45 @@ def _const_int(expr):
         inner = _const_int(expr.operand)
         return -inner if inner is not None else None
     return None
+
+
+#: C operators with a modeled interval transfer function (IR op names).
+_C_TO_IR_OP = {"+": "add", "-": "sub", "*": "mul", "/": "div_s",
+               "%": "rem_s", "&": "and", "|": "or", "^": "xor",
+               "<<": "shl", ">>": "shr_s"}
+
+_BOOL_OPS = frozenset({"==", "!=", "<", "<=", ">", ">=", "&&", "||"})
+
+
+def _expr_interval(expr):
+    """Abstract evaluation of an index/shift expression over the
+    interval domain (32-bit, unknown leaves = top).
+
+    This is what upgrades ``constant-oob`` to ``range-oob``: the
+    known-bits component proves ``a[i & 7]`` in bounds (or out of them)
+    without knowing ``i``.
+    """
+    from ..dataflow.interval import Ival, transfer_binop
+    if isinstance(expr, ast.IntLit):
+        return Ival.const(expr.value, 32)
+    if isinstance(expr, ast.Unary):
+        if expr.op == "-":
+            return transfer_binop("sub", Ival.const(0, 32),
+                                  _expr_interval(expr.operand), 32)
+        if expr.op == "~":
+            return transfer_binop("xor", Ival.const(-1, 32),
+                                  _expr_interval(expr.operand), 32)
+        if expr.op == "!":
+            return Ival.make(32, 0, 1)
+        return Ival.top(32)
+    if isinstance(expr, ast.Binary):
+        if expr.op in _BOOL_OPS:
+            return Ival.make(32, 0, 1)
+        ir_op = _C_TO_IR_OP.get(expr.op)
+        if ir_op is not None:
+            return transfer_binop(ir_op, _expr_interval(expr.lhs),
+                                  _expr_interval(expr.rhs), 32)
+    return Ival.top(32)
 
 
 def _user_var_names(decl: ast.FuncDef):

@@ -138,7 +138,13 @@ class HwcCounters:
                  "indirect_branches", "btb_misses",
                  "dcache_accesses", "dcache_misses",
                  "spill_loads", "spill_stores",
-                 "icache_accesses", "icache_misses")
+                 "icache_accesses", "icache_misses",
+                 # Safety-check attribution (§6.2): instructions the
+                 # lowering tagged as stack/indirect-call checks, split
+                 # out so the cycle decomposition can show what bounds
+                 # and stack checks cost.  Read with a default: reports
+                 # pickled before these fields existed lack the slots.
+                 "check_retired", "check_branches", "check_loads")
 
     def __init__(self):
         for field in HwcCounters.__slots__:
@@ -146,15 +152,16 @@ class HwcCounters:
 
     def merge(self, other: "HwcCounters") -> None:
         for field in HwcCounters.__slots__:
-            setattr(self, field, getattr(self, field) + getattr(other, field))
+            setattr(self, field, getattr(self, field, 0)
+                    + getattr(other, field, 0))
 
     def as_dict(self) -> dict:
-        return {field: getattr(self, field)
+        return {field: getattr(self, field, 0)
                 for field in HwcCounters.__slots__}
 
     def __eq__(self, other):
         return isinstance(other, HwcCounters) and \
-            all(getattr(self, f) == getattr(other, f)
+            all(getattr(self, f, 0) == getattr(other, f, 0)
                 for f in HwcCounters.__slots__)
 
     def __repr__(self):
@@ -185,13 +192,21 @@ def class_cycles(perf, hwc: HwcCounters) -> dict:
     The model is linear, so the returned values sum exactly to
     ``hwc_cycles(perf, hwc)`` — the invariant ``repro explain`` asserts.
     """
+    check_retired = getattr(hwc, "check_retired", 0)
+    check_branches = getattr(hwc, "check_branches", 0)
+    check_loads = getattr(hwc, "check_loads", 0)
     return {
-        "base (retired instructions)": perf.instructions * BASE_CPI,
-        "program loads": (perf.loads - hwc.spill_loads) * LOAD_COST,
+        "base (retired instructions)":
+            (perf.instructions - check_retired) * BASE_CPI,
+        "program loads":
+            (perf.loads - hwc.spill_loads - check_loads) * LOAD_COST,
         "spill loads": hwc.spill_loads * LOAD_COST,
         "program stores": (perf.stores - hwc.spill_stores) * STORE_COST,
         "spill stores": hwc.spill_stores * STORE_COST,
-        "branches": perf.branches * BRANCH_COST,
+        "branches": (perf.branches - check_branches) * BRANCH_COST,
+        "safety checks": (check_retired * BASE_CPI
+                          + check_branches * BRANCH_COST
+                          + check_loads * LOAD_COST),
         "branch mispredictions": hwc.branch_misses * BRANCH_MISS_PENALTY,
         "BTB misses (indirect)": hwc.btb_misses * BTB_MISS_PENALTY,
         "calls": perf.calls * CALL_COST,
@@ -218,6 +233,12 @@ STAT_EVENTS = [
     ("L1-dcache-load-misses", lambda r: r.hwc.totals.dcache_misses),
     ("spill-loads", lambda r: r.hwc.totals.spill_loads),
     ("spill-stores", lambda r: r.hwc.totals.spill_stores),
+    ("safety-check-retired",
+     lambda r: getattr(r.hwc.totals, "check_retired", 0)),
+    ("safety-check-branches",
+     lambda r: getattr(r.hwc.totals, "check_branches", 0)),
+    ("safety-check-loads",
+     lambda r: getattr(r.hwc.totals, "check_loads", 0)),
 ]
 
 
@@ -367,6 +388,18 @@ class HwcModel:
                 self._retired >= self._next_sample:
             self.samples[self.cur] = self.samples.get(self.cur, 0) + 1
             self._next_sample += self.sample_every
+        check = getattr(ins, "check", None)
+        if check is not None:
+            t = self.totals
+            c = self._cur_c
+            t.check_retired += 1
+            c.check_retired += 1
+            if ins.op == "jcc":
+                t.check_branches += 1
+                c.check_branches += 1
+            elif isinstance(ins.a, Mem) or isinstance(ins.b, Mem):
+                t.check_loads += 1
+                c.check_loads += 1
         handler = self._dispatch.get(ins.op)
         if handler is not None:
             handler(ins, m)

@@ -308,6 +308,21 @@ def _encode_module(module: WasmModule) -> bytes:
             payload += encode_u32(len(seg.data)) + seg.data
         out += _section(SEC_DATA, payload)
 
+    if getattr(module, "ranges", None):
+        # "repro-ranges" custom section: the --check-ranges oracle
+        # facts (see WasmModule.ranges).  A custom section, so any
+        # MVP-conformant consumer skips it.
+        payload = bytearray(_enc_name("repro-ranges"))
+        payload += encode_u32(len(module.ranges))
+        for func_pos in sorted(module.ranges):
+            locs = module.ranges[func_pos]
+            payload += encode_u32(func_pos) + encode_u32(len(locs))
+            for local in sorted(locs):
+                bits, lo, hi, maybe = locs[local]
+                payload += encode_u32(local) + bytes([bits])
+                payload += struct.pack("<qqQ", lo, hi, maybe)
+        out += _section(0, bytes(payload))
+
     return bytes(out)
 
 
@@ -494,8 +509,20 @@ def _decode_module(data: bytes, name: str = "module") -> WasmModule:
                 offset = offset_expr[0].args[0]
                 length = body.u32()
                 module.data.append(WasmData(offset, body.take(length)))
+        elif section_id == 0:
+            sec_name = body.name()
+            if sec_name == "repro-ranges":
+                for _ in range(body.u32()):
+                    func_pos = body.u32()
+                    locs = module.ranges.setdefault(func_pos, {})
+                    for _ in range(body.u32()):
+                        local = body.u32()
+                        bits = body.byte()
+                        lo, hi, maybe = struct.unpack("<qqQ", body.take(24))
+                        locs[local] = (bits, lo, hi, maybe)
+            # other custom sections are skipped
         else:
-            pass  # custom/unknown sections are skipped
+            pass  # unknown sections are skipped
 
     # Recover function names from exports for nicer diagnostics.
     imports = module.num_imported_funcs

@@ -806,6 +806,15 @@ class WasmInstance:
         self.fuel_used = 0
         self._imports = [imp for imp in module.imports if imp.kind == "func"]
         self._decode_cache = {}
+        #: --check-ranges oracle facts from the "repro-ranges" custom
+        #: section, rekeyed by function identity: {id(WasmFunction):
+        #: {local index: Ival}}.  Empty unless the producer emitted them.
+        self._range_facts = {}
+        for func_pos, locs in getattr(module, "ranges", {}).items():
+            from ..dataflow.interval import Ival
+            self._range_facts[id(module.functions[func_pos])] = {
+                local: Ival(bits, lo, hi, maybe)
+                for local, (bits, lo, hi, maybe) in locs.items()}
         for seg in module.data:
             self.memory[seg.offset:seg.offset + len(seg.data)] = seg.data
 
@@ -1344,6 +1353,14 @@ class WasmInstance:
             self._loop_cache[key] = cached
         return cached
 
+    def _range_violation(self, func, local, value, fact):
+        """Raise the --check-ranges oracle failure for one local."""
+        from ..ir.verify import RangeOracleError
+        name = self._func_name(func)
+        raise RangeOracleError(
+            f"wasm local {local} in {name} took value {value!r} outside "
+            f"the proved interval {fact!r}", function=name)
+
     def _exec_body(self, func, ftype, locals_):
         key = id(func)
         # Decode-cache record: [code, promoted level, entry count].
@@ -1351,8 +1368,12 @@ class WasmInstance:
         if rec is None:
             rec = [self._decode_body(func.body), 0, 0]
             self._decode_cache[key] = rec
+        facts = self._range_facts.get(key) if self._range_facts else None
         tier = self._tier
-        if tier > rec[1]:
+        # Fused superinstructions may consume a local.set slot, which
+        # would silently skip its oracle check — fact-bearing functions
+        # stay at plain dispatch.
+        if tier > rec[1] and facts is None:
             # Hotness: promote after HOT_CALLS entries, or immediately
             # when the body contains a loop (main called once still gets
             # its kernel fused); cold code keeps the plain-decode entries.
@@ -1451,9 +1472,21 @@ class WasmInstance:
             elif kind == 2:                   # K_LOCAL_GET
                 stack.append(locals_[a])
             elif kind == 3:                   # K_LOCAL_SET
-                locals_[a] = stack.pop()
+                value = stack.pop()
+                locals_[a] = value
+                if facts is not None:
+                    fact = facts.get(a)
+                    if fact is not None and not fact.contains(
+                            value & ((1 << fact.bits) - 1)):
+                        self._range_violation(func, a, value, fact)
             elif kind == 4:                   # K_LOCAL_TEE
-                locals_[a] = stack[-1]
+                value = stack[-1]
+                locals_[a] = value
+                if facts is not None:
+                    fact = facts.get(a)
+                    if fact is not None and not fact.contains(
+                            value & ((1 << fact.bits) - 1)):
+                        self._range_violation(func, a, value, fact)
             elif kind == 5:                   # K_END
                 ctrl.pop()
             elif kind == 6:                   # K_BLOCK / loop

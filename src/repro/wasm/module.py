@@ -131,6 +131,13 @@ class WasmModule:
         self.exports: list[WasmExport] = []
         self.start = None
         self.data: list[WasmData] = []
+        #: ``--check-ranges`` oracle facts carried in the "repro-ranges"
+        #: custom section: {defined-function position: {local index:
+        #: (bits, lo, hi, maybe)}}.  Each tuple is the interval proved
+        #: for *every* assignment of that local; the wasm interpreter
+        #: asserts observed values against it.  Empty unless the
+        #: producer ran under ``--check-ranges``.
+        self.ranges: dict = {}
 
     # -- indices -------------------------------------------------------------
 

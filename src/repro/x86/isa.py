@@ -100,10 +100,18 @@ class Instr:
     ``op`` selects the semantics; ``a`` is the destination (or only)
     operand, ``b`` the source.  ``cond`` holds the condition code for
     ``jcc``/``setcc``; ``size`` the operation width in bytes.
+
+    Two optional annotations default to unset (read them with
+    ``getattr(ins, ..., None)`` — cached programs pickled before they
+    existed lack the slots): ``check`` tags safety-check instructions
+    with their kind (``"stack"``/``"indirect"``) for the hwc cycle
+    decomposition, and ``assert_range`` carries a ``(reg, Ival)`` fact
+    the machine validates after this instruction retires under
+    ``--check-ranges``.
     """
 
     __slots__ = ("op", "a", "b", "cond", "size", "comment", "addr",
-                 "enc_size")
+                 "enc_size", "check", "assert_range")
 
     def __init__(self, op: str, a=None, b=None, cond: str = None,
                  size: int = 8, comment: str = ""):

@@ -172,6 +172,14 @@ class X86Machine:
         self.hwc = hwc
         if hwc is not None:
             hwc.attach(self)
+        #: The ``--check-ranges`` soundness oracle: when on, every
+        #: instruction carrying an ``assert_range`` fact has the
+        #: committed register value validated right after it retires.
+        #: Superinstruction fusion is disabled under the oracle (fused
+        #: pairs skip the loop-top hook; fusion is counter-bit-identical
+        #: anyway, so the oracle still checks the same program).
+        from ..ir.verify import check_ranges_enabled
+        self._oracle = check_ranges_enabled()
 
     # -- guest memory interface (Host-compatible) --------------------------------
 
@@ -300,7 +308,7 @@ class X86Machine:
             # [decoded code, promoted tier level, entry count]
             rec = [self._build_decode(func), 0, 0]
             self._decode_cache[key] = rec
-        if self._tier >= 2 and rec[1] < 2:
+        if self._tier >= 2 and rec[1] < 2 and not self._oracle:
             rec[2] += 1
             if rec[2] >= HOT_CALLS or self._has_backjump(rec[0]):
                 fused, sites = self._fuse_decode(rec[0])
@@ -675,6 +683,12 @@ class X86Machine:
                 c_calls = c_muls = c_divs = c_fdivs = c_fpu = 0
 
         ins = None
+        # --check-ranges: a def proved to lie in an interval is validated
+        # one fetch later, after its write committed.  Asserted
+        # instructions never branch (the lowering guarantees it), so the
+        # next fetched instruction always runs after the asserted one.
+        oracle = self._oracle
+        pending = None
         try:
             while True:
                 if i >= n:
@@ -684,6 +698,22 @@ class X86Machine:
                 i += 1
                 n_instr += 1
                 c_instr += 1
+                if oracle:
+                    if pending is not None:
+                        preg, fact, pins, pfunc = pending
+                        pattern = regs[preg] & ((1 << fact.bits) - 1)
+                        if not fact.contains(pattern):
+                            from ..ir.verify import RangeOracleError
+                            raise RangeOracleError(
+                                f"observed value {pattern:#x} escaped the "
+                                f"proved interval {fact!r} after "
+                                f"`{pins!r}` in {pfunc}",
+                                function=pfunc)
+                        pending = None
+                    ar = getattr(ins, "assert_range", None)
+                    if ar is not None:
+                        pending = (ar[0], ar[1], ins,
+                                   getattr(func, "name", "?"))
                 if n_instr > checkpoint:
                     if n_instr > budget:
                         raise FuelExhausted(

@@ -28,8 +28,14 @@ EXPECTED = {
         (13, "warning", "unreachable-code"),
     ],
     "const_oob.mc": [
-        (4, "error", "constant-oob"),
-        (9, "error", "constant-oob"),
+        (4, "error", "range-oob"),
+        (9, "error", "range-oob"),
+    ],
+    "range_oob.mc": [
+        (9, "warning", "range-oob"),
+        (13, "error", "range-oob"),
+        (17, "error", "shift-range"),
+        (21, "warning", "shift-range"),
     ],
     "missing_return.mc": [
         (1, "error", "missing-return"),
